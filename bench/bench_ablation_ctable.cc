@@ -1,0 +1,90 @@
+// Ablation A: compact tables vs plain a-tables.
+// (1) Representation: how many concrete values/tuples a from()-produced
+//     compact table encodes per stored assignment (paper §3's motivation).
+// (2) The annotation operator psi: the direct compact-table implementation
+//     vs the paper's default a-table route (convert -> BAnnotate ->
+//     convert back).
+#include <benchmark/benchmark.h>
+
+#include "datagen/books.h"
+#include "exec/annotate.h"
+#include "exec/executor.h"
+#include "tasks/task.h"
+
+namespace iflex {
+namespace {
+
+// Builds the pre-annotation extraction table for T7 (title+price from
+// B&N records) by executing the unannotated rule.
+struct Fixture {
+  std::unique_ptr<TaskInstance> task;
+  CompactTable input;
+
+  static Fixture Make(size_t scale) {
+    Fixture f;
+    auto task = MakeTask("T7", scale);
+    if (!task.ok()) std::abort();
+    f.task = std::move(task).value();
+    // Same rule without annotations: bbooks(x, title, price).
+    Program prog = f.task->initial_program;
+    for (Rule& r : prog.rules()) {
+      std::fill(r.head.annotated.begin(), r.head.annotated.end(), false);
+    }
+    // Narrow price so cells are small but non-trivial.
+    (void)prog.AddConstraint(*f.task->catalog, "extractBarnes", 1, "numeric",
+                             FeatureParam::None(), FeatureValue::kYes);
+    prog.set_query("bbooks");
+    Executor exec(*f.task->catalog);
+    auto result = exec.Execute(prog);
+    if (!result.ok()) std::abort();
+    f.input = std::move(result).value();
+    return f;
+  }
+};
+
+void BM_RepresentationCompression(benchmark::State& state) {
+  Fixture f = Fixture::Make(static_cast<size_t>(state.range(0)));
+  double possible = 0;
+  size_t assignments = 0;
+  for (auto _ : state) {
+    possible = f.input.PossibleTupleCount(*f.task->corpus);
+    assignments = f.input.AssignmentCount();
+    benchmark::DoNotOptimize(possible);
+  }
+  state.counters["possible_tuples"] = possible;
+  state.counters["assignments"] = static_cast<double>(assignments);
+  state.counters["compression"] =
+      possible / static_cast<double>(assignments);
+}
+BENCHMARK(BM_RepresentationCompression)->Arg(100)->Arg(500);
+
+void BM_AnnotateCompact(benchmark::State& state) {
+  Fixture f = Fixture::Make(static_cast<size_t>(state.range(0)));
+  AnnotationSpec spec;
+  spec.annotated = {1, 2};  // title, price
+  for (auto _ : state) {
+    auto out = ApplyAnnotations(*f.task->corpus, f.input, spec,
+                                /*use_compact=*/true);
+    if (!out.ok()) std::abort();
+    benchmark::DoNotOptimize(out->size());
+  }
+}
+BENCHMARK(BM_AnnotateCompact)->Arg(100)->Arg(500);
+
+void BM_AnnotateViaATables(benchmark::State& state) {
+  Fixture f = Fixture::Make(static_cast<size_t>(state.range(0)));
+  AnnotationSpec spec;
+  spec.annotated = {1, 2};
+  for (auto _ : state) {
+    auto out = ApplyAnnotations(*f.task->corpus, f.input, spec,
+                                /*use_compact=*/false);
+    if (!out.ok()) std::abort();
+    benchmark::DoNotOptimize(out->size());
+  }
+}
+BENCHMARK(BM_AnnotateViaATables)->Arg(100)->Arg(500);
+
+}  // namespace
+}  // namespace iflex
+
+BENCHMARK_MAIN();

@@ -1,0 +1,75 @@
+// Ablation C: cost of question selection. Sequential selection is
+// near-free; simulation selection pays one subset execution per candidate
+// answer, and subset evaluation is what keeps that affordable (paper
+// §5.1-5.2).
+#include <benchmark/benchmark.h>
+
+#include <set>
+
+#include "assistant/strategy.h"
+#include "tasks/task.h"
+
+namespace iflex {
+namespace {
+
+struct Fixture {
+  std::unique_ptr<TaskInstance> task;
+  Catalog subset;
+  ReuseCache cache;
+  std::set<std::string> asked;
+
+  explicit Fixture(double fraction)
+      : task(MakeTask("T2", 100).value()),
+        subset(task->catalog->CloneWithSampledTables(fraction, 42)) {}
+
+  StrategyContext Ctx() {
+    StrategyContext ctx;
+    ctx.program = &task->initial_program;
+    ctx.full_catalog = task->catalog.get();
+    ctx.subset_catalog = &subset;
+    ctx.subset_cache = &cache;
+    ctx.asked = &asked;
+    return ctx;
+  }
+};
+
+void BM_SequentialNext(benchmark::State& state) {
+  Fixture f(0.2);
+  SequentialStrategy strategy;
+  for (auto _ : state) {
+    auto q = strategy.Next(f.Ctx());
+    if (!q.ok()) std::abort();
+    benchmark::DoNotOptimize(q->has_value());
+  }
+}
+BENCHMARK(BM_SequentialNext);
+
+void BM_SimulationNextOnSubset(benchmark::State& state) {
+  Fixture f(0.2);
+  SimulationStrategy strategy;
+  for (auto _ : state) {
+    auto q = strategy.Next(f.Ctx());
+    if (!q.ok()) std::abort();
+    benchmark::DoNotOptimize(q->has_value());
+  }
+  state.counters["sims"] = static_cast<double>(strategy.simulations_run());
+}
+BENCHMARK(BM_SimulationNextOnSubset)->Unit(benchmark::kMillisecond);
+
+void BM_SimulationNextOnFullData(benchmark::State& state) {
+  // Subset evaluation off: the "subset" is the full table.
+  Fixture f(1.0);
+  SimulationStrategy strategy;
+  for (auto _ : state) {
+    auto q = strategy.Next(f.Ctx());
+    if (!q.ok()) std::abort();
+    benchmark::DoNotOptimize(q->has_value());
+  }
+  state.counters["sims"] = static_cast<double>(strategy.simulations_run());
+}
+BENCHMARK(BM_SimulationNextOnFullData)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace iflex
+
+BENCHMARK_MAIN();

@@ -1,0 +1,80 @@
+// Regenerates Table 1: the real-world domains and their tables.
+// Paper columns: Domain | Data | Tables | Table Descriptions | Num Pages.
+// Our substitute corpora are synthetic (see DESIGN.md); this bench prints
+// the generated counterparts so the scale is auditable.
+#include <cstdio>
+
+#include "datagen/books.h"
+#include "datagen/dblife.h"
+#include "datagen/dblp.h"
+#include "datagen/movies.h"
+
+using namespace iflex;
+
+namespace {
+
+size_t CorpusBytes(const Corpus& corpus) {
+  size_t bytes = 0;
+  for (size_t i = 0; i < corpus.size(); ++i) {
+    bytes += corpus.Get(static_cast<DocId>(i)).text().size();
+  }
+  return bytes;
+}
+
+void Row(const char* domain, const char* table, const char* desc,
+         size_t records) {
+  std::printf("%-8s | %-13s | %-42s | %6zu\n", domain, table, desc, records);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Table 1: domains for the experiments (synthetic rebuild)\n");
+  std::printf("%-8s | %-13s | %-42s | %6s\n", "Domain", "Table",
+              "Description", "Recs");
+  std::printf("---------+---------------+--------------------------------------------+-------\n");
+
+  {
+    Corpus corpus;
+    MoviesData movies = GenerateMovies(&corpus, MoviesSpec{});
+    Row("Movies", "Ebert", "Roger Ebert's greatest movies list",
+        movies.ebert.size());
+    Row("Movies", "IMDB", "IMDB top 250 movies", movies.imdb.size());
+    Row("Movies", "Prasanna", "Prasanna's 517 greatest movies",
+        movies.prasanna.size());
+    std::printf("  Movies corpus: %zu records, %zu KB\n", corpus.size(),
+                CorpusBytes(corpus) / 1024);
+  }
+  {
+    Corpus corpus;
+    DblpData dblp = GenerateDblp(&corpus, DblpSpec{});
+    Row("DBLP", "Garcia-Molina", "Hector Garcia-Molina publications list",
+        dblp.garcia.size());
+    Row("DBLP", "SIGMOD", "SIGMOD papers '75-'05", dblp.sigmod.size());
+    Row("DBLP", "ICDE", "ICDE papers '84-'05", dblp.icde.size());
+    Row("DBLP", "VLDB", "VLDB papers '75-'05", dblp.vldb.size());
+    std::printf("  DBLP corpus: %zu records, %zu KB\n", corpus.size(),
+                CorpusBytes(corpus) / 1024);
+  }
+  {
+    Corpus corpus;
+    BooksData books = GenerateBooks(&corpus, BooksSpec{});
+    Row("Books", "Amazon", "Amazon query on 'Database'", books.amazon.size());
+    Row("Books", "Barnes", "Barnes & Noble query on 'Database'",
+        books.barnes.size());
+    std::printf("  Books corpus: %zu records, %zu KB\n", corpus.size(),
+                CorpusBytes(corpus) / 1024);
+  }
+  {
+    Corpus corpus;
+    DblifeData dblife = GenerateDblife(&corpus, DblifeSpec{});
+    Row("DBLife", "docs", "heterogeneous crawl (conf/home/misc pages)",
+        dblife.all_docs.size());
+    std::printf(
+        "  DBLife crawl: %zu conference, %zu homepage, %zu other pages, "
+        "%zu KB\n",
+        dblife.conferences.size(), dblife.homepages.size(),
+        dblife.distractors.size(), CorpusBytes(corpus) / 1024);
+  }
+  return 0;
+}

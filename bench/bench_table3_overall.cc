@@ -1,0 +1,102 @@
+// Regenerates Table 3: run time of Manual / Xlog / iFlex over 27
+// scenarios (9 tasks x 3 sizes). Developer time is modelled (see
+// DeveloperTimeModel and DESIGN.md); machine time is measured. The shapes
+// to verify against the paper:
+//   - Manual grows with the data and becomes infeasible ("-") on the
+//     large scenarios of join tasks,
+//   - Xlog is roughly flat per task (procedure-writing dominated),
+//   - iFlex is the cheapest everywhere (paper: 25-98% reduction vs Xlog),
+//     and converges to ~100% supersets (§6.2: 23/27 scenarios exact).
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace iflex;
+using namespace iflex::bench;
+
+int main() {
+  DeveloperTimeModel model;
+  std::printf(
+      "Table 3: developer+machine minutes over 27 scenarios\n"
+      "%-4s %-6s | %-7s %-7s %-14s | %-9s %-5s\n",
+      "Task", "Tuples", "Manual", "Xlog", "iFlex(cleanup)", "superset%",
+      "conv");
+  std::printf(
+      "------------+---------------------------------+---------------\n");
+
+  int exact_scenarios = 0;
+  int scenarios = 0;
+  double xlog_total = 0;
+  double iflex_total = 0;
+  for (const std::string& id : AllTaskIds()) {
+    for (size_t scale : ScenarioSizes(id)) {
+      std::fprintf(stderr, "[table3] %s @ %zu...\n", id.c_str(), scale);
+      auto task = MakeTask(id, scale);
+      if (!task.ok()) {
+        std::printf("%s@%zu: ERROR %s\n", id.c_str(), scale,
+                    task.status().ToString().c_str());
+        return 1;
+      }
+      TaskInstance* t = task->get();
+
+      auto manual =
+          model.ManualMinutes(t->manual_records, t->manual_pairs);
+      auto xlog = RunXlogBaseline(t);
+      auto iflex = RunIFlex(t, StrategyKind::kSimulation, model);
+      if (!xlog.ok() || !iflex.ok()) {
+        std::printf("%s@%zu: ERROR %s %s\n", id.c_str(), scale,
+                    xlog.status().ToString().c_str(),
+                    iflex.status().ToString().c_str());
+        return 1;
+      }
+      double xlog_minutes =
+          model.XlogMinutes(t->n_procedures, t->n_attributes, t->n_rules) +
+          xlog->machine_seconds / 60.0;
+      double iflex_minutes =
+          iflex->developer_minutes + iflex->machine_seconds / 60.0;
+      double iflex_total_minutes = iflex_minutes + iflex->cleanup_minutes;
+
+      char manual_buf[16];
+      if (manual.has_value()) {
+        std::snprintf(manual_buf, sizeof(manual_buf), "%.1f", *manual);
+      } else {
+        std::snprintf(manual_buf, sizeof(manual_buf), "-");
+      }
+      char iflex_buf[32];
+      if (iflex->cleanup_minutes > 0) {
+        std::snprintf(iflex_buf, sizeof(iflex_buf), "%.1f (%.0f)",
+                      iflex_total_minutes, iflex->cleanup_minutes);
+      } else {
+        std::snprintf(iflex_buf, sizeof(iflex_buf), "%.1f",
+                      iflex_total_minutes);
+      }
+      std::printf("%-4s %-6zu | %-7s %-7.1f %-14s | %8.0f%% %-5s\n",
+                  id.c_str(), t->tuples_per_table, manual_buf, xlog_minutes,
+                  iflex_buf, iflex->report.superset_pct,
+                  iflex->session.converged ? "yes" : "no");
+
+      ++scenarios;
+      if (iflex->report.exact) ++exact_scenarios;
+      xlog_total += xlog_minutes;
+      iflex_total += iflex_total_minutes;
+
+      // Shape checks (the paper's qualitative claims).
+      if (!xlog->report.exact) {
+        std::printf("  !! Xlog baseline not exact on %s@%zu: %s\n",
+                    id.c_str(), scale, xlog->report.ToString().c_str());
+      }
+      if (!iflex->report.covers_all_gold) {
+        std::printf("  !! iFlex lost gold tuples on %s@%zu: %s\n", id.c_str(),
+                    scale, iflex->report.ToString().c_str());
+      }
+    }
+  }
+  std::printf(
+      "\nSummary: %d/%d scenarios converged to the exact result "
+      "(paper: 23/27)\n",
+      exact_scenarios, scenarios);
+  std::printf("Total Xlog minutes %.0f vs iFlex minutes %.0f (%.0f%% saved)\n",
+              xlog_total, iflex_total,
+              100.0 * (1.0 - iflex_total / xlog_total));
+  return 0;
+}

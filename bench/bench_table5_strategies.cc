@@ -1,0 +1,56 @@
+// Regenerates Table 5: sequential vs simulation question selection.
+// The paper's shape: Seq is always faster (no simulations), but in
+// several tasks it converges to a much larger superset; Sim pays more and
+// reaches ~100%.
+#include <cstdio>
+#include <map>
+
+#include "bench_util.h"
+
+using namespace iflex;
+using namespace iflex::bench;
+
+int main() {
+  DeveloperTimeModel model;
+  std::map<std::string, size_t> scenario = {
+      {"T1", 100}, {"T2", 100}, {"T3", 100}, {"T4", 100}, {"T5", 500},
+      {"T6", 500}, {"T7", 500}, {"T8", 500}, {"T9", 500}};
+
+  std::printf(
+      "Table 5: question-selection strategies\n"
+      "%-4s %-6s %-7s | %-4s %5s %4s %8s %9s %6s\n",
+      "Task", "Tuples", "Correct", "Strat", "Iters", "Qs", "Time(m)",
+      "Superset", "Sims");
+  std::printf(
+      "---------------------+---------------------------------------------\n");
+
+  for (const std::string& id : AllTaskIds()) {
+    for (StrategyKind kind :
+         {StrategyKind::kSequential, StrategyKind::kSimulation}) {
+      auto task = MakeTask(id, scenario[id]);
+      if (!task.ok()) {
+        std::printf("%s: ERROR %s\n", id.c_str(),
+                    task.status().ToString().c_str());
+        return 1;
+      }
+      auto run = RunIFlex(task->get(), kind, model);
+      if (!run.ok()) {
+        std::printf("%s/%s: ERROR %s\n", id.c_str(),
+                    kind == StrategyKind::kSequential ? "Seq" : "Sim",
+                    run.status().ToString().c_str());
+        continue;
+      }
+      double total_minutes = run->developer_minutes +
+                             run->machine_seconds / 60.0 +
+                             run->cleanup_minutes;
+      std::printf("%-4s %-6zu %-7zu | %-4s %5zu %4zu %8.2f %8.0f%% %6zu\n",
+                  id.c_str(), (*task)->tuples_per_table,
+                  (*task)->gold.query_result.size(),
+                  kind == StrategyKind::kSequential ? "Seq" : "Sim",
+                  run->session.iterations.size(),
+                  run->session.questions_asked, total_minutes,
+                  run->report.superset_pct, run->session.simulations_run);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,88 @@
+#ifndef IFLEX_BENCH_BENCH_UTIL_H_
+#define IFLEX_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+
+#include "assistant/session.h"
+#include "common/stopwatch.h"
+#include "oracle/evaluate.h"
+#include "oracle/timemodel.h"
+#include "tasks/task.h"
+#include "xlog/precise.h"
+
+namespace iflex {
+namespace bench {
+
+/// Outcome of one iFlex run over a task instance (one Table 3 cell).
+struct IFlexRun {
+  SessionResult session;
+  EvalReport report;          // post-cleanup when the task has a cleanup
+  double developer_minutes = 0;  // skeleton + question answering
+  double cleanup_minutes = 0;    // parenthesized in the paper's tables
+  double machine_seconds = 0;
+};
+
+/// Runs the full iFlex loop (refinement session + optional cleanup stage)
+/// on `task` and evaluates against the task's gold.
+inline Result<IFlexRun> RunIFlex(TaskInstance* task, StrategyKind strategy,
+                                 const DeveloperTimeModel& model = {},
+                                 SessionOptions options = {}) {
+  IFlexRun run;
+  options.strategy = strategy;
+  Stopwatch watch;
+  RefinementSession session(*task->catalog, task->initial_program,
+                            task->developer.get(), options);
+  IFLEX_ASSIGN_OR_RETURN(run.session, session.Run());
+
+  CompactTable final_result = run.session.final_result;
+  const auto* gold = &task->gold.query_result;
+  run.cleanup_minutes = task->cleanup_minutes;
+  if (task->apply_cleanup) {
+    IFLEX_ASSIGN_OR_RETURN(Program cleaned,
+                           task->apply_cleanup(run.session.final_program));
+    Executor exec(*task->catalog, options.exec_options);
+    IFLEX_ASSIGN_OR_RETURN(final_result, exec.Execute(cleaned));
+    gold = &task->cleanup_gold;
+  }
+  run.machine_seconds = watch.ElapsedSeconds();
+  run.report = EvaluateResult(*task->corpus, final_result, *gold);
+  run.developer_minutes =
+      model.IFlexSkeletonMinutes(task->n_rules) +
+      static_cast<double>(run.session.questions_asked) *
+          model.seconds_per_question / 60.0;
+  return run;
+}
+
+/// Measured machine seconds + correctness of the precise Xlog baseline.
+struct XlogRun {
+  double machine_seconds = 0;
+  EvalReport report;
+};
+
+inline Result<XlogRun> RunXlogBaseline(TaskInstance* task) {
+  if (task->precise_program.rules().empty()) {
+    IFLEX_RETURN_NOT_OK(AddPreciseBaseline(task));
+  }
+  XlogRun run;
+  Stopwatch watch;
+  Executor exec(*task->catalog);
+  IFLEX_ASSIGN_OR_RETURN(CompactTable result,
+                         exec.Execute(task->precise_program));
+  run.machine_seconds = watch.ElapsedSeconds();
+  const auto& gold = task->apply_cleanup ? task->cleanup_gold
+                                         : task->gold.query_result;
+  run.report = EvaluateResult(*task->corpus, result, gold);
+  return run;
+}
+
+inline std::string FmtMinutes(double minutes) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f", minutes);
+  return buf;
+}
+
+}  // namespace bench
+}  // namespace iflex
+
+#endif  // IFLEX_BENCH_BENCH_UTIL_H_

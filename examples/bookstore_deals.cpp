@@ -1,0 +1,66 @@
+// Best-effort IE with the next-effort assistant, end to end.
+//
+// Scenario (paper task T9): find books cheaper at Amazon than at Barnes &
+// Noble. We start from a skeletal program whose extractors are just
+// from() — no knowledge of the pages at all — and let the next-effort
+// assistant interrogate a (simulated) developer. The transcript shows the
+// questions picked by the simulation strategy and how the result
+// converges.
+//
+//   ./examples/bookstore_deals
+#include <cstdio>
+
+#include "assistant/session.h"
+#include "oracle/evaluate.h"
+#include "tasks/task.h"
+
+using namespace iflex;
+
+int main() {
+  auto task = MakeTask("T9", /*scale=*/60);
+  if (!task.ok()) {
+    std::fprintf(stderr, "error: %s\n", task.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Task: %s\n", (*task)->description.c_str());
+  std::printf("Initial (skeletal) program:\n%s\n",
+              (*task)->initial_program.ToString().c_str());
+  std::printf("Gold answer: %zu books\n\n",
+              (*task)->gold.query_result.size());
+
+  SessionOptions options;
+  options.strategy = StrategyKind::kSimulation;
+  RefinementSession session(*(*task)->catalog, (*task)->initial_program,
+                            (*task)->developer.get(), options);
+  auto result = session.Run();
+  if (!result.ok()) {
+    std::fprintf(stderr, "session error: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+
+  for (const IterationRecord& it : result->iterations) {
+    std::printf("iteration %d [%s]: %.0f candidate tuples\n", it.iteration,
+                it.full_data ? "reuse/full" : "subset", it.result_tuples);
+    for (size_t i = 0; i < it.questions.size(); ++i) {
+      std::printf("  assistant asks: %-42s developer: %s\n",
+                  it.questions[i].ToString().c_str(),
+                  it.answers[i].ToString().c_str());
+    }
+  }
+  std::printf("\nConverged: %s after %zu questions (%zu simulations)\n",
+              result->converged ? "yes" : "no", result->questions_asked,
+              result->simulations_run);
+  std::printf("Final program:\n%s\n", result->final_program.ToString().c_str());
+
+  EvalReport report = EvaluateResult(*(*task)->corpus, result->final_result,
+                                     (*task)->gold.query_result);
+  std::printf("Evaluation: %s\n", report.ToString().c_str());
+  std::printf("\nExtracted deals:\n");
+  size_t shown = 0;
+  for (const CompactTuple& t : result->final_result.tuples()) {
+    if (shown++ >= 10) break;
+    std::printf("  %s\n", t.cells[0].ToString((*task)->corpus.get()).c_str());
+  }
+  return report.covers_all_gold ? 0 : 1;
+}

@@ -1,0 +1,104 @@
+// Extending iFlex with a domain feature (paper §2.2.2: "to add a new
+// feature f, a developer needs to implement only two procedures Verify
+// and Refine").
+//
+// We add an `all_caps` feature (the span consists of ALL-CAPS tokens,
+// like stock tickers or conference acronyms), register it, and use it
+// from an Alog program to pull tickers out of a news blurb.
+//
+//   ./examples/custom_feature
+#include <cctype>
+#include <cstdio>
+
+#include "exec/executor.h"
+#include "features/token_features.h"
+#include "text/markup_parser.h"
+
+using namespace iflex;
+
+namespace {
+
+bool IsAllCapsWord(std::string_view w) {
+  if (w.size() < 2) return false;
+  for (char c : w) {
+    if (!std::isupper(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+// The two required procedures: Verify checks f(s)=v, Refine returns the
+// maximal satisfying sub-spans. RefineTokenRuns does the token plumbing.
+class AllCapsFeature : public Feature {
+ public:
+  AllCapsFeature() : Feature("all_caps") {}
+
+  bool Verify(const Document& doc, const Span& span, const FeatureParam&,
+              FeatureValue v) const override {
+    const auto& tokens = doc.tokens();
+    size_t first = doc.FirstTokenAtOrAfter(span.begin);
+    size_t last = doc.TokensEndingBy(span.end);
+    bool all = first < last;
+    for (size_t i = first; i < last && all; ++i) {
+      all = IsAllCapsWord(
+          doc.TextOf(Span(span.doc, tokens[i].begin, tokens[i].end)));
+    }
+    bool want = v == FeatureValue::kYes || v == FeatureValue::kDistinctYes;
+    return v == FeatureValue::kUnknown || (want == all);
+  }
+
+  std::vector<RefinedRegion> Refine(const Document& doc, const Span& span,
+                                    const FeatureParam&,
+                                    FeatureValue v) const override {
+    if (v != FeatureValue::kYes && v != FeatureValue::kDistinctYes) {
+      return {RefinedRegion{span, false}};
+    }
+    return RefineTokenRuns(doc, span, IsAllCapsWord,
+                           /*exact_per_token=*/false);
+  }
+};
+
+Status Run() {
+  // Registry with the built-ins plus our feature.
+  std::unique_ptr<FeatureRegistry> registry = CreateDefaultRegistry();
+  IFLEX_RETURN_NOT_OK(registry->Register(std::make_unique<AllCapsFeature>()));
+
+  Corpus corpus;
+  IFLEX_ASSIGN_OR_RETURN(
+      Document doc,
+      ParseMarkup("news",
+                  "Shares of ACME rose 12 percent after IBM and MSFT\n"
+                  "announced a joint venture, the Journal reported."));
+  DocId d = corpus.Add(std::move(doc));
+
+  Catalog catalog(&corpus, registry.get());
+  CompactTable pages({"x"});
+  CompactTuple t;
+  t.cells.push_back(Cell::Exact(Value::Doc(d)));
+  pages.Add(std::move(t));
+  IFLEX_RETURN_NOT_OK(catalog.AddTable("news", std::move(pages)));
+  IFLEX_RETURN_NOT_OK(catalog.DeclareIEPredicate("extractTicker", 1, 1));
+
+  // The new feature is immediately usable as a domain constraint.
+  IFLEX_ASSIGN_OR_RETURN(Program program, ParseProgram(R"(
+    tickers(x, s) :- news(x), extractTicker(x, s).
+    extractTicker(x, s) :- from(x, s), all_caps(s) = yes,
+                           numeric(s) = no, max_length(s) = 4.
+  )", catalog));
+  program.set_query("tickers");
+
+  Executor exec(catalog);
+  IFLEX_ASSIGN_OR_RETURN(CompactTable result, exec.Execute(program));
+  std::printf("Extracted tickers:\n%s", result.ToString(&corpus).c_str());
+  return Status::OK();
+}
+
+}  // namespace
+
+int main() {
+  Status st = Run();
+  if (!st.ok()) {
+    std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}

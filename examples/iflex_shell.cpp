@@ -1,0 +1,279 @@
+// Interactive iFlex shell: load or generate a corpus, write an Alog
+// program rule by rule, execute it, and refine it with constraints —
+// the manual version of the develop/execute/refine loop.
+//
+//   ./examples/iflex_shell
+//
+//   iflex> gen movies
+//   iflex> declare extractEbert 1 2
+//   iflex> rule q(t) :- ebertPages(x), extractEbert(x, t, yr), yr < 1960.
+//   iflex> rule extractEbert(x, t, yr) :- from(x, t), from(x, yr).
+//   iflex> query q
+//   iflex> run
+//   iflex> constrain extractEbert 1 numeric yes
+//   iflex> run
+//
+// Also scriptable: ./examples/iflex_shell < script.iflex
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "common/strutil.h"
+#include "datagen/books.h"
+#include "datagen/dblife.h"
+#include "datagen/dblp.h"
+#include "datagen/movies.h"
+#include "exec/executor.h"
+#include "text/markup_parser.h"
+
+using namespace iflex;
+
+namespace {
+
+class Shell {
+ public:
+  Shell() : catalog_(&corpus_) { catalog_.RegisterBuiltinFunctions(); }
+
+  int Run() {
+    std::string line;
+    Prompt();
+    while (std::getline(std::cin, line)) {
+      Status st = Dispatch(line);
+      if (!st.ok()) std::printf("error: %s\n", st.ToString().c_str());
+      if (done_) break;
+      Prompt();
+    }
+    return 0;
+  }
+
+ private:
+  void Prompt() {
+    std::printf("iflex> ");
+    std::fflush(stdout);
+  }
+
+  Status Dispatch(const std::string& line) {
+    std::istringstream in(line);
+    std::string cmd;
+    in >> cmd;
+    if (cmd.empty() || cmd[0] == '#') return Status::OK();
+    if (cmd == "quit" || cmd == "exit") {
+      done_ = true;
+      return Status::OK();
+    }
+    if (cmd == "help") return Help();
+    if (cmd == "gen") return Gen(in);
+    if (cmd == "load") return Load(in);
+    if (cmd == "declare") return Declare(in);
+    if (cmd == "rule") return AddRule(line.substr(5));
+    if (cmd == "program") {
+      std::printf("%s", program_src_.c_str());
+      return Status::OK();
+    }
+    if (cmd == "clear") {
+      program_src_.clear();
+      return Status::OK();
+    }
+    if (cmd == "query") {
+      in >> query_;
+      return Status::OK();
+    }
+    if (cmd == "tables") return Tables();
+    if (cmd == "constrain") return Constrain(in);
+    if (cmd == "run") return Execute();
+    return Status::InvalidArgument("unknown command '" + cmd +
+                                   "' (try: help)");
+  }
+
+  Status Help() {
+    std::printf(
+        "commands:\n"
+        "  gen movies|dblp|books|dblife    generate a synthetic domain\n"
+        "  load <table> <file> [...]       load markup files into a table\n"
+        "  declare <iepred> <nin> <nout>   declare an IE predicate\n"
+        "  rule <alog rule ending in '.'>  append a rule to the program\n"
+        "  program | clear                 show / reset the program text\n"
+        "  query <predicate>               set the query predicate\n"
+        "  constrain <iepred> <idx> <feature> [param] [value]\n"
+        "                                  add a domain constraint\n"
+        "  run                             execute and print the result\n"
+        "  tables                          list extensional tables\n"
+        "  quit\n");
+    return Status::OK();
+  }
+
+  Status Gen(std::istringstream& in) {
+    std::string domain;
+    in >> domain;
+    auto add_table = [this](const char* name,
+                            const std::vector<DocId>& docs) -> Status {
+      CompactTable t({"x"});
+      for (DocId d : docs) {
+        CompactTuple tup;
+        tup.cells.push_back(Cell::Exact(Value::Doc(d)));
+        t.Add(std::move(tup));
+      }
+      return catalog_.AddTable(name, std::move(t));
+    };
+    if (domain == "movies") {
+      MoviesSpec spec;
+      spec.n_imdb = 50;
+      spec.n_ebert = 50;
+      spec.n_prasanna = 50;
+      spec.n_shared = 10;
+      MoviesData data = GenerateMovies(&corpus_, spec);
+      std::vector<DocId> imdb, ebert, prasanna;
+      for (const auto& m : data.imdb) imdb.push_back(m.doc);
+      for (const auto& m : data.ebert) ebert.push_back(m.doc);
+      for (const auto& m : data.prasanna) prasanna.push_back(m.doc);
+      IFLEX_RETURN_NOT_OK(add_table("imdbPages", imdb));
+      IFLEX_RETURN_NOT_OK(add_table("ebertPages", ebert));
+      return add_table("prasannaPages", prasanna);
+    }
+    if (domain == "dblp") {
+      DblpSpec spec;
+      spec.n_garcia = 40;
+      spec.n_vldb = 60;
+      spec.n_sigmod = 40;
+      spec.n_icde = 40;
+      spec.n_shared_teams = 8;
+      DblpData data = GenerateDblp(&corpus_, spec);
+      std::vector<DocId> garcia, vldb, sigmod, icde;
+      for (const auto& p : data.garcia) garcia.push_back(p.doc);
+      for (const auto& p : data.vldb) vldb.push_back(p.doc);
+      for (const auto& p : data.sigmod) sigmod.push_back(p.doc);
+      for (const auto& p : data.icde) icde.push_back(p.doc);
+      IFLEX_RETURN_NOT_OK(add_table("garciaPages", garcia));
+      IFLEX_RETURN_NOT_OK(add_table("vldbPages", vldb));
+      IFLEX_RETURN_NOT_OK(add_table("sigmodPages", sigmod));
+      return add_table("icdePages", icde);
+    }
+    if (domain == "books") {
+      BooksSpec spec;
+      spec.n_amazon = 60;
+      spec.n_barnes = 80;
+      spec.n_shared = 15;
+      BooksData data = GenerateBooks(&corpus_, spec);
+      std::vector<DocId> amazon, barnes;
+      for (const auto& b : data.amazon) amazon.push_back(b.doc);
+      for (const auto& b : data.barnes) barnes.push_back(b.doc);
+      IFLEX_RETURN_NOT_OK(add_table("amazonPages", amazon));
+      return add_table("barnesPages", barnes);
+    }
+    if (domain == "dblife") {
+      DblifeData data = GenerateDblife(&corpus_, DblifeSpec{});
+      return add_table("docs", data.all_docs);
+    }
+    return Status::InvalidArgument("unknown domain " + domain);
+  }
+
+  Status Load(std::istringstream& in) {
+    std::string table;
+    in >> table;
+    if (table.empty()) {
+      return Status::InvalidArgument("usage: load <table> <file> [...]");
+    }
+    CompactTable t({"x"});
+    std::string path;
+    while (in >> path) {
+      std::ifstream file(path);
+      if (!file) return Status::NotFound("cannot open " + path);
+      std::stringstream buf;
+      buf << file.rdbuf();
+      IFLEX_ASSIGN_OR_RETURN(Document doc, ParseMarkup(path, buf.str()));
+      DocId d = corpus_.Add(std::move(doc));
+      CompactTuple tup;
+      tup.cells.push_back(Cell::Exact(Value::Doc(d)));
+      t.Add(std::move(tup));
+    }
+    std::printf("loaded %zu document(s) into %s\n", t.size(), table.c_str());
+    return catalog_.AddTable(table, std::move(t));
+  }
+
+  Status Declare(std::istringstream& in) {
+    std::string name;
+    size_t nin = 0, nout = 0;
+    in >> name >> nin >> nout;
+    return catalog_.DeclareIEPredicate(name, nin, nout);
+  }
+
+  Status AddRule(const std::string& rule) {
+    program_src_ += rule;
+    program_src_ += "\n";
+    return Status::OK();
+  }
+
+  Status Tables() {
+    for (const std::string& name : catalog_.TableNames()) {
+      std::printf("  %s (%zu tuples)\n", name.c_str(),
+                  (*catalog_.Table(name))->size());
+    }
+    return Status::OK();
+  }
+
+  Status Constrain(std::istringstream& in) {
+    std::string pred, feature, token;
+    size_t idx = 0;
+    in >> pred >> idx >> feature;
+    if (feature.empty()) {
+      return Status::InvalidArgument(
+          "usage: constrain <iepred> <idx> <feature> [param] [value]");
+    }
+    FeatureParam param;
+    FeatureValue value = FeatureValue::kYes;
+    while (in >> token) {
+      auto fv = FeatureValueFromString(token);
+      if (fv.ok()) {
+        value = *fv;
+      } else if (auto n = ParseLooseNumber(token)) {
+        param = FeatureParam::Num(*n);
+      } else {
+        param = FeatureParam::Str(token);
+      }
+    }
+    IFLEX_ASSIGN_OR_RETURN(Program prog, CurrentProgram());
+    IFLEX_RETURN_NOT_OK(
+        prog.AddConstraint(catalog_, pred, idx, feature, param, value));
+    program_src_ = prog.ToString();
+    std::printf("program is now:\n%s", program_src_.c_str());
+    return Status::OK();
+  }
+
+  Result<Program> CurrentProgram() {
+    if (program_src_.empty()) {
+      return Status::InvalidArgument("no rules yet (use: rule ...)");
+    }
+    IFLEX_ASSIGN_OR_RETURN(Program prog,
+                           ParseProgram(program_src_, catalog_));
+    if (!query_.empty()) prog.set_query(query_);
+    return prog;
+  }
+
+  Status Execute() {
+    IFLEX_ASSIGN_OR_RETURN(Program prog, CurrentProgram());
+    Executor exec(catalog_);
+    IFLEX_ASSIGN_OR_RETURN(CompactTable result, exec.Execute(prog));
+    std::printf("%zu compact tuple(s), ~%.0f candidate tuple(s)\n",
+                result.size(), result.ExpandedTupleCount(corpus_));
+    size_t shown = 0;
+    for (const CompactTuple& t : result.tuples()) {
+      if (shown++ >= 10) {
+        std::printf("  ... (%zu more)\n", result.size() - 10);
+        break;
+      }
+      std::printf("  %s\n", t.ToString(&corpus_).c_str());
+    }
+    return Status::OK();
+  }
+
+  Corpus corpus_;
+  Catalog catalog_;
+  std::string program_src_;
+  std::string query_;
+  bool done_ = false;
+};
+
+}  // namespace
+
+int main() { return Shell().Run(); }

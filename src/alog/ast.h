@@ -1,0 +1,148 @@
+#ifndef IFLEX_ALOG_AST_H_
+#define IFLEX_ALOG_AST_H_
+
+#include <string>
+#include <vector>
+
+#include "features/feature.h"
+
+namespace iflex {
+
+/// A term in a rule: a variable, a literal constant, or the NULL constant
+/// (used in comparisons such as journalYear != null, Table 2/T4).
+struct Term {
+  enum class Kind : uint8_t { kVar, kString, kNumber, kNull };
+
+  Kind kind = Kind::kVar;
+  std::string var;   // kVar
+  std::string str;   // kString
+  double num = 0;    // kNumber
+
+  static Term Var(std::string name) {
+    Term t;
+    t.kind = Kind::kVar;
+    t.var = std::move(name);
+    return t;
+  }
+  static Term Str(std::string s) {
+    Term t;
+    t.kind = Kind::kString;
+    t.str = std::move(s);
+    return t;
+  }
+  static Term Number(double n) {
+    Term t;
+    t.kind = Kind::kNumber;
+    t.num = n;
+    return t;
+  }
+  static Term Null() {
+    Term t;
+    t.kind = Kind::kNull;
+    return t;
+  }
+
+  bool is_var() const { return kind == Kind::kVar; }
+  std::string ToString() const;
+};
+
+/// A predicate atom p(t1, ..., tn). Which role the predicate plays
+/// (extensional / intensional / IE / p-predicate / p-function) is resolved
+/// against the Catalog during validation.
+struct Atom {
+  std::string predicate;
+  std::vector<Term> args;
+
+  std::string ToString() const;
+};
+
+/// Comparison operators for built-in comparison literals (p > 500000).
+enum class CmpOp : uint8_t { kLt, kLe, kGt, kGe, kEq, kNe };
+
+const char* CmpOpToString(CmpOp op);
+
+struct Comparison {
+  Term lhs;
+  CmpOp op = CmpOp::kEq;
+  Term rhs;
+  /// Additive offset on the right side: lastPage < firstPage + 5 (Table
+  /// 2/T5) parses as lhs=lastPage, rhs=firstPage, rhs_offset=5.
+  double rhs_offset = 0;
+
+  std::string ToString() const;
+};
+
+/// A domain constraint f(a)=v (paper §2.2.2), possibly parameterized:
+/// numeric(p)=yes, preceded_by(p,"Price:")=yes, max_length(y)=18.
+struct ConstraintLit {
+  std::string feature;
+  std::string var;
+  FeatureParam param;
+  FeatureValue value = FeatureValue::kYes;
+
+  std::string ToString() const;
+  bool operator==(const ConstraintLit& o) const {
+    return feature == o.feature && var == o.var && param == o.param &&
+           value == o.value;
+  }
+};
+
+/// A body literal: exactly one of atom / comparison / constraint.
+struct Literal {
+  enum class Kind : uint8_t { kAtom, kComparison, kConstraint };
+
+  Kind kind = Kind::kAtom;
+  Atom atom;
+  Comparison cmp;
+  ConstraintLit constraint;
+
+  static Literal OfAtom(Atom a) {
+    Literal l;
+    l.kind = Kind::kAtom;
+    l.atom = std::move(a);
+    return l;
+  }
+  static Literal OfComparison(Comparison c) {
+    Literal l;
+    l.kind = Kind::kComparison;
+    l.cmp = std::move(c);
+    return l;
+  }
+  static Literal OfConstraint(ConstraintLit c) {
+    Literal l;
+    l.kind = Kind::kConstraint;
+    l.constraint = std::move(c);
+    return l;
+  }
+
+  std::string ToString() const;
+};
+
+/// A rule head with the paper's annotations: `p(x, <a>)?` has an existence
+/// annotation (`?`, Definition 1) and an attribute annotation on `a`
+/// (Definition 2).
+struct RuleHead {
+  std::string predicate;
+  std::vector<std::string> args;  // variable names
+  std::vector<bool> annotated;    // attribute annotations, parallel to args
+  bool existence = false;
+
+  std::string ToString() const;
+};
+
+/// One Alog rule. `is_description` marks predicate description rules
+/// (head is an IE predicate); set during validation.
+struct Rule {
+  RuleHead head;
+  std::vector<Literal> body;
+  bool is_description = false;
+
+  /// The pair (f, A) of paper §2.2.3.
+  bool has_annotations() const;
+
+  std::string ToString() const;
+};
+
+}  // namespace iflex
+
+#endif  // IFLEX_ALOG_AST_H_

@@ -1,0 +1,204 @@
+#include "alog/lexer.h"
+
+#include <cctype>
+
+#include "common/strutil.h"
+
+namespace iflex {
+
+std::string Tok::ToString() const {
+  switch (kind) {
+    case TokKind::kIdent:
+      return text;
+    case TokKind::kNumber:
+      return StringPrintf("%g", num);
+    case TokKind::kString:
+      return "\"" + text + "\"";
+    case TokKind::kImplies:
+      return ":-";
+    case TokKind::kLParen:
+      return "(";
+    case TokKind::kRParen:
+      return ")";
+    case TokKind::kComma:
+      return ",";
+    case TokKind::kDot:
+      return ".";
+    case TokKind::kQuestion:
+      return "?";
+    case TokKind::kLt:
+      return "<";
+    case TokKind::kLe:
+      return "<=";
+    case TokKind::kGt:
+      return ">";
+    case TokKind::kGe:
+      return ">=";
+    case TokKind::kEq:
+      return "=";
+    case TokKind::kNe:
+      return "!=";
+    case TokKind::kPlus:
+      return "+";
+    case TokKind::kMinus:
+      return "-";
+    case TokKind::kEnd:
+      return "<end>";
+  }
+  return "?";
+}
+
+Result<std::vector<Tok>> Lex(const std::string& src) {
+  std::vector<Tok> out;
+  int line = 1;
+  size_t i = 0;
+  auto push = [&](TokKind k, std::string text = "", double num = 0) {
+    out.push_back(Tok{k, std::move(text), num, line});
+  };
+  while (i < src.size()) {
+    char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '%' || c == '#') {
+      while (i < src.size() && src[i] != '\n') ++i;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t b = i;
+      while (i < src.size() && (std::isalnum(static_cast<unsigned char>(src[i])) ||
+                                src[i] == '_')) {
+        ++i;
+      }
+      push(TokKind::kIdent, src.substr(b, i - b));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t b = i;
+      while (i < src.size() && std::isdigit(static_cast<unsigned char>(src[i]))) {
+        ++i;
+      }
+      // A '.' continues the number only when followed by a digit;
+      // otherwise it terminates the rule.
+      if (i + 1 < src.size() && src[i] == '.' &&
+          std::isdigit(static_cast<unsigned char>(src[i + 1]))) {
+        ++i;
+        while (i < src.size() &&
+               std::isdigit(static_cast<unsigned char>(src[i]))) {
+          ++i;
+        }
+      }
+      push(TokKind::kNumber, "", std::strtod(src.substr(b, i - b).c_str(), nullptr));
+      continue;
+    }
+    switch (c) {
+      case '"': {
+        size_t b = ++i;
+        std::string text;
+        while (i < src.size() && src[i] != '"') {
+          if (src[i] == '\\' && i + 1 < src.size()) {
+            char esc = src[i + 1];
+            if (esc == 'n') {
+              text.push_back('\n');
+            } else {
+              text.push_back(esc);
+            }
+            i += 2;
+            continue;
+          }
+          text.push_back(src[i]);
+          ++i;
+        }
+        if (i >= src.size()) {
+          return Status::ParseError(
+              StringPrintf("unterminated string at line %d", line));
+        }
+        ++i;  // closing quote
+        (void)b;
+        push(TokKind::kString, std::move(text));
+        break;
+      }
+      case ':':
+        if (i + 1 < src.size() && src[i + 1] == '-') {
+          push(TokKind::kImplies);
+          i += 2;
+        } else {
+          return Status::ParseError(
+              StringPrintf("stray ':' at line %d", line));
+        }
+        break;
+      case '(':
+        push(TokKind::kLParen);
+        ++i;
+        break;
+      case ')':
+        push(TokKind::kRParen);
+        ++i;
+        break;
+      case ',':
+        push(TokKind::kComma);
+        ++i;
+        break;
+      case '.':
+        push(TokKind::kDot);
+        ++i;
+        break;
+      case '?':
+        push(TokKind::kQuestion);
+        ++i;
+        break;
+      case '<':
+        if (i + 1 < src.size() && src[i + 1] == '=') {
+          push(TokKind::kLe);
+          i += 2;
+        } else {
+          push(TokKind::kLt);
+          ++i;
+        }
+        break;
+      case '>':
+        if (i + 1 < src.size() && src[i + 1] == '=') {
+          push(TokKind::kGe);
+          i += 2;
+        } else {
+          push(TokKind::kGt);
+          ++i;
+        }
+        break;
+      case '=':
+        push(TokKind::kEq);
+        ++i;
+        break;
+      case '+':
+        push(TokKind::kPlus);
+        ++i;
+        break;
+      case '-':
+        push(TokKind::kMinus);
+        ++i;
+        break;
+      case '!':
+        if (i + 1 < src.size() && src[i + 1] == '=') {
+          push(TokKind::kNe);
+          i += 2;
+        } else {
+          return Status::ParseError(
+              StringPrintf("stray '!' at line %d", line));
+        }
+        break;
+      default:
+        return Status::ParseError(
+            StringPrintf("unexpected character '%c' at line %d", c, line));
+    }
+  }
+  push(TokKind::kEnd);
+  return out;
+}
+
+}  // namespace iflex

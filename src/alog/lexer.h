@@ -1,0 +1,48 @@
+#ifndef IFLEX_ALOG_LEXER_H_
+#define IFLEX_ALOG_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace iflex {
+
+/// Token kinds of the Alog surface syntax.
+enum class TokKind : uint8_t {
+  kIdent,    // houses, extractHouses, bold_font, yes
+  kNumber,   // 500000, 4.5
+  kString,   // "Price:"
+  kImplies,  // :-
+  kLParen,
+  kRParen,
+  kComma,
+  kDot,      // rule terminator
+  kQuestion, // existence annotation
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kEq,
+  kNe,
+  kPlus,
+  kMinus,
+  kEnd,
+};
+
+struct Tok {
+  TokKind kind;
+  std::string text;  // ident / string payload
+  double num = 0;    // number payload
+  int line = 0;
+
+  std::string ToString() const;
+};
+
+/// Tokenizes Alog source. Comments run from '%' or '#' to end of line.
+/// A '.' is a rule terminator unless it continues a number ("4.5").
+Result<std::vector<Tok>> Lex(const std::string& src);
+
+}  // namespace iflex
+
+#endif  // IFLEX_ALOG_LEXER_H_

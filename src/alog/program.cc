@@ -1,0 +1,624 @@
+#include "alog/program.h"
+
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "alog/lexer.h"
+#include "common/strutil.h"
+
+namespace iflex {
+
+const std::string& Program::query() const {
+  static const std::string kEmpty;
+  if (!query_.empty()) return query_;
+  if (!rules_.empty()) return rules_.front().head.predicate;
+  return kEmpty;
+}
+
+// ---------------------------------------------------------------- Validate
+
+namespace {
+
+// Predicates defined by rule heads in this program but absent from the
+// catalog are intensional.
+std::unordered_set<std::string> IntensionalHeads(const Catalog& catalog,
+                                                 const std::vector<Rule>& rules) {
+  std::unordered_set<std::string> out;
+  for (const auto& r : rules) {
+    if (!catalog.Has(r.head.predicate)) out.insert(r.head.predicate);
+  }
+  return out;
+}
+
+}  // namespace
+
+Status Program::Validate(const Catalog& catalog) {
+  std::unordered_set<std::string> intensional =
+      IntensionalHeads(catalog, rules_);
+
+  // Arity consistency for intensional predicates.
+  std::unordered_map<std::string, size_t> intensional_arity;
+  for (const auto& r : rules_) {
+    if (intensional.count(r.head.predicate)) {
+      auto [it, inserted] =
+          intensional_arity.emplace(r.head.predicate, r.head.args.size());
+      if (!inserted && it->second != r.head.args.size()) {
+        return Status::InvalidArgument(
+            "inconsistent arity for predicate " + r.head.predicate);
+      }
+    }
+  }
+
+  for (Rule& rule : rules_) {
+    const std::string& hp = rule.head.predicate;
+    size_t head_inputs = 0;
+    if (catalog.Has(hp)) {
+      IFLEX_ASSIGN_OR_RETURN(PredicateKind kind, catalog.KindOf(hp));
+      if (kind != PredicateKind::kIEPredicate) {
+        return Status::InvalidArgument(
+            "rule head " + hp +
+            " must be intensional or a declared IE predicate");
+      }
+      rule.is_description = true;
+      IFLEX_ASSIGN_OR_RETURN(size_t arity, catalog.ArityOf(hp));
+      if (rule.head.args.size() != arity) {
+        return Status::InvalidArgument(StringPrintf(
+            "description rule head %s has %zu args, declared arity is %zu",
+            hp.c_str(), rule.head.args.size(), arity));
+      }
+      IFLEX_ASSIGN_OR_RETURN(head_inputs, catalog.InputArityOf(hp));
+      if (rule.has_annotations()) {
+        return Status::InvalidArgument(
+            "annotations are not supported on description rules (" + hp + ")");
+      }
+    } else {
+      rule.is_description = false;
+    }
+
+    // Collect variables bound by the body. For description rules the head
+    // input variables are bound by the caller.
+    std::unordered_set<std::string> bound;
+    for (size_t i = 0; i < head_inputs; ++i) bound.insert(rule.head.args[i]);
+
+    for (const Literal& lit : rule.body) {
+      if (lit.kind != Literal::Kind::kAtom) continue;
+      const Atom& atom = lit.atom;
+      const std::string& p = atom.predicate;
+      size_t arity;
+      size_t n_inputs = 0;
+      PredicateKind kind;
+      if (intensional.count(p)) {
+        kind = PredicateKind::kIntensional;
+        arity = intensional_arity[p];
+      } else if (catalog.Has(p)) {
+        IFLEX_ASSIGN_OR_RETURN(kind, catalog.KindOf(p));
+        IFLEX_ASSIGN_OR_RETURN(arity, catalog.ArityOf(p));
+        IFLEX_ASSIGN_OR_RETURN(n_inputs, catalog.InputArityOf(p));
+      } else {
+        return Status::NotFound("unknown predicate " + p + " in rule " +
+                                rule.ToString());
+      }
+      if (atom.args.size() != arity) {
+        return Status::InvalidArgument(StringPrintf(
+            "%s used with %zu args, arity is %zu", p.c_str(),
+            atom.args.size(), arity));
+      }
+      // Output positions bind variables; p-function args never bind.
+      if (kind != PredicateKind::kPFunction) {
+        size_t first_out =
+            (kind == PredicateKind::kExtensional ||
+             kind == PredicateKind::kIntensional)
+                ? 0
+                : n_inputs;
+        for (size_t i = first_out; i < atom.args.size(); ++i) {
+          if (atom.args[i].is_var()) bound.insert(atom.args[i].var);
+        }
+      }
+    }
+
+    // Safety: head variables (minus description-rule inputs) and all
+    // variables used in constraints/comparisons/p-function args and
+    // p-predicate inputs must be bound.
+    auto require_bound = [&](const std::string& var,
+                             const char* where) -> Status {
+      if (!bound.count(var)) {
+        return Status::UnsafeRule(StringPrintf(
+            "variable %s in %s is not bound in rule: %s", var.c_str(), where,
+            rule.ToString().c_str()));
+      }
+      return Status::OK();
+    };
+
+    for (size_t i = head_inputs; i < rule.head.args.size(); ++i) {
+      IFLEX_RETURN_NOT_OK(require_bound(rule.head.args[i], "head"));
+    }
+    for (const Literal& lit : rule.body) {
+      switch (lit.kind) {
+        case Literal::Kind::kConstraint: {
+          IFLEX_RETURN_NOT_OK(require_bound(lit.constraint.var, "constraint"));
+          IFLEX_ASSIGN_OR_RETURN(const Feature* f,
+                                 catalog.features().Get(lit.constraint.feature));
+          switch (f->param_kind()) {
+            case ParamKind::kNone:
+              if (lit.constraint.param.has_value()) {
+                return Status::InvalidArgument(
+                    "feature " + f->name() + " takes no parameter");
+              }
+              break;
+            case ParamKind::kString:
+              if (!lit.constraint.param.str.has_value()) {
+                return Status::InvalidArgument(
+                    "feature " + f->name() + " needs a string parameter");
+              }
+              break;
+            case ParamKind::kNumber:
+              if (!lit.constraint.param.num.has_value()) {
+                return Status::InvalidArgument(
+                    "feature " + f->name() + " needs a numeric parameter");
+              }
+              break;
+          }
+          break;
+        }
+        case Literal::Kind::kComparison: {
+          if (lit.cmp.lhs.is_var()) {
+            IFLEX_RETURN_NOT_OK(require_bound(lit.cmp.lhs.var, "comparison"));
+          }
+          if (lit.cmp.rhs.is_var()) {
+            IFLEX_RETURN_NOT_OK(require_bound(lit.cmp.rhs.var, "comparison"));
+          }
+          break;
+        }
+        case Literal::Kind::kAtom: {
+          const Atom& atom = lit.atom;
+          if (intensional.count(atom.predicate)) break;
+          IFLEX_ASSIGN_OR_RETURN(PredicateKind kind,
+                                 catalog.KindOf(atom.predicate));
+          size_t check_upto = 0;
+          if (kind == PredicateKind::kPFunction) {
+            check_upto = atom.args.size();
+          } else if (kind == PredicateKind::kPPredicate ||
+                     kind == PredicateKind::kIEPredicate ||
+                     kind == PredicateKind::kBuiltinFrom) {
+            IFLEX_ASSIGN_OR_RETURN(check_upto,
+                                   catalog.InputArityOf(atom.predicate));
+          }
+          for (size_t i = 0; i < check_upto; ++i) {
+            if (atom.args[i].is_var()) {
+              IFLEX_RETURN_NOT_OK(
+                  require_bound(atom.args[i].var, atom.predicate.c_str()));
+            }
+          }
+          break;
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+// ------------------------------------------------------------------ Unfold
+
+namespace {
+
+Term Substitute(const Term& t,
+                const std::unordered_map<std::string, Term>& mapping,
+                const std::string& fresh_prefix) {
+  if (!t.is_var()) return t;
+  auto it = mapping.find(t.var);
+  if (it != mapping.end()) return it->second;
+  return Term::Var(fresh_prefix + t.var);
+}
+
+Literal SubstituteLiteral(const Literal& lit,
+                          const std::unordered_map<std::string, Term>& mapping,
+                          const std::string& fresh_prefix, Status* status) {
+  Literal out = lit;
+  switch (lit.kind) {
+    case Literal::Kind::kAtom:
+      for (Term& t : out.atom.args) {
+        t = Substitute(t, mapping, fresh_prefix);
+      }
+      break;
+    case Literal::Kind::kComparison:
+      out.cmp.lhs = Substitute(lit.cmp.lhs, mapping, fresh_prefix);
+      out.cmp.rhs = Substitute(lit.cmp.rhs, mapping, fresh_prefix);
+      break;
+    case Literal::Kind::kConstraint: {
+      Term t = Substitute(Term::Var(lit.constraint.var), mapping, fresh_prefix);
+      if (!t.is_var()) {
+        *status = Status::InvalidArgument(
+            "cannot bind constraint variable to a constant while unfolding " +
+            lit.constraint.ToString());
+        return out;
+      }
+      out.constraint.var = t.var;
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<Program> Program::Unfold(const Catalog& catalog) const {
+  Program out;
+  out.set_query(query());
+  int fresh_counter = 0;
+
+  for (const Rule& rule : rules_) {
+    if (rule.is_description) continue;  // consumed by unfolding
+
+    // Worklist of partially unfolded variants of this rule.
+    std::vector<Rule> work{rule};
+    int guard = 0;
+    std::vector<Rule> done;
+    while (!work.empty()) {
+      if (++guard > 10000) {
+        return Status::ExecutionError("unfolding did not terminate (cyclic description rules?)");
+      }
+      Rule r = std::move(work.back());
+      work.pop_back();
+
+      // Find the first IE-predicate atom.
+      size_t ie_idx = SIZE_MAX;
+      for (size_t i = 0; i < r.body.size(); ++i) {
+        if (r.body[i].kind != Literal::Kind::kAtom) continue;
+        auto kind = catalog.KindOf(r.body[i].atom.predicate);
+        if (kind.ok() && *kind == PredicateKind::kIEPredicate) {
+          ie_idx = i;
+          break;
+        }
+      }
+      if (ie_idx == SIZE_MAX) {
+        done.push_back(std::move(r));
+        continue;
+      }
+
+      const Atom ie_atom = r.body[ie_idx].atom;
+      std::vector<size_t> desc = DescriptionRulesFor(ie_atom.predicate);
+      if (desc.empty()) {
+        return Status::InvalidArgument(
+            "IE predicate " + ie_atom.predicate +
+            " has no description rule; cannot unfold");
+      }
+      for (size_t di : desc) {
+        const Rule& drule = rules_[di];
+        std::string prefix = StringPrintf("_u%d_", fresh_counter++);
+        std::unordered_map<std::string, Term> mapping;
+        for (size_t i = 0; i < drule.head.args.size(); ++i) {
+          mapping[drule.head.args[i]] = ie_atom.args[i];
+        }
+        Rule variant = r;
+        variant.body.erase(variant.body.begin() +
+                           static_cast<ptrdiff_t>(ie_idx));
+        Status st = Status::OK();
+        std::vector<Literal> inlined;
+        for (const Literal& lit : drule.body) {
+          inlined.push_back(SubstituteLiteral(lit, mapping, prefix, &st));
+          IFLEX_RETURN_NOT_OK(st);
+        }
+        variant.body.insert(variant.body.begin() +
+                                static_cast<ptrdiff_t>(ie_idx),
+                            inlined.begin(), inlined.end());
+        work.push_back(std::move(variant));
+      }
+    }
+    for (Rule& r : done) out.AddRule(std::move(r));
+  }
+  IFLEX_RETURN_NOT_OK(out.Validate(catalog));
+  return out;
+}
+
+std::vector<size_t> Program::DescriptionRulesFor(
+    const std::string& ie_predicate) const {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < rules_.size(); ++i) {
+    if (rules_[i].is_description && rules_[i].head.predicate == ie_predicate) {
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+Status Program::AddConstraint(const Catalog& catalog,
+                              const std::string& ie_predicate,
+                              size_t output_idx, const std::string& feature,
+                              FeatureParam param, FeatureValue value) {
+  IFLEX_ASSIGN_OR_RETURN(size_t n_inputs, catalog.InputArityOf(ie_predicate));
+  IFLEX_ASSIGN_OR_RETURN(size_t arity, catalog.ArityOf(ie_predicate));
+  if (n_inputs + output_idx >= arity) {
+    return Status::InvalidArgument(StringPrintf(
+        "output index %zu out of range for %s", output_idx,
+        ie_predicate.c_str()));
+  }
+  std::vector<size_t> desc = DescriptionRulesFor(ie_predicate);
+  if (desc.empty()) {
+    return Status::NotFound("no description rule for " + ie_predicate);
+  }
+  for (size_t di : desc) {
+    Rule& rule = rules_[di];
+    ConstraintLit lit;
+    lit.feature = feature;
+    lit.var = rule.head.args[n_inputs + output_idx];
+    lit.param = param;
+    lit.value = value;
+    bool present = false;
+    for (const Literal& l : rule.body) {
+      if (l.kind == Literal::Kind::kConstraint && l.constraint == lit) {
+        present = true;
+        break;
+      }
+    }
+    if (!present) rule.body.push_back(Literal::OfConstraint(std::move(lit)));
+  }
+  return Status::OK();
+}
+
+std::string Program::ToString() const {
+  std::string out;
+  for (const auto& r : rules_) {
+    out += r.ToString();
+    out += "\n";
+  }
+  return out;
+}
+
+uint64_t Program::Fingerprint() const {
+  return Fingerprint64(ToString() + "|query=" + query());
+}
+
+// ------------------------------------------------------------------ Parser
+
+namespace {
+
+class Parser {
+ public:
+  Parser(const std::vector<Tok>& toks, const Catalog& catalog)
+      : toks_(toks), catalog_(catalog) {}
+
+  Result<Program> ParseAll() {
+    Program prog;
+    while (cur().kind != TokKind::kEnd) {
+      IFLEX_ASSIGN_OR_RETURN(Rule rule, ParseRule());
+      prog.AddRule(std::move(rule));
+    }
+    if (prog.rules().empty()) {
+      return Status::ParseError("empty program");
+    }
+    return prog;
+  }
+
+ private:
+  const Tok& cur() const { return toks_[pos_]; }
+  const Tok& peek(size_t n = 1) const {
+    size_t i = pos_ + n;
+    return toks_[i < toks_.size() ? i : toks_.size() - 1];
+  }
+  void Advance() {
+    if (cur().kind != TokKind::kEnd) ++pos_;
+  }
+  bool Accept(TokKind k) {
+    if (cur().kind == k) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  Status Expect(TokKind k, const char* what) {
+    if (!Accept(k)) {
+      return Status::ParseError(StringPrintf(
+          "line %d: expected %s, found '%s'", cur().line, what,
+          cur().ToString().c_str()));
+    }
+    return Status::OK();
+  }
+
+  Result<Rule> ParseRule() {
+    Rule rule;
+    IFLEX_ASSIGN_OR_RETURN(rule.head, ParseHead());
+    IFLEX_RETURN_NOT_OK(Expect(TokKind::kImplies, "':-'"));
+    while (true) {
+      IFLEX_ASSIGN_OR_RETURN(Literal lit, ParseLiteral());
+      rule.body.push_back(std::move(lit));
+      if (!Accept(TokKind::kComma)) break;
+    }
+    IFLEX_RETURN_NOT_OK(Expect(TokKind::kDot, "'.'"));
+    return rule;
+  }
+
+  Result<RuleHead> ParseHead() {
+    RuleHead head;
+    if (cur().kind != TokKind::kIdent) {
+      return Status::ParseError(
+          StringPrintf("line %d: expected rule head", cur().line));
+    }
+    head.predicate = cur().text;
+    Advance();
+    IFLEX_RETURN_NOT_OK(Expect(TokKind::kLParen, "'('"));
+    while (true) {
+      bool annotated = Accept(TokKind::kLt);
+      if (cur().kind != TokKind::kIdent) {
+        return Status::ParseError(StringPrintf(
+            "line %d: expected head variable", cur().line));
+      }
+      head.args.push_back(cur().text);
+      head.annotated.push_back(annotated);
+      Advance();
+      if (annotated) IFLEX_RETURN_NOT_OK(Expect(TokKind::kGt, "'>'"));
+      if (!Accept(TokKind::kComma)) break;
+    }
+    IFLEX_RETURN_NOT_OK(Expect(TokKind::kRParen, "')'"));
+    head.existence = Accept(TokKind::kQuestion);
+    return head;
+  }
+
+  Result<Literal> ParseLiteral() {
+    if (cur().kind == TokKind::kIdent && peek().kind == TokKind::kLParen) {
+      if (catalog_.features().Has(cur().text)) return ParseConstraint();
+      return ParseAtom();
+    }
+    return ParseComparison();
+  }
+
+  Result<Literal> ParseAtom() {
+    Atom atom;
+    atom.predicate = cur().text;
+    Advance();
+    IFLEX_RETURN_NOT_OK(Expect(TokKind::kLParen, "'('"));
+    while (true) {
+      IFLEX_ASSIGN_OR_RETURN(Term t, ParseTerm());
+      atom.args.push_back(std::move(t));
+      if (!Accept(TokKind::kComma)) break;
+    }
+    IFLEX_RETURN_NOT_OK(Expect(TokKind::kRParen, "')'"));
+    return Literal::OfAtom(std::move(atom));
+  }
+
+  Result<Literal> ParseConstraint() {
+    ConstraintLit c;
+    c.feature = cur().text;
+    Advance();
+    IFLEX_RETURN_NOT_OK(Expect(TokKind::kLParen, "'('"));
+    if (cur().kind != TokKind::kIdent) {
+      return Status::ParseError(StringPrintf(
+          "line %d: constraint %s needs a variable", cur().line,
+          c.feature.c_str()));
+    }
+    c.var = cur().text;
+    Advance();
+    if (Accept(TokKind::kComma)) {
+      if (cur().kind == TokKind::kString) {
+        c.param = FeatureParam::Str(cur().text);
+      } else if (cur().kind == TokKind::kNumber) {
+        c.param = FeatureParam::Num(cur().num);
+      } else {
+        return Status::ParseError(StringPrintf(
+            "line %d: constraint parameter must be a literal", cur().line));
+      }
+      Advance();
+    }
+    IFLEX_RETURN_NOT_OK(Expect(TokKind::kRParen, "')'"));
+    if (Accept(TokKind::kEq)) {
+      if (cur().kind == TokKind::kIdent) {
+        IFLEX_ASSIGN_OR_RETURN(c.value, FeatureValueFromString(cur().text));
+        Advance();
+      } else if (cur().kind == TokKind::kNumber) {
+        if (c.param.has_value()) {
+          return Status::ParseError(StringPrintf(
+              "line %d: constraint %s has two parameters", cur().line,
+              c.feature.c_str()));
+        }
+        c.param = FeatureParam::Num(cur().num);
+        Advance();
+      } else if (cur().kind == TokKind::kString) {
+        if (c.param.has_value()) {
+          return Status::ParseError(StringPrintf(
+              "line %d: constraint %s has two parameters", cur().line,
+              c.feature.c_str()));
+        }
+        c.param = FeatureParam::Str(cur().text);
+        Advance();
+      } else {
+        return Status::ParseError(StringPrintf(
+            "line %d: bad constraint value", cur().line));
+      }
+    }
+    return Literal::OfConstraint(std::move(c));
+  }
+
+  Result<Literal> ParseComparison() {
+    Comparison cmp;
+    IFLEX_ASSIGN_OR_RETURN(cmp.lhs, ParseTerm());
+    switch (cur().kind) {
+      case TokKind::kLt:
+        cmp.op = CmpOp::kLt;
+        break;
+      case TokKind::kLe:
+        cmp.op = CmpOp::kLe;
+        break;
+      case TokKind::kGt:
+        cmp.op = CmpOp::kGt;
+        break;
+      case TokKind::kGe:
+        cmp.op = CmpOp::kGe;
+        break;
+      case TokKind::kEq:
+        cmp.op = CmpOp::kEq;
+        break;
+      case TokKind::kNe:
+        cmp.op = CmpOp::kNe;
+        break;
+      default:
+        return Status::ParseError(StringPrintf(
+            "line %d: expected comparison operator, found '%s'", cur().line,
+            cur().ToString().c_str()));
+    }
+    Advance();
+    IFLEX_ASSIGN_OR_RETURN(cmp.rhs, ParseTerm());
+    // Optional additive offset: "firstPage + 5" (Table 2/T5).
+    if (cur().kind == TokKind::kPlus || cur().kind == TokKind::kMinus) {
+      bool neg = cur().kind == TokKind::kMinus;
+      Advance();
+      if (cur().kind != TokKind::kNumber) {
+        return Status::ParseError(StringPrintf(
+            "line %d: expected number after '+'/'-'", cur().line));
+      }
+      cmp.rhs_offset = neg ? -cur().num : cur().num;
+      Advance();
+    }
+    return Literal::OfComparison(std::move(cmp));
+  }
+
+  Result<Term> ParseTerm() {
+    switch (cur().kind) {
+      case TokKind::kIdent: {
+        std::string name = cur().text;
+        Advance();
+        if (name == "null" || name == "NULL") return Term::Null();
+        return Term::Var(std::move(name));
+      }
+      case TokKind::kNumber: {
+        double n = cur().num;
+        Advance();
+        return Term::Number(n);
+      }
+      case TokKind::kMinus: {
+        Advance();
+        if (cur().kind != TokKind::kNumber) {
+          return Status::ParseError(StringPrintf(
+              "line %d: expected number after '-'", cur().line));
+        }
+        double n = cur().num;
+        Advance();
+        return Term::Number(-n);
+      }
+      case TokKind::kString: {
+        std::string s = cur().text;
+        Advance();
+        return Term::Str(std::move(s));
+      }
+      default:
+        return Status::ParseError(StringPrintf(
+            "line %d: expected term, found '%s'", cur().line,
+            cur().ToString().c_str()));
+    }
+  }
+
+  const std::vector<Tok>& toks_;
+  const Catalog& catalog_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Program> ParseProgram(const std::string& src, const Catalog& catalog) {
+  IFLEX_ASSIGN_OR_RETURN(std::vector<Tok> toks, Lex(src));
+  Parser parser(toks, catalog);
+  IFLEX_ASSIGN_OR_RETURN(Program prog, parser.ParseAll());
+  IFLEX_RETURN_NOT_OK(prog.Validate(catalog));
+  return prog;
+}
+
+}  // namespace iflex

@@ -1,0 +1,79 @@
+#ifndef IFLEX_ALOG_PROGRAM_H_
+#define IFLEX_ALOG_PROGRAM_H_
+
+#include <string>
+#include <vector>
+
+#include "alog/ast.h"
+#include "alog/catalog.h"
+#include "common/result.h"
+
+namespace iflex {
+
+/// An Alog program: skeleton rules + description rules + annotations
+/// (paper §2.2). The program is a value type — the next-effort assistant
+/// clones it freely to simulate candidate refinements.
+class Program {
+ public:
+  Program() = default;
+
+  std::vector<Rule>& rules() { return rules_; }
+  const std::vector<Rule>& rules() const { return rules_; }
+
+  void AddRule(Rule r) { rules_.push_back(std::move(r)); }
+
+  /// The query predicate (paper §2.1: one head predicate is the query).
+  /// Defaults to the head of the first rule when unset.
+  const std::string& query() const;
+  void set_query(std::string q) { query_ = std::move(q); }
+
+  /// Resolves every predicate against `catalog`, marks description rules
+  /// (head is a declared IE predicate), checks arities, constraint
+  /// feature/param shapes, annotation placement, and rule safety
+  /// (paper §2.2.2: every non-input head variable must be bound by an
+  /// extensional/intensional atom or an IE/p-predicate output).
+  Status Validate(const Catalog& catalog);
+
+  /// Unfolds IE-predicate atoms in non-description rules using the
+  /// description rules (paper §4), renaming description-rule variables
+  /// apart. Supports several description rules per IE predicate (the
+  /// unfolded program takes their union). IE predicates without any
+  /// description rule are an error.
+  Result<Program> Unfold(const Catalog& catalog) const;
+
+  /// All description rules for `ie_predicate` (indices into rules()).
+  std::vector<size_t> DescriptionRulesFor(const std::string& ie_predicate) const;
+
+  /// Adds the domain constraint f(attr)=v to every description rule of
+  /// `ie_predicate`, binding it to the output variable at `output_idx`
+  /// (0-based among the outputs). This is how the assistant incorporates
+  /// an answered question (paper §5). No-op if an equal constraint is
+  /// already present.
+  Status AddConstraint(const Catalog& catalog, const std::string& ie_predicate,
+                       size_t output_idx, const std::string& feature,
+                       FeatureParam param, FeatureValue value);
+
+  /// Pretty-prints all rules.
+  std::string ToString() const;
+
+  /// Stable fingerprint of the program text; used as reuse-cache key.
+  uint64_t Fingerprint() const;
+
+ private:
+  std::vector<Rule> rules_;
+  std::string query_;
+};
+
+/// Parses Alog source into a Program. The catalog resolves which
+/// identifiers are features (domain constraints) vs predicates. The
+/// program is validated before being returned.
+///
+/// Surface syntax (see README):
+///   houses(x, <p>, <a>, <h>) :- housePages(x), extractHouses(x, p, a, h).
+///   schools(s)? :- schoolPages(y), extractSchools(y, s).
+///   extractSchools(y, s) :- from(y, s), bold_font(s) = yes.
+Result<Program> ParseProgram(const std::string& src, const Catalog& catalog);
+
+}  // namespace iflex
+
+#endif  // IFLEX_ALOG_PROGRAM_H_

@@ -1,0 +1,49 @@
+#ifndef IFLEX_ASSISTANT_CONVERGENCE_H_
+#define IFLEX_ASSISTANT_CONVERGENCE_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace iflex {
+
+/// Convergence notification (paper §5.1): the assistant monitors both the
+/// number of result tuples and the number of assignments produced by the
+/// extraction; when both stay constant for k consecutive iterations
+/// (k = 3 in the paper) it notifies the developer.
+class ConvergenceDetector {
+ public:
+  explicit ConvergenceDetector(int k = 3) : k_(k) {}
+
+  /// Records one iteration's counters — result tuples and a value-level
+  /// ambiguity measure of the whole extraction process; returns true when
+  /// convergence has been reached (the last k observations are identical).
+  bool Observe(double result_tuples, double assignments) {
+    observations_.push_back({result_tuples, assignments});
+    if (observations_.size() < static_cast<size_t>(k_)) return false;
+    const Obs& last = observations_.back();
+    for (size_t i = observations_.size() - static_cast<size_t>(k_);
+         i < observations_.size(); ++i) {
+      if (observations_[i].tuples != last.tuples ||
+          observations_[i].assignments != last.assignments) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  void Reset() { observations_.clear(); }
+
+  int k() const { return k_; }
+
+ private:
+  struct Obs {
+    double tuples;
+    double assignments;
+  };
+  int k_;
+  std::vector<Obs> observations_;
+};
+
+}  // namespace iflex
+
+#endif  // IFLEX_ASSISTANT_CONVERGENCE_H_

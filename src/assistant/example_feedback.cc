@@ -1,0 +1,39 @@
+#include "assistant/example_feedback.h"
+
+namespace iflex {
+
+AnswerExclusions DeriveExclusions(const Corpus& corpus,
+                                  const FeatureRegistry& features,
+                                  const AttributeRef& attr,
+                                  const Value& example) {
+  AnswerExclusions out;
+  for (const std::string& fname : features.names()) {
+    auto feature = features.Get(fname);
+    if (!feature.ok()) continue;
+    std::vector<FeatureValue> space = (*feature)->AnswerSpace();
+    if (space.empty()) continue;  // parameterized: nothing to exclude
+    Question q{attr, fname};
+    for (FeatureValue v : space) {
+      bool holds;
+      if (example.has_span()) {
+        holds = (*feature)->Verify(corpus.Get(example.span().doc),
+                                   example.span(), FeatureParam::None(), v);
+      } else {
+        auto verdict =
+            (*feature)->VerifyText(example.AsText(), FeatureParam::None(), v);
+        if (!verdict.has_value()) continue;  // cannot judge: keep answer
+        holds = *verdict;
+      }
+      if (!holds) out[q.Key()].insert(v);
+    }
+  }
+  return out;
+}
+
+void MergeExclusions(AnswerExclusions* into, const AnswerExclusions& more) {
+  for (const auto& [key, values] : more) {
+    (*into)[key].insert(values.begin(), values.end());
+  }
+}
+
+}  // namespace iflex

@@ -1,0 +1,34 @@
+#ifndef IFLEX_ASSISTANT_EXAMPLE_FEEDBACK_H_
+#define IFLEX_ASSISTANT_EXAMPLE_FEEDBACK_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "assistant/question.h"
+
+namespace iflex {
+
+/// Answer exclusions derived from marked-up examples (paper §5.1.1: "if
+/// this title is bold, then ... the answer cannot be 'no'"). Keyed by
+/// Question::Key(); the simulation strategy skips excluded answers, which
+/// both avoids pointless simulations and prevents the developer from
+/// being asked questions whose only plausible answers are already known.
+using AnswerExclusions = std::map<std::string, std::set<FeatureValue>>;
+
+/// Derives exclusions for one attribute from one example value: for every
+/// enumerable feature, any answer the example *violates* is excluded (the
+/// true answer must hold for every value of the attribute, including the
+/// example). Span-less examples fall back to VerifyText where available.
+AnswerExclusions DeriveExclusions(const Corpus& corpus,
+                                  const FeatureRegistry& features,
+                                  const AttributeRef& attr,
+                                  const Value& example);
+
+/// Merges `more` into `into`.
+void MergeExclusions(AnswerExclusions* into, const AnswerExclusions& more);
+
+}  // namespace iflex
+
+#endif  // IFLEX_ASSISTANT_EXAMPLE_FEEDBACK_H_

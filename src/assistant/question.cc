@@ -1,0 +1,152 @@
+#include "assistant/question.h"
+
+#include <algorithm>
+#include <map>
+
+namespace iflex {
+
+std::string Answer::ToString() const {
+  if (!known) return "I do not know";
+  if (param.has_value()) {
+    std::string out = param.ToString();
+    if (value != FeatureValue::kYes) {
+      out += std::string(" (") + FeatureValueToString(value) + ")";
+    }
+    return out;
+  }
+  return FeatureValueToString(value);
+}
+
+namespace {
+
+struct ScoredAttr {
+  AttributeRef attr;
+  int score = 0;
+  size_t first_seen = 0;
+};
+
+}  // namespace
+
+std::vector<AttributeRef> EnumerateAttributes(const Program& program,
+                                              const Catalog& catalog) {
+  std::vector<AttributeRef> out;
+  for (const Rule& rule : program.rules()) {
+    if (rule.is_description) continue;
+    for (const Literal& lit : rule.body) {
+      if (lit.kind != Literal::Kind::kAtom) continue;
+      auto kind = catalog.KindOf(lit.atom.predicate);
+      if (!kind.ok() || *kind != PredicateKind::kIEPredicate) continue;
+      size_t n_inputs = *catalog.InputArityOf(lit.atom.predicate);
+      for (size_t i = n_inputs; i < lit.atom.args.size(); ++i) {
+        if (!lit.atom.args[i].is_var()) continue;
+        AttributeRef ref;
+        ref.ie_predicate = lit.atom.predicate;
+        ref.output_idx = i - n_inputs;
+        ref.display_name = lit.atom.args[i].var;
+        bool dup = false;
+        for (const AttributeRef& r : out) dup = dup || r == ref;
+        if (!dup) out.push_back(std::move(ref));
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<AttributeRef> RankAttributes(const Program& program,
+                                         const Catalog& catalog) {
+  std::vector<AttributeRef> attrs = EnumerateAttributes(program, catalog);
+  std::vector<ScoredAttr> scored;
+  for (size_t i = 0; i < attrs.size(); ++i) {
+    scored.push_back(ScoredAttr{attrs[i], 0, i});
+  }
+
+  // Pass 1: per rule, map variables to the attributes that IE atoms bind,
+  // and record what each intensional head exports at which position.
+  std::map<const Rule*, std::map<std::string, std::vector<size_t>>> rule_vars;
+  std::map<std::pair<std::string, size_t>, std::vector<size_t>> exports;
+  for (const Rule& rule : program.rules()) {
+    if (rule.is_description) continue;
+    auto& var_to_attr = rule_vars[&rule];
+    for (const Literal& lit : rule.body) {
+      if (lit.kind != Literal::Kind::kAtom) continue;
+      auto kind = catalog.KindOf(lit.atom.predicate);
+      if (!kind.ok() || *kind != PredicateKind::kIEPredicate) continue;
+      size_t n_inputs = *catalog.InputArityOf(lit.atom.predicate);
+      for (size_t i = n_inputs; i < lit.atom.args.size(); ++i) {
+        if (!lit.atom.args[i].is_var()) continue;
+        for (size_t s = 0; s < scored.size(); ++s) {
+          if (scored[s].attr.ie_predicate == lit.atom.predicate &&
+              scored[s].attr.output_idx == i - n_inputs) {
+            var_to_attr[lit.atom.args[i].var].push_back(s);
+          }
+        }
+      }
+    }
+    for (size_t i = 0; i < rule.head.args.size(); ++i) {
+      auto it = var_to_attr.find(rule.head.args[i]);
+      if (it == var_to_attr.end()) continue;
+      auto& ex = exports[{rule.head.predicate, i}];
+      ex.insert(ex.end(), it->second.begin(), it->second.end());
+    }
+  }
+
+  // Pass 2: propagate exports through intensional atoms, so "votes" still
+  // scores for "votes < 25000" written in a downstream rule.
+  for (const Rule& rule : program.rules()) {
+    if (rule.is_description) continue;
+    auto& var_to_attr = rule_vars[&rule];
+    for (const Literal& lit : rule.body) {
+      if (lit.kind != Literal::Kind::kAtom) continue;
+      for (size_t i = 0; i < lit.atom.args.size(); ++i) {
+        if (!lit.atom.args[i].is_var()) continue;
+        auto ex = exports.find({lit.atom.predicate, i});
+        if (ex == exports.end()) continue;
+        auto& v = var_to_attr[lit.atom.args[i].var];
+        v.insert(v.end(), ex->second.begin(), ex->second.end());
+      }
+    }
+  }
+
+  // Pass 3: score. +2 per comparison / p-function mention, +1 per head
+  // mention (part of the reported result).
+  for (const Rule& rule : program.rules()) {
+    if (rule.is_description) continue;
+    auto& var_to_attr = rule_vars[&rule];
+    auto bump = [&](const std::string& var, int by) {
+      auto it = var_to_attr.find(var);
+      if (it == var_to_attr.end()) return;
+      for (size_t s : it->second) scored[s].score += by;
+    };
+    for (const Literal& lit : rule.body) {
+      switch (lit.kind) {
+        case Literal::Kind::kComparison:
+          if (lit.cmp.lhs.is_var()) bump(lit.cmp.lhs.var, 2);
+          if (lit.cmp.rhs.is_var()) bump(lit.cmp.rhs.var, 2);
+          break;
+        case Literal::Kind::kAtom: {
+          auto kind = catalog.KindOf(lit.atom.predicate);
+          if (kind.ok() && *kind == PredicateKind::kPFunction) {
+            for (const Term& t : lit.atom.args) {
+              if (t.is_var()) bump(t.var, 2);
+            }
+          }
+          break;
+        }
+        case Literal::Kind::kConstraint:
+          break;
+      }
+    }
+    for (const std::string& var : rule.head.args) bump(var, 1);
+  }
+  std::stable_sort(scored.begin(), scored.end(),
+                   [](const ScoredAttr& a, const ScoredAttr& b) {
+                     if (a.score != b.score) return a.score > b.score;
+                     return a.first_seen < b.first_seen;
+                   });
+  std::vector<AttributeRef> out;
+  out.reserve(scored.size());
+  for (auto& s : scored) out.push_back(std::move(s.attr));
+  return out;
+}
+
+}  // namespace iflex

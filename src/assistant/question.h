@@ -1,0 +1,109 @@
+#ifndef IFLEX_ASSISTANT_QUESTION_H_
+#define IFLEX_ASSISTANT_QUESTION_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "alog/program.h"
+#include "ctable/value.h"
+#include "features/feature.h"
+
+namespace iflex {
+
+/// An extracted attribute: the `output_idx`-th output of an IE predicate.
+/// `display_name` is the variable name the description rule binds it to.
+struct AttributeRef {
+  std::string ie_predicate;
+  size_t output_idx = 0;
+  std::string display_name;
+
+  bool operator==(const AttributeRef& o) const {
+    return ie_predicate == o.ie_predicate && output_idx == o.output_idx;
+  }
+  std::string ToString() const {
+    return ie_predicate + "." + display_name;
+  }
+};
+
+/// A question of the paper's question space (§5.1): "what is the value of
+/// feature f for attribute a?".
+struct Question {
+  AttributeRef attr;
+  std::string feature;
+
+  bool operator==(const Question& o) const {
+    return attr == o.attr && feature == o.feature;
+  }
+  std::string Key() const {
+    return attr.ie_predicate + "#" +
+           std::to_string(attr.output_idx) + "#" + feature;
+  }
+  std::string ToString() const {
+    return feature + "(" + attr.ToString() + ")?";
+  }
+};
+
+/// The developer's reply. `known == false` models "I do not know"; for
+/// parameterized features the reply carries the parameter (e.g. the
+/// maximal price), otherwise the FeatureValue.
+struct Answer {
+  bool known = false;
+  FeatureValue value = FeatureValue::kYes;
+  FeatureParam param;
+
+  static Answer DontKnow() { return Answer{}; }
+  static Answer Of(FeatureValue v) {
+    Answer a;
+    a.known = true;
+    a.value = v;
+    return a;
+  }
+  static Answer WithParam(FeatureParam p, FeatureValue v = FeatureValue::kYes) {
+    Answer a;
+    a.known = true;
+    a.value = v;
+    a.param = std::move(p);
+    return a;
+  }
+
+  std::string ToString() const;
+};
+
+/// The entity that answers questions: a human in the paper, the
+/// gold-standard-backed SimulatedDeveloper in this reproduction.
+class DeveloperInterface {
+ public:
+  virtual ~DeveloperInterface() = default;
+
+  /// Answers `question`; `feature` is the resolved feature object (so the
+  /// developer knows the parameter kind expected).
+  virtual Answer Ask(const Question& question, const Feature& feature) = 0;
+
+  /// Seconds of (modelled) human effort the last Ask consumed; drives the
+  /// developer-minutes columns of Tables 3-6.
+  virtual double LastAnswerSeconds() const { return 0; }
+
+  /// Optional richer feedback (paper §5.1.1): mark up one sample value of
+  /// the attribute in the data. Default: the developer declines.
+  virtual std::optional<Value> ProvideExample(const AttributeRef& attr) {
+    (void)attr;
+    return std::nullopt;
+  }
+};
+
+/// All attributes extracted by `program` (every output of every IE atom in
+/// non-description rules), with an importance score for the sequential
+/// strategy: attributes participating in joins/comparisons/p-functions of
+/// the consuming rule rank higher (paper §5.1).
+std::vector<AttributeRef> EnumerateAttributes(const Program& program,
+                                              const Catalog& catalog);
+
+/// Importance-ordered copy of EnumerateAttributes (descending score,
+/// stable).
+std::vector<AttributeRef> RankAttributes(const Program& program,
+                                         const Catalog& catalog);
+
+}  // namespace iflex
+
+#endif  // IFLEX_ASSISTANT_QUESTION_H_

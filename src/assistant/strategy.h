@@ -1,0 +1,91 @@
+#ifndef IFLEX_ASSISTANT_STRATEGY_H_
+#define IFLEX_ASSISTANT_STRATEGY_H_
+
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "assistant/example_feedback.h"
+#include "assistant/question.h"
+#include "exec/executor.h"
+
+namespace iflex {
+
+/// Shared context a strategy sees when picking the next question.
+struct StrategyContext {
+  const Program* program = nullptr;      // current Alog program
+  const Catalog* full_catalog = nullptr; // full data
+  const Catalog* subset_catalog = nullptr;  // sampled data (subset eval)
+  ReuseCache* subset_cache = nullptr;    // reuse across simulations
+  const std::set<std::string>* asked = nullptr;  // Question::Key()s consumed
+  /// Answers ruled out by marked-up examples (paper §5.1.1); may be null.
+  const AnswerExclusions* exclusions = nullptr;
+  ExecOptions exec_options;
+  /// Probability the developer answers "I do not know" (paper §5.1).
+  double alpha = 0.0;
+};
+
+/// Question-selection strategy (paper §5.1).
+class QuestionStrategy {
+ public:
+  virtual ~QuestionStrategy() = default;
+
+  /// Next question to ask, or nullopt when the space is exhausted.
+  virtual Result<std::optional<Question>> Next(const StrategyContext& ctx) = 0;
+
+  virtual const char* name() const = 0;
+};
+
+/// Sequential strategy: attributes in decreasing importance, features in
+/// registry order. No execution needed — fast but blind (paper Table 5).
+class SequentialStrategy : public QuestionStrategy {
+ public:
+  Result<std::optional<Question>> Next(const StrategyContext& ctx) override;
+  const char* name() const override { return "sequential"; }
+};
+
+/// Simulation strategy: for each candidate question d about feature f of
+/// attribute a, simulate every answer v by executing the refined program
+/// g(P,(a,f,v)) on the subset, and pick the question minimizing
+///   sum_v (1-alpha)/|V| * |exec(g(P,(a,f,v)))|     (paper §5.1).
+/// Candidate answers: the feature's AnswerSpace for enumerable features;
+/// data-derived parameter candidates (quantiles of observed values,
+/// frequent neighbouring tokens, ...) for parameterized features.
+class SimulationStrategy : public QuestionStrategy {
+ public:
+  Result<std::optional<Question>> Next(const StrategyContext& ctx) override;
+  const char* name() const override { return "simulation"; }
+
+  /// Number of subset executions performed so far (reported by benches).
+  size_t simulations_run() const { return simulations_run_; }
+
+ private:
+  size_t simulations_run_ = 0;
+};
+
+/// Candidate answers for `question` derived for simulation purposes:
+/// enumerable features use their AnswerSpace; parameterized features get
+/// up to 3 parameters derived from the attribute's current candidate
+/// values on the subset (`observed`).
+std::vector<Answer> CandidateAnswers(const Question& question,
+                                     const Feature& feature,
+                                     const Corpus& corpus,
+                                     const std::vector<Value>& observed);
+
+/// Samples current candidate values of an attribute by executing, over the
+/// subset catalog, the consuming rule re-headed to expose the IE atom's
+/// outputs. Best-effort: returns empty on execution failure.
+std::vector<Value> ProbeAttributeValues(const StrategyContext& ctx,
+                                        const AttributeRef& attr,
+                                        size_t max_values = 500);
+
+/// Applies an answer to a program: adds f(a)=v (with the answered
+/// parameter, if any) to the description rules of the attribute's IE
+/// predicate. "I do not know" answers leave the program unchanged.
+Status ApplyAnswer(Program* program, const Catalog& catalog,
+                   const Question& question, const Answer& answer);
+
+}  // namespace iflex
+
+#endif  // IFLEX_ASSISTANT_STRATEGY_H_

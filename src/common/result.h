@@ -1,0 +1,70 @@
+#ifndef IFLEX_COMMON_RESULT_H_
+#define IFLEX_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace iflex {
+
+/// Holds either a value of type T or a non-OK Status describing why the
+/// value could not be produced (Arrow-style).
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT
+  /// Implicit from error status; `status` must not be OK.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok());
+  }
+
+  bool ok() const { return value_.has_value(); }
+
+  /// The error status, or OK if a value is present.
+  const Status& status() const { return status_; }
+
+  /// Value accessors; only valid when ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the contained value or `fallback` when in error state.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+/// Propagates the error of a Result expression, otherwise binds its value.
+#define IFLEX_ASSIGN_OR_RETURN(lhs, expr)          \
+  auto IFLEX_CONCAT_(_res_, __LINE__) = (expr);    \
+  if (!IFLEX_CONCAT_(_res_, __LINE__).ok())        \
+    return IFLEX_CONCAT_(_res_, __LINE__).status(); \
+  lhs = std::move(IFLEX_CONCAT_(_res_, __LINE__)).value()
+
+#define IFLEX_CONCAT_IMPL_(a, b) a##b
+#define IFLEX_CONCAT_(a, b) IFLEX_CONCAT_IMPL_(a, b)
+
+}  // namespace iflex
+
+#endif  // IFLEX_COMMON_RESULT_H_

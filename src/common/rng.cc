@@ -1,0 +1,21 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace iflex {
+
+std::vector<size_t> Rng::SampleIndices(size_t n, size_t k) {
+  std::vector<size_t> all(n);
+  std::iota(all.begin(), all.end(), 0);
+  if (k >= n) return all;
+  for (size_t i = 0; i < k; ++i) {
+    size_t j = i + static_cast<size_t>(Uniform(n - i));
+    std::swap(all[i], all[j]);
+  }
+  all.resize(k);
+  std::sort(all.begin(), all.end());
+  return all;
+}
+
+}  // namespace iflex

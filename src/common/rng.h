@@ -1,0 +1,52 @@
+#ifndef IFLEX_COMMON_RNG_H_
+#define IFLEX_COMMON_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace iflex {
+
+/// Deterministic xorshift64* generator. All randomized components (data
+/// generators, subset sampling, the simulated developer) take an explicit
+/// seed so experiments are reproducible run to run.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed ? seed : 0x9e3779b97f4a7c15ULL) {}
+
+  /// Next raw 64-bit value.
+  uint64_t Next() {
+    state_ ^= state_ >> 12;
+    state_ ^= state_ << 25;
+    state_ ^= state_ >> 27;
+    return state_ * 0x2545f4914f6cdd1dULL;
+  }
+
+  /// Uniform integer in [0, bound). `bound` must be > 0.
+  uint64_t Uniform(uint64_t bound) { return Next() % bound; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformRange(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) / static_cast<double>(1ULL << 53);
+  }
+
+  /// Bernoulli draw with probability `p`.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Samples `k` distinct indices from [0, n) (Floyd's algorithm order is
+  /// not needed at this scale; uses partial Fisher-Yates). If k >= n,
+  /// returns all indices.
+  std::vector<size_t> SampleIndices(size_t n, size_t k);
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace iflex
+
+#endif  // IFLEX_COMMON_RNG_H_

@@ -1,0 +1,29 @@
+#ifndef IFLEX_COMMON_STOPWATCH_H_
+#define IFLEX_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace iflex {
+
+/// Wall-clock stopwatch for measuring machine time in benches and the
+/// multi-iteration optimizer.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1000.0; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace iflex
+
+#endif  // IFLEX_COMMON_STOPWATCH_H_

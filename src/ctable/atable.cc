@@ -1,0 +1,83 @@
+#include "ctable/atable.h"
+
+#include "common/strutil.h"
+
+namespace iflex {
+
+std::string ATuple::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += "{";
+    for (size_t j = 0; j < cells[i].size(); ++j) {
+      if (j > 0) out += ", ";
+      out += cells[i][j].ToString();
+    }
+    out += "}";
+  }
+  out += ")";
+  if (maybe) out += "?";
+  return out;
+}
+
+std::string ATable::ToString() const {
+  std::string out = "[" + Join(schema_, ", ") + "]\n";
+  for (const auto& t : tuples_) out += "  " + t.ToString() + "\n";
+  return out;
+}
+
+Result<ATable> CompactToATable(const Corpus& corpus, const CompactTable& ct,
+                               size_t max_tuples,
+                               size_t max_values_per_cell) {
+  IFLEX_ASSIGN_OR_RETURN(CompactTable expanded,
+                         ct.ExpandExpansionCells(corpus, max_tuples));
+  ATable out(ct.schema());
+  for (const auto& t : expanded.tuples()) {
+    ATuple at;
+    at.maybe = t.maybe;
+    at.cells.reserve(t.cells.size());
+    for (const auto& c : t.cells) {
+      std::vector<Value> raw;
+      if (!c.EnumerateValues(corpus, max_values_per_cell, &raw)) {
+        return Status::ExecutionError(StringPrintf(
+            "cell exceeds %zu possible values", max_values_per_cell));
+      }
+      // Deduplicate under Value::Equals (quadratic, but cells are small
+      // after refinement; the enumeration cap bounds the worst case).
+      std::vector<Value> dedup;
+      for (Value& v : raw) {
+        bool found = false;
+        for (const Value& d : dedup) {
+          if (d.Equals(v)) {
+            found = true;
+            break;
+          }
+        }
+        if (!found) dedup.push_back(std::move(v));
+      }
+      at.cells.push_back(std::move(dedup));
+    }
+    out.Add(std::move(at));
+  }
+  return out;
+}
+
+CompactTable ATableToCompact(const ATable& at,
+                             std::vector<std::string> schema) {
+  CompactTable out(std::move(schema));
+  for (const auto& t : at.tuples()) {
+    CompactTuple ct;
+    ct.maybe = t.maybe;
+    for (const auto& values : t.cells) {
+      Cell c;
+      for (const Value& v : values) {
+        c.assignments.push_back(Assignment::Exact(v));
+      }
+      ct.cells.push_back(std::move(c));
+    }
+    out.Add(std::move(ct));
+  }
+  return out;
+}
+
+}  // namespace iflex

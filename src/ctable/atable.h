@@ -1,0 +1,61 @@
+#ifndef IFLEX_CTABLE_ATABLE_H_
+#define IFLEX_CTABLE_ATABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "ctable/compact_table.h"
+#include "ctable/value.h"
+
+namespace iflex {
+
+/// An a-tuple (paper §3, after [19]): each cell is an explicit multiset of
+/// possible values; '?' marks maybe a-tuples.
+struct ATuple {
+  std::vector<std::vector<Value>> cells;
+  bool maybe = false;
+
+  std::string ToString() const;
+};
+
+/// An a-table: the non-compact representation of approximate data.
+/// Compact tables convert to a-tables for the BAnnotate algorithm and for
+/// the brute-force possible-worlds checks in tests.
+class ATable {
+ public:
+  ATable() = default;
+  explicit ATable(std::vector<std::string> schema)
+      : schema_(std::move(schema)) {}
+
+  const std::vector<std::string>& schema() const { return schema_; }
+  size_t arity() const { return schema_.size(); }
+
+  std::vector<ATuple>& tuples() { return tuples_; }
+  const std::vector<ATuple>& tuples() const { return tuples_; }
+  size_t size() const { return tuples_.size(); }
+  void Add(ATuple t) { tuples_.push_back(std::move(t)); }
+
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> schema_;
+  std::vector<ATuple> tuples_;
+};
+
+/// Converts a compact table to an a-table: expansion cells become one
+/// tuple per encoded value, then every cell's assignments are enumerated
+/// into a deduplicated value set. Fails when the expansion exceeds
+/// `max_tuples` tuples or any cell exceeds `max_values_per_cell` values.
+Result<ATable> CompactToATable(const Corpus& corpus, const CompactTable& ct,
+                               size_t max_tuples = 100000,
+                               size_t max_values_per_cell = 100000);
+
+/// Converts an a-table back to a compact table (each value becomes one
+/// exact assignment). Lossless.
+CompactTable ATableToCompact(const ATable& at,
+                             std::vector<std::string> schema);
+
+}  // namespace iflex
+
+#endif  // IFLEX_CTABLE_ATABLE_H_

@@ -1,0 +1,214 @@
+#include "ctable/compact_table.h"
+
+#include <algorithm>
+
+#include "common/strutil.h"
+
+namespace iflex {
+
+// ------------------------------------------------------------- Assignment
+
+size_t Assignment::ValueCount(const Corpus& corpus) const {
+  if (is_exact()) return 1;
+  return corpus.Get(span.doc).CountSubSpans(span);
+}
+
+bool Assignment::EnumerateValues(const Corpus& corpus, size_t max_values,
+                                 std::vector<Value>* out) const {
+  if (is_exact()) {
+    if (out->size() >= max_values) return false;
+    out->push_back(value);
+    return true;
+  }
+  std::vector<Span> spans;
+  size_t budget = max_values > out->size() ? max_values - out->size() : 0;
+  bool complete =
+      corpus.Get(span.doc).EnumerateSubSpans(span, budget, &spans);
+  for (const Span& s : spans) out->push_back(Value::OfSpan(corpus, s));
+  return complete;
+}
+
+std::string Assignment::ToString(const Corpus* corpus) const {
+  if (is_exact()) return "exact(" + value.ToString() + ")";
+  if (corpus != nullptr) {
+    return "contain(\"" + std::string(corpus->TextOf(span)) + "\")";
+  }
+  return "contain(" + span.ToString() + ")";
+}
+
+// ------------------------------------------------------------------- Cell
+
+size_t Cell::ValueCount(const Corpus& corpus) const {
+  size_t n = 0;
+  for (const auto& a : assignments) n += a.ValueCount(corpus);
+  return n;
+}
+
+bool Cell::EnumerateValues(const Corpus& corpus, size_t max_values,
+                           std::vector<Value>* out) const {
+  for (const auto& a : assignments) {
+    if (!a.EnumerateValues(corpus, max_values, out)) return false;
+  }
+  return true;
+}
+
+bool Cell::IsSingleton(const Corpus& corpus) const {
+  if (assignments.size() == 1 && assignments[0].is_exact()) return true;
+  return ValueCount(corpus) == 1;
+}
+
+std::string Cell::ToString(const Corpus* corpus) const {
+  std::string out = is_expansion ? "expand({" : "{";
+  for (size_t i = 0; i < assignments.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += assignments[i].ToString(corpus);
+  }
+  out += is_expansion ? "})" : "}";
+  return out;
+}
+
+// ----------------------------------------------------------- CompactTuple
+
+std::string CompactTuple::ToString(const Corpus* corpus) const {
+  std::string out = "(";
+  for (size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += cells[i].ToString(corpus);
+  }
+  out += ")";
+  if (maybe) out += "?";
+  return out;
+}
+
+// ----------------------------------------------------------- CompactTable
+
+Result<size_t> CompactTable::AttrIndex(const std::string& name) const {
+  for (size_t i = 0; i < schema_.size(); ++i) {
+    if (schema_[i] == name) return i;
+  }
+  return Status::NotFound("no attribute named " + name);
+}
+
+size_t CompactTable::AssignmentCount() const {
+  size_t n = 0;
+  for (const auto& t : tuples_) {
+    for (const auto& c : t.cells) n += c.assignments.size();
+  }
+  return n;
+}
+
+double CompactTable::PossibleTupleCount(const Corpus& corpus,
+                                        double cap) const {
+  double total = 0;
+  for (const auto& t : tuples_) {
+    double prod = 1;
+    for (const auto& c : t.cells) {
+      prod *= static_cast<double>(c.ValueCount(corpus));
+      if (prod > cap) {
+        prod = cap;
+        break;
+      }
+    }
+    total += prod;
+    if (total > cap) return cap;
+  }
+  return total;
+}
+
+double CompactTable::ExpandedTupleCount(const Corpus& corpus,
+                                        double cap) const {
+  double total = 0;
+  for (const auto& t : tuples_) {
+    double prod = 1;
+    for (const auto& c : t.cells) {
+      if (!c.is_expansion) continue;
+      prod *= static_cast<double>(c.ValueCount(corpus));
+      if (prod > cap) {
+        prod = cap;
+        break;
+      }
+    }
+    total += prod;
+    if (total > cap) return cap;
+  }
+  return total;
+}
+
+double CompactTable::CertainTupleCount(const Corpus& corpus,
+                                       double cap) const {
+  double total = 0;
+  for (const auto& t : tuples_) {
+    if (t.maybe) continue;
+    double prod = 1;
+    for (const auto& c : t.cells) {
+      if (!c.is_expansion) continue;
+      prod *= static_cast<double>(c.ValueCount(corpus));
+      if (prod > cap) {
+        prod = cap;
+        break;
+      }
+    }
+    total += prod;
+    if (total > cap) return cap;
+  }
+  return total;
+}
+
+double CompactTable::TotalValueCount(const Corpus& corpus, double cap) const {
+  double total = 0;
+  for (const auto& t : tuples_) {
+    for (const auto& c : t.cells) {
+      total += static_cast<double>(c.ValueCount(corpus));
+      if (total > cap) return cap;
+    }
+  }
+  return total;
+}
+
+Result<CompactTable> CompactTable::ExpandExpansionCells(
+    const Corpus& corpus, size_t max_tuples) const {
+  CompactTable out(schema_);
+  // Worklist expansion: each tuple may have several expansion cells.
+  std::vector<CompactTuple> work(tuples_.begin(), tuples_.end());
+  while (!work.empty()) {
+    CompactTuple t = std::move(work.back());
+    work.pop_back();
+    size_t exp_idx = SIZE_MAX;
+    for (size_t i = 0; i < t.cells.size(); ++i) {
+      if (t.cells[i].is_expansion) {
+        exp_idx = i;
+        break;
+      }
+    }
+    if (exp_idx == SIZE_MAX) {
+      out.Add(std::move(t));
+      if (out.size() > max_tuples) {
+        return Status::ExecutionError(StringPrintf(
+            "expansion exceeds %zu tuples", max_tuples));
+      }
+      continue;
+    }
+    std::vector<Value> values;
+    if (!t.cells[exp_idx].EnumerateValues(corpus, max_tuples + 1, &values) ||
+        values.size() + out.size() > max_tuples) {
+      return Status::ExecutionError(
+          StringPrintf("expansion exceeds %zu tuples", max_tuples));
+    }
+    for (Value& v : values) {
+      CompactTuple u = t;
+      u.cells[exp_idx] = Cell::Exact(std::move(v));
+      work.push_back(std::move(u));
+    }
+  }
+  return out;
+}
+
+std::string CompactTable::ToString(const Corpus* corpus) const {
+  std::string out = "[" + Join(schema_, ", ") + "]\n";
+  for (const auto& t : tuples_) {
+    out += "  " + t.ToString(corpus) + "\n";
+  }
+  return out;
+}
+
+}  // namespace iflex

@@ -1,0 +1,128 @@
+#include "ctable/value.h"
+
+#include "common/strutil.h"
+
+namespace iflex {
+
+Value Value::Doc(DocId id) {
+  Value v;
+  v.kind_ = Kind::kDoc;
+  v.doc_ = id;
+  v.text_ = StringPrintf("<doc %u>", id);
+  return v;
+}
+
+Value Value::OfSpan(const Corpus& corpus, const Span& span) {
+  Value v;
+  v.kind_ = Kind::kSpan;
+  v.span_ = span;
+  v.text_ = std::string(corpus.TextOf(span));
+  return v;
+}
+
+Value Value::String(std::string s) {
+  Value v;
+  v.kind_ = Kind::kString;
+  v.text_ = std::move(s);
+  return v;
+}
+
+Value Value::Number(double n) {
+  Value v;
+  v.kind_ = Kind::kNumber;
+  v.num_ = n;
+  if (n == static_cast<int64_t>(n)) {
+    v.text_ = StringPrintf("%lld", static_cast<long long>(n));
+  } else {
+    v.text_ = StringPrintf("%g", n);
+  }
+  return v;
+}
+
+Value Value::Bool(bool b) {
+  Value v;
+  v.kind_ = Kind::kBool;
+  v.num_ = b ? 1 : 0;
+  v.text_ = b ? "true" : "false";
+  return v;
+}
+
+std::optional<double> Value::AsNumber() const {
+  switch (kind_) {
+    case Kind::kNumber:
+      return num_;
+    case Kind::kSpan:
+    case Kind::kString:
+      return ParseLooseNumber(text_);
+    default:
+      return std::nullopt;
+  }
+}
+
+bool Value::Equals(const Value& other) const {
+  if (kind_ == Kind::kDoc || other.kind_ == Kind::kDoc) {
+    return kind_ == other.kind_ && doc_ == other.doc_;
+  }
+  if (kind_ == Kind::kNull || other.kind_ == Kind::kNull) {
+    return kind_ == other.kind_;
+  }
+  auto a = AsNumber();
+  auto b = other.AsNumber();
+  if (a.has_value() && b.has_value()) return *a == *b;
+  return text_ == other.text_;
+}
+
+size_t Value::Hash() const {
+  switch (kind_) {
+    case Kind::kNull:
+      return 0x9b1;
+    case Kind::kDoc:
+      return 0xd0c ^ (static_cast<size_t>(doc_) * 0x9e3779b97f4a7c15ULL);
+    default: {
+      auto n = AsNumber();
+      if (n.has_value()) {
+        // Hash the numeric value so "92" and 92 collide (Equals-consistent).
+        double d = *n;
+        uint64_t bits;
+        static_assert(sizeof(bits) == sizeof(d));
+        __builtin_memcpy(&bits, &d, sizeof(bits));
+        return static_cast<size_t>(bits * 0x9e3779b97f4a7c15ULL);
+      }
+      return static_cast<size_t>(Fingerprint64(text_));
+    }
+  }
+}
+
+bool Value::Less(const Value& other) const {
+  if (kind_ != other.kind_) return kind_ < other.kind_;
+  switch (kind_) {
+    case Kind::kDoc:
+      return doc_ < other.doc_;
+    case Kind::kNumber:
+      return num_ < other.num_;
+    case Kind::kSpan:
+      if (!(span_ == other.span_)) return span_ < other.span_;
+      return false;
+    default:
+      return text_ < other.text_;
+  }
+}
+
+std::string Value::ToString() const {
+  switch (kind_) {
+    case Kind::kNull:
+      return "NULL";
+    case Kind::kDoc:
+      return text_;
+    case Kind::kSpan:
+      return "\"" + text_ + "\"";
+    case Kind::kString:
+      return "\"" + text_ + "\"";
+    case Kind::kNumber:
+    case Kind::kBool:
+      return text_;
+  }
+  return "?";
+}
+
+}  // namespace iflex

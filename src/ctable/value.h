@@ -1,0 +1,79 @@
+#ifndef IFLEX_CTABLE_VALUE_H_
+#define IFLEX_CTABLE_VALUE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "text/corpus.h"
+#include "text/span.h"
+
+namespace iflex {
+
+/// A concrete attribute value in a (possible) relation: a document
+/// reference, an extracted text span (materialized with its text), or a
+/// scalar produced by a p-function / cleanup procedure.
+class Value {
+ public:
+  enum class Kind : uint8_t { kNull, kDoc, kSpan, kString, kNumber, kBool };
+
+  Value() : kind_(Kind::kNull) {}
+
+  static Value Null() { return Value(); }
+  static Value Doc(DocId id);
+  /// Span value; the text is materialized from `corpus` once, so later
+  /// comparisons need no corpus access.
+  static Value OfSpan(const Corpus& corpus, const Span& span);
+  static Value String(std::string s);
+  static Value Number(double n);
+  static Value Bool(bool b);
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+
+  /// Document id for kDoc values (also the doc of a span value).
+  DocId doc() const { return kind_ == Kind::kDoc ? doc_ : span_.doc; }
+  const Span& span() const { return span_; }
+  bool has_span() const { return kind_ == Kind::kSpan; }
+
+  /// The textual form: span/string text, number formatting, document name
+  /// placeholder for kDoc.
+  const std::string& AsText() const { return text_; }
+
+  /// Numeric view — a kNumber's value, or a loose parse of the text
+  /// ("$351,000" -> 351000). This realizes the paper's "optional cast from
+  /// string to numeric" on exact assignments.
+  std::optional<double> AsNumber() const;
+
+  bool AsBool() const { return kind_ == Kind::kBool && num_ != 0; }
+
+  /// Value equality used for grouping and joins: numeric when both sides
+  /// are numeric (92 == "92"), textual otherwise; kDoc compares ids.
+  bool Equals(const Value& other) const;
+
+  /// Hash consistent with Equals.
+  size_t Hash() const;
+
+  /// Ordering for deterministic output (kind, then content).
+  bool Less(const Value& other) const;
+
+  std::string ToString() const;
+
+ private:
+  Kind kind_;
+  DocId doc_ = kInvalidDocId;
+  Span span_;
+  std::string text_;
+  double num_ = 0;
+};
+
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+struct ValueEq {
+  bool operator()(const Value& a, const Value& b) const { return a.Equals(b); }
+};
+
+}  // namespace iflex
+
+#endif  // IFLEX_CTABLE_VALUE_H_

@@ -1,0 +1,110 @@
+#include "ctable/worlds.h"
+
+#include <algorithm>
+
+#include "common/strutil.h"
+
+namespace iflex {
+
+std::string CanonicalWorld(const World& world) {
+  std::vector<std::string> tuples;
+  tuples.reserve(world.size());
+  for (const auto& t : world) {
+    std::string s = "(";
+    for (size_t i = 0; i < t.size(); ++i) {
+      if (i > 0) s += ",";
+      // Normalize through AsNumber so "92" and 92 canonicalize equally.
+      auto n = t[i].AsNumber();
+      if (n.has_value() && t[i].kind() != Value::Kind::kDoc) {
+        s += StringPrintf("#%.17g", *n);
+      } else {
+        s += t[i].ToString();
+      }
+    }
+    s += ")";
+    tuples.push_back(std::move(s));
+  }
+  std::sort(tuples.begin(), tuples.end());
+  tuples.erase(std::unique(tuples.begin(), tuples.end()), tuples.end());
+  return Join(tuples, "|");
+}
+
+namespace {
+
+// Recursively fixes a value for each cell of each chosen tuple.
+Status FillValues(const std::vector<const ATuple*>& chosen, size_t tuple_idx,
+                  size_t cell_idx, World* current, size_t max_worlds,
+                  std::vector<World>* out) {
+  if (tuple_idx == chosen.size()) {
+    if (out->size() >= max_worlds) {
+      return Status::ExecutionError("world enumeration exceeds cap");
+    }
+    out->push_back(*current);
+    return Status::OK();
+  }
+  const ATuple& t = *chosen[tuple_idx];
+  if (cell_idx == t.cells.size()) {
+    return FillValues(chosen, tuple_idx + 1, 0, current, max_worlds, out);
+  }
+  if (t.cells[cell_idx].empty()) {
+    // A cell with no possible values kills the tuple; the paper's a-tables
+    // never produce this, but be defensive: no world from this branch.
+    return Status::OK();
+  }
+  for (const Value& v : t.cells[cell_idx]) {
+    (*current)[tuple_idx][cell_idx] = v;
+    IFLEX_RETURN_NOT_OK(
+        FillValues(chosen, tuple_idx, cell_idx + 1, current, max_worlds, out));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::vector<World>> EnumerateWorlds(const ATable& table,
+                                           size_t max_worlds) {
+  std::vector<const ATuple*> fixed;
+  std::vector<const ATuple*> maybes;
+  for (const auto& t : table.tuples()) {
+    (t.maybe ? maybes : fixed).push_back(&t);
+  }
+  if (maybes.size() > 24) {
+    return Status::ExecutionError("too many maybe tuples to enumerate");
+  }
+  std::vector<World> out;
+  size_t subsets = 1ULL << maybes.size();
+  for (size_t mask = 0; mask < subsets; ++mask) {
+    std::vector<const ATuple*> chosen = fixed;
+    for (size_t i = 0; i < maybes.size(); ++i) {
+      if (mask & (1ULL << i)) chosen.push_back(maybes[i]);
+    }
+    World current(chosen.size());
+    for (size_t i = 0; i < chosen.size(); ++i) {
+      current[i].resize(chosen[i]->cells.size());
+    }
+    IFLEX_RETURN_NOT_OK(
+        FillValues(chosen, 0, 0, &current, max_worlds, &out));
+  }
+  return out;
+}
+
+Result<std::set<std::string>> WorldSet(const ATable& table,
+                                       size_t max_worlds) {
+  IFLEX_ASSIGN_OR_RETURN(std::vector<World> worlds,
+                         EnumerateWorlds(table, max_worlds));
+  std::set<std::string> out;
+  for (const auto& w : worlds) out.insert(CanonicalWorld(w));
+  return out;
+}
+
+Result<bool> RepresentsSuperset(const ATable& result, const ATable& spec,
+                                size_t max_worlds) {
+  IFLEX_ASSIGN_OR_RETURN(std::set<std::string> result_set,
+                         WorldSet(result, max_worlds));
+  IFLEX_ASSIGN_OR_RETURN(std::set<std::string> spec_set,
+                         WorldSet(spec, max_worlds));
+  return std::includes(result_set.begin(), result_set.end(), spec_set.begin(),
+                       spec_set.end());
+}
+
+}  // namespace iflex

@@ -1,0 +1,41 @@
+#ifndef IFLEX_CTABLE_WORLDS_H_
+#define IFLEX_CTABLE_WORLDS_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "ctable/atable.h"
+
+namespace iflex {
+
+/// One possible relation: a set of concrete tuples.
+using World = std::vector<std::vector<Value>>;
+
+/// Canonical string form of a world, treating the relation as a set (the
+/// paper's possible relations are duplicate-insensitive for comparison
+/// purposes). Two worlds with equal canonical forms are the same relation.
+std::string CanonicalWorld(const World& world);
+
+/// Brute-force enumeration of every possible relation an a-table
+/// represents (paper §3): choose a subset of the maybe tuples plus all
+/// non-maybe tuples, then one value per cell. Exponential — test-scale
+/// only; fails beyond `max_worlds`.
+Result<std::vector<World>> EnumerateWorlds(const ATable& table,
+                                           size_t max_worlds = 1 << 20);
+
+/// Canonical world set of an a-table. The key primitive behind the
+/// superset-semantics property tests: `Represents(result) ⊇
+/// Represents(spec)` becomes set containment of these.
+Result<std::set<std::string>> WorldSet(const ATable& table,
+                                       size_t max_worlds = 1 << 20);
+
+/// True when every world in `spec` is also a world of `result` — the
+/// paper's superset execution guarantee (§4).
+Result<bool> RepresentsSuperset(const ATable& result, const ATable& spec,
+                                size_t max_worlds = 1 << 20);
+
+}  // namespace iflex
+
+#endif  // IFLEX_CTABLE_WORLDS_H_

@@ -1,0 +1,158 @@
+#include "datagen/books.h"
+
+#include <algorithm>
+
+#include "common/strutil.h"
+#include "datagen/builder.h"
+#include "datagen/names.h"
+
+namespace iflex {
+
+namespace {
+
+Span ToSpan(DocId doc, std::pair<uint32_t, uint32_t> range) {
+  return Span(doc, range.first, range.second);
+}
+
+std::string Money(double v) { return StringPrintf("$%.2f", v); }
+
+std::string MakeIsbn(Rng* rng) {
+  std::string out;
+  for (int i = 0; i < 10; ++i) {
+    out += static_cast<char>('0' + rng->Uniform(10));
+  }
+  return out;
+}
+
+double RoundCents(double v) {
+  return static_cast<double>(static_cast<int>(v * 100 + 0.5)) / 100.0;
+}
+
+BookRecord MakeBarnesRecord(Corpus* corpus, Rng* rng,
+                            const std::string& title, double price,
+                            size_t idx) {
+  BookRecord b;
+  b.title = title;
+  b.bn_price = price;
+  b.isbn = MakeIsbn(rng);
+
+  PageBuilder page(StringPrintf("barnes/%zu", idx));
+  auto title_range = page.AppendMarked(title, MarkupKind::kBold);
+  page.Newline();
+  page.Append("Our Price: ");
+  auto price_range = page.AppendMarked(Money(price), MarkupKind::kItalic);
+  page.Newline();
+  page.Append("ISBN: " + b.isbn);
+  page.Newline();
+  page.Append(MakeProse(rng, 6 + static_cast<int>(rng->Uniform(6))));
+  b.doc = page.Finish(corpus);
+  b.title_span = ToSpan(b.doc, title_range);
+  b.bn_price_span = ToSpan(b.doc, price_range);
+  return b;
+}
+
+BookRecord MakeAmazonRecord(Corpus* corpus, Rng* rng,
+                            const std::string& title, double new_price,
+                            bool is_deal, size_t idx) {
+  BookRecord b;
+  b.title = title;
+  b.new_price = new_price;
+  b.list_price = is_deal
+                     ? new_price
+                     : RoundCents(new_price * (1.1 + rng->NextDouble() * 0.4));
+  b.used_price = RoundCents(new_price * (0.4 + rng->NextDouble() * 0.5));
+  b.isbn = MakeIsbn(rng);
+
+  PageBuilder page(StringPrintf("amazon/%zu", idx));
+  auto title_range = page.AppendMarked(title, MarkupKind::kBold);
+  page.Newline();
+  page.Append("List Price: ");
+  auto list_range =
+      page.AppendMarked(Money(b.list_price), MarkupKind::kItalic);
+  page.Newline();
+  page.Append("New: ");
+  auto new_range = page.Append(Money(b.new_price));
+  page.Newline();
+  page.Append("Used: ");
+  auto used_range = page.Append(Money(b.used_price));
+  page.Newline();
+  page.Append("ISBN: " + b.isbn);
+  b.doc = page.Finish(corpus);
+  b.title_span = ToSpan(b.doc, title_range);
+  b.list_price_span = ToSpan(b.doc, list_range);
+  b.new_price_span = ToSpan(b.doc, new_range);
+  b.used_price_span = ToSpan(b.doc, used_range);
+  return b;
+}
+
+}  // namespace
+
+BooksData GenerateBooks(Corpus* corpus, const BooksSpec& spec) {
+  Rng rng(spec.seed);
+  BooksData data;
+
+  size_t shared = std::min({spec.n_shared, spec.n_amazon, spec.n_barnes});
+  size_t total = spec.n_amazon + spec.n_barnes - shared;
+  std::vector<std::string> titles =
+      DistinctStrings(&rng, total, MakeBookTitle);
+  size_t cursor = 0;
+  auto next_title = [&]() -> std::string {
+    if (cursor < titles.size()) return titles[cursor++];
+    return StringPrintf("%s %zu", MakeBookTitle(&rng).c_str(), cursor++);
+  };
+
+  // Shared titles come first in both stores, with controlled price deltas
+  // for T9.
+  std::vector<std::string> shared_titles;
+  for (size_t i = 0; i < shared; ++i) shared_titles.push_back(next_title());
+
+  auto base_price = [&](bool expensive) {
+    return expensive ? RoundCents(101.0 + rng.NextDouble() * 380.0)
+                     : RoundCents(8.0 + rng.NextDouble() * 85.0);
+  };
+
+  size_t n_cheaper =
+      shared == 0
+          ? 0
+          : std::max<size_t>(1, static_cast<size_t>(static_cast<double>(shared) *
+                                                    spec.cheaper_at_amazon_fraction));
+  size_t n_expensive = static_cast<size_t>(
+      static_cast<double>(spec.n_barnes) * spec.expensive_fraction);
+  size_t n_deals = static_cast<size_t>(
+      static_cast<double>(spec.n_amazon) * spec.deal_fraction);
+
+  // Barnes: shared titles first, then its own. Exactly n_expensive records
+  // spread evenly get a price above $100.
+  for (size_t i = 0; i < spec.n_barnes; ++i) {
+    bool expensive =
+        ((i + 1) * n_expensive) / spec.n_barnes !=
+        (i * n_expensive) / spec.n_barnes;
+    std::string title = i < shared ? shared_titles[i] : next_title();
+    data.barnes.push_back(
+        MakeBarnesRecord(corpus, &rng, title, base_price(expensive), i));
+  }
+
+  // Amazon: shared titles priced relative to Barnes for T9.
+  for (size_t i = 0; i < spec.n_amazon; ++i) {
+    std::string title;
+    double new_price;
+    if (i < shared) {
+      title = shared_titles[i];
+      double pb = data.barnes[i].bn_price;
+      if (i < n_cheaper) {
+        new_price = RoundCents(std::max(1.0, pb * (0.6 + rng.NextDouble() * 0.3)));
+      } else {
+        new_price = RoundCents(pb * (1.05 + rng.NextDouble() * 0.4));
+      }
+    } else {
+      title = next_title();
+      new_price = base_price(false);
+    }
+    bool is_deal = i >= shared && (i - shared) < n_deals;
+    data.amazon.push_back(
+        MakeAmazonRecord(corpus, &rng, title, new_price, is_deal, i));
+  }
+  return data;
+}
+
+}  // namespace iflex

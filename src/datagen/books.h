@@ -1,0 +1,61 @@
+#ifndef IFLEX_DATAGEN_BOOKS_H_
+#define IFLEX_DATAGEN_BOOKS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "text/corpus.h"
+
+namespace iflex {
+
+/// One book result record (paper Table 1: Amazon / Barnes & Noble query
+/// results on 'Database').
+struct BookRecord {
+  std::string title;
+  double list_price = 0;  // Amazon
+  double new_price = 0;   // Amazon
+  double used_price = 0;  // Amazon
+  double bn_price = 0;    // Barnes & Noble
+  std::string isbn;
+
+  DocId doc = kInvalidDocId;
+  Span title_span;
+  Span list_price_span;
+  Span new_price_span;
+  Span used_price_span;
+  Span bn_price_span;
+};
+
+struct BooksSpec {
+  size_t n_amazon = 2490;  // paper T8: 2490 tuples
+  size_t n_barnes = 5000;  // paper T7: 5000 tuples
+  /// Titles sold in both stores (drives T9).
+  size_t n_shared = 400;
+  /// Fraction of B&N books priced above $100 (T7).
+  double expensive_fraction = 0.2;
+  /// Fraction of Amazon books with list == new and used < new (T8).
+  double deal_fraction = 0.2;
+  /// Among shared titles, fraction cheaper at Amazon (T9).
+  double cheaper_at_amazon_fraction = 0.45;
+  uint64_t seed = 3;
+};
+
+/// Record layouts:
+///   Barnes: "<b>Title</b>\nOur Price: <i>$123.45</i>\nISBN: 0131873253\n
+///            <prose>"
+///   Amazon: "<b>Title</b>\nList Price: <i>$49.99</i>\nNew: $39.99\n
+///            Used: $21.50"
+/// Prices carry '$' and cents; the 10-digit ISBN is the numeric distractor
+/// that forces price questions (italic/preceded-by/max-value) before T7's
+/// "> 100" filter can work.
+struct BooksData {
+  std::vector<BookRecord> amazon;
+  std::vector<BookRecord> barnes;
+};
+
+BooksData GenerateBooks(Corpus* corpus, const BooksSpec& spec);
+
+}  // namespace iflex
+
+#endif  // IFLEX_DATAGEN_BOOKS_H_

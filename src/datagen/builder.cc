@@ -1,0 +1,26 @@
+#include "datagen/builder.h"
+
+namespace iflex {
+
+std::pair<uint32_t, uint32_t> PageBuilder::Append(std::string_view text) {
+  uint32_t b = static_cast<uint32_t>(text_.size());
+  text_.append(text);
+  return {b, static_cast<uint32_t>(text_.size())};
+}
+
+std::pair<uint32_t, uint32_t> PageBuilder::AppendMarked(std::string_view text,
+                                                        MarkupKind kind) {
+  auto range = Append(text);
+  ranges_.emplace_back(kind, range.first, range.second);
+  return range;
+}
+
+DocId PageBuilder::Finish(Corpus* corpus) {
+  Document doc(std::move(name_), std::move(text_));
+  for (const auto& [kind, b, e] : ranges_) {
+    doc.mutable_layer(kind).Add(b, e);
+  }
+  return corpus->Add(std::move(doc));
+}
+
+}  // namespace iflex

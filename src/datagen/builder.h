@@ -1,0 +1,51 @@
+#ifndef IFLEX_DATAGEN_BUILDER_H_
+#define IFLEX_DATAGEN_BUILDER_H_
+
+#include <string>
+#include <string_view>
+#include <tuple>
+#include <vector>
+
+#include "text/corpus.h"
+
+namespace iflex {
+
+/// Builds one synthetic page/record with exact span bookkeeping: every
+/// Append* returns the [begin, end) character range of what it wrote, so
+/// generators can hand precise gold spans to the tasks without re-parsing
+/// their own output.
+class PageBuilder {
+ public:
+  explicit PageBuilder(std::string name) : name_(std::move(name)) {}
+
+  /// Appends plain text; returns its range.
+  std::pair<uint32_t, uint32_t> Append(std::string_view text);
+
+  /// Appends text covered by one markup layer.
+  std::pair<uint32_t, uint32_t> AppendMarked(std::string_view text,
+                                             MarkupKind kind);
+
+  /// Appends a newline.
+  void Newline() { Append("\n"); }
+
+  /// Marks an already-appended range with a layer (e.g. a page title that
+  /// wraps several separately-appended pieces).
+  void Mark(MarkupKind kind, uint32_t begin, uint32_t end) {
+    ranges_.emplace_back(kind, begin, end);
+  }
+
+  /// Current length of the text written so far.
+  uint32_t size() const { return static_cast<uint32_t>(text_.size()); }
+
+  /// Finalizes the document and registers it with `corpus`.
+  DocId Finish(Corpus* corpus);
+
+ private:
+  std::string name_;
+  std::string text_;
+  std::vector<std::tuple<MarkupKind, uint32_t, uint32_t>> ranges_;
+};
+
+}  // namespace iflex
+
+#endif  // IFLEX_DATAGEN_BUILDER_H_

@@ -1,0 +1,184 @@
+#include "datagen/dblife.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/strutil.h"
+#include "datagen/builder.h"
+#include "datagen/names.h"
+
+namespace iflex {
+
+namespace {
+
+Span ToSpan(DocId doc, std::pair<uint32_t, uint32_t> range) {
+  return Span(doc, range.first, range.second);
+}
+
+const char* const kChairTypes[] = {"pc", "general", "program"};
+const char* const kAffiliations[] = {
+    "univ of wisconsin", "y labs",          "state college",
+    "institute of data", "river university", "tech campus",
+    "north lab",         "city institute"};
+
+ConferencePage MakeConferencePage(Corpus* corpus, Rng* rng,
+                                  const std::string& conference,
+                                  size_t idx) {
+  ConferencePage page;
+  page.conference = conference;
+
+  PageBuilder b(StringPrintf("conf/%zu", idx));
+  // Conference name is a styled (bold) span inside the page title line
+  // "<conference> Conference".
+  uint32_t title_begin = b.size();
+  auto conf_range = b.AppendMarked(conference, MarkupKind::kBold);
+  auto rest = b.Append(" Conference");
+  b.Mark(MarkupKind::kTitle, title_begin, rest.second);
+  b.Newline();
+  b.Append("welcome to the annual meeting on ");
+  b.Append(MakeProse(rng, 5));
+  b.Newline();
+
+  b.AppendMarked("Panelists:", MarkupKind::kLabel);
+  b.Newline();
+  size_t n_panel = 2 + rng->Uniform(3);
+  std::set<std::string> used;
+  for (size_t i = 0; i < n_panel; ++i) {
+    std::string name = MakePersonName(rng);
+    if (!used.insert(name).second) continue;
+    auto li_begin = b.Append("* ");
+    (void)li_begin;
+    auto name_range = b.AppendMarked(name, MarkupKind::kListItem);
+    b.Append(" - ");
+    b.Append(kAffiliations[rng->Uniform(std::size(kAffiliations))]);
+    b.Newline();
+    page.panelists.push_back(
+        ConferencePage::Panelist{name, ToSpan(kInvalidDocId, name_range)});
+  }
+
+  b.AppendMarked("Chairs:", MarkupKind::kLabel);
+  b.Newline();
+  size_t n_chairs = 1 + rng->Uniform(2);
+  for (size_t i = 0; i < n_chairs; ++i) {
+    std::string name = MakePersonName(rng);
+    if (!used.insert(name).second) continue;
+    const char* type = kChairTypes[rng->Uniform(std::size(kChairTypes))];
+    b.Append(StringPrintf("%s chair: ", type));
+    auto name_range = b.Append(name);
+    b.Newline();
+    page.chairs.push_back(
+        ConferencePage::Chair{name, type, ToSpan(kInvalidDocId, name_range)});
+  }
+
+  b.AppendMarked("Important Dates:", MarkupKind::kLabel);
+  b.Newline();
+  b.Append("submissions due soon, notifications to follow, ");
+  b.Append(MakeProse(rng, 6));
+  b.Newline();
+
+  page.doc = b.Finish(corpus);
+  page.conf_span = ToSpan(page.doc, conf_range);
+  for (auto& p : page.panelists) p.span.doc = page.doc;
+  for (auto& c : page.chairs) c.span.doc = page.doc;
+  return page;
+}
+
+HomePage MakeHomePage(Corpus* corpus, Rng* rng, const std::string& owner,
+                      size_t idx, std::set<std::string>* project_pool) {
+  HomePage page;
+  page.owner = owner;
+
+  PageBuilder b(StringPrintf("home/%zu", idx));
+  auto owner_range = b.AppendMarked(owner, MarkupKind::kTitle);
+  b.Newline();
+  b.Append("i am a researcher working on ");
+  b.Append(MakeProse(rng, 4));
+  b.Newline();
+
+  b.AppendMarked("Projects:", MarkupKind::kLabel);
+  b.Newline();
+  size_t n_projects = 1 + rng->Uniform(3);
+  for (size_t i = 0; i < n_projects; ++i) {
+    std::string name = MakeProjectName(rng);
+    if (!project_pool->insert(name + "@" + owner).second) continue;
+    b.Append("* ");
+    auto name_range = b.AppendMarked(name, MarkupKind::kListItem);
+    b.Append(" - ");
+    b.Append(MakeProse(rng, 3));
+    b.Newline();
+    page.projects.push_back(
+        HomePage::Project{name, ToSpan(kInvalidDocId, name_range)});
+  }
+
+  b.AppendMarked("Publications:", MarkupKind::kLabel);
+  b.Newline();
+  b.Append("several papers about ");
+  b.Append(MakeProse(rng, 5));
+  b.Newline();
+
+  page.doc = b.Finish(corpus);
+  page.owner_span = ToSpan(page.doc, owner_range);
+  for (auto& p : page.projects) p.span.doc = page.doc;
+  return page;
+}
+
+DocId MakeDistractorPage(Corpus* corpus, Rng* rng, size_t idx) {
+  PageBuilder b(StringPrintf("misc/%zu", idx));
+  if (rng->Bernoulli(0.5)) {
+    // Mailing-list post: mentions people but has no labels.
+    b.Append("posted by ");
+    b.Append(MakePersonName(rng));
+    b.Newline();
+    b.Append("regarding the workshop, ");
+    b.Append(MakeProse(rng, 10));
+  } else {
+    b.AppendMarked("News:", MarkupKind::kLabel);
+    b.Newline();
+    b.Append(MakeProse(rng, 12));
+  }
+  b.Newline();
+  return b.Finish(corpus);
+}
+
+}  // namespace
+
+DblifeData GenerateDblife(Corpus* corpus, const DblifeSpec& spec) {
+  Rng rng(spec.seed);
+  DblifeData data;
+
+  // Distinct conference names: acronym + year.
+  std::set<std::string> conf_names;
+  while (conf_names.size() < spec.n_conferences) {
+    conf_names.insert(StringPrintf(
+        "%s %d", MakeConferenceAcronym(&rng).c_str(),
+        static_cast<int>(rng.UniformRange(1998, 2008))));
+    if (conf_names.size() >= 10ull * 11ull) break;  // pool capacity
+  }
+  size_t idx = 0;
+  for (const std::string& name : conf_names) {
+    data.conferences.push_back(MakeConferencePage(corpus, &rng, name, idx++));
+  }
+
+  std::vector<std::string> owners =
+      DistinctStrings(&rng, spec.n_homepages, MakePersonName);
+  std::set<std::string> project_pool;
+  for (size_t i = 0; i < owners.size(); ++i) {
+    data.homepages.push_back(
+        MakeHomePage(corpus, &rng, owners[i], i, &project_pool));
+  }
+
+  for (size_t i = 0; i < spec.n_distractors; ++i) {
+    data.distractors.push_back(MakeDistractorPage(corpus, &rng, i));
+  }
+
+  for (const auto& c : data.conferences) data.all_docs.push_back(c.doc);
+  for (const auto& h : data.homepages) data.all_docs.push_back(h.doc);
+  for (DocId d : data.distractors) data.all_docs.push_back(d);
+  // Shuffle deterministically for heterogeneity.
+  for (size_t i = data.all_docs.size(); i > 1; --i) {
+    std::swap(data.all_docs[i - 1], data.all_docs[rng.Uniform(i)]);
+  }
+  return data;
+}
+
+}  // namespace iflex

@@ -1,0 +1,69 @@
+#ifndef IFLEX_DATAGEN_DBLIFE_H_
+#define IFLEX_DATAGEN_DBLIFE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "text/corpus.h"
+
+namespace iflex {
+
+/// Synthetic DBLife crawl (paper §6.3): a heterogeneous mix of conference
+/// pages, researcher homepages, and mailing-list style distractor pages.
+/// The real crawl (10,007 pages, 198 MB) is unavailable offline; this
+/// generator produces the same *kinds* of signal the paper's higher-level
+/// features key on (labels like "Panelists:"/"Chairs:", list structure,
+/// names in titles), at a configurable page count.
+
+struct ConferencePage {
+  DocId doc = kInvalidDocId;
+  std::string conference;  // "SIGMOD 2007"
+  Span conf_span;
+
+  struct Panelist {
+    std::string name;
+    Span span;
+  };
+  std::vector<Panelist> panelists;
+
+  struct Chair {
+    std::string name;
+    std::string type;  // "pc" / "general" / "program"
+    Span span;
+  };
+  std::vector<Chair> chairs;
+};
+
+struct HomePage {
+  DocId doc = kInvalidDocId;
+  std::string owner;
+  Span owner_span;
+
+  struct Project {
+    std::string name;
+    Span span;
+  };
+  std::vector<Project> projects;
+};
+
+struct DblifeSpec {
+  size_t n_conferences = 60;
+  size_t n_homepages = 80;
+  size_t n_distractors = 160;  // mailing-list posts, misc pages
+  uint64_t seed = 4;
+};
+
+struct DblifeData {
+  std::vector<ConferencePage> conferences;
+  std::vector<HomePage> homepages;
+  std::vector<DocId> distractors;
+  /// Every generated page, shuffled — the docs(d) table.
+  std::vector<DocId> all_docs;
+};
+
+DblifeData GenerateDblife(Corpus* corpus, const DblifeSpec& spec);
+
+}  // namespace iflex
+
+#endif  // IFLEX_DATAGEN_DBLIFE_H_

@@ -1,0 +1,155 @@
+#include "datagen/dblp.h"
+
+#include <algorithm>
+
+#include "common/strutil.h"
+#include "datagen/builder.h"
+#include "datagen/names.h"
+
+namespace iflex {
+
+namespace {
+
+Span ToSpan(DocId doc, std::pair<uint32_t, uint32_t> range) {
+  return Span(doc, range.first, range.second);
+}
+
+PubRecord MakeGarciaRecord(Corpus* corpus, Rng* rng, const std::string& title,
+                           bool is_journal, size_t idx) {
+  PubRecord p;
+  p.title = title;
+  p.is_journal = is_journal;
+  p.year = static_cast<int>(rng->UniformRange(1975, 2005));
+  int pages = static_cast<int>(rng->UniformRange(6, 40));
+
+  PageBuilder page(StringPrintf("garcia/%zu", idx));
+  page.Append("- ");
+  auto title_range = page.AppendMarked(title, MarkupKind::kItalic);
+  if (is_journal) {
+    page.Append(". Journal Year: ");
+    auto year_range = page.Append(StringPrintf("%d", p.year));
+    page.Append(StringPrintf(". %d pages.", pages));
+    p.doc = page.Finish(corpus);
+    p.journal_year_span = ToSpan(p.doc, year_range);
+  } else {
+    page.Append(StringPrintf(". In %s Proceedings. %d pages.",
+                             MakeConferenceAcronym(rng).c_str(), pages));
+    p.doc = page.Finish(corpus);
+  }
+  p.title_span = ToSpan(p.doc, title_range);
+  return p;
+}
+
+PubRecord MakeVldbRecord(Corpus* corpus, Rng* rng, const std::string& title,
+                         bool is_short, size_t idx) {
+  PubRecord p;
+  p.title = title;
+  p.year = static_cast<int>(rng->UniformRange(1975, 2005));
+  p.first_page = static_cast<int>(rng->UniformRange(1, 1200));
+  int diff = is_short ? static_cast<int>(rng->UniformRange(0, 4))
+                      : static_cast<int>(rng->UniformRange(5, 30));
+  p.last_page = p.first_page + diff;
+
+  PageBuilder page(StringPrintf("vldb/%zu", idx));
+  page.Append("- ");
+  auto title_range = page.AppendMarked(title, MarkupKind::kItalic);
+  page.Append(". pp. ");
+  auto first_range = page.Append(StringPrintf("%d", p.first_page));
+  page.Append(" - ");
+  auto last_range = page.Append(StringPrintf("%d", p.last_page));
+  page.Append(StringPrintf(". VLDB %d.", p.year));
+  p.doc = page.Finish(corpus);
+  p.title_span = ToSpan(p.doc, title_range);
+  p.first_page_span = ToSpan(p.doc, first_range);
+  p.last_page_span = ToSpan(p.doc, last_range);
+  return p;
+}
+
+PubRecord MakeVenueRecord(Corpus* corpus, Rng* rng, const char* venue,
+                          const std::string& title,
+                          const std::string& authors, size_t idx) {
+  PubRecord p;
+  p.title = title;
+  p.authors = authors;
+  p.year = static_cast<int>(rng->UniformRange(1984, 2005));
+
+  PageBuilder page(StringPrintf("%s/%zu", ToLower(venue).c_str(), idx));
+  page.Append("- ");
+  auto title_range = page.AppendMarked(title, MarkupKind::kItalic);
+  page.Append(". ");
+  auto authors_range = page.AppendMarked(authors, MarkupKind::kUnderline);
+  page.Append(StringPrintf(". %s %d.", venue, p.year));
+  p.doc = page.Finish(corpus);
+  p.title_span = ToSpan(p.doc, title_range);
+  p.authors_span = ToSpan(p.doc, authors_range);
+  return p;
+}
+
+}  // namespace
+
+DblpData GenerateDblp(Corpus* corpus, const DblpSpec& spec) {
+  Rng rng(spec.seed);
+  DblpData data;
+
+  size_t total_titles =
+      spec.n_garcia + spec.n_vldb + spec.n_sigmod + spec.n_icde;
+  std::vector<std::string> titles =
+      DistinctStrings(&rng, total_titles, MakePaperTitle);
+  size_t title_cursor = 0;
+  auto next_title = [&]() -> std::string {
+    if (title_cursor < titles.size()) return titles[title_cursor++];
+    // Pool exhausted (huge specs): suffix with a counter to stay distinct.
+    return StringPrintf("%s %zu", MakePaperTitle(&rng).c_str(),
+                        title_cursor++);
+  };
+
+  // Garcia-Molina list (T4): journal vs conference entries.
+  size_t n_journal = static_cast<size_t>(
+      static_cast<double>(spec.n_garcia) * spec.journal_fraction);
+  for (size_t i = 0; i < spec.n_garcia; ++i) {
+    data.garcia.push_back(MakeGarciaRecord(corpus, &rng, next_title(),
+                                           /*is_journal=*/i < n_journal, i));
+  }
+
+  // VLDB list (T5): a fraction of short papers.
+  size_t n_short = static_cast<size_t>(
+      static_cast<double>(spec.n_vldb) * spec.short_fraction);
+  for (size_t i = 0; i < spec.n_vldb; ++i) {
+    data.vldb.push_back(
+        MakeVldbRecord(corpus, &rng, next_title(), /*is_short=*/i < n_short, i));
+  }
+
+  // SIGMOD/ICDE (T6): disjoint author teams built from distinct persons,
+  // except the first n_shared_teams teams, which publish in both venues.
+  size_t n_teams_needed =
+      spec.n_sigmod + spec.n_icde - spec.n_shared_teams;
+  std::vector<std::string> persons =
+      DistinctStrings(&rng, n_teams_needed * 2 + 4, MakePersonName);
+  std::vector<std::string> teams;
+  teams.reserve(n_teams_needed);
+  for (size_t i = 0; i + 1 < persons.size() && teams.size() < n_teams_needed;
+       i += 2) {
+    teams.push_back(persons[i] + ", " + persons[i + 1]);
+  }
+  // teams[0 .. n_shared) appear in both venues.
+  size_t shared = std::min(spec.n_shared_teams, teams.size());
+  size_t team_cursor = shared;
+  auto next_team = [&]() -> const std::string& {
+    static const std::string kFallback = "Anonymous Author, Second Author";
+    if (team_cursor < teams.size()) return teams[team_cursor++];
+    return kFallback;
+  };
+  for (size_t i = 0; i < spec.n_sigmod; ++i) {
+    const std::string& team = i < shared ? teams[i] : next_team();
+    data.sigmod.push_back(
+        MakeVenueRecord(corpus, &rng, "SIGMOD", next_title(), team, i));
+  }
+  for (size_t i = 0; i < spec.n_icde; ++i) {
+    const std::string& team = i < shared ? teams[i] : next_team();
+    data.icde.push_back(
+        MakeVenueRecord(corpus, &rng, "ICDE", next_title(), team, i));
+  }
+  return data;
+}
+
+}  // namespace iflex

@@ -1,0 +1,61 @@
+#ifndef IFLEX_DATAGEN_DBLP_H_
+#define IFLEX_DATAGEN_DBLP_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "text/corpus.h"
+
+namespace iflex {
+
+/// One publication record (paper Table 1: Garcia-Molina / SIGMOD / ICDE /
+/// VLDB publication lists).
+struct PubRecord {
+  std::string title;
+  std::string authors;    // rendered author list "Jane Smith, Bob K. Lee"
+  int year = 0;
+  bool is_journal = false;  // Garcia-Molina list only
+  int first_page = 0;       // VLDB list only
+  int last_page = 0;
+
+  DocId doc = kInvalidDocId;
+  Span title_span;
+  Span authors_span;
+  Span journal_year_span;  // valid iff is_journal
+  Span first_page_span;
+  Span last_page_span;
+};
+
+struct DblpSpec {
+  size_t n_garcia = 312;   // paper T4: 312 tuples
+  size_t n_vldb = 2136;    // paper T5: 2136 tuples
+  size_t n_sigmod = 1787;  // paper T6: 1787-1798 tuples
+  size_t n_icde = 1798;
+  /// Author teams publishing in both SIGMOD and ICDE (drives T6).
+  size_t n_shared_teams = 320;
+  /// Fraction of Garcia-Molina entries that are journal papers (T4).
+  double journal_fraction = 0.35;
+  /// Fraction of VLDB papers at most 5 pages long (T5).
+  double short_fraction = 0.2;
+  uint64_t seed = 2;
+};
+
+/// Record layouts:
+///   Garcia journal: "<li><i>Title</i>. Journal Year: 1999. 24 pages.</li>"
+///   Garcia conf:    "<li><i>Title</i>. In SIGMOD Proceedings. 12 pages.</li>"
+///   VLDB:           "<li><i>Title</i>. pp. 233 - 239. VLDB 1988.</li>"
+///   SIGMOD/ICDE:    "<li><i>Title</i>. <u>Jane Smith, Bob K. Lee</u>.
+///                    SIGMOD 1997.</li>"
+struct DblpData {
+  std::vector<PubRecord> garcia;
+  std::vector<PubRecord> vldb;
+  std::vector<PubRecord> sigmod;
+  std::vector<PubRecord> icde;
+};
+
+DblpData GenerateDblp(Corpus* corpus, const DblpSpec& spec);
+
+}  // namespace iflex
+
+#endif  // IFLEX_DATAGEN_DBLP_H_

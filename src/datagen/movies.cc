@@ -1,0 +1,131 @@
+#include "datagen/movies.h"
+
+#include "common/strutil.h"
+#include "datagen/builder.h"
+#include "datagen/names.h"
+
+namespace iflex {
+
+namespace {
+
+Span ToSpan(DocId doc, std::pair<uint32_t, uint32_t> range) {
+  return Span(doc, range.first, range.second);
+}
+
+MovieRecord MakeImdbRecord(Corpus* corpus, Rng* rng, const std::string& title,
+                           int rank, size_t idx) {
+  MovieRecord m;
+  m.title = title;
+  m.rank = rank;
+  m.year = static_cast<int>(rng->UniformRange(1950, 2007));
+  m.rating = static_cast<double>(rng->UniformRange(60, 95)) / 10.0;
+  // Always above any year (<= 2007), rating, or rank distractor. Skewed
+  // low so a meaningful fraction of movies sits under T1's 25,000-vote
+  // threshold.
+  double u = rng->NextDouble();
+  m.votes = 3100 + static_cast<int>(476900.0 * u * u * u);
+
+  PageBuilder page(StringPrintf("imdb/%zu", idx));
+  page.AppendMarked(StringPrintf("#%d", rank), MarkupKind::kBold);
+  page.Append(" ");
+  auto title_range = page.AppendMarked(title, MarkupKind::kItalic);
+  page.Newline();
+  page.Append(StringPrintf("Year: %d  Rating: %.1f", m.year, m.rating));
+  page.Newline();
+  page.Append("Votes: ");
+  auto votes_range = page.Append(StringPrintf("%d", m.votes));
+  m.doc = page.Finish(corpus);
+  m.title_span = ToSpan(m.doc, title_range);
+  m.votes_span = ToSpan(m.doc, votes_range);
+  return m;
+}
+
+MovieRecord MakeEbertRecord(Corpus* corpus, Rng* rng, const std::string& title,
+                            size_t idx) {
+  MovieRecord m;
+  m.title = title;
+  m.year = static_cast<int>(rng->UniformRange(1940, 2007));
+
+  PageBuilder page(StringPrintf("ebert/%zu", idx));
+  auto title_range = page.AppendMarked(title, MarkupKind::kBold);
+  page.Append(" (");
+  auto year_range = page.Append(StringPrintf("%d", m.year));
+  page.Append(")");
+  page.Newline();
+  page.Append(MakeProse(rng, 8 + static_cast<int>(rng->Uniform(8))));
+  m.doc = page.Finish(corpus);
+  m.title_span = ToSpan(m.doc, title_range);
+  m.year_span = ToSpan(m.doc, year_range);
+  return m;
+}
+
+MovieRecord MakePrasannaRecord(Corpus* corpus, Rng* rng,
+                               const std::string& title, size_t idx) {
+  MovieRecord m;
+  m.title = title;
+  PageBuilder page(StringPrintf("prasanna/%zu", idx));
+  auto title_range = page.AppendMarked(title, MarkupKind::kHyperlink);
+  page.Append(" - ");
+  page.Append(MakeProse(rng, 4 + static_cast<int>(rng->Uniform(6))));
+  m.doc = page.Finish(corpus);
+  m.title_span = ToSpan(m.doc, title_range);
+  return m;
+}
+
+}  // namespace
+
+MoviesData GenerateMovies(Corpus* corpus, const MoviesSpec& spec) {
+  Rng rng(spec.seed);
+  size_t shared = std::min({spec.n_shared, spec.n_imdb, spec.n_ebert,
+                            spec.n_prasanna});
+  // One distinct title universe; the first `shared` titles appear in all
+  // three lists, the rest are disjoint per list.
+  size_t total =
+      shared + (spec.n_imdb - shared) + (spec.n_ebert - shared) +
+      (spec.n_prasanna - shared);
+  std::vector<std::string> titles =
+      DistinctStrings(&rng, total, MakeMovieTitle);
+  // Pool capacity may bound `titles`; recompute shares proportionally.
+  size_t cursor = shared;
+
+  MoviesData data;
+  auto take_unique = [&](size_t n) {
+    std::vector<std::string> out;
+    for (size_t i = 0; i < n && cursor < titles.size(); ++i) {
+      out.push_back(titles[cursor++]);
+    }
+    return out;
+  };
+  std::vector<std::string> imdb_unique = take_unique(spec.n_imdb - shared);
+  std::vector<std::string> ebert_unique = take_unique(spec.n_ebert - shared);
+  std::vector<std::string> prasanna_unique =
+      take_unique(spec.n_prasanna - shared);
+
+  size_t idx = 0;
+  int rank = 1;
+  for (size_t i = 0; i < shared; ++i) {
+    data.imdb.push_back(
+        MakeImdbRecord(corpus, &rng, titles[i], rank++, idx++));
+  }
+  for (const std::string& t : imdb_unique) {
+    data.imdb.push_back(MakeImdbRecord(corpus, &rng, t, rank++, idx++));
+  }
+  idx = 0;
+  for (size_t i = 0; i < shared; ++i) {
+    data.ebert.push_back(MakeEbertRecord(corpus, &rng, titles[i], idx++));
+  }
+  for (const std::string& t : ebert_unique) {
+    data.ebert.push_back(MakeEbertRecord(corpus, &rng, t, idx++));
+  }
+  idx = 0;
+  for (size_t i = 0; i < shared; ++i) {
+    data.prasanna.push_back(
+        MakePrasannaRecord(corpus, &rng, titles[i], idx++));
+  }
+  for (const std::string& t : prasanna_unique) {
+    data.prasanna.push_back(MakePrasannaRecord(corpus, &rng, t, idx++));
+  }
+  return data;
+}
+
+}  // namespace iflex

@@ -1,0 +1,55 @@
+#ifndef IFLEX_DATAGEN_MOVIES_H_
+#define IFLEX_DATAGEN_MOVIES_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "text/corpus.h"
+
+namespace iflex {
+
+/// One movie record as rendered into a page fragment, with gold spans for
+/// the attributes the Movies tasks extract (paper Table 1: Ebert / IMDB /
+/// Prasanna top-movie lists).
+struct MovieRecord {
+  std::string title;
+  int year = 0;
+  int votes = 0;    // IMDB only
+  double rating = 0;
+  int rank = 0;
+
+  DocId doc = kInvalidDocId;
+  Span title_span;
+  Span year_span;   // Ebert only
+  Span votes_span;  // IMDB only
+};
+
+struct MoviesSpec {
+  size_t n_imdb = 250;     // paper: IMDB Top 250
+  size_t n_ebert = 242;    // paper: T2 runs over 242 tuples
+  size_t n_prasanna = 517; // paper: T3 runs over 242-517 tuples
+  /// Number of titles present in all three lists (drives T3).
+  size_t n_shared = 40;
+  uint64_t seed = 1;
+};
+
+/// The three movie tables. Record layouts:
+///   IMDB:     "<b>#12</b> <i>The Silent Mountain</i>\n
+///              Year: 1984  Rating: 8.7\nVotes: 52701"
+///   Ebert:    "<b>The Silent Mountain</b> (1962)\n<prose>"
+///   Prasanna: "<a>The Silent Mountain</a> - <prose>"
+/// IMDB votes are drawn from [3100, 480000] so they always exceed any
+/// year/rating/rank distractor; titles are italic (IMDB), bold (Ebert), or
+/// hyperlinked (Prasanna), each distinctly.
+struct MoviesData {
+  std::vector<MovieRecord> imdb;
+  std::vector<MovieRecord> ebert;
+  std::vector<MovieRecord> prasanna;
+};
+
+MoviesData GenerateMovies(Corpus* corpus, const MoviesSpec& spec);
+
+}  // namespace iflex
+
+#endif  // IFLEX_DATAGEN_MOVIES_H_

@@ -1,0 +1,146 @@
+#include "datagen/names.h"
+
+#include <set>
+
+namespace iflex {
+
+namespace {
+
+// Pool sizes bound the number of distinct strings each maker can produce;
+// generators request fewer than the cartesian capacity.
+const char* const kAdjectives[] = {
+    "Silent",  "Broken",   "Golden",  "Crimson", "Hidden",  "Endless",
+    "Savage",  "Gentle",   "Distant", "Burning", "Frozen",  "Electric",
+    "Hollow",  "Radiant",  "Wicked",  "Quiet",   "Iron",    "Scarlet",
+    "Velvet",  "Thunder",  "Winter",  "Summer",  "Ancient", "Modern",
+    "Lonely",  "Brave",    "Bitter",  "Sweet",   "Rapid",   "Slow",
+    "Shining", "Forgotten", "Secret", "Final",   "First",   "Lost",
+    "Sacred",  "Stolen",   "Wild",    "Patient"};
+
+const char* const kNouns[] = {
+    "Mountain", "River",   "Harbor",  "Empire",  "Garden",  "Mirror",
+    "Shadow",   "Horizon", "Station", "Cathedral", "Meadow", "Canyon",
+    "Lantern",  "Compass", "Voyage",  "Fortress", "Island", "Temple",
+    "Orchard",  "Bridge",  "Tower",   "Valley",  "Desert",  "Glacier",
+    "Falcon",   "Tiger",   "Raven",   "Salmon",  "Panther", "Sparrow",
+    "Engine",   "Archive", "Theater", "Museum",  "Library", "Factory",
+    "Carnival", "Railway", "Lighthouse", "Observatory"};
+
+const char* const kTopics[] = {
+    "Databases",    "Systems",     "Networks",   "Algorithms",
+    "Optimization", "Indexing",    "Extraction", "Integration",
+    "Transactions", "Replication", "Streams",    "Warehousing",
+    "Mining",       "Crawling",    "Ranking",    "Caching",
+    "Recovery",     "Concurrency", "Storage",    "Queries",
+    "Schemas",      "Provenance",  "Sampling",   "Clustering",
+    "Partitioning", "Compression", "Encryption", "Sharding",
+    "Modeling",     "Profiling"};
+
+const char* const kVerbsGerund[] = {
+    "Managing",  "Optimizing", "Indexing",  "Extracting", "Integrating",
+    "Querying",  "Mining",     "Crawling",  "Ranking",    "Caching",
+    "Scaling",   "Sampling",   "Profiling", "Replicating", "Sharding"};
+
+const char* const kFirstNames[] = {
+    "Jane",   "Robert", "Alice",  "David",  "Maria",  "Kevin",  "Laura",
+    "Brian",  "Susan",  "Peter",  "Nancy",  "George", "Karen",  "Thomas",
+    "Linda",  "Steven", "Carol",  "Edward", "Helen",  "Frank",  "Diane",
+    "Walter", "Joyce",  "Arthur", "Gloria", "Henry",  "Ruth",   "Victor",
+    "Emma",   "Oscar",  "Clara",  "Hugo",   "Irene",  "Felix",  "Nora",
+    "Simon",  "Paula",  "Martin", "Vera",   "Leon"};
+
+const char* const kLastNames[] = {
+    "Smith",    "Johnson",  "Williams", "Jones",    "Miller",  "Davis",
+    "Garcia",   "Wilson",   "Anderson", "Taylor",   "Thomas",  "Moore",
+    "Martin",   "Jackson",  "Thompson", "White",    "Harris",  "Clark",
+    "Lewis",    "Walker",   "Hall",     "Young",    "King",    "Wright",
+    "Lopez",    "Hill",     "Scott",    "Green",    "Adams",   "Baker",
+    "Nelson",   "Carter",   "Mitchell", "Perez",    "Roberts", "Turner",
+    "Phillips", "Campbell", "Parker",   "Evans",    "Edwards", "Collins",
+    "Stewart",  "Morris",   "Rogers",   "Reed",     "Cook",    "Morgan",
+    "Bell",     "Murphy"};
+
+const char* const kProse[] = {
+    "a",      "quiet",  "story",   "about",  "memory",   "and",
+    "light",  "with",   "careful", "pacing", "that",     "lingers",
+    "on",     "small",  "moments", "of",     "grace",    "under",
+    "wide",   "skies",  "where",   "time",   "moves",    "slowly",
+    "toward", "an",     "uncertain", "end",  "beautifully", "told"};
+
+const char* const kAcronyms[] = {"SIGMOD", "VLDB",  "ICDE",  "EDBT",
+                                 "CIDR",   "PODS",  "KDD",   "WSDM",
+                                 "WWW",    "CIKM"};
+
+template <size_t N>
+const char* Pick(Rng* rng, const char* const (&pool)[N]) {
+  return pool[rng->Uniform(N)];
+}
+
+}  // namespace
+
+std::string MakeMovieTitle(Rng* rng) {
+  // Fixed 3-token shape: two distinct titles share at most 2 of 4 distinct
+  // tokens, keeping token Jaccard <= 0.5 — strictly below the similarity
+  // join threshold, so only identical titles join.
+  return std::string("The ") + Pick(rng, kAdjectives) + " " +
+         Pick(rng, kNouns);
+}
+
+std::string MakePaperTitle(Rng* rng) {
+  return std::string(Pick(rng, kVerbsGerund)) + " " + Pick(rng, kAdjectives) +
+         " " + Pick(rng, kTopics);
+}
+
+std::string MakeBookTitle(Rng* rng) {
+  return std::string(Pick(rng, kAdjectives)) + " " + Pick(rng, kNouns) + " " +
+         Pick(rng, kTopics);
+}
+
+std::string MakePersonName(Rng* rng) {
+  std::string name = Pick(rng, kFirstNames);
+  if (rng->Bernoulli(0.3)) {
+    name += " ";
+    name += static_cast<char>('A' + rng->Uniform(26));
+    name += ".";
+  }
+  name += " ";
+  name += Pick(rng, kLastNames);
+  return name;
+}
+
+std::string MakeProjectName(Rng* rng) {
+  // Capitalized single word, never colliding with the title pools.
+  static const char* const kStems[] = {
+      "Cimp",  "Racc",  "Quer",  "Dext", "Flux", "Grid", "Hive",  "Kite",
+      "Lyra",  "Nimb",  "Onyx",  "Pika", "Rune", "Sage", "Tern",  "Vega",
+      "Wren",  "Zephyr", "Acorn", "Brio"};
+  static const char* const kSuffix[] = {"le", "oon", "ix", "ara", "on",
+                                        "io", "us",  "a",  "or",  "em"};
+  return std::string(Pick(rng, kStems)) + Pick(rng, kSuffix);
+}
+
+std::string MakeProse(Rng* rng, int words) {
+  std::string out;
+  for (int i = 0; i < words; ++i) {
+    if (i > 0) out += " ";
+    out += Pick(rng, kProse);
+  }
+  return out;
+}
+
+std::string MakeConferenceAcronym(Rng* rng) { return Pick(rng, kAcronyms); }
+
+std::vector<std::string> DistinctStrings(Rng* rng, size_t n,
+                                         std::string (*make)(Rng*)) {
+  std::set<std::string> seen;
+  std::vector<std::string> out;
+  size_t attempts = 0;
+  while (out.size() < n && attempts < n * 2000) {
+    ++attempts;
+    std::string s = make(rng);
+    if (seen.insert(s).second) out.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace iflex

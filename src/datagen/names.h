@@ -1,0 +1,44 @@
+#ifndef IFLEX_DATAGEN_NAMES_H_
+#define IFLEX_DATAGEN_NAMES_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace iflex {
+
+/// Deterministic synthetic vocabulary for the generated domains. All
+/// generators draw through an explicit Rng, so a (spec, seed) pair always
+/// produces the same corpus.
+
+/// "The Silent Mountain" style movie title; `uniq` can be mixed in to
+/// force distinctness beyond the pool size.
+std::string MakeMovieTitle(Rng* rng);
+
+/// "Adaptive Query Processing over Streaming Data" style paper title.
+std::string MakePaperTitle(Rng* rng);
+
+/// "Principles of Distributed Database Systems" style book title.
+std::string MakeBookTitle(Rng* rng);
+
+/// "Jane A. Smith" style person name (sometimes with middle initial).
+std::string MakePersonName(Rng* rng);
+
+/// Capitalized single-word system/project name ("Cimple").
+std::string MakeProjectName(Rng* rng);
+
+/// Lowercase filler prose of `words` words (never capitalized, never
+/// numeric — it must not collide with any extraction feature).
+std::string MakeProse(Rng* rng, int words);
+
+/// Conference series acronym ("SIGMOD").
+std::string MakeConferenceAcronym(Rng* rng);
+
+/// Draws `n` *distinct* strings using `make` (retries on collision).
+std::vector<std::string> DistinctStrings(Rng* rng, size_t n,
+                                         std::string (*make)(Rng*));
+
+}  // namespace iflex
+
+#endif  // IFLEX_DATAGEN_NAMES_H_

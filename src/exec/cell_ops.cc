@@ -1,0 +1,288 @@
+#include "exec/cell_ops.h"
+
+#include <algorithm>
+
+#include "common/strutil.h"
+
+namespace iflex {
+
+namespace {
+
+// A(k, m(s)) of paper §4.2: the assignments resulting from applying
+// constraint `k` (via feature fe) to one assignment.
+std::vector<Assignment> ApplyOne(const Corpus& corpus, const Feature& fe,
+                                 const ConstraintLit& k,
+                                 const Assignment& a) {
+  std::vector<Assignment> out;
+  if (a.is_exact()) {
+    const Value& v = a.value;
+    if (v.has_span()) {
+      if (fe.Verify(corpus.Get(v.span().doc), v.span(), k.param, k.value)) {
+        out.push_back(a);
+      }
+    } else {
+      // Scalar value: fall back to text-only verification; features that
+      // need document context keep the value (no narrowing, still sound).
+      auto verdict = fe.VerifyText(v.AsText(), k.param, k.value);
+      if (!verdict.has_value() || *verdict) out.push_back(a);
+    }
+    return out;
+  }
+  // Contain assignment: refine into maximal satisfying regions.
+  const Document& doc = corpus.Get(a.span.doc);
+  for (const RefinedRegion& r : fe.Refine(doc, a.span, k.param, k.value)) {
+    if (r.span.empty()) continue;
+    if (r.exact) {
+      out.push_back(Assignment::Exact(Value::OfSpan(corpus, r.span)));
+    } else {
+      out.push_back(Assignment::Contain(r.span));
+    }
+  }
+  return out;
+}
+
+bool AssignmentsIdentical(const Assignment& a, const Assignment& b) {
+  if (a.kind != b.kind) return false;
+  if (a.is_contain()) return a.span == b.span;
+  return a.value.Equals(b.value) &&
+         a.value.has_span() == b.value.has_span() &&
+         (!a.value.has_span() || a.value.span() == b.value.span());
+}
+
+void DedupAssignments(std::vector<Assignment>* as) {
+  std::vector<Assignment> out;
+  for (auto& a : *as) {
+    bool dup = false;
+    for (const auto& o : out) {
+      if (AssignmentsIdentical(a, o)) {
+        dup = true;
+        break;
+      }
+    }
+    if (!dup) out.push_back(std::move(a));
+  }
+  *as = std::move(out);
+}
+
+}  // namespace
+
+Result<Cell> ApplyConstraintToCell(const Corpus& corpus,
+                                   const FeatureRegistry& features,
+                                   const Cell& cell, const ConstraintLit& k,
+                                   const std::vector<ConstraintLit>& history) {
+  IFLEX_ASSIGN_OR_RETURN(const Feature* fe, features.Get(k.feature));
+  Cell out;
+  out.is_expansion = cell.is_expansion;
+  for (const Assignment& a : cell.assignments) {
+    std::vector<Assignment> current = ApplyOne(corpus, *fe, k, a);
+    // Re-check newly created assignments against the constraints applied
+    // earlier for this attribute (paper §4.2: sub-spans created with k_j
+    // are checked for violation of k_1..k_{j-1}).
+    for (const ConstraintLit& prior : history) {
+      IFLEX_ASSIGN_OR_RETURN(const Feature* pf, features.Get(prior.feature));
+      std::vector<Assignment> next;
+      for (const Assignment& cur : current) {
+        std::vector<Assignment> rechecked = ApplyOne(corpus, *pf, prior, cur);
+        next.insert(next.end(), rechecked.begin(), rechecked.end());
+      }
+      current = std::move(next);
+    }
+    out.assignments.insert(out.assignments.end(), current.begin(),
+                           current.end());
+  }
+  DedupAssignments(&out.assignments);
+  return out;
+}
+
+bool CompareValues(const Value& lhs, CmpOp op, const Value& rhs) {
+  if (lhs.is_null() || rhs.is_null()) {
+    bool both_null = lhs.is_null() && rhs.is_null();
+    switch (op) {
+      case CmpOp::kEq:
+        return both_null;
+      case CmpOp::kNe:
+        return !both_null;
+      default:
+        return false;
+    }
+  }
+  auto ln = lhs.AsNumber();
+  auto rn = rhs.AsNumber();
+  // A genuine number never matches non-numeric text: "Sqft" > 500000 must
+  // be false, not a lexicographic accident.
+  bool lhs_is_number = lhs.kind() == Value::Kind::kNumber;
+  bool rhs_is_number = rhs.kind() == Value::Kind::kNumber;
+  if ((lhs_is_number || rhs_is_number) &&
+      !(ln.has_value() && rn.has_value())) {
+    return op == CmpOp::kNe;
+  }
+  if (ln.has_value() && rn.has_value()) {
+    switch (op) {
+      case CmpOp::kLt:
+        return *ln < *rn;
+      case CmpOp::kLe:
+        return *ln <= *rn;
+      case CmpOp::kGt:
+        return *ln > *rn;
+      case CmpOp::kGe:
+        return *ln >= *rn;
+      case CmpOp::kEq:
+        return *ln == *rn;
+      case CmpOp::kNe:
+        return *ln != *rn;
+    }
+  }
+  int c = lhs.AsText().compare(rhs.AsText());
+  switch (op) {
+    case CmpOp::kLt:
+      return c < 0;
+    case CmpOp::kLe:
+      return c <= 0;
+    case CmpOp::kGt:
+      return c > 0;
+    case CmpOp::kGe:
+      return c >= 0;
+    case CmpOp::kEq:
+      return c == 0;
+    case CmpOp::kNe:
+      return c != 0;
+  }
+  return false;
+}
+
+namespace {
+
+// Enumerates a cell's values up to the cap. `complete` reports whether the
+// enumeration covered every value.
+std::vector<Value> EnumerateCapped(const Corpus& corpus, const Cell& cell,
+                                   size_t cap, bool* complete) {
+  std::vector<Value> out;
+  *complete = cell.EnumerateValues(corpus, cap, &out);
+  return out;
+}
+
+SatResult Combine(bool any, bool all, bool complete) {
+  if (!complete) {
+    // Unknown tail of values: cannot claim kNone or kAll.
+    return SatResult::kSome;
+  }
+  if (all) return SatResult::kAll;
+  if (any) return SatResult::kSome;
+  return SatResult::kNone;
+}
+
+}  // namespace
+
+namespace {
+
+// Applies the additive comparison offset: numeric values shift, anything
+// else becomes incomparable (NULL).
+void ApplyOffset(std::vector<Value>* values, double offset) {
+  if (offset == 0) return;
+  for (Value& v : *values) {
+    auto n = v.AsNumber();
+    v = n.has_value() ? Value::Number(*n + offset) : Value::Null();
+  }
+}
+
+}  // namespace
+
+SatResult CompareCells(const Corpus& corpus, const Cell& lhs, CmpOp op,
+                       const Cell& rhs, const CellOpLimits& limits,
+                       double rhs_offset) {
+  bool lc = false;
+  bool rc = false;
+  std::vector<Value> lv = EnumerateCapped(corpus, lhs, limits.max_cell_enum, &lc);
+  std::vector<Value> rv = EnumerateCapped(corpus, rhs, limits.max_cell_enum, &rc);
+  ApplyOffset(&rv, rhs_offset);
+  if (lv.empty() || rv.empty()) return SatResult::kNone;
+  bool any = false;
+  bool all = true;
+  for (const Value& a : lv) {
+    for (const Value& b : rv) {
+      if (CompareValues(a, op, b)) {
+        any = true;
+      } else {
+        all = false;
+      }
+      if (any && !all) return SatResult::kSome;  // early out
+    }
+  }
+  return Combine(any, all, lc && rc);
+}
+
+SatResult CellsEqual(const Corpus& corpus, const Cell& a, const Cell& b,
+                     const CellOpLimits& limits) {
+  return CompareCells(corpus, a, CmpOp::kEq, b, limits);
+}
+
+Cell NarrowCellByComparison(const Corpus& corpus, const Cell& cell, CmpOp op,
+                            const Cell& other, const CellOpLimits& limits,
+                            bool* partial, double other_offset) {
+  *partial = false;
+  bool oc = false;
+  std::vector<Value> ov =
+      EnumerateCapped(corpus, other, limits.max_cell_enum, &oc);
+  ApplyOffset(&ov, other_offset);
+  Cell out;
+  out.is_expansion = cell.is_expansion;
+  if (!oc) {
+    // Other side too large to enumerate: keep everything, flag partial.
+    *partial = true;
+    out.assignments = cell.assignments;
+    return out;
+  }
+  for (const Assignment& a : cell.assignments) {
+    bool complete = false;
+    std::vector<Value> values;
+    Cell single;
+    single.assignments.push_back(a);
+    values = EnumerateCapped(corpus, single, limits.max_cell_enum, &complete);
+    if (!complete) {
+      *partial = true;
+      out.assignments.push_back(a);
+      continue;
+    }
+    bool any = false;
+    bool all = true;
+    for (const Value& v : values) {
+      bool sat = false;
+      for (const Value& o : ov) {
+        if (CompareValues(v, op, o)) {
+          sat = true;
+          break;
+        }
+      }
+      any = any || sat;
+      all = all && sat;
+    }
+    if (any) {
+      out.assignments.push_back(a);
+      if (!all) *partial = true;
+    }
+  }
+  return out;
+}
+
+Cell NarrowCellByEquality(const Corpus& corpus, const Cell& cell,
+                          const Cell& other, const CellOpLimits& limits,
+                          bool* partial) {
+  return NarrowCellByComparison(corpus, cell, CmpOp::kEq, other, limits,
+                                partial);
+}
+
+Cell ConstantCell(const Term& term) {
+  switch (term.kind) {
+    case Term::Kind::kNumber:
+      return Cell::Exact(Value::Number(term.num));
+    case Term::Kind::kString:
+      return Cell::Exact(Value::String(term.str));
+    case Term::Kind::kNull:
+      return Cell::Exact(Value::Null());
+    case Term::Kind::kVar:
+      break;
+  }
+  return Cell::Exact(Value::Null());
+}
+
+}  // namespace iflex

@@ -1,0 +1,77 @@
+#ifndef IFLEX_EXEC_CELL_OPS_H_
+#define IFLEX_EXEC_CELL_OPS_H_
+
+#include <vector>
+
+#include "alog/ast.h"
+#include "common/result.h"
+#include "ctable/compact_table.h"
+#include "features/registry.h"
+
+namespace iflex {
+
+/// Tri-state outcome of evaluating a condition over the possible values of
+/// compact cells (paper §4.1): no possible tuple satisfies it, some do, or
+/// all do.
+enum class SatResult : uint8_t { kNone, kSome, kAll };
+
+/// Execution caps; hitting a cap degrades to the sound direction (keep the
+/// tuple, mark it maybe) rather than failing.
+struct CellOpLimits {
+  /// Max values enumerated from one cell when checking a condition.
+  size_t max_cell_enum = 20000;
+  /// Max input-value combinations when invoking a p-predicate per tuple.
+  size_t max_ppred_combos = 4096;
+  /// Max value combinations tested per tuple for a p-*function* filter
+  /// (similar(), ...). Overflow keeps the tuple as maybe — sound, and it
+  /// bounds join costs while cells are still wide (unrefined cells over a
+  /// whole record exceed it; cells refined by a constraint or two fall
+  /// under it, so simulation sees real selectivity).
+  size_t max_filter_combos = 1024;
+};
+
+/// Applies the domain constraint `k` to `cell` (paper §4.2): exact
+/// assignments go through Verify, contain assignments through Refine, and
+/// every refined assignment is re-checked against the previously applied
+/// constraints `history` for this attribute. Preserves the expansion flag.
+Result<Cell> ApplyConstraintToCell(const Corpus& corpus,
+                                   const FeatureRegistry& features,
+                                   const Cell& cell, const ConstraintLit& k,
+                                   const std::vector<ConstraintLit>& history);
+
+/// Evaluates `lhs op (rhs + rhs_offset)` over all possible value pairs of
+/// two cells (either may be a 1-value "constant cell"). Overflowing the
+/// enumeration cap yields kSome (sound: keep as maybe).
+SatResult CompareCells(const Corpus& corpus, const Cell& lhs, CmpOp op,
+                       const Cell& rhs, const CellOpLimits& limits,
+                       double rhs_offset = 0);
+
+/// Evaluates a single comparison between concrete values: numeric when
+/// both sides are numeric, else textual; NULLs compare equal only to NULL.
+bool CompareValues(const Value& lhs, CmpOp op, const Value& rhs);
+
+/// Tri-state equality of two cells (join condition).
+SatResult CellsEqual(const Corpus& corpus, const Cell& a, const Cell& b,
+                     const CellOpLimits& limits);
+
+/// Narrows `cell` to the assignments that can still equal some value of
+/// `other`; used to filter expansion cells under join/selection
+/// conditions. Sets `*partial` when a kept assignment also encodes
+/// non-matching values (caller must mark the tuple maybe to stay a
+/// superset). Returns an empty cell when nothing can match.
+Cell NarrowCellByEquality(const Corpus& corpus, const Cell& cell,
+                          const Cell& other, const CellOpLimits& limits,
+                          bool* partial);
+
+/// Narrows `cell` to assignments that can satisfy `op` against
+/// `other + other_offset` (same contract as NarrowCellByEquality).
+Cell NarrowCellByComparison(const Corpus& corpus, const Cell& cell, CmpOp op,
+                            const Cell& other, const CellOpLimits& limits,
+                            bool* partial, double other_offset = 0);
+
+/// Builds a one-value constant cell from a term (number / string literal).
+Cell ConstantCell(const Term& term);
+
+}  // namespace iflex
+
+#endif  // IFLEX_EXEC_CELL_OPS_H_

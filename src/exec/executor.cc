@@ -1,0 +1,951 @@
+#include "exec/executor.h"
+
+#include <algorithm>
+#include <cctype>
+#include <climits>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/strutil.h"
+#include "exec/annotate.h"
+
+namespace iflex {
+
+namespace {
+
+// Lowercased alphanumeric tokens of a string (for join blocking).
+std::vector<std::string> SimTokens(const std::string& s) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : s) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      cur.push_back(
+          static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    } else if (!cur.empty()) {
+      out.push_back(cur);
+      cur.clear();
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
+// ----------------------------------------------------------- RuleEvaluator
+//
+// Evaluates one unfolded rule bottom-up over a growing "binding table":
+// a compact table whose columns are the variables bound so far. Literals
+// are consumed in priority order: constraints as soon as their variable is
+// bound (cheap cell narrowing), then connected stored-table joins, then
+// from / p-predicates / cheap filters, and *unconnected* joins last — with
+// every filter that becomes evaluable at join time pushed down into the
+// join loop, so similarity joins never materialize a raw cross product.
+class RuleEvaluator {
+ public:
+  RuleEvaluator(const Catalog& catalog, const ExecOptions& options,
+                const std::unordered_map<std::string, CompactTable>* idb,
+                ExecStats* stats)
+      : catalog_(catalog), options_(options), idb_(idb), stats_(stats) {}
+
+  Result<CompactTable> Evaluate(const Rule& rule) {
+    ++stats_->rules_evaluated;
+    binding_ = CompactTable(std::vector<std::string>{});
+    binding_.Add(CompactTuple{});
+    columns_.clear();
+    history_.clear();
+
+    std::vector<Literal> pending;
+    for (const Literal& lit : rule.body) pending.push_back(lit);
+
+    while (!pending.empty()) {
+      size_t best = SIZE_MAX;
+      int best_prio = INT_MAX;
+      for (size_t i = 0; i < pending.size(); ++i) {
+        int prio = Priority(pending[i]);
+        if (prio >= 0 && prio < best_prio) {
+          best_prio = prio;
+          best = i;
+        }
+      }
+      if (best == SIZE_MAX) {
+        return Status::Internal("no evaluable literal left in rule " +
+                                rule.ToString());
+      }
+      Literal lit = std::move(pending[best]);
+      pending.erase(pending.begin() + static_cast<ptrdiff_t>(best));
+      IFLEX_RETURN_NOT_OK(Apply(lit, &pending));
+      if (binding_.size() > options_.max_table_tuples) {
+        return Status::ExecutionError(
+            "intermediate table exceeds max_table_tuples");
+      }
+    }
+
+    IFLEX_ASSIGN_OR_RETURN(CompactTable projected, Project(rule.head));
+
+    AnnotationSpec spec;
+    spec.existence = rule.head.existence;
+    for (size_t i = 0; i < rule.head.annotated.size(); ++i) {
+      if (rule.head.annotated[i]) spec.annotated.push_back(i);
+    }
+    if (spec.empty()) return projected;
+    return ApplyAnnotations(catalog_.corpus(), projected, spec,
+                            options_.compact_annotate,
+                            options_.max_table_tuples);
+  }
+
+ private:
+  bool Bound(const std::string& var) const { return columns_.count(var) > 0; }
+
+  bool AtomIsConnected(const Atom& atom) const {
+    if (columns_.empty()) return true;  // first join is free
+    for (const Term& t : atom.args) {
+      if (!t.is_var() || Bound(t.var)) return true;  // shared var / constant
+    }
+    return false;
+  }
+
+  // Evaluation priority; -1 when not yet evaluable. Lower runs earlier.
+  int Priority(const Literal& lit) const {
+    switch (lit.kind) {
+      case Literal::Kind::kConstraint:
+        return Bound(lit.constraint.var) ? 0 : -1;
+      case Literal::Kind::kComparison: {
+        bool ok = (!lit.cmp.lhs.is_var() || Bound(lit.cmp.lhs.var)) &&
+                  (!lit.cmp.rhs.is_var() || Bound(lit.cmp.rhs.var));
+        return ok ? 4 : -1;
+      }
+      case Literal::Kind::kAtom: {
+        const Atom& a = lit.atom;
+        auto kind = catalog_.KindOf(a.predicate);
+        PredicateKind k = kind.ok() ? *kind : PredicateKind::kIntensional;
+        size_t n_inputs = 0;
+        if (k == PredicateKind::kPPredicate ||
+            k == PredicateKind::kBuiltinFrom) {
+          n_inputs = *catalog_.InputArityOf(a.predicate);
+        } else if (k == PredicateKind::kPFunction) {
+          n_inputs = a.args.size();
+        }
+        for (size_t i = 0; i < n_inputs; ++i) {
+          if (a.args[i].is_var() && !Bound(a.args[i].var)) return -1;
+        }
+        switch (k) {
+          case PredicateKind::kExtensional:
+          case PredicateKind::kIntensional:
+            return AtomIsConnected(a) ? 1 : 6;
+          case PredicateKind::kBuiltinFrom:
+            return 2;
+          case PredicateKind::kPPredicate:
+            return 3;
+          case PredicateKind::kPFunction:
+            return 5;
+          default:
+            return -1;  // IE predicates must have been unfolded away
+        }
+      }
+    }
+    return -1;
+  }
+
+  Status Apply(const Literal& lit, std::vector<Literal>* pending) {
+    switch (lit.kind) {
+      case Literal::Kind::kConstraint:
+        return ApplyConstraint(lit.constraint);
+      case Literal::Kind::kComparison:
+        return ApplyComparison(lit.cmp);
+      case Literal::Kind::kAtom: {
+        PredicateKind k = catalog_.Has(lit.atom.predicate)
+                              ? *catalog_.KindOf(lit.atom.predicate)
+                              : PredicateKind::kIntensional;
+        switch (k) {
+          case PredicateKind::kExtensional: {
+            IFLEX_ASSIGN_OR_RETURN(const CompactTable* t,
+                                   catalog_.Table(lit.atom.predicate));
+            return JoinAtom(lit.atom, *t, pending);
+          }
+          case PredicateKind::kIntensional: {
+            auto it = idb_->find(lit.atom.predicate);
+            if (it == idb_->end()) {
+              return Status::Internal("intensional table not yet computed: " +
+                                      lit.atom.predicate);
+            }
+            return JoinAtom(lit.atom, it->second, pending);
+          }
+          case PredicateKind::kBuiltinFrom:
+            return ApplyFrom(lit.atom);
+          case PredicateKind::kPPredicate:
+            return ApplyPPredicate(lit.atom);
+          case PredicateKind::kPFunction:
+            return ApplyPFunction(lit.atom);
+          default:
+            return Status::Internal("unexpected IE predicate at execution: " +
+                                    lit.atom.predicate);
+        }
+      }
+    }
+    return Status::Internal("bad literal");
+  }
+
+  // Tri-state evaluation of a filter literal against a tuple whose columns
+  // are described by `cols`.
+  Result<SatResult> EvalFilter(const Literal& lit, const CompactTuple& tuple,
+                               const std::unordered_map<std::string, size_t>& cols) {
+    const Corpus& corpus = catalog_.corpus();
+    auto cell_for = [&](const Term& t) -> Cell {
+      if (t.is_var()) return tuple.cells[cols.at(t.var)];
+      return ConstantCell(t);
+    };
+    if (lit.kind == Literal::Kind::kComparison) {
+      return CompareCells(corpus, cell_for(lit.cmp.lhs), lit.cmp.op,
+                          cell_for(lit.cmp.rhs), options_.limits,
+                          lit.cmp.rhs_offset);
+    }
+    if (lit.kind != Literal::Kind::kAtom) {
+      return Status::Internal("EvalFilter expects a comparison or p-function");
+    }
+    const Atom& atom = lit.atom;
+    IFLEX_ASSIGN_OR_RETURN(const PFunctionFn* fn,
+                           catalog_.PFunction(atom.predicate));
+    std::vector<std::vector<Value>> arg_values(atom.args.size());
+    bool complete = true;
+    for (size_t i = 0; i < atom.args.size(); ++i) {
+      Cell c = cell_for(atom.args[i]);
+      complete = c.EnumerateValues(corpus, options_.limits.max_cell_enum,
+                                   &arg_values[i]) &&
+                 complete;
+      if (arg_values[i].empty()) return SatResult::kNone;
+    }
+    size_t combos = 1;
+    for (const auto& vs : arg_values) combos *= vs.size();
+    if (combos > options_.limits.max_filter_combos || !complete) {
+      return SatResult::kSome;  // sound: keep as maybe
+    }
+    bool any = false;
+    bool all = true;
+    std::vector<size_t> idx(atom.args.size(), 0);
+    while (true) {
+      std::vector<Value> args;
+      args.reserve(atom.args.size());
+      for (size_t i = 0; i < atom.args.size(); ++i) {
+        args.push_back(arg_values[i][idx[i]]);
+      }
+      Result<Value> r = (*fn)(corpus, args);
+      if (!r.ok()) return r.status();
+      if (r->AsBool()) {
+        any = true;
+      } else {
+        all = false;
+      }
+      if (any && !all) return SatResult::kSome;
+      size_t k = 0;
+      for (; k < atom.args.size(); ++k) {
+        if (++idx[k] < arg_values[k].size()) break;
+        idx[k] = 0;
+      }
+      if (k == atom.args.size()) break;
+    }
+    if (!any) return SatResult::kNone;
+    return all ? SatResult::kAll : SatResult::kSome;
+  }
+
+  // Natural join of the binding table with a stored/intensional table,
+  // with pushdown of every pending filter that becomes evaluable once the
+  // atom's new columns exist.
+  Status JoinAtom(const Atom& atom, const CompactTable& table,
+                  std::vector<Literal>* pending) {
+    const Corpus& corpus = catalog_.corpus();
+    struct NewCol {
+      size_t table_col;
+      std::string var;
+    };
+    struct EqCond {
+      size_t table_col;
+      enum { kVsBinding, kVsConstant, kVsTableCol } kind;
+      size_t other = 0;  // binding col or table col
+      Cell constant;
+    };
+    std::vector<NewCol> new_cols;
+    std::vector<EqCond> conds;
+    std::unordered_map<std::string, size_t> seen_in_atom;
+    for (size_t i = 0; i < atom.args.size(); ++i) {
+      const Term& t = atom.args[i];
+      if (!t.is_var()) {
+        conds.push_back(EqCond{i, EqCond::kVsConstant, 0, ConstantCell(t)});
+        continue;
+      }
+      auto bit = columns_.find(t.var);
+      if (bit != columns_.end()) {
+        conds.push_back(EqCond{i, EqCond::kVsBinding, bit->second, Cell{}});
+        continue;
+      }
+      auto sit = seen_in_atom.find(t.var);
+      if (sit != seen_in_atom.end()) {
+        conds.push_back(EqCond{i, EqCond::kVsTableCol, sit->second, Cell{}});
+        continue;
+      }
+      seen_in_atom.emplace(t.var, i);
+      new_cols.push_back(NewCol{i, t.var});
+    }
+
+    // Tentative column map for the merged tuples.
+    std::unordered_map<std::string, size_t> merged_cols = columns_;
+    for (const NewCol& nc : new_cols) {
+      merged_cols.emplace(nc.var, merged_cols.size());
+    }
+
+    // Pull pending filters that become evaluable exactly now — but only
+    // for *unconnected* joins, where the filter is what keeps the cross
+    // product from materializing. Connected joins leave filters to the
+    // dedicated operators, which also narrow cells.
+    std::vector<Literal> filters;
+    bool connected = AtomIsConnected(atom);
+    for (size_t i = 0; !connected && i < pending->size();) {
+      const Literal& lit = (*pending)[i];
+      bool filterable = false;
+      if (lit.kind == Literal::Kind::kComparison) {
+        filterable = true;
+      } else if (lit.kind == Literal::Kind::kAtom) {
+        auto k = catalog_.KindOf(lit.atom.predicate);
+        filterable = k.ok() && *k == PredicateKind::kPFunction;
+      }
+      if (filterable && !LiteralEvaluable(lit, columns_) &&
+          LiteralEvaluable(lit, merged_cols)) {
+        filters.push_back(lit);
+        pending->erase(pending->begin() + static_cast<ptrdiff_t>(i));
+      } else {
+        ++i;
+      }
+    }
+
+    // Inverted-index blocking for a token-similarity filter joining one
+    // binding column to one new table column (the approximate string join
+    // of the paper's TR): only table tuples sharing a token with the probe
+    // can satisfy the predicate.
+    int sim_filter_idx = -1;
+    size_t sim_binding_col = 0;
+    size_t sim_table_col = 0;
+    for (size_t i = 0; i < filters.size(); ++i) {
+      const Literal& lit = filters[i];
+      if (lit.kind != Literal::Kind::kAtom) continue;
+      if (!catalog_.IsTokenSimilarity(lit.atom.predicate)) continue;
+      if (lit.atom.args.size() != 2) continue;
+      const Term& a = lit.atom.args[0];
+      const Term& b = lit.atom.args[1];
+      if (!a.is_var() || !b.is_var()) continue;
+      bool a_old = columns_.count(a.var) > 0;
+      bool b_old = columns_.count(b.var) > 0;
+      const Term* old_term = a_old && !b_old ? &a : (!a_old && b_old ? &b : nullptr);
+      const Term* new_term = old_term == &a ? &b : (old_term == &b ? &a : nullptr);
+      if (old_term == nullptr || new_term == nullptr) continue;
+      size_t tcol = SIZE_MAX;
+      for (const NewCol& nc : new_cols) {
+        if (nc.var == new_term->var) tcol = nc.table_col;
+      }
+      if (tcol == SIZE_MAX) continue;
+      sim_filter_idx = static_cast<int>(i);
+      sim_binding_col = columns_.at(old_term->var);
+      sim_table_col = tcol;
+      break;
+    }
+
+    // Build the token index when the fast path applies. Every value a
+    // table cell can take is tokenized (bounded enumeration); a probe
+    // tuple then only needs to test candidates sharing a token — lossless
+    // for token-similarity predicates, whatever shape the cells are in.
+    std::unordered_map<std::string, std::vector<size_t>> token_index;
+    bool use_index = sim_filter_idx >= 0 && conds.empty() && table.size() > 32;
+    if (use_index) {
+      for (size_t ti = 0; ti < table.tuples().size() && use_index; ++ti) {
+        const Cell& c = table.tuples()[ti].cells[sim_table_col];
+        std::vector<Value> values;
+        if (!c.EnumerateValues(corpus, 512, &values)) {
+          use_index = false;  // too wide to index: fall back to full scan
+          break;
+        }
+        std::set<std::string> seen;
+        for (const Value& v : values) {
+          for (const std::string& tok : SimTokens(v.AsText())) {
+            if (seen.insert(tok).second) token_index[tok].push_back(ti);
+          }
+        }
+      }
+      if (!use_index) token_index.clear();
+    }
+
+    CompactTable out(NewSchema(new_cols));
+    std::vector<size_t> candidates;
+    for (const CompactTuple& b : binding_.tuples()) {
+      const std::vector<CompactTuple>& ttuples = table.tuples();
+      candidates.clear();
+      bool indexed_probe = false;
+      if (use_index) {
+        const Cell& probe = b.cells[sim_binding_col];
+        std::vector<Value> probe_values;
+        if (probe.EnumerateValues(corpus, 512, &probe_values)) {
+          std::set<size_t> cand_set;
+          for (const Value& v : probe_values) {
+            for (const std::string& tok : SimTokens(v.AsText())) {
+              auto it = token_index.find(tok);
+              if (it == token_index.end()) continue;
+              cand_set.insert(it->second.begin(), it->second.end());
+            }
+          }
+          candidates.assign(cand_set.begin(), cand_set.end());
+          indexed_probe = true;
+        }
+      }
+      size_t n_candidates = indexed_probe ? candidates.size() : ttuples.size();
+
+      for (size_t ci = 0; ci < n_candidates; ++ci) {
+        const CompactTuple& t =
+            ttuples[indexed_probe ? candidates[ci] : ci];
+        ++stats_->join_pairs;
+        bool dead = false;
+        bool some = false;
+        for (const EqCond& c : conds) {
+          const Cell& lhs = t.cells[c.table_col];
+          const Cell* rhs = nullptr;
+          switch (c.kind) {
+            case EqCond::kVsBinding:
+              rhs = &b.cells[c.other];
+              break;
+            case EqCond::kVsConstant:
+              rhs = &c.constant;
+              break;
+            case EqCond::kVsTableCol:
+              rhs = &t.cells[c.other];
+              break;
+          }
+          SatResult r = CellsEqual(corpus, lhs, *rhs, options_.limits);
+          if (r == SatResult::kNone) {
+            dead = true;
+            break;
+          }
+          if (r == SatResult::kSome) some = true;
+        }
+        if (dead) continue;
+        CompactTuple merged = b;
+        for (const NewCol& nc : new_cols) {
+          merged.cells.push_back(t.cells[nc.table_col]);
+        }
+        // Pushed-down filters.
+        for (const Literal& f : filters) {
+          IFLEX_ASSIGN_OR_RETURN(SatResult r,
+                                 EvalFilter(f, merged, merged_cols));
+          if (r == SatResult::kNone) {
+            dead = true;
+            break;
+          }
+          if (r == SatResult::kSome) some = true;
+        }
+        if (dead) continue;
+        merged.maybe = b.maybe || t.maybe || some;
+        out.Add(std::move(merged));
+        if (out.size() > options_.max_table_tuples) {
+          return Status::ExecutionError(
+              "join output exceeds max_table_tuples");
+        }
+      }
+    }
+    columns_ = std::move(merged_cols);
+    binding_ = std::move(out);
+    return Status::OK();
+  }
+
+  static bool LiteralEvaluable(
+      const Literal& lit,
+      const std::unordered_map<std::string, size_t>& cols) {
+    auto bound = [&](const Term& t) {
+      return !t.is_var() || cols.count(t.var) > 0;
+    };
+    if (lit.kind == Literal::Kind::kComparison) {
+      return bound(lit.cmp.lhs) && bound(lit.cmp.rhs);
+    }
+    if (lit.kind == Literal::Kind::kAtom) {
+      for (const Term& t : lit.atom.args) {
+        if (!bound(t)) return false;
+      }
+      return true;
+    }
+    return false;
+  }
+
+  template <typename NewColVec>
+  std::vector<std::string> NewSchema(const NewColVec& new_cols) {
+    std::vector<std::string> schema = binding_.schema();
+    for (const auto& nc : new_cols) schema.push_back(nc.var);
+    return schema;
+  }
+
+  // from(x, y): appends column y = expand({contain(s) per assignment of x}).
+  Status ApplyFrom(const Atom& atom) {
+    const Corpus& corpus = catalog_.corpus();
+    if (!atom.args[0].is_var() || !atom.args[1].is_var()) {
+      return Status::InvalidArgument("from() arguments must be variables");
+    }
+    const std::string& in_var = atom.args[0].var;
+    const std::string& out_var = atom.args[1].var;
+    if (Bound(out_var)) {
+      return Status::InvalidArgument("from() output already bound: " +
+                                     out_var);
+    }
+    size_t in_col = columns_.at(in_var);
+    CompactTable out(AppendSchema(out_var));
+    for (const CompactTuple& b : binding_.tuples()) {
+      std::vector<Assignment> spans;
+      for (const Assignment& a : b.cells[in_col].assignments) {
+        if (a.is_contain()) {
+          spans.push_back(Assignment::Contain(a.span));
+        } else if (a.value.has_span()) {
+          spans.push_back(Assignment::Contain(a.value.span()));
+        } else if (a.value.kind() == Value::Kind::kDoc) {
+          spans.push_back(
+              Assignment::Contain(corpus.Get(a.value.doc()).FullSpan()));
+        } else {
+          return Status::ExecutionError(
+              "from() applied to a value with no document provenance");
+        }
+      }
+      CompactTuple merged = b;
+      merged.cells.push_back(Cell::Expansion(std::move(spans)));
+      out.Add(std::move(merged));
+    }
+    columns_.emplace(out_var, columns_.size());
+    binding_ = std::move(out);
+    return Status::OK();
+  }
+
+  std::vector<std::string> AppendSchema(const std::string& var) {
+    std::vector<std::string> schema = binding_.schema();
+    schema.push_back(var);
+    return schema;
+  }
+
+  Status ApplyConstraint(const ConstraintLit& k) {
+    const Corpus& corpus = catalog_.corpus();
+    size_t col = columns_.at(k.var);
+    std::vector<ConstraintLit>& hist = history_[k.var];
+    CompactTable out(binding_.schema());
+    for (const CompactTuple& b : binding_.tuples()) {
+      ++stats_->constraint_cells;
+      IFLEX_ASSIGN_OR_RETURN(
+          Cell cell, ApplyConstraintToCell(corpus, catalog_.features(),
+                                           b.cells[col], k, hist));
+      if (cell.assignments.empty()) continue;  // no value can satisfy k
+      CompactTuple merged = b;
+      merged.cells[col] = std::move(cell);
+      out.Add(std::move(merged));
+    }
+    hist.push_back(k);
+    binding_ = std::move(out);
+    return Status::OK();
+  }
+
+  Status ApplyComparison(const Comparison& cmp) {
+    const Corpus& corpus = catalog_.corpus();
+    CompactTable out(binding_.schema());
+    for (const CompactTuple& b : binding_.tuples()) {
+      Cell lhs = CellForTerm(cmp.lhs, b);
+      Cell rhs = CellForTerm(cmp.rhs, b);
+      bool maybe = b.maybe;
+      CompactTuple merged = b;
+      bool keep;
+      if (cmp.lhs.is_var()) {
+        bool partial = false;
+        Cell narrowed =
+            NarrowCellByComparison(corpus, lhs, cmp.op, rhs, options_.limits,
+                                   &partial, cmp.rhs_offset);
+        keep = !narrowed.assignments.empty();
+        if (keep) {
+          merged.cells[columns_.at(cmp.lhs.var)] = narrowed;
+          maybe = maybe || partial;
+        }
+      } else {
+        SatResult r = CompareCells(corpus, lhs, cmp.op, rhs, options_.limits,
+                                   cmp.rhs_offset);
+        keep = r != SatResult::kNone;
+        maybe = maybe || r == SatResult::kSome;
+      }
+      if (!keep) continue;
+      // Also narrow the right side when it is a variable (correlation with
+      // the narrowed left side is lost, but the result stays a superset).
+      if (cmp.rhs.is_var()) {
+        // lhs op rhs+off  <=>  rhs flip(op) lhs-off.
+        bool partial = false;
+        CmpOp flipped = FlipOp(cmp.op);
+        Cell narrowed = NarrowCellByComparison(
+            corpus, merged.cells[columns_.at(cmp.rhs.var)], flipped,
+            cmp.lhs.is_var() ? merged.cells[columns_.at(cmp.lhs.var)] : lhs,
+            options_.limits, &partial, -cmp.rhs_offset);
+        if (narrowed.assignments.empty()) continue;
+        merged.cells[columns_.at(cmp.rhs.var)] = narrowed;
+        maybe = maybe || partial;
+      }
+      merged.maybe = maybe;
+      out.Add(std::move(merged));
+    }
+    binding_ = std::move(out);
+    return Status::OK();
+  }
+
+  static CmpOp FlipOp(CmpOp op) {
+    switch (op) {
+      case CmpOp::kLt:
+        return CmpOp::kGt;
+      case CmpOp::kLe:
+        return CmpOp::kGe;
+      case CmpOp::kGt:
+        return CmpOp::kLt;
+      case CmpOp::kGe:
+        return CmpOp::kLe;
+      case CmpOp::kEq:
+      case CmpOp::kNe:
+        return op;
+    }
+    return op;
+  }
+
+  Cell CellForTerm(const Term& t, const CompactTuple& b) const {
+    if (t.is_var()) return b.cells[columns_.at(t.var)];
+    return ConstantCell(t);
+  }
+
+  Status ApplyPFunction(const Atom& atom) {
+    Literal lit = Literal::OfAtom(atom);
+    CompactTable out(binding_.schema());
+    for (const CompactTuple& b : binding_.tuples()) {
+      IFLEX_ASSIGN_OR_RETURN(SatResult r, EvalFilter(lit, b, columns_));
+      if (r == SatResult::kNone) continue;
+      CompactTuple merged = b;
+      merged.maybe = b.maybe || r == SatResult::kSome;
+      out.Add(std::move(merged));
+    }
+    binding_ = std::move(out);
+    return Status::OK();
+  }
+
+  Status ApplyPPredicate(const Atom& atom) {
+    const Corpus& corpus = catalog_.corpus();
+    IFLEX_ASSIGN_OR_RETURN(const PPredicateFn* fn,
+                           catalog_.PPredicate(atom.predicate));
+    size_t n_inputs = *catalog_.InputArityOf(atom.predicate);
+
+    struct OutCol {
+      size_t arg_idx;
+      std::string var;
+    };
+    std::vector<OutCol> new_cols;
+    for (size_t i = n_inputs; i < atom.args.size(); ++i) {
+      const Term& t = atom.args[i];
+      if (t.is_var() && !Bound(t.var)) {
+        bool dup = false;
+        for (const auto& nc : new_cols) dup = dup || nc.var == t.var;
+        if (!dup) new_cols.push_back(OutCol{i, t.var});
+      }
+    }
+
+    std::vector<std::string> schema = binding_.schema();
+    for (const auto& nc : new_cols) schema.push_back(nc.var);
+    CompactTable out(std::move(schema));
+
+    for (const CompactTuple& b : binding_.tuples()) {
+      // Enumerate the possible input tuples (paper §4.1), capped. An
+      // expansion cell expands into *certain* separate tuples; only a
+      // plain multi-value cell (one tuple, uncertain value) makes the
+      // outputs maybe.
+      std::vector<std::vector<Value>> in_values(n_inputs);
+      size_t combos = 1;
+      bool uncertain_multi = false;
+      for (size_t i = 0; i < n_inputs; ++i) {
+        Cell c = CellForTerm(atom.args[i], b);
+        if (!c.EnumerateValues(corpus, options_.limits.max_ppred_combos,
+                               &in_values[i])) {
+          return Status::ExecutionError(StringPrintf(
+              "p-predicate %s: too many possible input values; add "
+              "constraints first",
+              atom.predicate.c_str()));
+        }
+        if (!c.is_expansion && in_values[i].size() > 1) {
+          uncertain_multi = true;
+        }
+        combos *= std::max<size_t>(1, in_values[i].size());
+        if (combos > options_.limits.max_ppred_combos) {
+          return Status::ExecutionError(StringPrintf(
+              "p-predicate %s: more than %zu input combinations",
+              atom.predicate.c_str(), options_.limits.max_ppred_combos));
+        }
+        if (in_values[i].empty()) combos = 0;
+      }
+      if (combos == 0) continue;
+      bool multi = uncertain_multi;
+
+      std::vector<size_t> idx(n_inputs, 0);
+      while (true) {
+        std::vector<Value> args;
+        args.reserve(n_inputs);
+        for (size_t i = 0; i < n_inputs; ++i) {
+          args.push_back(in_values[i][idx[i]]);
+        }
+        ++stats_->ppred_invocations;
+        Result<std::vector<std::vector<Value>>> rows = (*fn)(corpus, args);
+        if (!rows.ok()) return rows.status();
+        for (const auto& row : *rows) {
+          if (row.size() != atom.args.size() - n_inputs) {
+            return Status::ExecutionError(
+                "p-predicate returned a row of wrong arity: " +
+                atom.predicate);
+          }
+          bool dead = false;
+          bool some = false;
+          for (size_t i = n_inputs; i < atom.args.size(); ++i) {
+            const Term& t = atom.args[i];
+            bool is_new = false;
+            for (const auto& nc : new_cols) is_new = is_new || nc.arg_idx == i;
+            if (is_new) continue;
+            Cell lhs = Cell::Exact(row[i - n_inputs]);
+            Cell rhs = CellForTerm(t, b);
+            SatResult r = CellsEqual(corpus, lhs, rhs, options_.limits);
+            if (r == SatResult::kNone) {
+              dead = true;
+              break;
+            }
+            if (r == SatResult::kSome) some = true;
+          }
+          if (!dead) {
+            CompactTuple merged = b;
+            // Pin the input cells to this concrete combination to keep the
+            // input/output correlation.
+            for (size_t i = 0; i < n_inputs; ++i) {
+              if (atom.args[i].is_var()) {
+                merged.cells[columns_.at(atom.args[i].var)] =
+                    Cell::Exact(args[i]);
+              }
+            }
+            for (const auto& nc : new_cols) {
+              merged.cells.push_back(Cell::Exact(row[nc.arg_idx - n_inputs]));
+            }
+            merged.maybe = b.maybe || multi || some;
+            out.Add(std::move(merged));
+          }
+        }
+        size_t k = 0;
+        for (; k < n_inputs; ++k) {
+          if (++idx[k] < in_values[k].size()) break;
+          idx[k] = 0;
+        }
+        if (k == n_inputs) break;
+      }
+      if (out.size() > options_.max_table_tuples) {
+        return Status::ExecutionError(
+            "p-predicate output exceeds max_table_tuples");
+      }
+    }
+    for (const auto& nc : new_cols) columns_.emplace(nc.var, columns_.size());
+    binding_ = std::move(out);
+    return Status::OK();
+  }
+
+  Result<CompactTable> Project(const RuleHead& head) {
+    CompactTable out(
+        std::vector<std::string>(head.args.begin(), head.args.end()));
+    std::vector<size_t> cols;
+    for (const std::string& var : head.args) {
+      auto it = columns_.find(var);
+      if (it == columns_.end()) {
+        return Status::Internal("unbound head variable " + var);
+      }
+      cols.push_back(it->second);
+    }
+    // Deduplicate tuples whose cells are all single exact assignments
+    // (multiset -> set is world-preserving); prefer the non-maybe copy.
+    std::unordered_map<std::string, size_t> seen;
+    for (const CompactTuple& b : binding_.tuples()) {
+      CompactTuple t;
+      t.maybe = b.maybe;
+      bool all_exact = true;
+      std::string key;
+      for (size_t c : cols) {
+        t.cells.push_back(b.cells[c]);
+        const Cell& cell = b.cells[c];
+        if (cell.is_expansion || cell.assignments.size() != 1 ||
+            !cell.assignments[0].is_exact()) {
+          all_exact = false;
+        } else {
+          auto n = cell.assignments[0].value.AsNumber();
+          if (n.has_value() &&
+              cell.assignments[0].value.kind() != Value::Kind::kDoc) {
+            key += StringPrintf("#%.17g|", *n);
+          } else {
+            key += cell.assignments[0].value.ToString() + "|";
+          }
+        }
+      }
+      if (all_exact) {
+        auto it = seen.find(key);
+        if (it != seen.end()) {
+          if (!t.maybe) out.tuples()[it->second].maybe = false;
+          continue;
+        }
+        seen.emplace(std::move(key), out.size());
+      }
+      out.Add(std::move(t));
+    }
+    stats_->tuples_emitted += out.size();
+    return out;
+  }
+
+  const Catalog& catalog_;
+  const ExecOptions& options_;
+  const std::unordered_map<std::string, CompactTable>* idb_;
+  ExecStats* stats_;
+
+  CompactTable binding_;
+  std::unordered_map<std::string, size_t> columns_;
+  std::unordered_map<std::string, std::vector<ConstraintLit>> history_;
+};
+
+// Dependency-ordered list of intensional predicates needed for the query.
+Result<std::vector<std::string>> TopoOrder(
+    const std::unordered_map<std::string, std::vector<const Rule*>>& by_head,
+    const std::string& query) {
+  std::vector<std::string> order;
+  std::unordered_set<std::string> done;
+  std::unordered_set<std::string> visiting;
+
+  struct Visitor {
+    const std::unordered_map<std::string, std::vector<const Rule*>>& by_head;
+    std::vector<std::string>& order;
+    std::unordered_set<std::string>& done;
+    std::unordered_set<std::string>& visiting;
+
+    Status Visit(const std::string& pred) {
+      if (done.count(pred)) return Status::OK();
+      if (visiting.count(pred)) {
+        return Status::InvalidArgument("recursive predicate: " + pred);
+      }
+      visiting.insert(pred);
+      auto it = by_head.find(pred);
+      if (it != by_head.end()) {
+        for (const Rule* r : it->second) {
+          for (const Literal& lit : r->body) {
+            if (lit.kind != Literal::Kind::kAtom) continue;
+            if (by_head.count(lit.atom.predicate) &&
+                lit.atom.predicate != pred) {
+              IFLEX_RETURN_NOT_OK(Visit(lit.atom.predicate));
+            } else if (lit.atom.predicate == pred) {
+              return Status::InvalidArgument("recursive predicate: " + pred);
+            }
+          }
+        }
+      }
+      visiting.erase(pred);
+      done.insert(pred);
+      order.push_back(pred);
+      return Status::OK();
+    }
+  };
+  Visitor v{by_head, order, done, visiting};
+  IFLEX_RETURN_NOT_OK(v.Visit(query));
+  return order;
+}
+
+// Fingerprint of everything that determines a predicate's table: its rules
+// and (transitively) its dependencies' fingerprints.
+uint64_t PredicateFingerprint(
+    const std::string& pred,
+    const std::unordered_map<std::string, std::vector<const Rule*>>& by_head,
+    std::unordered_map<std::string, uint64_t>* memo) {
+  auto it = memo->find(pred);
+  if (it != memo->end()) return it->second;
+  std::string blob = "pred:" + pred + "\n";
+  auto rit = by_head.find(pred);
+  if (rit != by_head.end()) {
+    for (const Rule* r : rit->second) {
+      blob += r->ToString() + "\n";
+      for (const Literal& lit : r->body) {
+        if (lit.kind == Literal::Kind::kAtom &&
+            by_head.count(lit.atom.predicate) &&
+            lit.atom.predicate != pred) {
+          blob += StringPrintf(
+              "dep:%016llx\n",
+              static_cast<unsigned long long>(
+                  PredicateFingerprint(lit.atom.predicate, by_head, memo)));
+        }
+      }
+    }
+  }
+  uint64_t fp = Fingerprint64(blob);
+  memo->emplace(pred, fp);
+  return fp;
+}
+
+}  // namespace
+
+Executor::Executor(const Catalog& catalog, ExecOptions options)
+    : catalog_(catalog), options_(options) {}
+
+Result<CompactTable> Executor::Execute(const Program& program) {
+  return Execute(program, nullptr);
+}
+
+Result<CompactTable> Executor::Execute(const Program& program,
+                                       ReuseCache* cache) {
+  IFLEX_ASSIGN_OR_RETURN(Program unfolded, program.Unfold(catalog_));
+  std::unordered_map<std::string, std::vector<const Rule*>> by_head;
+  for (const Rule& r : unfolded.rules()) {
+    by_head[r.head.predicate].push_back(&r);
+  }
+  const std::string& query = unfolded.query();
+  if (!by_head.count(query)) {
+    return Status::InvalidArgument("no rule defines the query predicate " +
+                                   query);
+  }
+  IFLEX_ASSIGN_OR_RETURN(std::vector<std::string> order,
+                         TopoOrder(by_head, query));
+
+  std::unordered_map<std::string, uint64_t> fp_memo;
+  std::unordered_map<std::string, CompactTable> idb;
+  for (const std::string& pred : order) {
+    uint64_t fp = PredicateFingerprint(pred, by_head, &fp_memo);
+    if (cache != nullptr) {
+      const CompactTable* hit = cache->Lookup(fp);
+      if (hit != nullptr) {
+        ++stats_.cache_hits;
+        idb.emplace(pred, *hit);
+        continue;
+      }
+      ++stats_.cache_misses;
+    }
+    CompactTable result;
+    bool first = true;
+    for (const Rule* r : by_head[pred]) {
+      RuleEvaluator eval(catalog_, options_, &idb, &stats_);
+      IFLEX_ASSIGN_OR_RETURN(CompactTable t, eval.Evaluate(*r));
+      if (first) {
+        result = std::move(t);
+        first = false;
+      } else {
+        for (CompactTuple& tup : t.tuples()) {
+          result.Add(std::move(tup));
+        }
+      }
+    }
+    if (cache != nullptr) cache->Insert(fp, result);
+    idb.emplace(pred, std::move(result));
+  }
+  stats_.process_assignments = 0;
+  stats_.process_values = 0;
+  for (const auto& [pred, table] : idb) {
+    (void)pred;
+    stats_.process_assignments += table.AssignmentCount();
+    stats_.process_values += table.TotalValueCount(catalog_.corpus());
+  }
+  CompactTable out = idb.at(query);
+  last_idb_ = std::move(idb);
+  return out;
+}
+
+double ResultSize(const CompactTable& table, const Corpus& corpus) {
+  return table.ExpandedTupleCount(corpus);
+}
+
+}  // namespace iflex

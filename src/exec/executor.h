@@ -1,0 +1,106 @@
+#ifndef IFLEX_EXEC_EXECUTOR_H_
+#define IFLEX_EXEC_EXECUTOR_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "alog/program.h"
+#include "common/result.h"
+#include "ctable/compact_table.h"
+#include "exec/cell_ops.h"
+
+namespace iflex {
+
+/// Tuning knobs of the approximate query processor.
+struct ExecOptions {
+  CellOpLimits limits;
+  /// Max tuples any intermediate compact table may reach.
+  size_t max_table_tuples = 2000000;
+  /// Use the direct compact-table implementation of ψ when applicable
+  /// (fall back to the a-table BAnnotate route otherwise). Turning this
+  /// off forces the paper's default strategy everywhere (ablation A).
+  bool compact_annotate = true;
+};
+
+/// Counters exposed for the benches and the multi-iteration optimizer.
+struct ExecStats {
+  size_t rules_evaluated = 0;
+  size_t tuples_emitted = 0;
+  size_t join_pairs = 0;
+  size_t constraint_cells = 0;
+  size_t ppred_invocations = 0;
+  size_t cache_hits = 0;
+  size_t cache_misses = 0;
+  /// Assignments across *all* intensional tables of the last Execute —
+  /// "the number of assignments produced by the extraction process"
+  /// (paper §5.1), which the convergence detector monitors. Unlike the
+  /// final result's own count, this sees narrowing that projection hides.
+  size_t process_assignments = 0;
+  /// Total |V(c)| across all intensional tables (capped): moves whenever
+  /// any constraint narrows any cell anywhere in the process.
+  double process_values = 0;
+
+  void Clear() { *this = ExecStats(); }
+};
+
+/// Cross-iteration reuse cache (paper §5.2): intermediate results —
+/// the compact table computed for each intensional predicate — keyed by a
+/// fingerprint of the rules that produce it (transitively). When the
+/// developer's feedback touches only one extractor, every untouched
+/// predicate is served from cache.
+class ReuseCache {
+ public:
+  const CompactTable* Lookup(uint64_t key) const {
+    auto it = cache_.find(key);
+    return it == cache_.end() ? nullptr : &it->second;
+  }
+  void Insert(uint64_t key, CompactTable table) {
+    cache_.emplace(key, std::move(table));
+  }
+  void Clear() { cache_.clear(); }
+  size_t size() const { return cache_.size(); }
+
+ private:
+  std::unordered_map<uint64_t, CompactTable> cache_;
+};
+
+/// Evaluates Alog programs over compact tables with superset semantics
+/// (paper §4): unfolds description rules, orders intensional predicates
+/// topologically, evaluates each rule bottom-up, and applies the
+/// annotation operator ψ at each rule root.
+class Executor {
+ public:
+  explicit Executor(const Catalog& catalog, ExecOptions options = {});
+
+  /// Executes `program` and returns the compact table of its query
+  /// predicate.
+  Result<CompactTable> Execute(const Program& program);
+
+  /// Same, reusing/filling `cache` across iterations (paper §5.2).
+  Result<CompactTable> Execute(const Program& program, ReuseCache* cache);
+
+  const ExecStats& stats() const { return stats_; }
+  void ClearStats() { stats_.Clear(); }
+
+  /// Tables of every intensional predicate computed by the last Execute
+  /// (the assistant inspects intermediate extraction coverage).
+  const std::unordered_map<std::string, CompactTable>& last_idb() const {
+    return last_idb_;
+  }
+
+ private:
+  const Catalog& catalog_;
+  ExecOptions options_;
+  ExecStats stats_;
+  std::unordered_map<std::string, CompactTable> last_idb_;
+};
+
+/// Counts the extraction result size the way the paper reports it: the
+/// number of result tuples, expanding expansion cells (one tuple per
+/// encoded value) but treating a plain multi-assignment cell as a single
+/// tuple with an uncertain value. Capped, hence double.
+double ResultSize(const CompactTable& table, const Corpus& corpus);
+
+}  // namespace iflex
+
+#endif  // IFLEX_EXEC_EXECUTOR_H_

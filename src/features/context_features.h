@@ -1,0 +1,103 @@
+#ifndef IFLEX_FEATURES_CONTEXT_FEATURES_H_
+#define IFLEX_FEATURES_CONTEXT_FEATURES_H_
+
+#include <string>
+#include <vector>
+
+#include "features/feature.h"
+
+namespace iflex {
+
+/// preceded_by / followed_by: the span lies on a single line and the text
+/// immediately before (after) it — skipping spaces, within that line —
+/// ends (starts) with the string parameter. The classic "Price:" label
+/// constraint. (Line-locality is part of the semantics: field labels
+/// qualify values on their own line, and it keeps Refine's regions both
+/// tight and sound.)
+class AdjacencyFeature : public Feature {
+ public:
+  /// `before` selects preceded_by; otherwise followed_by.
+  explicit AdjacencyFeature(bool before)
+      : Feature(before ? "preceded_by" : "followed_by"), before_(before) {}
+  ParamKind param_kind() const override { return ParamKind::kString; }
+  bool Verify(const Document& doc, const Span& span, const FeatureParam& param,
+              FeatureValue v) const override;
+  std::vector<RefinedRegion> Refine(const Document& doc, const Span& span,
+                                    const FeatureParam& param,
+                                    FeatureValue v) const override;
+  std::vector<FeatureValue> AnswerSpace() const override { return {}; }
+  std::string QuestionText(const std::string& attr) const override;
+
+ private:
+  bool before_;
+};
+
+/// starts_with / ends_with: the span is single-line and its text matches
+/// the regex parameter at its start (end). Paper §6.3 uses
+/// starts_with(y,"[A-Z][A-Z]+") and ends_with(y,"19\d\d|20\d\d").
+class EdgeRegexFeature : public Feature {
+ public:
+  explicit EdgeRegexFeature(bool at_start)
+      : Feature(at_start ? "starts_with" : "ends_with"), at_start_(at_start) {}
+  ParamKind param_kind() const override { return ParamKind::kString; }
+  bool Verify(const Document& doc, const Span& span, const FeatureParam& param,
+              FeatureValue v) const override;
+  std::vector<RefinedRegion> Refine(const Document& doc, const Span& span,
+                                    const FeatureParam& param,
+                                    FeatureValue v) const override;
+  std::vector<FeatureValue> AnswerSpace() const override { return {}; }
+  std::string QuestionText(const std::string& attr) const override;
+
+ private:
+  bool at_start_;
+};
+
+/// contains_str: the span's text contains the string parameter
+/// (case-insensitive).
+class ContainsFeature : public Feature {
+ public:
+  ContainsFeature() : Feature("contains_str") {}
+  ParamKind param_kind() const override { return ParamKind::kString; }
+  bool Verify(const Document& doc, const Span& span, const FeatureParam& param,
+              FeatureValue v) const override;
+  std::vector<RefinedRegion> Refine(const Document& doc, const Span& span,
+                                    const FeatureParam& param,
+                                    FeatureValue v) const override;
+  std::vector<FeatureValue> AnswerSpace() const override { return {}; }
+  std::string QuestionText(const std::string& attr) const override;
+};
+
+/// prec_label_contains: the nearest preceding <label> span contains the
+/// string parameter (case-insensitive). A "higher-level" feature the paper
+/// highlights for DBLife (§6.3).
+class PrecLabelContainsFeature : public Feature {
+ public:
+  PrecLabelContainsFeature() : Feature("prec_label_contains") {}
+  ParamKind param_kind() const override { return ParamKind::kString; }
+  bool Verify(const Document& doc, const Span& span, const FeatureParam& param,
+              FeatureValue v) const override;
+  std::vector<RefinedRegion> Refine(const Document& doc, const Span& span,
+                                    const FeatureParam& param,
+                                    FeatureValue v) const override;
+  std::vector<FeatureValue> AnswerSpace() const override { return {}; }
+  std::string QuestionText(const std::string& attr) const override;
+};
+
+/// prec_label_max_dist: the span starts at most `param` characters after
+/// the end of its preceding label (paper §6.3: prec_label_max_dist(x)=700).
+class PrecLabelMaxDistFeature : public Feature {
+ public:
+  PrecLabelMaxDistFeature() : Feature("prec_label_max_dist") {}
+  ParamKind param_kind() const override { return ParamKind::kNumber; }
+  bool Verify(const Document& doc, const Span& span, const FeatureParam& param,
+              FeatureValue v) const override;
+  std::vector<RefinedRegion> Refine(const Document& doc, const Span& span,
+                                    const FeatureParam& param,
+                                    FeatureValue v) const override;
+  std::vector<FeatureValue> AnswerSpace() const override { return {}; }
+  std::string QuestionText(const std::string& attr) const override;
+};
+
+}  // namespace iflex
+
+#endif  // IFLEX_FEATURES_CONTEXT_FEATURES_H_

@@ -1,0 +1,78 @@
+#include "features/markup_features.h"
+
+#include "common/strutil.h"
+
+namespace iflex {
+
+bool MarkupFeature::Verify(const Document& doc, const Span& span,
+                           const FeatureParam& /*param*/,
+                           FeatureValue v) const {
+  const MarkupLayer& layer = doc.layer(kind_);
+  switch (v) {
+    case FeatureValue::kYes:
+      return layer.Covers(span.begin, span.end);
+    case FeatureValue::kDistinctYes:
+      return layer.CoversDistinctly(span.begin, span.end);
+    case FeatureValue::kNo:
+      return !layer.Intersects(span.begin, span.end);
+    case FeatureValue::kDistinctNo:
+      // Span untouched by the layer but both neighbours covered; used
+      // rarely, e.g. the gap between two bold fields.
+      return !layer.Intersects(span.begin, span.end) &&
+             (span.begin == 0 || layer.Covers(span.begin - 1, span.begin)) &&
+             (span.end >= doc.size() || layer.Covers(span.end, span.end + 1));
+    case FeatureValue::kUnknown:
+      return true;
+  }
+  return false;
+}
+
+std::vector<RefinedRegion> MarkupFeature::Refine(const Document& doc,
+                                                 const Span& span,
+                                                 const FeatureParam& /*param*/,
+                                                 FeatureValue v) const {
+  const MarkupLayer& layer = doc.layer(kind_);
+  std::vector<RefinedRegion> out;
+  switch (v) {
+    case FeatureValue::kYes: {
+      for (const auto& [b, e] : layer.MaximalRunsWithin(span.begin, span.end)) {
+        out.push_back(RefinedRegion{Span(span.doc, b, e), /*exact=*/false});
+      }
+      break;
+    }
+    case FeatureValue::kDistinctYes: {
+      for (const auto& [b, e] : layer.DistinctRunsWithin(span.begin, span.end)) {
+        out.push_back(RefinedRegion{Span(span.doc, b, e), /*exact=*/true});
+      }
+      break;
+    }
+    case FeatureValue::kNo: {
+      // Complement of the covered runs within the span.
+      uint32_t cursor = span.begin;
+      for (const auto& [b, e] : layer.MaximalRunsWithin(span.begin, span.end)) {
+        if (cursor < b) {
+          out.push_back(
+              RefinedRegion{Span(span.doc, cursor, b), /*exact=*/false});
+        }
+        cursor = e;
+      }
+      if (cursor < span.end) {
+        out.push_back(
+            RefinedRegion{Span(span.doc, cursor, span.end), /*exact=*/false});
+      }
+      break;
+    }
+    case FeatureValue::kDistinctNo:
+    case FeatureValue::kUnknown: {
+      out.push_back(RefinedRegion{span, /*exact=*/false});
+      break;
+    }
+  }
+  return out;
+}
+
+std::string MarkupFeature::QuestionText(const std::string& attr) const {
+  return StringPrintf("is %s %s?", attr.c_str(), name().c_str());
+}
+
+}  // namespace iflex

@@ -1,0 +1,46 @@
+#ifndef IFLEX_FEATURES_MARKUP_FEATURES_H_
+#define IFLEX_FEATURES_MARKUP_FEATURES_H_
+
+#include <string>
+#include <vector>
+
+#include "features/feature.h"
+#include "text/markup.h"
+
+namespace iflex {
+
+/// Feature backed by a document markup layer: bold_font, italic_font,
+/// underlined, hyperlinked, in_list, in_title.
+///
+/// Semantics (paper §2.2.2): yes = the span is fully covered by the layer;
+/// distinct-yes = covered, and the characters adjacent to the span are not
+/// (e.g. "bold-font(s)=distinct-yes means s is set in bold font but the
+/// text surrounding s is not"); no = the span does not intersect the layer.
+class MarkupFeature : public Feature {
+ public:
+  MarkupFeature(std::string name, MarkupKind kind)
+      : Feature(std::move(name)), kind_(kind) {}
+
+  bool Verify(const Document& doc, const Span& span, const FeatureParam& param,
+              FeatureValue v) const override;
+
+  /// yes -> contain(run) per maximal covered run intersected with the span;
+  /// distinct-yes -> exact(run) per maximal run lying fully inside the span;
+  /// no -> contain(gap) per maximal uncovered gap.
+  std::vector<RefinedRegion> Refine(const Document& doc, const Span& span,
+                                    const FeatureParam& param,
+                                    FeatureValue v) const override;
+
+  std::vector<FeatureValue> AnswerSpace() const override {
+    return {FeatureValue::kYes, FeatureValue::kDistinctYes, FeatureValue::kNo};
+  }
+
+  std::string QuestionText(const std::string& attr) const override;
+
+ private:
+  MarkupKind kind_;
+};
+
+}  // namespace iflex
+
+#endif  // IFLEX_FEATURES_MARKUP_FEATURES_H_

@@ -1,0 +1,57 @@
+#include "features/registry.h"
+
+#include "features/context_features.h"
+#include "features/markup_features.h"
+#include "features/token_features.h"
+
+namespace iflex {
+
+Status FeatureRegistry::Register(std::unique_ptr<Feature> feature) {
+  std::string name = feature->name();
+  auto [it, inserted] = features_.emplace(name, std::move(feature));
+  (void)it;
+  if (!inserted) {
+    return Status::AlreadyExists("feature already registered: " + name);
+  }
+  order_.push_back(name);
+  return Status::OK();
+}
+
+Result<const Feature*> FeatureRegistry::Get(const std::string& name) const {
+  auto it = features_.find(name);
+  if (it == features_.end()) {
+    return Status::NotFound("no feature named " + name);
+  }
+  return it->second.get();
+}
+
+std::unique_ptr<FeatureRegistry> CreateDefaultRegistry() {
+  auto reg = std::make_unique<FeatureRegistry>();
+  // Appearance.
+  (void)reg->Register(std::make_unique<NumericFeature>());
+  (void)reg->Register(std::make_unique<MarkupFeature>("bold_font", MarkupKind::kBold));
+  (void)reg->Register(std::make_unique<MarkupFeature>("italic_font", MarkupKind::kItalic));
+  (void)reg->Register(std::make_unique<MarkupFeature>("underlined", MarkupKind::kUnderline));
+  (void)reg->Register(std::make_unique<MarkupFeature>("hyperlinked", MarkupKind::kHyperlink));
+  (void)reg->Register(std::make_unique<CapitalizedFeature>());
+  // Location / structure.
+  (void)reg->Register(std::make_unique<MarkupFeature>("in_list", MarkupKind::kListItem));
+  (void)reg->Register(std::make_unique<MarkupFeature>("in_title", MarkupKind::kTitle));
+  (void)reg->Register(std::make_unique<InFirstHalfFeature>());
+  (void)reg->Register(std::make_unique<PrecLabelContainsFeature>());
+  (void)reg->Register(std::make_unique<PrecLabelMaxDistFeature>());
+  // Context.
+  (void)reg->Register(std::make_unique<AdjacencyFeature>(/*before=*/true));
+  (void)reg->Register(std::make_unique<AdjacencyFeature>(/*before=*/false));
+  (void)reg->Register(std::make_unique<EdgeRegexFeature>(/*at_start=*/true));
+  (void)reg->Register(std::make_unique<EdgeRegexFeature>(/*at_start=*/false));
+  (void)reg->Register(std::make_unique<ContainsFeature>());
+  // Semantics.
+  (void)reg->Register(std::make_unique<ValueBoundFeature>(/*is_min=*/true));
+  (void)reg->Register(std::make_unique<ValueBoundFeature>(/*is_min=*/false));
+  (void)reg->Register(std::make_unique<MaxLengthFeature>());
+  (void)reg->Register(std::make_unique<PersonNameFeature>());
+  return reg;
+}
+
+}  // namespace iflex

@@ -1,0 +1,52 @@
+#ifndef IFLEX_FEATURES_REGISTRY_H_
+#define IFLEX_FEATURES_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "features/feature.h"
+
+namespace iflex {
+
+/// Name -> Feature lookup used by the parser, the constraint-selection
+/// operator and the next-effort assistant. iFlex ships a rich built-in set
+/// (paper §2.2.2); new domain features plug in via Register().
+class FeatureRegistry {
+ public:
+  FeatureRegistry() = default;
+  FeatureRegistry(const FeatureRegistry&) = delete;
+  FeatureRegistry& operator=(const FeatureRegistry&) = delete;
+  FeatureRegistry(FeatureRegistry&&) = default;
+  FeatureRegistry& operator=(FeatureRegistry&&) = default;
+
+  /// Registers a feature under feature->name(); AlreadyExists on clash.
+  Status Register(std::unique_ptr<Feature> feature);
+
+  /// Feature by name, or NotFound.
+  Result<const Feature*> Get(const std::string& name) const;
+
+  bool Has(const std::string& name) const {
+    return features_.count(name) > 0;
+  }
+
+  /// All registered names in registration order (stable for the
+  /// sequential question strategy).
+  const std::vector<std::string>& names() const { return order_; }
+
+ private:
+  std::unordered_map<std::string, std::unique_ptr<Feature>> features_;
+  std::vector<std::string> order_;
+};
+
+/// Builds the registry with all built-in features, in the order the
+/// sequential strategy asks about them: appearance features first (cheap
+/// for a developer to eyeball), then location, then semantics — mirroring
+/// the paper's question design (§5.1.1).
+std::unique_ptr<FeatureRegistry> CreateDefaultRegistry();
+
+}  // namespace iflex
+
+#endif  // IFLEX_FEATURES_REGISTRY_H_

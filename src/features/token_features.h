@@ -1,0 +1,118 @@
+#ifndef IFLEX_FEATURES_TOKEN_FEATURES_H_
+#define IFLEX_FEATURES_TOKEN_FEATURES_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "features/feature.h"
+
+namespace iflex {
+
+/// Shared helper: maximal runs of consecutive tokens inside `span` that
+/// satisfy `pred`; each run is emitted as one region.
+std::vector<RefinedRegion> RefineTokenRuns(
+    const Document& doc, const Span& span,
+    const std::function<bool(std::string_view)>& pred, bool exact_per_token);
+
+/// numeric: the span parses as a number ("$351,000" counts; the paper's
+/// canonical first constraint is "price is numeric").
+class NumericFeature : public Feature {
+ public:
+  NumericFeature() : Feature("numeric") {}
+  bool Verify(const Document& doc, const Span& span, const FeatureParam& param,
+              FeatureValue v) const override;
+  std::optional<bool> VerifyText(const std::string& text,
+                                 const FeatureParam& param,
+                                 FeatureValue v) const override;
+  std::vector<RefinedRegion> Refine(const Document& doc, const Span& span,
+                                    const FeatureParam& param,
+                                    FeatureValue v) const override;
+  std::string QuestionText(const std::string& attr) const override;
+};
+
+/// capitalized: every token of the span starts with an uppercase letter.
+class CapitalizedFeature : public Feature {
+ public:
+  CapitalizedFeature() : Feature("capitalized") {}
+  bool Verify(const Document& doc, const Span& span, const FeatureParam& param,
+              FeatureValue v) const override;
+  std::vector<RefinedRegion> Refine(const Document& doc, const Span& span,
+                                    const FeatureParam& param,
+                                    FeatureValue v) const override;
+  std::string QuestionText(const std::string& attr) const override;
+};
+
+/// person_name: the span looks like a person name (2-4 capitalized words,
+/// optional middle initial). Used by the DBLife tasks, standing in for the
+/// paper's personPattern dictionary predicate.
+class PersonNameFeature : public Feature {
+ public:
+  PersonNameFeature() : Feature("person_name") {}
+  bool Verify(const Document& doc, const Span& span, const FeatureParam& param,
+              FeatureValue v) const override;
+  std::vector<RefinedRegion> Refine(const Document& doc, const Span& span,
+                                    const FeatureParam& param,
+                                    FeatureValue v) const override;
+  std::string QuestionText(const std::string& attr) const override;
+};
+
+/// min_value / max_value: the span is numeric and its value is >= / <= the
+/// parameter. The assistant's question is "what is a minimal/maximal value
+/// for <attr>?" (paper §5.1.1, "semantics" questions).
+class ValueBoundFeature : public Feature {
+ public:
+  /// `is_min` selects min_value (>=) vs max_value (<=).
+  explicit ValueBoundFeature(bool is_min)
+      : Feature(is_min ? "min_value" : "max_value"), is_min_(is_min) {}
+  ParamKind param_kind() const override { return ParamKind::kNumber; }
+  bool Verify(const Document& doc, const Span& span, const FeatureParam& param,
+              FeatureValue v) const override;
+  std::optional<bool> VerifyText(const std::string& text,
+                                 const FeatureParam& param,
+                                 FeatureValue v) const override;
+  std::vector<RefinedRegion> Refine(const Document& doc, const Span& span,
+                                    const FeatureParam& param,
+                                    FeatureValue v) const override;
+  std::vector<FeatureValue> AnswerSpace() const override { return {}; }
+  std::string QuestionText(const std::string& attr) const override;
+
+ private:
+  bool is_min_;
+};
+
+/// max_length: the span is at most `param` characters long (paper §6.3
+/// uses max_length(y)=18 for conference names).
+class MaxLengthFeature : public Feature {
+ public:
+  MaxLengthFeature() : Feature("max_length") {}
+  ParamKind param_kind() const override { return ParamKind::kNumber; }
+  bool Verify(const Document& doc, const Span& span, const FeatureParam& param,
+              FeatureValue v) const override;
+  std::optional<bool> VerifyText(const std::string& text,
+                                 const FeatureParam& param,
+                                 FeatureValue v) const override;
+  std::vector<RefinedRegion> Refine(const Document& doc, const Span& span,
+                                    const FeatureParam& param,
+                                    FeatureValue v) const override;
+  std::vector<FeatureValue> AnswerSpace() const override { return {}; }
+  std::string QuestionText(const std::string& attr) const override;
+};
+
+/// in_first_half: the span lies entirely in the first half of the page
+/// (paper §5.1.1: "does this attribute lie entirely in the first half of
+/// the page?" — a "location" question).
+class InFirstHalfFeature : public Feature {
+ public:
+  InFirstHalfFeature() : Feature("in_first_half") {}
+  bool Verify(const Document& doc, const Span& span, const FeatureParam& param,
+              FeatureValue v) const override;
+  std::vector<RefinedRegion> Refine(const Document& doc, const Span& span,
+                                    const FeatureParam& param,
+                                    FeatureValue v) const override;
+  std::string QuestionText(const std::string& attr) const override;
+};
+
+}  // namespace iflex
+
+#endif  // IFLEX_FEATURES_TOKEN_FEATURES_H_

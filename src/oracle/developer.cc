@@ -1,0 +1,224 @@
+#include "oracle/developer.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "common/strutil.h"
+
+namespace iflex {
+
+namespace {
+
+// The whitespace-delimited chunk immediately before/after a span on its
+// line — what a developer reads off as the field label.
+std::string NeighbourChunk(const Corpus& corpus, const Span& span,
+                           bool before) {
+  const Document& doc = corpus.Get(span.doc);
+  const std::string& text = doc.text();
+  if (before) {
+    size_t p = span.begin;
+    while (p > 0 && (text[p - 1] == ' ' || text[p - 1] == '\t')) --p;
+    size_t e = p;
+    while (p > 0 && !std::isspace(static_cast<unsigned char>(text[p - 1]))) {
+      --p;
+    }
+    return text.substr(p, e - p);
+  }
+  size_t p = span.end;
+  while (p < text.size() && (text[p] == ' ' || text[p] == '\t')) ++p;
+  size_t b = p;
+  while (p < text.size() && !std::isspace(static_cast<unsigned char>(text[p]))) {
+    ++p;
+  }
+  return text.substr(b, p - b);
+}
+
+std::set<std::string> LabelWords(const Document& doc, const Span& label) {
+  std::set<std::string> words;
+  std::string word;
+  for (char c : std::string(doc.TextOf(label)) + " ") {
+    if (std::isalpha(static_cast<unsigned char>(c))) {
+      word.push_back(
+          static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    } else {
+      if (word.size() >= 3) words.insert(word);
+      word.clear();
+    }
+  }
+  return words;
+}
+
+}  // namespace
+
+SimulatedDeveloper::SimulatedDeveloper(const Corpus* corpus,
+                                       const GoldStandard* gold,
+                                       DeveloperTimeModel time_model,
+                                       double alpha, uint64_t seed)
+    : corpus_(corpus),
+      gold_(gold),
+      time_model_(time_model),
+      alpha_(alpha),
+      rng_(seed) {}
+
+void SimulatedDeveloper::Script(const Question& question, Answer answer) {
+  scripted_[question.Key()] = std::move(answer);
+}
+
+Answer SimulatedDeveloper::Ask(const Question& question,
+                               const Feature& feature) {
+  last_seconds_ = time_model_.seconds_per_question;
+  ++questions_answered_;
+  auto it = scripted_.find(question.Key());
+  Answer a;
+  if (it != scripted_.end()) {
+    a = it->second;
+  } else if (alpha_ > 0 && rng_.Bernoulli(alpha_)) {
+    a = Answer::DontKnow();
+  } else {
+    a = Derive(question, feature);
+  }
+  if (!a.known) ++dont_knows_;
+  return a;
+}
+
+std::optional<Value> SimulatedDeveloper::ProvideExample(
+    const AttributeRef& attr) {
+  last_seconds_ = time_model_.seconds_per_example;
+  std::vector<Value> gold =
+      gold_->AttributeValues(attr.ie_predicate, attr.output_idx);
+  if (gold.empty()) {
+    return std::nullopt;
+  }
+  return gold.front();
+}
+
+Answer SimulatedDeveloper::Derive(const Question& question,
+                                  const Feature& feature) const {
+  std::vector<Value> gold = gold_->AttributeValues(
+      question.attr.ie_predicate, question.attr.output_idx);
+  if (gold.empty()) return Answer::DontKnow();
+
+  // Enumerable features: the strongest value every gold span satisfies.
+  std::vector<FeatureValue> space = feature.AnswerSpace();
+  if (!space.empty()) {
+    // Prefer distinct-yes over yes over no: a stronger answer narrows more.
+    std::vector<FeatureValue> order;
+    for (FeatureValue v :
+         {FeatureValue::kDistinctYes, FeatureValue::kYes, FeatureValue::kNo}) {
+      if (std::find(space.begin(), space.end(), v) != space.end()) {
+        order.push_back(v);
+      }
+    }
+    for (FeatureValue v : order) {
+      bool all = true;
+      for (const Value& g : gold) {
+        bool holds;
+        if (g.has_span()) {
+          holds = feature.Verify(corpus_->Get(g.span().doc), g.span(),
+                                 FeatureParam::None(), v);
+        } else {
+          auto verdict = feature.VerifyText(g.AsText(), FeatureParam::None(), v);
+          if (!verdict.has_value()) {
+            all = false;
+            break;
+          }
+          holds = *verdict;
+        }
+        if (!holds) {
+          all = false;
+          break;
+        }
+      }
+      if (all) return Answer::Of(v);
+    }
+    return Answer::DontKnow();
+  }
+
+  // Parameterized features: read the parameter off the gold spans.
+  const std::string& f = question.feature;
+  if (f == "min_value" || f == "max_value") {
+    bool is_min = f == "min_value";
+    double best = is_min ? 1e300 : -1e300;
+    for (const Value& g : gold) {
+      auto n = g.AsNumber();
+      if (!n.has_value()) return Answer::DontKnow();
+      best = is_min ? std::min(best, *n) : std::max(best, *n);
+    }
+    return Answer::WithParam(FeatureParam::Num(best));
+  }
+  if (f == "max_length") {
+    size_t longest = 0;
+    for (const Value& g : gold) longest = std::max(longest, g.AsText().size());
+    return Answer::WithParam(
+        FeatureParam::Num(static_cast<double>(longest)));
+  }
+  if (f == "preceded_by" || f == "followed_by") {
+    std::string common;
+    bool first = true;
+    for (const Value& g : gold) {
+      if (!g.has_span()) return Answer::DontKnow();
+      std::string chunk =
+          NeighbourChunk(*corpus_, g.span(), /*before=*/f == "preceded_by");
+      if (first) {
+        common = chunk;
+        first = false;
+      } else if (chunk != common) {
+        return Answer::DontKnow();
+      }
+    }
+    if (common.empty()) return Answer::DontKnow();
+    return Answer::WithParam(FeatureParam::Str(common));
+  }
+  if (f == "prec_label_contains") {
+    std::set<std::string> common;
+    bool first = true;
+    for (const Value& g : gold) {
+      if (!g.has_span()) return Answer::DontKnow();
+      const Document& doc = corpus_->Get(g.span().doc);
+      auto label = doc.PrecedingLabel(g.span().begin);
+      if (!label.has_value()) return Answer::DontKnow();
+      std::set<std::string> words = LabelWords(doc, *label);
+      if (first) {
+        common = std::move(words);
+        first = false;
+      } else {
+        std::set<std::string> inter;
+        std::set_intersection(common.begin(), common.end(), words.begin(),
+                              words.end(),
+                              std::inserter(inter, inter.begin()));
+        common = std::move(inter);
+      }
+      if (common.empty()) return Answer::DontKnow();
+    }
+    // Longest shared word is the most specific label cue.
+    std::string best;
+    for (const std::string& w : common) {
+      if (w.size() > best.size()) best = w;
+    }
+    if (best.empty()) return Answer::DontKnow();
+    return Answer::WithParam(FeatureParam::Str(best));
+  }
+  if (f == "prec_label_max_dist") {
+    double max_dist = 0;
+    for (const Value& g : gold) {
+      if (!g.has_span()) return Answer::DontKnow();
+      const Document& doc = corpus_->Get(g.span().doc);
+      auto label = doc.PrecedingLabel(g.span().begin);
+      if (!label.has_value()) return Answer::DontKnow();
+      max_dist =
+          std::max(max_dist, static_cast<double>(g.span().begin - label->end));
+    }
+    // Developers answer round figures ("700 characters"), not exact ones.
+    return Answer::WithParam(
+        FeatureParam::Num(std::ceil((max_dist + 1) / 50.0) * 50.0));
+  }
+  // starts_with / ends_with / contains_str need a pattern no one can read
+  // off mechanically; tasks script those answers when the developer is
+  // supposed to know them.
+  return Answer::DontKnow();
+}
+
+}  // namespace iflex

@@ -1,0 +1,62 @@
+#ifndef IFLEX_ORACLE_DEVELOPER_H_
+#define IFLEX_ORACLE_DEVELOPER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "assistant/question.h"
+#include "common/rng.h"
+#include "oracle/gold.h"
+#include "oracle/timemodel.h"
+#include "text/corpus.h"
+
+namespace iflex {
+
+/// Stands in for the human developer U: answers the next-effort
+/// assistant's questions by inspecting the gold spans of the asked
+/// attribute — exactly the way the paper's volunteers derived answers by
+/// visually inspecting pages. Enumerable features are answered with the
+/// strongest FeatureValue consistent with *all* gold spans ("I do not
+/// know" when they disagree); parameterized features are answered with
+/// bounds/labels read off the gold spans (the observed min price, the
+/// common "Price:" chunk, ...). With probability `alpha` the developer
+/// declines to answer (paper §5.1).
+class SimulatedDeveloper : public DeveloperInterface {
+ public:
+  SimulatedDeveloper(const Corpus* corpus, const GoldStandard* gold,
+                     DeveloperTimeModel time_model = {}, double alpha = 0.0,
+                     uint64_t seed = 7);
+
+  /// Overrides the derived answer for one (attribute, feature) question —
+  /// used by tasks whose developers "know" a regex (starts_with /
+  /// ends_with) that cannot be derived mechanically from spans.
+  void Script(const Question& question, Answer answer);
+
+  Answer Ask(const Question& question, const Feature& feature) override;
+
+  /// Marks up the first gold value of the attribute (paper §5.1.1).
+  std::optional<Value> ProvideExample(const AttributeRef& attr) override;
+
+  double LastAnswerSeconds() const override { return last_seconds_; }
+
+  size_t questions_answered() const { return questions_answered_; }
+  size_t dont_knows() const { return dont_knows_; }
+
+ private:
+  Answer Derive(const Question& question, const Feature& feature) const;
+
+  const Corpus* corpus_;
+  const GoldStandard* gold_;
+  DeveloperTimeModel time_model_;
+  double alpha_;
+  Rng rng_;
+  std::map<std::string, Answer> scripted_;
+  double last_seconds_ = 0;
+  size_t questions_answered_ = 0;
+  size_t dont_knows_ = 0;
+};
+
+}  // namespace iflex
+
+#endif  // IFLEX_ORACLE_DEVELOPER_H_

@@ -1,0 +1,47 @@
+#include "oracle/evaluate.h"
+
+#include "common/strutil.h"
+
+namespace iflex {
+
+std::string EvalReport::ToString() const {
+  return StringPrintf(
+      "%.0f tuples vs %zu gold (superset %.0f%%, covered %zu/%zu%s)",
+      result_tuples, gold_tuples, superset_pct, gold_covered, gold_tuples,
+      exact ? ", exact" : "");
+}
+
+EvalReport EvaluateResult(const Corpus& corpus, const CompactTable& result,
+                          const std::vector<std::vector<Value>>& gold,
+                          const CellOpLimits& limits) {
+  EvalReport report;
+  report.result_tuples = result.ExpandedTupleCount(corpus);
+  report.certain_tuples = result.CertainTupleCount(corpus);
+  report.gold_tuples = gold.size();
+  report.superset_pct =
+      gold.empty() ? (report.result_tuples == 0 ? 100.0 : 0.0)
+                   : 100.0 * report.result_tuples /
+                         static_cast<double>(gold.size());
+  for (const auto& g : gold) {
+    bool covered = false;
+    for (const CompactTuple& t : result.tuples()) {
+      if (t.cells.size() < g.size()) continue;
+      bool all = true;
+      for (size_t i = 0; i < g.size() && all; ++i) {
+        Cell gc = Cell::Exact(g[i]);
+        all = CellsEqual(corpus, t.cells[i], gc, limits) != SatResult::kNone;
+      }
+      if (all) {
+        covered = true;
+        break;
+      }
+    }
+    if (covered) ++report.gold_covered;
+  }
+  report.covers_all_gold = report.gold_covered == report.gold_tuples;
+  report.exact = report.covers_all_gold &&
+                 report.result_tuples == static_cast<double>(report.gold_tuples);
+  return report;
+}
+
+}  // namespace iflex

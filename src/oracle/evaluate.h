@@ -1,0 +1,45 @@
+#ifndef IFLEX_ORACLE_EVALUATE_H_
+#define IFLEX_ORACLE_EVALUATE_H_
+
+#include <string>
+#include <vector>
+
+#include "ctable/compact_table.h"
+#include "exec/cell_ops.h"
+#include "oracle/gold.h"
+
+namespace iflex {
+
+/// Comparison of an extraction result against the gold query result — the
+/// paper's accuracy lens (§6.2 reports results as "superset size", e.g.
+/// converging to 161% of the correct result set).
+struct EvalReport {
+  double result_tuples = 0;  // expanded count (expansion cells multiply)
+  /// Non-maybe tuples: the certain lower bound of the result.
+  double certain_tuples = 0;
+  size_t gold_tuples = 0;
+  /// 100 * result_tuples / gold_tuples (the paper's "Superset Size").
+  double superset_pct = 0;
+  /// Gold tuples that some result tuple can represent.
+  size_t gold_covered = 0;
+  /// True when every gold tuple is covered — what superset execution
+  /// semantics guarantees.
+  bool covers_all_gold = false;
+  /// True when the result is exactly the gold set: 100% superset with full
+  /// coverage.
+  bool exact = false;
+
+  std::string ToString() const;
+};
+
+/// Evaluates `result` against `gold` tuples. A gold tuple is covered when
+/// some result tuple's cells can each take the corresponding gold value.
+/// Only the first `gold[i].size()` columns of the result are compared
+/// (task queries put the reported attributes first).
+EvalReport EvaluateResult(const Corpus& corpus, const CompactTable& result,
+                          const std::vector<std::vector<Value>>& gold,
+                          const CellOpLimits& limits = {});
+
+}  // namespace iflex
+
+#endif  // IFLEX_ORACLE_EVALUATE_H_

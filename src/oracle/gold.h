@@ -1,0 +1,49 @@
+#ifndef IFLEX_ORACLE_GOLD_H_
+#define IFLEX_ORACLE_GOLD_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ctable/value.h"
+
+namespace iflex {
+
+/// Ground truth for one extraction task: what each IE predicate should
+/// extract from each record, plus the correct final query result. The
+/// synthetic page generators produce this alongside the pages; it powers
+/// the SimulatedDeveloper (answers are derived from the gold spans, the
+/// way a human derives them by inspecting the data) and the evaluation
+/// metrics (the paper's "superset size").
+struct GoldStandard {
+  struct Extraction {
+    DocId doc = kInvalidDocId;
+    std::vector<Value> outputs;  // one per IE-predicate output argument
+  };
+
+  /// Per IE predicate: the gold extractions, one entry per record that
+  /// yields a tuple (records yielding nothing are simply absent).
+  std::map<std::string, std::vector<Extraction>> extractions;
+
+  /// The correct result of the task's query, as concrete tuples in head
+  /// order.
+  std::vector<std::vector<Value>> query_result;
+
+  /// All gold values of one attribute (output `out_idx` of `predicate`).
+  std::vector<Value> AttributeValues(const std::string& predicate,
+                                     size_t out_idx) const {
+    std::vector<Value> out;
+    auto it = extractions.find(predicate);
+    if (it == extractions.end()) return out;
+    for (const Extraction& e : it->second) {
+      if (out_idx < e.outputs.size() && !e.outputs[out_idx].is_null()) {
+        out.push_back(e.outputs[out_idx]);
+      }
+    }
+    return out;
+  }
+};
+
+}  // namespace iflex
+
+#endif  // IFLEX_ORACLE_GOLD_H_

@@ -1,0 +1,162 @@
+#include <algorithm>
+#include <map>
+
+#include "datagen/books.h"
+#include "tasks/task.h"
+
+namespace iflex {
+
+namespace {
+
+std::vector<DocId> Docs(const std::vector<BookRecord>& records) {
+  std::vector<DocId> out;
+  out.reserve(records.size());
+  for (const auto& r : records) out.push_back(r.doc);
+  return out;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<TaskInstance>> MakeBookTask(const std::string& id,
+                                                   size_t scale,
+                                                   uint64_t seed) {
+  auto task = std::make_unique<TaskInstance>();
+  task->id = id;
+  task->corpus = std::make_unique<Corpus>();
+
+  BooksSpec spec;
+  spec.seed = seed;
+  if (id == "T7") {
+    spec.n_amazon = 0;
+    spec.n_barnes = scale ? scale : 5000;
+    spec.n_shared = 0;
+  } else if (id == "T8") {
+    spec.n_amazon = scale ? scale : 2490;
+    spec.n_barnes = 0;
+    spec.n_shared = 0;
+  } else {  // T9
+    size_t n = scale ? scale : 5000;
+    spec.n_amazon = std::min<size_t>(n, 2490);
+    spec.n_barnes = n;
+    spec.n_shared = std::max<size_t>(2, std::min(spec.n_amazon, spec.n_barnes) / 6);
+  }
+  BooksData data = GenerateBooks(task->corpus.get(), spec);
+  task->catalog = std::make_unique<Catalog>(task->corpus.get());
+  task->catalog->RegisterBuiltinFunctions(/*similarity_threshold=*/0.75);
+
+  const Corpus& corpus = *task->corpus;
+
+  if (id == "T7") {
+    task->description = "B&N books with price over $100";
+    IFLEX_RETURN_NOT_OK(
+        task->catalog->AddTable("barnesPages", DocTable(Docs(data.barnes))));
+    IFLEX_RETURN_NOT_OK(
+        task->catalog->DeclareIEPredicate("extractBarnes", 1, 2));
+    IFLEX_ASSIGN_OR_RETURN(task->initial_program, ParseProgram(R"(
+      bbooks(x, <title>, <price>) :- barnesPages(x),
+                                     extractBarnes(x, title, price).
+      t7(title) :- bbooks(x, title, price), price > 100.
+      extractBarnes(x, title, price) :- from(x, title), from(x, price).
+    )", *task->catalog));
+    task->initial_program.set_query("t7");
+    for (const BookRecord& b : data.barnes) {
+      task->gold.extractions["extractBarnes"].push_back(
+          GoldStandard::Extraction{
+              b.doc,
+              {Value::OfSpan(corpus, b.title_span),
+               Value::OfSpan(corpus, b.bn_price_span)}});
+      if (b.bn_price > 100) {
+        task->gold.query_result.push_back({Value::String(b.title)});
+      }
+    }
+    task->tuples_per_table = data.barnes.size();
+    task->n_procedures = 1;
+    task->n_attributes = 2;
+    task->n_rules = 3;
+    task->manual_records = data.barnes.size();
+  } else if (id == "T8") {
+    task->description =
+        "Amazon books with list price equal to the new price and a used "
+        "price below the new price";
+    IFLEX_RETURN_NOT_OK(
+        task->catalog->AddTable("amazonPages", DocTable(Docs(data.amazon))));
+    IFLEX_RETURN_NOT_OK(
+        task->catalog->DeclareIEPredicate("extractAmazon", 1, 4));
+    IFLEX_ASSIGN_OR_RETURN(task->initial_program, ParseProgram(R"(
+      abooks(x, <t>, <lp>, <np>, <up>) :- amazonPages(x),
+                                          extractAmazon(x, t, lp, np, up).
+      t8(t) :- abooks(x, t, lp, np, up), lp = np, up < np.
+      extractAmazon(x, t, lp, np, up) :- from(x, t), from(x, lp),
+                                         from(x, np), from(x, up).
+    )", *task->catalog));
+    task->initial_program.set_query("t8");
+    for (const BookRecord& b : data.amazon) {
+      task->gold.extractions["extractAmazon"].push_back(
+          GoldStandard::Extraction{
+              b.doc,
+              {Value::OfSpan(corpus, b.title_span),
+               Value::OfSpan(corpus, b.list_price_span),
+               Value::OfSpan(corpus, b.new_price_span),
+               Value::OfSpan(corpus, b.used_price_span)}});
+      if (b.list_price == b.new_price && b.used_price < b.new_price) {
+        task->gold.query_result.push_back({Value::String(b.title)});
+      }
+    }
+    task->tuples_per_table = data.amazon.size();
+    task->n_procedures = 1;
+    task->n_attributes = 4;
+    task->n_rules = 3;
+    task->manual_records = data.amazon.size();
+  } else {  // T9
+    task->description = "Books cheaper at Amazon than at Barnes & Noble";
+    IFLEX_RETURN_NOT_OK(
+        task->catalog->AddTable("amazonPages", DocTable(Docs(data.amazon))));
+    IFLEX_RETURN_NOT_OK(
+        task->catalog->AddTable("barnesPages", DocTable(Docs(data.barnes))));
+    IFLEX_RETURN_NOT_OK(
+        task->catalog->DeclareIEPredicate("extractAmazonTN", 1, 2));
+    IFLEX_RETURN_NOT_OK(
+        task->catalog->DeclareIEPredicate("extractBarnes", 1, 2));
+    IFLEX_ASSIGN_OR_RETURN(task->initial_program, ParseProgram(R"(
+      an(x, <t1>, <np>) :- amazonPages(x), extractAmazonTN(x, t1, np).
+      bn(y, <t2>, <bp>) :- barnesPages(y), extractBarnes(y, t2, bp).
+      t9(t1) :- an(x, t1, np), bn(y, t2, bp), similar(t1, t2), np < bp.
+      extractAmazonTN(x, t1, np) :- from(x, t1), from(x, np).
+      extractBarnes(y, t2, bp) :- from(y, t2), from(y, bp).
+    )", *task->catalog));
+    task->initial_program.set_query("t9");
+    std::map<std::string, double> barnes_price;
+    for (const BookRecord& b : data.barnes) {
+      barnes_price[b.title] = b.bn_price;
+      task->gold.extractions["extractBarnes"].push_back(
+          GoldStandard::Extraction{
+              b.doc,
+              {Value::OfSpan(corpus, b.title_span),
+               Value::OfSpan(corpus, b.bn_price_span)}});
+    }
+    for (const BookRecord& b : data.amazon) {
+      task->gold.extractions["extractAmazonTN"].push_back(
+          GoldStandard::Extraction{
+              b.doc,
+              {Value::OfSpan(corpus, b.title_span),
+               Value::OfSpan(corpus, b.new_price_span)}});
+      auto it = barnes_price.find(b.title);
+      if (it != barnes_price.end() && b.new_price < it->second) {
+        task->gold.query_result.push_back({Value::String(b.title)});
+      }
+    }
+    task->tuples_per_table = std::max(data.amazon.size(), data.barnes.size());
+    task->n_procedures = 2;
+    task->n_attributes = 4;
+    task->n_rules = 5;
+    task->manual_records = data.amazon.size();
+    task->manual_pairs = data.amazon.size() * data.barnes.size() / 8;
+    task->cleanup_minutes = 6;
+  }
+
+  task->developer = std::make_unique<SimulatedDeveloper>(
+      task->corpus.get(), &task->gold);
+  return task;
+}
+
+}  // namespace iflex

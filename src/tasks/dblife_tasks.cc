@@ -1,0 +1,189 @@
+#include <algorithm>
+#include <cctype>
+
+#include "common/strutil.h"
+#include "datagen/dblife.h"
+#include "tasks/task.h"
+
+namespace iflex {
+
+namespace {
+
+// The Chair cleanup procedure (paper §2.2.4 / Table 6): given a chair-name
+// span, read the chair type off the text immediately before it
+// ("pc chair: Alice M. Wu" -> "pc"). Registered as a p-predicate.
+Result<std::vector<std::vector<Value>>> ChairTypeProc(
+    const Corpus& corpus, const std::vector<Value>& in) {
+  std::vector<std::vector<Value>> out;
+  if (in.size() != 1 || !in[0].has_span()) return out;
+  const Span& span = in[0].span();
+  const Document& doc = corpus.Get(span.doc);
+  const std::string& text = doc.text();
+  // Scan left to the line start for "<word> chair:".
+  size_t line_begin = span.begin;
+  while (line_begin > 0 && text[line_begin - 1] != '\n') --line_begin;
+  std::string prefix = text.substr(line_begin, span.begin - line_begin);
+  size_t marker = prefix.rfind(" chair:");
+  if (marker == std::string::npos) return out;
+  size_t word_end = marker;
+  size_t word_begin = word_end;
+  while (word_begin > 0 &&
+         std::isalpha(static_cast<unsigned char>(prefix[word_begin - 1]))) {
+    --word_begin;
+  }
+  if (word_begin == word_end) return out;
+  out.push_back({Value::String(prefix.substr(word_begin, word_end - word_begin))});
+  return out;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<TaskInstance>> MakeDblifeTask(const std::string& id,
+                                                     size_t scale,
+                                                     uint64_t seed) {
+  auto task = std::make_unique<TaskInstance>();
+  task->id = id;
+  task->corpus = std::make_unique<Corpus>();
+
+  DblifeSpec spec;
+  spec.seed = seed;
+  if (scale) {
+    // `scale` is the total page count, split 20/27/53 like the default mix.
+    spec.n_conferences = std::max<size_t>(2, scale / 5);
+    spec.n_homepages = std::max<size_t>(2, scale * 27 / 100);
+    spec.n_distractors = scale - spec.n_conferences - spec.n_homepages;
+  }
+  DblifeData data = GenerateDblife(task->corpus.get(), spec);
+  task->catalog = std::make_unique<Catalog>(task->corpus.get());
+  task->catalog->RegisterBuiltinFunctions(/*similarity_threshold=*/0.75);
+  IFLEX_RETURN_NOT_OK(
+      task->catalog->AddTable("docs", DocTable(data.all_docs)));
+
+  const Corpus& corpus = *task->corpus;
+  task->tuples_per_table = data.all_docs.size();
+  task->manual_records = data.all_docs.size();
+
+  if (id == "Panel") {
+    task->description =
+        "Find (x, y) where person x is a panelist at conference y";
+    IFLEX_RETURN_NOT_OK(
+        task->catalog->DeclareIEPredicate("extractPanelist", 1, 1));
+    IFLEX_RETURN_NOT_OK(
+        task->catalog->DeclareIEPredicate("extractConf", 1, 1));
+    IFLEX_ASSIGN_OR_RETURN(task->initial_program, ParseProgram(R"(
+      onPanel(x, y, d) :- docs(d), extractPanelist(d, x),
+                          extractConf(d, y).
+      extractPanelist(d, x) :- from(d, x).
+      extractConf(d, y) :- from(d, y).
+    )", *task->catalog));
+    task->initial_program.set_query("onPanel");
+    for (const ConferencePage& page : data.conferences) {
+      for (const auto& p : page.panelists) {
+        task->gold.extractions["extractPanelist"].push_back(
+            GoldStandard::Extraction{page.doc,
+                                     {Value::OfSpan(corpus, p.span)}});
+        task->gold.query_result.push_back(
+            {Value::String(p.name), Value::String(page.conference)});
+      }
+      task->gold.extractions["extractConf"].push_back(GoldStandard::Extraction{
+          page.doc, {Value::OfSpan(corpus, page.conf_span)}});
+    }
+    task->n_procedures = 2;
+    task->n_attributes = 2;
+    task->n_rules = 3;
+    task->cleanup_minutes = 5;
+  } else if (id == "Project") {
+    task->description = "Find (x, y) where person x works on project y";
+    IFLEX_RETURN_NOT_OK(
+        task->catalog->DeclareIEPredicate("extractOwner", 1, 1));
+    IFLEX_RETURN_NOT_OK(
+        task->catalog->DeclareIEPredicate("extractProject", 1, 1));
+    IFLEX_ASSIGN_OR_RETURN(task->initial_program, ParseProgram(R"(
+      worksOn(x, y, d) :- docs(d), extractOwner(d, x),
+                          extractProject(d, y).
+      extractOwner(d, x) :- from(d, x).
+      extractProject(d, y) :- from(d, y).
+    )", *task->catalog));
+    task->initial_program.set_query("worksOn");
+    for (const HomePage& page : data.homepages) {
+      task->gold.extractions["extractOwner"].push_back(
+          GoldStandard::Extraction{page.doc,
+                                   {Value::OfSpan(corpus, page.owner_span)}});
+      for (const auto& p : page.projects) {
+        task->gold.extractions["extractProject"].push_back(
+            GoldStandard::Extraction{page.doc,
+                                     {Value::OfSpan(corpus, p.span)}});
+        task->gold.query_result.push_back(
+            {Value::String(page.owner), Value::String(p.name)});
+      }
+    }
+    task->n_procedures = 2;
+    task->n_attributes = 2;
+    task->n_rules = 3;
+    task->cleanup_minutes = 6;
+  } else if (id == "Chair") {
+    task->description =
+        "Find (x, z, y) where person x is a chair of type z at conference y";
+    IFLEX_RETURN_NOT_OK(
+        task->catalog->DeclareIEPredicate("extractChair", 1, 1));
+    IFLEX_RETURN_NOT_OK(
+        task->catalog->DeclareIEPredicate("extractConf", 1, 1));
+    IFLEX_RETURN_NOT_OK(task->catalog->DeclarePPredicate(
+        "chairType", 1, 1, ChairTypeProc));
+    // The refinement session runs without the cleanup stage (paper
+    // §2.2.4: cleanup code is written after declarative refinement).
+    IFLEX_ASSIGN_OR_RETURN(task->initial_program, ParseProgram(R"(
+      chairx(x, y, d) :- docs(d), extractChair(d, x), extractConf(d, y).
+      extractChair(d, x) :- from(d, x).
+      extractConf(d, y) :- from(d, y).
+    )", *task->catalog));
+    task->initial_program.set_query("chairx");
+    for (const ConferencePage& page : data.conferences) {
+      for (const auto& c : page.chairs) {
+        task->gold.extractions["extractChair"].push_back(
+            GoldStandard::Extraction{page.doc,
+                                     {Value::OfSpan(corpus, c.span)}});
+        task->gold.query_result.push_back(
+            {Value::String(c.name), Value::String(page.conference)});
+        task->cleanup_gold.push_back({Value::String(c.name),
+                                      Value::String(c.type),
+                                      Value::String(page.conference)});
+      }
+      task->gold.extractions["extractConf"].push_back(GoldStandard::Extraction{
+          page.doc, {Value::OfSpan(corpus, page.conf_span)}});
+    }
+    task->n_procedures = 3;
+    task->n_attributes = 3;
+    task->n_rules = 4;
+    task->cleanup_minutes = 11;
+    const Catalog* catalog = task->catalog.get();
+    task->apply_cleanup = [catalog](const Program& refined) -> Result<Program> {
+      Program with_cleanup = refined;
+      // chair(x, z, y, d) :- chairx(x, y, d), chairType(x, z).
+      Rule rule;
+      rule.head.predicate = "chair";
+      rule.head.args = {"x", "z", "y", "d"};
+      rule.head.annotated = {false, false, false, false};
+      Atom body1;
+      body1.predicate = "chairx";
+      body1.args = {Term::Var("x"), Term::Var("y"), Term::Var("d")};
+      rule.body.push_back(Literal::OfAtom(std::move(body1)));
+      Atom body2;
+      body2.predicate = "chairType";
+      body2.args = {Term::Var("x"), Term::Var("z")};
+      rule.body.push_back(Literal::OfAtom(std::move(body2)));
+      with_cleanup.AddRule(std::move(rule));
+      with_cleanup.set_query("chair");
+      IFLEX_RETURN_NOT_OK(with_cleanup.Validate(*catalog));
+      return with_cleanup;
+    };
+  } else {
+    return Status::NotFound("unknown DBLife task " + id);
+  }
+
+  task->developer = std::make_unique<SimulatedDeveloper>(
+      task->corpus.get(), &task->gold);
+  return task;
+}
+
+}  // namespace iflex

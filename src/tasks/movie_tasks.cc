@@ -1,0 +1,167 @@
+#include <algorithm>
+#include <set>
+
+#include "datagen/movies.h"
+#include "tasks/task.h"
+
+namespace iflex {
+
+namespace {
+
+std::vector<DocId> Docs(const std::vector<MovieRecord>& records) {
+  std::vector<DocId> out;
+  out.reserve(records.size());
+  for (const auto& r : records) out.push_back(r.doc);
+  return out;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<TaskInstance>> MakeMovieTask(const std::string& id,
+                                                    size_t scale,
+                                                    uint64_t seed) {
+  auto task = std::make_unique<TaskInstance>();
+  task->id = id;
+  task->corpus = std::make_unique<Corpus>();
+
+  MoviesSpec spec;
+  spec.seed = seed;
+  if (id == "T1") {
+    spec.n_imdb = scale ? scale : 250;
+    spec.n_ebert = 0;
+    spec.n_prasanna = 0;
+    spec.n_shared = 0;
+  } else if (id == "T2") {
+    spec.n_imdb = 0;
+    spec.n_ebert = scale ? scale : 242;
+    spec.n_prasanna = 0;
+    spec.n_shared = 0;
+  } else {  // T3
+    size_t n = scale ? scale : 517;
+    spec.n_imdb = std::min<size_t>(n, 250);
+    spec.n_ebert = std::min<size_t>(n, 242);
+    spec.n_prasanna = n;
+    spec.n_shared = std::max<size_t>(2, std::min<size_t>(40, n / 6));
+  }
+  MoviesData data = GenerateMovies(task->corpus.get(), spec);
+  task->catalog = std::make_unique<Catalog>(task->corpus.get());
+  task->catalog->RegisterBuiltinFunctions(/*similarity_threshold=*/0.75);
+
+  const Corpus& corpus = *task->corpus;
+
+  if (id == "T1") {
+    task->description = "IMDB top movies with fewer than 25,000 votes";
+    IFLEX_RETURN_NOT_OK(
+        task->catalog->AddTable("imdbPages", DocTable(Docs(data.imdb))));
+    IFLEX_RETURN_NOT_OK(
+        task->catalog->DeclareIEPredicate("extractIMDB", 1, 2));
+    IFLEX_ASSIGN_OR_RETURN(task->initial_program, ParseProgram(R"(
+      imdbMovies(x, <title>, <votes>) :- imdbPages(x),
+                                         extractIMDB(x, title, votes).
+      t1(title) :- imdbMovies(x, title, votes), votes < 25000.
+      extractIMDB(x, title, votes) :- from(x, title), from(x, votes).
+    )", *task->catalog));
+    task->initial_program.set_query("t1");
+    for (const MovieRecord& m : data.imdb) {
+      task->gold.extractions["extractIMDB"].push_back(GoldStandard::Extraction{
+          m.doc,
+          {Value::OfSpan(corpus, m.title_span),
+           Value::OfSpan(corpus, m.votes_span)}});
+      if (m.votes < 25000) {
+        task->gold.query_result.push_back({Value::String(m.title)});
+      }
+    }
+    task->tuples_per_table = data.imdb.size();
+    task->n_procedures = 1;
+    task->n_attributes = 2;
+    task->n_rules = 3;
+    task->manual_records = data.imdb.size();
+  } else if (id == "T2") {
+    task->description = "Ebert top movies made between 1950 and 1970";
+    IFLEX_RETURN_NOT_OK(
+        task->catalog->AddTable("ebertPages", DocTable(Docs(data.ebert))));
+    IFLEX_RETURN_NOT_OK(
+        task->catalog->DeclareIEPredicate("extractEbert", 1, 2));
+    IFLEX_ASSIGN_OR_RETURN(task->initial_program, ParseProgram(R"(
+      ebertMovies(y, <title>, <yr>) :- ebertPages(y),
+                                       extractEbert(y, title, yr).
+      t2(title) :- ebertMovies(y, title, yr), yr >= 1950, yr < 1970.
+      extractEbert(y, title, yr) :- from(y, title), from(y, yr).
+    )", *task->catalog));
+    task->initial_program.set_query("t2");
+    for (const MovieRecord& m : data.ebert) {
+      task->gold.extractions["extractEbert"].push_back(GoldStandard::Extraction{
+          m.doc,
+          {Value::OfSpan(corpus, m.title_span),
+           Value::OfSpan(corpus, m.year_span)}});
+      if (m.year >= 1950 && m.year < 1970) {
+        task->gold.query_result.push_back({Value::String(m.title)});
+      }
+    }
+    task->tuples_per_table = data.ebert.size();
+    task->n_procedures = 1;
+    task->n_attributes = 2;
+    task->n_rules = 3;
+    task->manual_records = data.ebert.size();
+  } else {  // T3
+    task->description =
+        "Movie titles that occur in IMDB, Ebert, and Prasanna's top movies";
+    IFLEX_RETURN_NOT_OK(
+        task->catalog->AddTable("imdbPages", DocTable(Docs(data.imdb))));
+    IFLEX_RETURN_NOT_OK(
+        task->catalog->AddTable("ebertPages", DocTable(Docs(data.ebert))));
+    IFLEX_RETURN_NOT_OK(task->catalog->AddTable(
+        "prasannaPages", DocTable(Docs(data.prasanna))));
+    IFLEX_RETURN_NOT_OK(
+        task->catalog->DeclareIEPredicate("extractIMDBTitle", 1, 1));
+    IFLEX_RETURN_NOT_OK(
+        task->catalog->DeclareIEPredicate("extractEbertTitle", 1, 1));
+    IFLEX_RETURN_NOT_OK(
+        task->catalog->DeclareIEPredicate("extractPrasannaTitle", 1, 1));
+    IFLEX_ASSIGN_OR_RETURN(task->initial_program, ParseProgram(R"(
+      it(x, <t1>) :- imdbPages(x), extractIMDBTitle(x, t1).
+      et(y, <t2>) :- ebertPages(y), extractEbertTitle(y, t2).
+      pt(z, <t3>) :- prasannaPages(z), extractPrasannaTitle(z, t3).
+      t3(t1) :- it(x, t1), et(y, t2), similar(t1, t2),
+                pt(z, t3), similar(t2, t3).
+      extractIMDBTitle(x, t1) :- from(x, t1).
+      extractEbertTitle(y, t2) :- from(y, t2).
+      extractPrasannaTitle(z, t3) :- from(z, t3).
+    )", *task->catalog));
+    task->initial_program.set_query("t3");
+    std::set<std::string> ebert_titles;
+    std::set<std::string> prasanna_titles;
+    for (const MovieRecord& m : data.ebert) ebert_titles.insert(m.title);
+    for (const MovieRecord& m : data.prasanna) prasanna_titles.insert(m.title);
+    for (const MovieRecord& m : data.imdb) {
+      task->gold.extractions["extractIMDBTitle"].push_back(
+          GoldStandard::Extraction{m.doc, {Value::OfSpan(corpus, m.title_span)}});
+      if (ebert_titles.count(m.title) && prasanna_titles.count(m.title)) {
+        task->gold.query_result.push_back({Value::String(m.title)});
+      }
+    }
+    for (const MovieRecord& m : data.ebert) {
+      task->gold.extractions["extractEbertTitle"].push_back(
+          GoldStandard::Extraction{m.doc, {Value::OfSpan(corpus, m.title_span)}});
+    }
+    for (const MovieRecord& m : data.prasanna) {
+      task->gold.extractions["extractPrasannaTitle"].push_back(
+          GoldStandard::Extraction{m.doc, {Value::OfSpan(corpus, m.title_span)}});
+    }
+    task->tuples_per_table =
+        std::max({data.imdb.size(), data.ebert.size(), data.prasanna.size()});
+    task->n_procedures = 3;
+    task->n_attributes = 3;
+    task->n_rules = 7;
+    task->manual_records = data.imdb.size();
+    task->manual_pairs = data.imdb.size() * data.ebert.size() / 8 +
+                         data.ebert.size() * data.prasanna.size() / 8;
+    task->cleanup_minutes = 8;
+  }
+
+  task->developer = std::make_unique<SimulatedDeveloper>(
+      task->corpus.get(), &task->gold);
+  return task;
+}
+
+}  // namespace iflex

@@ -1,0 +1,55 @@
+#include "tasks/task.h"
+
+namespace iflex {
+
+CompactTable DocTable(const std::vector<DocId>& docs) {
+  CompactTable table({"x"});
+  for (DocId d : docs) {
+    CompactTuple t;
+    t.cells.push_back(Cell::Exact(Value::Doc(d)));
+    table.Add(std::move(t));
+  }
+  return table;
+}
+
+std::vector<std::string> AllTaskIds() {
+  return {"T1", "T2", "T3", "T4", "T5", "T6", "T7", "T8", "T9"};
+}
+
+std::vector<std::string> DblifeTaskIds() {
+  return {"Panel", "Project", "Chair"};
+}
+
+std::vector<size_t> ScenarioSizes(const std::string& id) {
+  // Table 3's three scenarios per task; the last entry is the paper's
+  // full size (0 = "full" sentinel resolved by the task builders).
+  if (id == "T1") return {10, 100, 250};
+  if (id == "T2") return {10, 100, 242};
+  if (id == "T3") return {10, 100, 517};
+  if (id == "T4") return {10, 100, 312};
+  if (id == "T5") return {100, 500, 2136};
+  if (id == "T6") return {100, 500, 1798};
+  if (id == "T7") return {100, 500, 5000};
+  if (id == "T8") return {100, 500, 2490};
+  if (id == "T9") return {100, 500, 5000};
+  return {0};
+}
+
+Result<std::unique_ptr<TaskInstance>> MakeTask(const std::string& id,
+                                               size_t scale, uint64_t seed) {
+  if (id == "T1" || id == "T2" || id == "T3") {
+    return MakeMovieTask(id, scale, seed);
+  }
+  if (id == "T4" || id == "T5" || id == "T6") {
+    return MakeDblpTask(id, scale, seed);
+  }
+  if (id == "T7" || id == "T8" || id == "T9") {
+    return MakeBookTask(id, scale, seed);
+  }
+  if (id == "Panel" || id == "Project" || id == "Chair") {
+    return MakeDblifeTask(id, scale, seed);
+  }
+  return Status::NotFound("unknown task id: " + id);
+}
+
+}  // namespace iflex

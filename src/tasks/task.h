@@ -1,0 +1,94 @@
+#ifndef IFLEX_TASKS_TASK_H_
+#define IFLEX_TASKS_TASK_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "alog/program.h"
+#include "oracle/developer.h"
+#include "oracle/gold.h"
+#include "text/corpus.h"
+
+namespace iflex {
+
+/// One fully-assembled IE task (paper Table 2: T1-T9; Table 6: Panel /
+/// Project / Chair): synthetic corpus, catalog with extensional tables and
+/// declared IE predicates, the initial Alog program, the gold standard,
+/// and a simulated developer wired to it.
+struct TaskInstance {
+  std::string id;
+  std::string description;
+
+  std::unique_ptr<Corpus> corpus;
+  std::unique_ptr<Catalog> catalog;
+  Program initial_program;
+  GoldStandard gold;
+  std::unique_ptr<SimulatedDeveloper> developer;
+
+  /// Scenario size: tuples in the largest extensional table.
+  size_t tuples_per_table = 0;
+
+  // ---- cost-model inputs (Table 3) --------------------------------------
+  /// IE predicates a precise Xlog implementation must hand-code.
+  size_t n_procedures = 0;
+  /// Attributes across those procedures.
+  size_t n_attributes = 0;
+  /// Rules in the initial program.
+  size_t n_rules = 0;
+  /// Records / record-pairs a Manual solution must inspect.
+  size_t manual_records = 0;
+  size_t manual_pairs = 0;
+
+  // ---- cleanup stage (paper §2.2.4) --------------------------------------
+  /// Developer minutes to write the task's cleanup procedure, when one is
+  /// needed (the parenthesized entries of Tables 3/6).
+  double cleanup_minutes = 0;
+  /// When set, transforms the refined program into the post-cleanup
+  /// program (e.g. Chair adds the chairType p-predicate); the result is
+  /// evaluated against `cleanup_gold`.
+  std::function<Result<Program>(const Program&)> apply_cleanup;
+  std::vector<std::vector<Value>> cleanup_gold;
+
+  /// Precise Xlog baseline program; filled in by AddPreciseBaseline()
+  /// (src/xlog). Empty until then.
+  Program precise_program;
+};
+
+/// Builds a task. `scale` is the Table 3 scenario size (tuples per table);
+/// 0 selects the paper's full size. Known ids: T1..T9, Panel, Project,
+/// Chair.
+Result<std::unique_ptr<TaskInstance>> MakeTask(const std::string& id,
+                                               size_t scale,
+                                               uint64_t seed = 11);
+
+/// The nine Table 2 task ids.
+std::vector<std::string> AllTaskIds();
+/// The three DBLife task ids (Table 6).
+std::vector<std::string> DblifeTaskIds();
+/// The paper's three scenario sizes for a task (Table 3 rows).
+std::vector<size_t> ScenarioSizes(const std::string& id);
+
+// ---- shared helpers for the per-domain builders (internal use) ----------
+
+/// One-column table of document values.
+CompactTable DocTable(const std::vector<DocId>& docs);
+
+// Per-domain builders (defined in *_tasks.cc).
+Result<std::unique_ptr<TaskInstance>> MakeMovieTask(const std::string& id,
+                                                    size_t scale,
+                                                    uint64_t seed);
+Result<std::unique_ptr<TaskInstance>> MakeDblpTask(const std::string& id,
+                                                   size_t scale,
+                                                   uint64_t seed);
+Result<std::unique_ptr<TaskInstance>> MakeBookTask(const std::string& id,
+                                                   size_t scale,
+                                                   uint64_t seed);
+Result<std::unique_ptr<TaskInstance>> MakeDblifeTask(const std::string& id,
+                                                     size_t scale,
+                                                     uint64_t seed);
+
+}  // namespace iflex
+
+#endif  // IFLEX_TASKS_TASK_H_

@@ -1,0 +1,23 @@
+#include "text/corpus.h"
+
+#include "common/strutil.h"
+
+namespace iflex {
+
+DocId Corpus::Add(Document doc) {
+  DocId id = static_cast<DocId>(docs_.size());
+  doc.set_id(id);
+  by_name_.emplace(doc.name(), id);
+  docs_.push_back(std::make_unique<Document>(std::move(doc)));
+  return id;
+}
+
+Result<DocId> Corpus::Find(const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    return Status::NotFound(StringPrintf("no document named %s", name.c_str()));
+  }
+  return it->second;
+}
+
+}  // namespace iflex

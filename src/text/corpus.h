@@ -1,0 +1,48 @@
+#ifndef IFLEX_TEXT_CORPUS_H_
+#define IFLEX_TEXT_CORPUS_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "text/document.h"
+
+namespace iflex {
+
+/// Owns the documents of an extraction session and assigns DocIds. All
+/// layers (compact tables, operators, features) refer to documents through
+/// a `const Corpus&`.
+class Corpus {
+ public:
+  Corpus() = default;
+  Corpus(const Corpus&) = delete;
+  Corpus& operator=(const Corpus&) = delete;
+  Corpus(Corpus&&) = default;
+  Corpus& operator=(Corpus&&) = default;
+
+  /// Registers `doc`, assigning it the next DocId. Returns the id.
+  DocId Add(Document doc);
+
+  size_t size() const { return docs_.size(); }
+
+  /// Document by id; the id must have been returned by Add().
+  const Document& Get(DocId id) const { return *docs_[id]; }
+
+  /// Document by name, or NotFound.
+  Result<DocId> Find(const std::string& name) const;
+
+  /// Text of a span, resolved through the owning document.
+  std::string_view TextOf(const Span& span) const {
+    return Get(span.doc).TextOf(span);
+  }
+
+ private:
+  std::vector<std::unique_ptr<Document>> docs_;
+  std::unordered_map<std::string, DocId> by_name_;
+};
+
+}  // namespace iflex
+
+#endif  // IFLEX_TEXT_CORPUS_H_

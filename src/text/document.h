@@ -1,0 +1,91 @@
+#ifndef IFLEX_TEXT_DOCUMENT_H_
+#define IFLEX_TEXT_DOCUMENT_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "text/markup.h"
+#include "text/span.h"
+
+namespace iflex {
+
+/// A token: [begin, end) character range of the document text, with
+/// surrounding punctuation already stripped (so "$351,000." tokenizes to
+/// "$351,000").
+struct Token {
+  uint32_t begin = 0;
+  uint32_t end = 0;
+};
+
+/// A document (a Web page or a record fragment of one) consisting of plain
+/// text plus markup layers. Documents are immutable once registered in a
+/// Corpus; the token index is computed on construction.
+class Document {
+ public:
+  Document() = default;
+  /// `name` is a human-readable identifier ("imdb/42"); markup is attached
+  /// via mutable_layer() before the document is frozen by a Corpus.
+  Document(std::string name, std::string text);
+
+  DocId id() const { return id_; }
+  const std::string& name() const { return name_; }
+  const std::string& text() const { return text_; }
+  uint32_t size() const { return static_cast<uint32_t>(text_.size()); }
+
+  const MarkupLayer& layer(MarkupKind kind) const {
+    return layers_[static_cast<int>(kind)];
+  }
+  MarkupLayer& mutable_layer(MarkupKind kind) {
+    return layers_[static_cast<int>(kind)];
+  }
+
+  /// Text of a span of this document (span.doc must match id()).
+  std::string_view TextOf(const Span& span) const;
+
+  /// The span covering the whole document.
+  Span FullSpan() const { return Span(id_, 0, size()); }
+
+  /// Tokens, in document order.
+  const std::vector<Token>& tokens() const { return tokens_; }
+
+  /// Index of the first token whose begin >= pos, tokens().size() if none.
+  size_t FirstTokenAtOrAfter(uint32_t pos) const;
+  /// Index one past the last token whose end <= pos.
+  size_t TokensEndingBy(uint32_t pos) const;
+
+  /// All token-aligned sub-spans of `span` (spans that start at a token
+  /// begin and end at a token end, both inside `span`), capped at
+  /// `max_spans` (returns true if the cap was not hit). This realizes the
+  /// paper's "all sub-spans of s" at token granularity.
+  bool EnumerateSubSpans(const Span& span, size_t max_spans,
+                         std::vector<Span>* out) const;
+
+  /// Number of token-aligned sub-spans of `span` (without materializing).
+  size_t CountSubSpans(const Span& span) const;
+
+  /// Snaps `span` outward is not allowed; returns the largest token-aligned
+  /// span inside `span`, or an empty span when no token fits.
+  Span AlignToTokens(const Span& span) const;
+
+  /// The nearest label (MarkupKind::kLabel range) that ends at or before
+  /// `pos`; nullopt when the document has no label before `pos`.
+  std::optional<Span> PrecedingLabel(uint32_t pos) const;
+
+  /// Called by Corpus on registration.
+  void set_id(DocId id) { id_ = id; }
+
+ private:
+  void Tokenize();
+
+  DocId id_ = kInvalidDocId;
+  std::string name_;
+  std::string text_;
+  MarkupLayer layers_[kNumMarkupKinds];
+  std::vector<Token> tokens_;
+};
+
+}  // namespace iflex
+
+#endif  // IFLEX_TEXT_DOCUMENT_H_

@@ -1,0 +1,133 @@
+#include "text/markup_parser.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/strutil.h"
+
+namespace iflex {
+
+namespace {
+
+struct TagInfo {
+  std::string_view name;
+  MarkupKind kind;
+};
+
+constexpr TagInfo kTags[] = {
+    {"b", MarkupKind::kBold},          {"i", MarkupKind::kItalic},
+    {"u", MarkupKind::kUnderline},     {"a", MarkupKind::kHyperlink},
+    {"li", MarkupKind::kListItem},     {"title", MarkupKind::kTitle},
+    {"label", MarkupKind::kLabel},
+};
+
+const TagInfo* FindTag(std::string_view name) {
+  for (const auto& t : kTags) {
+    if (t.name == name) return &t;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+Result<Document> ParseMarkup(std::string name, std::string_view markup) {
+  std::string text;
+  text.reserve(markup.size());
+  struct Open {
+    MarkupKind kind;
+    uint32_t begin;
+    std::string_view tag;
+  };
+  std::vector<Open> stack;
+  std::vector<std::tuple<MarkupKind, uint32_t, uint32_t>> ranges;
+
+  size_t i = 0;
+  while (i < markup.size()) {
+    char c = markup[i];
+    if (c != '<') {
+      text.push_back(c);
+      ++i;
+      continue;
+    }
+    size_t close = markup.find('>', i);
+    if (close == std::string_view::npos) {
+      return Status::ParseError(
+          StringPrintf("unterminated '<' at offset %zu in document %s", i,
+                       name.c_str()));
+    }
+    std::string_view inner = markup.substr(i + 1, close - i - 1);
+    bool is_close = !inner.empty() && inner.front() == '/';
+    if (is_close) inner.remove_prefix(1);
+    const TagInfo* tag = FindTag(inner);
+    if (tag == nullptr) {
+      return Status::ParseError(StringPrintf(
+          "unknown tag <%.*s> in document %s", static_cast<int>(inner.size()),
+          inner.data(), name.c_str()));
+    }
+    if (!is_close) {
+      stack.push_back(Open{tag->kind, static_cast<uint32_t>(text.size()),
+                           tag->name});
+    } else {
+      if (stack.empty() || stack.back().kind != tag->kind) {
+        return Status::ParseError(StringPrintf(
+            "mismatched </%.*s> in document %s",
+            static_cast<int>(inner.size()), inner.data(), name.c_str()));
+      }
+      ranges.emplace_back(stack.back().kind, stack.back().begin,
+                          static_cast<uint32_t>(text.size()));
+      stack.pop_back();
+    }
+    i = close + 1;
+  }
+  if (!stack.empty()) {
+    return Status::ParseError(StringPrintf(
+        "unclosed <%.*s> in document %s",
+        static_cast<int>(stack.back().tag.size()), stack.back().tag.data(),
+        name.c_str()));
+  }
+
+  Document doc(std::move(name), std::move(text));
+  for (const auto& [kind, b, e] : ranges) {
+    doc.mutable_layer(kind).Add(b, e);
+  }
+  return doc;
+}
+
+std::string RenderMarkup(const Document& doc) {
+  // Collect open/close events per position; close events sort before opens
+  // at the same position so tags nest sanely for non-overlapping layers.
+  struct Event {
+    uint32_t pos;
+    bool open;
+    int kind;
+  };
+  std::vector<Event> events;
+  for (int k = 0; k < kNumMarkupKinds; ++k) {
+    for (const auto& r :
+         doc.layer(static_cast<MarkupKind>(k)).ranges()) {
+      events.push_back(Event{r.first, true, k});
+      events.push_back(Event{r.second, false, k});
+    }
+  }
+  std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
+    if (a.pos != b.pos) return a.pos < b.pos;
+    return a.open < b.open;  // closes first
+  });
+  std::string out;
+  size_t ev = 0;
+  const std::string& text = doc.text();
+  for (uint32_t pos = 0; pos <= text.size(); ++pos) {
+    while (ev < events.size() && events[ev].pos == pos) {
+      const TagInfo& t = kTags[events[ev].kind];
+      out.push_back('<');
+      if (!events[ev].open) out.push_back('/');
+      out.append(t.name);
+      out.push_back('>');
+      ++ev;
+    }
+    if (pos < text.size()) out.push_back(text[pos]);
+  }
+  return out;
+}
+
+}  // namespace iflex

@@ -1,0 +1,29 @@
+#ifndef IFLEX_TEXT_MARKUP_PARSER_H_
+#define IFLEX_TEXT_MARKUP_PARSER_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "text/document.h"
+
+namespace iflex {
+
+/// Parses a lightweight HTML-like markup into a Document. Supported tags
+/// (must nest properly): <b> <i> <u> <a> <li> <title> <label>. Everything
+/// else is literal text. Example:
+///
+///   ParseMarkup("house", "Price: <b>$351,000</b>\nSchool: <i>Lincoln</i>")
+///
+/// The tag characters themselves are removed from the document text; the
+/// corresponding character ranges are recorded in the markup layers. This
+/// is the format the synthetic page generators and the examples use.
+Result<Document> ParseMarkup(std::string name, std::string_view markup);
+
+/// Inverse-ish of ParseMarkup for debugging: renders the document text with
+/// tags re-inserted.
+std::string RenderMarkup(const Document& doc);
+
+}  // namespace iflex
+
+#endif  // IFLEX_TEXT_MARKUP_PARSER_H_

@@ -1,0 +1,11 @@
+#include "text/span.h"
+
+#include "common/strutil.h"
+
+namespace iflex {
+
+std::string Span::ToString() const {
+  return StringPrintf("%u:%u-%u", doc, begin, end);
+}
+
+}  // namespace iflex

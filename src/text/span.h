@@ -1,0 +1,66 @@
+#ifndef IFLEX_TEXT_SPAN_H_
+#define IFLEX_TEXT_SPAN_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace iflex {
+
+/// Identifier of a document inside a Corpus.
+using DocId = uint32_t;
+
+inline constexpr DocId kInvalidDocId = UINT32_MAX;
+
+/// A contiguous region [begin, end) of a document's text. Spans are the
+/// unit of extraction: every extracted attribute value is (conceptually) a
+/// span of some source document.
+struct Span {
+  DocId doc = kInvalidDocId;
+  uint32_t begin = 0;
+  uint32_t end = 0;
+
+  Span() = default;
+  Span(DocId d, uint32_t b, uint32_t e) : doc(d), begin(b), end(e) {}
+
+  uint32_t length() const { return end - begin; }
+  bool empty() const { return begin >= end; }
+
+  /// True when `other` lies fully inside this span (same document).
+  bool Contains(const Span& other) const {
+    return doc == other.doc && begin <= other.begin && other.end <= end;
+  }
+
+  /// True when the two spans share at least one character.
+  bool Overlaps(const Span& other) const {
+    return doc == other.doc && begin < other.end && other.begin < end;
+  }
+
+  bool operator==(const Span& o) const {
+    return doc == o.doc && begin == o.begin && end == o.end;
+  }
+  bool operator!=(const Span& o) const { return !(*this == o); }
+  bool operator<(const Span& o) const {
+    if (doc != o.doc) return doc < o.doc;
+    if (begin != o.begin) return begin < o.begin;
+    return end < o.end;
+  }
+
+  /// Debug form "doc:begin-end".
+  std::string ToString() const;
+};
+
+struct SpanHash {
+  size_t operator()(const Span& s) const {
+    uint64_t x = (static_cast<uint64_t>(s.doc) << 40) ^
+                 (static_cast<uint64_t>(s.begin) << 20) ^ s.end;
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+    return static_cast<size_t>(x);
+  }
+};
+
+}  // namespace iflex
+
+#endif  // IFLEX_TEXT_SPAN_H_

@@ -1,0 +1,18 @@
+#ifndef IFLEX_XLOG_PRECISE_H_
+#define IFLEX_XLOG_PRECISE_H_
+
+#include "tasks/task.h"
+
+namespace iflex {
+
+/// Installs the precise-Xlog baseline for a task (paper §6: the "Xlog"
+/// method, where a developer hand-writes Perl extraction procedures):
+/// registers hand-coded extraction p-predicates ("px_*") on the task's
+/// catalog and fills task->precise_program with the equivalent precise
+/// program. The procedures parse the page structure (markup runs, field
+/// labels) — they never peek at the gold standard.
+Status AddPreciseBaseline(TaskInstance* task);
+
+}  // namespace iflex
+
+#endif  // IFLEX_XLOG_PRECISE_H_

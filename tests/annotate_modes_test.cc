@@ -1,0 +1,59 @@
+// The optimized compact-table psi and the paper's default a-table route
+// must agree on whole-program results (ablation A's correctness side).
+#include <gtest/gtest.h>
+
+#include "ctable/worlds.h"
+#include "exec/executor.h"
+#include "tasks/task.h"
+
+namespace iflex {
+namespace {
+
+class AnnotateModesTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(AnnotateModesTest, CompactAndATableRoutesAgreeOnTasks) {
+  auto task = MakeTask(GetParam(), 12);
+  ASSERT_TRUE(task.ok()) << task.status();
+  // Constrain enough that the a-table route stays enumerable.
+  Program prog = (*task)->initial_program;
+  const Catalog& catalog = *(*task)->catalog;
+  for (const AttributeRef& attr : EnumerateAttributes(prog, catalog)) {
+    ASSERT_TRUE(prog.AddConstraint(catalog, attr.ie_predicate,
+                                   attr.output_idx, "numeric",
+                                   FeatureParam::None(), FeatureValue::kYes)
+                    .ok());
+  }
+
+  ExecOptions compact_mode;
+  compact_mode.compact_annotate = true;
+  ExecOptions atable_mode;
+  atable_mode.compact_annotate = false;
+
+  Executor e1(catalog, compact_mode);
+  Executor e2(catalog, atable_mode);
+  auto r1 = e1.Execute(prog);
+  auto r2 = e2.Execute(prog);
+  ASSERT_TRUE(r1.ok()) << r1.status();
+  ASSERT_TRUE(r2.ok()) << r2.status();
+
+  const Corpus& corpus = *(*task)->corpus;
+  EXPECT_EQ(r1->size(), r2->size());
+  EXPECT_DOUBLE_EQ(r1->ExpandedTupleCount(corpus),
+                   r2->ExpandedTupleCount(corpus));
+  // Same possible relations (worlds) when small enough to enumerate.
+  auto a1 = CompactToATable(corpus, *r1);
+  auto a2 = CompactToATable(corpus, *r2);
+  ASSERT_TRUE(a1.ok() && a2.ok());
+  auto w1 = WorldSet(*a1, 1 << 18);
+  auto w2 = WorldSet(*a2, 1 << 18);
+  if (w1.ok() && w2.ok()) {
+    EXPECT_EQ(*w1, *w2);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Tasks, AnnotateModesTest,
+                         ::testing::Values("T1", "T2", "T4", "T7"),
+                         [](const auto& info) { return info.param; });
+
+}  // namespace
+}  // namespace iflex

@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "assistant/convergence.h"
+#include "assistant/question.h"
+#include "assistant/strategy.h"
+#include "tasks/task.h"
+
+namespace iflex {
+namespace {
+
+TEST(ConvergenceTest, FiresAfterKStableObservations) {
+  ConvergenceDetector d(3);
+  EXPECT_FALSE(d.Observe(10, 100));
+  EXPECT_FALSE(d.Observe(10, 100));
+  EXPECT_TRUE(d.Observe(10, 100));
+}
+
+TEST(ConvergenceTest, AnyChangeResetsTheWindow) {
+  ConvergenceDetector d(3);
+  EXPECT_FALSE(d.Observe(10, 100));
+  EXPECT_FALSE(d.Observe(10, 100));
+  EXPECT_FALSE(d.Observe(10, 99));  // assignment change
+  EXPECT_FALSE(d.Observe(10, 99));
+  EXPECT_TRUE(d.Observe(10, 99));
+}
+
+TEST(ConvergenceTest, TupleChangeAloneResets) {
+  ConvergenceDetector d(2);
+  EXPECT_FALSE(d.Observe(10, 100));
+  EXPECT_FALSE(d.Observe(9, 100));
+  EXPECT_TRUE(d.Observe(9, 100));
+  d.Reset();
+  EXPECT_FALSE(d.Observe(9, 100));
+}
+
+class StrategyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    task_ = MakeTask("T1", 30).value();
+    subset_ = std::make_unique<Catalog>(
+        task_->catalog->CloneWithSampledTables(0.3, 42));
+  }
+
+  StrategyContext Ctx() {
+    StrategyContext ctx;
+    ctx.program = &task_->initial_program;
+    ctx.full_catalog = task_->catalog.get();
+    ctx.subset_catalog = subset_.get();
+    ctx.subset_cache = &cache_;
+    ctx.asked = &asked_;
+    return ctx;
+  }
+
+  std::unique_ptr<TaskInstance> task_;
+  std::unique_ptr<Catalog> subset_;
+  ReuseCache cache_;
+  std::set<std::string> asked_;
+};
+
+TEST_F(StrategyTest, EnumerateAttributesFindsIEOutputs) {
+  auto attrs = EnumerateAttributes(task_->initial_program, *task_->catalog);
+  ASSERT_EQ(attrs.size(), 2u);
+  EXPECT_EQ(attrs[0].ie_predicate, "extractIMDB");
+  EXPECT_EQ(attrs[0].display_name, "title");
+  EXPECT_EQ(attrs[1].display_name, "votes");
+}
+
+TEST_F(StrategyTest, RankAttributesPrefersFilteredAttribute) {
+  // votes participates in "votes < 25000" (via the intensional head);
+  // the ranking must surface it first.
+  auto ranked = RankAttributes(task_->initial_program, *task_->catalog);
+  ASSERT_EQ(ranked.size(), 2u);
+  EXPECT_EQ(ranked[0].display_name, "votes");
+}
+
+TEST_F(StrategyTest, SequentialWalksTheQuestionSpace) {
+  SequentialStrategy strategy;
+  std::set<std::string> seen;
+  for (int i = 0; i < 5; ++i) {
+    auto q = strategy.Next(Ctx());
+    ASSERT_TRUE(q.ok());
+    ASSERT_TRUE(q->has_value());
+    EXPECT_TRUE(seen.insert((*q)->Key()).second) << "duplicate question";
+    asked_.insert((*q)->Key());
+  }
+}
+
+TEST_F(StrategyTest, SequentialExhaustsEventually) {
+  SequentialStrategy strategy;
+  int count = 0;
+  while (true) {
+    auto q = strategy.Next(Ctx());
+    ASSERT_TRUE(q.ok());
+    if (!q->has_value()) break;
+    asked_.insert((*q)->Key());
+    ASSERT_LT(++count, 200);
+  }
+  // 2 attributes x 20 features.
+  EXPECT_EQ(count, 40);
+}
+
+TEST_F(StrategyTest, SimulationPrefersUsefulQuestions) {
+  SimulationStrategy strategy;
+  auto q = strategy.Next(Ctx());
+  ASSERT_TRUE(q.ok());
+  ASSERT_TRUE(q->has_value());
+  EXPECT_GT(strategy.simulations_run(), 0u);
+  // The useful first question concerns the filtered attribute.
+  EXPECT_EQ((*q)->attr.display_name, "votes");
+}
+
+TEST_F(StrategyTest, ApplyAnswerAddsConstraint) {
+  Question q;
+  q.attr.ie_predicate = "extractIMDB";
+  q.attr.output_idx = 1;
+  q.feature = "numeric";
+  Program prog = task_->initial_program;
+  size_t before = prog.ToString().size();
+  ASSERT_TRUE(ApplyAnswer(&prog, *task_->catalog, q,
+                          Answer::Of(FeatureValue::kYes))
+                  .ok());
+  EXPECT_GT(prog.ToString().size(), before);
+  // Don't-know answers change nothing.
+  Program prog2 = task_->initial_program;
+  ASSERT_TRUE(ApplyAnswer(&prog2, *task_->catalog, q, Answer::DontKnow()).ok());
+  EXPECT_EQ(prog2.ToString(), task_->initial_program.ToString());
+}
+
+TEST_F(StrategyTest, ProbeAttributeValuesSamplesTokens) {
+  auto values = ProbeAttributeValues(Ctx(), AttributeRef{"extractIMDB", 1,
+                                                         "votes"});
+  ASSERT_FALSE(values.empty());
+  // Token-level sampling: numeric tokens must be present.
+  bool has_number = false;
+  for (const Value& v : values) {
+    has_number = has_number || v.AsNumber().has_value();
+  }
+  EXPECT_TRUE(has_number);
+}
+
+TEST_F(StrategyTest, CandidateAnswersForMarkupFeature) {
+  const Feature* bold = *task_->catalog->features().Get("bold_font");
+  Question q;
+  q.feature = "bold_font";
+  auto answers =
+      CandidateAnswers(q, *bold, task_->corpus->size() ? *task_->corpus
+                                                       : *task_->corpus,
+                       {});
+  ASSERT_EQ(answers.size(), 3u);  // yes / distinct-yes / no
+  for (const Answer& a : answers) EXPECT_TRUE(a.known);
+}
+
+TEST_F(StrategyTest, CandidateAnswersForValueBounds) {
+  const Feature* min_value = *task_->catalog->features().Get("min_value");
+  Question q;
+  q.feature = "min_value";
+  std::vector<Value> observed = {Value::Number(10), Value::Number(20),
+                                 Value::Number(30), Value::Number(40)};
+  auto answers = CandidateAnswers(q, *min_value, *task_->corpus, observed);
+  ASSERT_FALSE(answers.empty());
+  for (const Answer& a : answers) {
+    ASSERT_TRUE(a.param.num.has_value());
+    EXPECT_GE(*a.param.num, 10);
+    EXPECT_LE(*a.param.num, 40);
+  }
+  // No numeric observations -> no candidates.
+  auto none = CandidateAnswers(q, *min_value, *task_->corpus,
+                               {Value::String("abc")});
+  EXPECT_TRUE(none.empty());
+}
+
+}  // namespace
+}  // namespace iflex

@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/strutil.h"
+
+namespace iflex {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::ParseError("bad token");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kParseError);
+  EXPECT_EQ(s.ToString(), "ParseError: bad token");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (StatusCode c :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kAlreadyExists, StatusCode::kParseError,
+        StatusCode::kUnsafeRule, StatusCode::kTypeError,
+        StatusCode::kExecutionError, StatusCode::kUnimplemented,
+        StatusCode::kInternal}) {
+    EXPECT_STRNE(StatusCodeToString(c), "Unknown");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(0), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> Quarter(int x) {
+  IFLEX_ASSIGN_OR_RETURN(int h, Half(x));
+  IFLEX_ASSIGN_OR_RETURN(int q, Half(h));
+  return q;
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(*Quarter(8), 2);
+  EXPECT_FALSE(Quarter(6).ok());  // 6/2=3 is odd
+}
+
+TEST(StrUtilTest, Split) {
+  auto parts = Split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+}
+
+TEST(StrUtilTest, JoinRoundTrip) {
+  EXPECT_EQ(Join({"x", "y", "z"}, ", "), "x, y, z");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(StrUtilTest, StripWhitespace) {
+  EXPECT_EQ(StripWhitespace("  hi \n"), "hi");
+  EXPECT_EQ(StripWhitespace(""), "");
+  EXPECT_EQ(StripWhitespace(" \t "), "");
+}
+
+TEST(StrUtilTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("foobar", "foo"));
+  EXPECT_FALSE(StartsWith("fo", "foo"));
+  EXPECT_TRUE(EndsWith("foobar", "bar"));
+  EXPECT_FALSE(EndsWith("ar", "bar"));
+}
+
+TEST(StrUtilTest, ContainsIgnoreCase) {
+  EXPECT_TRUE(ContainsIgnoreCase("The PANEL session", "panel"));
+  EXPECT_FALSE(ContainsIgnoreCase("nothing here", "panel"));
+  EXPECT_TRUE(ContainsIgnoreCase("anything", ""));
+}
+
+TEST(StrUtilTest, ParseLooseNumberPlain) {
+  EXPECT_DOUBLE_EQ(*ParseLooseNumber("42"), 42);
+  EXPECT_DOUBLE_EQ(*ParseLooseNumber("4.5"), 4.5);
+  EXPECT_DOUBLE_EQ(*ParseLooseNumber("-3"), -3);
+}
+
+TEST(StrUtilTest, ParseLooseNumberCurrencyAndCommas) {
+  // The paper's canonical price form.
+  EXPECT_DOUBLE_EQ(*ParseLooseNumber("$351,000"), 351000);
+  EXPECT_DOUBLE_EQ(*ParseLooseNumber("$39.99"), 39.99);
+  EXPECT_DOUBLE_EQ(*ParseLooseNumber("1,234,567"), 1234567);
+}
+
+TEST(StrUtilTest, ParseLooseNumberRejectsText) {
+  EXPECT_FALSE(ParseLooseNumber("Lincoln").has_value());
+  EXPECT_FALSE(ParseLooseNumber("12a").has_value());
+  EXPECT_FALSE(ParseLooseNumber("").has_value());
+  EXPECT_FALSE(ParseLooseNumber("$").has_value());
+  EXPECT_FALSE(ParseLooseNumber("1,,2").has_value());
+  EXPECT_FALSE(ParseLooseNumber("1.2.3").has_value());
+}
+
+TEST(StrUtilTest, StringPrintf) {
+  EXPECT_EQ(StringPrintf("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StringPrintf("%s", ""), "");
+}
+
+TEST(StrUtilTest, FingerprintStable) {
+  EXPECT_EQ(Fingerprint64("abc"), Fingerprint64("abc"));
+  EXPECT_NE(Fingerprint64("abc"), Fingerprint64("abd"));
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, UniformRangeInclusive) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformRange(3, 5);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, SampleIndicesDistinctSorted) {
+  Rng rng(99);
+  auto s = rng.SampleIndices(100, 10);
+  ASSERT_EQ(s.size(), 10u);
+  for (size_t i = 1; i < s.size(); ++i) EXPECT_LT(s[i - 1], s[i]);
+}
+
+TEST(RngTest, SampleAllWhenKTooLarge) {
+  Rng rng(5);
+  auto s = rng.SampleIndices(4, 10);
+  EXPECT_EQ(s.size(), 4u);
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(11);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+}  // namespace
+}  // namespace iflex

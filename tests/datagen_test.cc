@@ -1,0 +1,237 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/strutil.h"
+#include "datagen/books.h"
+#include "datagen/builder.h"
+#include "datagen/dblife.h"
+#include "datagen/dblp.h"
+#include "datagen/movies.h"
+#include "datagen/names.h"
+
+namespace iflex {
+namespace {
+
+TEST(PageBuilderTest, TracksSpansExactly) {
+  Corpus corpus;
+  PageBuilder b("p");
+  auto r1 = b.Append("Price: ");
+  auto r2 = b.AppendMarked("$42", MarkupKind::kBold);
+  b.Newline();
+  DocId d = b.Finish(&corpus);
+  const Document& doc = corpus.Get(d);
+  EXPECT_EQ(doc.TextOf(Span(d, r1.first, r1.second)), "Price: ");
+  EXPECT_EQ(doc.TextOf(Span(d, r2.first, r2.second)), "$42");
+  EXPECT_TRUE(doc.layer(MarkupKind::kBold).CoversDistinctly(r2.first, r2.second));
+}
+
+TEST(NamesTest, Determinism) {
+  Rng a(5);
+  Rng b(5);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(MakeMovieTitle(&a), MakeMovieTitle(&b));
+  }
+}
+
+TEST(NamesTest, DistinctStringsAreDistinct) {
+  Rng rng(9);
+  auto titles = DistinctStrings(&rng, 500, MakeMovieTitle);
+  std::set<std::string> set(titles.begin(), titles.end());
+  EXPECT_EQ(set.size(), titles.size());
+  EXPECT_EQ(titles.size(), 500u);
+}
+
+TEST(NamesTest, ProseIsLowercaseAndNonNumeric) {
+  Rng rng(3);
+  for (int i = 0; i < 20; ++i) {
+    std::string prose = MakeProse(&rng, 10);
+    for (const std::string& w : Split(prose, ' ')) {
+      EXPECT_FALSE(w.empty());
+      EXPECT_TRUE(std::islower(static_cast<unsigned char>(w[0]))) << w;
+      EXPECT_FALSE(IsLooseNumber(w)) << w;
+    }
+  }
+}
+
+TEST(MoviesGenTest, CountsAndSpans) {
+  Corpus corpus;
+  MoviesSpec spec;
+  spec.n_imdb = 25;
+  spec.n_ebert = 20;
+  spec.n_prasanna = 30;
+  spec.n_shared = 5;
+  MoviesData data = GenerateMovies(&corpus, spec);
+  ASSERT_EQ(data.imdb.size(), 25u);
+  ASSERT_EQ(data.ebert.size(), 20u);
+  ASSERT_EQ(data.prasanna.size(), 30u);
+  for (const MovieRecord& m : data.imdb) {
+    EXPECT_EQ(corpus.TextOf(m.title_span), m.title);
+    EXPECT_EQ(std::string(corpus.TextOf(m.votes_span)),
+              StringPrintf("%d", m.votes));
+    // Votes always dominate year/rating/rank distractors.
+    EXPECT_GT(m.votes, 3000);
+    // The title is distinctly italic.
+    const Document& doc = corpus.Get(m.doc);
+    EXPECT_TRUE(doc.layer(MarkupKind::kItalic)
+                    .CoversDistinctly(m.title_span.begin, m.title_span.end));
+  }
+  for (const MovieRecord& m : data.ebert) {
+    EXPECT_EQ(corpus.TextOf(m.title_span), m.title);
+    EXPECT_EQ(std::string(corpus.TextOf(m.year_span)),
+              StringPrintf("%d", m.year));
+  }
+}
+
+TEST(MoviesGenTest, SharedTitlesAppearInAllLists) {
+  Corpus corpus;
+  MoviesSpec spec;
+  spec.n_imdb = 30;
+  spec.n_ebert = 30;
+  spec.n_prasanna = 30;
+  spec.n_shared = 7;
+  MoviesData data = GenerateMovies(&corpus, spec);
+  std::set<std::string> imdb, ebert, prasanna;
+  for (const auto& m : data.imdb) imdb.insert(m.title);
+  for (const auto& m : data.ebert) ebert.insert(m.title);
+  for (const auto& m : data.prasanna) prasanna.insert(m.title);
+  size_t in_all = 0;
+  for (const auto& t : imdb) {
+    if (ebert.count(t) && prasanna.count(t)) ++in_all;
+  }
+  EXPECT_EQ(in_all, 7u);
+}
+
+TEST(DblpGenTest, JournalAndShortFractions) {
+  Corpus corpus;
+  DblpSpec spec;
+  spec.n_garcia = 40;
+  spec.n_vldb = 50;
+  spec.n_sigmod = 30;
+  spec.n_icde = 30;
+  spec.n_shared_teams = 8;
+  DblpData data = GenerateDblp(&corpus, spec);
+  size_t journals = 0;
+  for (const auto& p : data.garcia) {
+    if (p.is_journal) {
+      ++journals;
+      EXPECT_EQ(std::string(corpus.TextOf(p.journal_year_span)),
+                StringPrintf("%d", p.year));
+    }
+  }
+  EXPECT_EQ(journals, 14u);  // 35% of 40
+
+  size_t shorts = 0;
+  for (const auto& p : data.vldb) {
+    EXPECT_GE(p.last_page, p.first_page);
+    if (p.last_page < p.first_page + 5) ++shorts;
+    EXPECT_EQ(std::string(corpus.TextOf(p.first_page_span)),
+              StringPrintf("%d", p.first_page));
+    EXPECT_EQ(std::string(corpus.TextOf(p.last_page_span)),
+              StringPrintf("%d", p.last_page));
+  }
+  EXPECT_EQ(shorts, 10u);  // 20% of 50
+}
+
+TEST(DblpGenTest, SharedTeamsMatchExactly) {
+  Corpus corpus;
+  DblpSpec spec;
+  spec.n_garcia = 0;
+  spec.n_vldb = 0;
+  spec.n_sigmod = 20;
+  spec.n_icde = 20;
+  spec.n_shared_teams = 6;
+  DblpData data = GenerateDblp(&corpus, spec);
+  std::set<std::string> icde_teams;
+  for (const auto& p : data.icde) icde_teams.insert(p.authors);
+  size_t shared = 0;
+  for (const auto& p : data.sigmod) {
+    shared += icde_teams.count(p.authors);
+  }
+  EXPECT_EQ(shared, 6u);
+}
+
+TEST(BooksGenTest, PricesAndFractions) {
+  Corpus corpus;
+  BooksSpec spec;
+  spec.n_amazon = 40;
+  spec.n_barnes = 50;
+  spec.n_shared = 10;
+  BooksData data = GenerateBooks(&corpus, spec);
+  size_t expensive = 0;
+  for (const auto& b : data.barnes) {
+    if (b.bn_price > 100) ++expensive;
+    EXPECT_EQ(std::string(corpus.TextOf(b.bn_price_span)),
+              StringPrintf("$%.2f", b.bn_price));
+  }
+  EXPECT_EQ(expensive, 10u);  // 20% of 50
+
+  size_t deals = 0;
+  for (const auto& b : data.amazon) {
+    if (b.list_price == b.new_price && b.used_price < b.new_price) ++deals;
+    EXPECT_EQ(std::string(corpus.TextOf(b.new_price_span)),
+              StringPrintf("$%.2f", b.new_price));
+  }
+  EXPECT_EQ(deals, 8u);  // 20% of 40
+
+  // Shared titles align by index in both stores.
+  for (size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(data.amazon[i].title, data.barnes[i].title);
+  }
+}
+
+TEST(DblifeGenTest, PagesCarryStructure) {
+  Corpus corpus;
+  DblifeSpec spec;
+  spec.n_conferences = 10;
+  spec.n_homepages = 10;
+  spec.n_distractors = 15;
+  DblifeData data = GenerateDblife(&corpus, spec);
+  EXPECT_EQ(data.all_docs.size(), 35u);
+  for (const auto& page : data.conferences) {
+    EXPECT_FALSE(page.panelists.empty());
+    EXPECT_EQ(corpus.TextOf(page.conf_span), page.conference);
+    const Document& doc = corpus.Get(page.doc);
+    // The conference name is bold inside the title.
+    EXPECT_TRUE(doc.layer(MarkupKind::kTitle)
+                    .Covers(page.conf_span.begin, page.conf_span.end));
+    EXPECT_TRUE(doc.layer(MarkupKind::kBold)
+                    .Covers(page.conf_span.begin, page.conf_span.end));
+    for (const auto& p : page.panelists) {
+      EXPECT_EQ(corpus.TextOf(p.span), p.name);
+      auto label = doc.PrecedingLabel(p.span.begin);
+      ASSERT_TRUE(label.has_value());
+      EXPECT_TRUE(ContainsIgnoreCase(doc.TextOf(*label), "panel"));
+    }
+    for (const auto& c : page.chairs) {
+      EXPECT_EQ(corpus.TextOf(c.span), c.name);
+      auto label = doc.PrecedingLabel(c.span.begin);
+      ASSERT_TRUE(label.has_value());
+      EXPECT_TRUE(ContainsIgnoreCase(doc.TextOf(*label), "chair"));
+    }
+  }
+  for (const auto& page : data.homepages) {
+    EXPECT_EQ(corpus.TextOf(page.owner_span), page.owner);
+    for (const auto& p : page.projects) {
+      EXPECT_EQ(corpus.TextOf(p.span), p.name);
+    }
+  }
+}
+
+TEST(GenDeterminismTest, SameSeedSameCorpus) {
+  Corpus c1, c2;
+  MoviesSpec spec;
+  spec.n_imdb = 15;
+  spec.n_ebert = 15;
+  spec.n_prasanna = 15;
+  MoviesData d1 = GenerateMovies(&c1, spec);
+  MoviesData d2 = GenerateMovies(&c2, spec);
+  ASSERT_EQ(c1.size(), c2.size());
+  for (size_t i = 0; i < c1.size(); ++i) {
+    EXPECT_EQ(c1.Get(static_cast<DocId>(i)).text(),
+              c2.Get(static_cast<DocId>(i)).text());
+  }
+}
+
+}  // namespace
+}  // namespace iflex

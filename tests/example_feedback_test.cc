@@ -1,0 +1,109 @@
+// Example feedback (paper §5.1.1): marked-up samples prune the answer
+// space and reduce simulation work without hurting convergence.
+#include <gtest/gtest.h>
+
+#include "assistant/example_feedback.h"
+#include "assistant/session.h"
+#include "oracle/evaluate.h"
+#include "tasks/task.h"
+#include "text/markup_parser.h"
+
+namespace iflex {
+namespace {
+
+TEST(ExampleFeedbackTest, DeriveExclusionsFromSpanExample) {
+  Corpus corpus;
+  auto doc = ParseMarkup("d", "Price: <b>$42</b> plain text");
+  ASSERT_TRUE(doc.ok());
+  DocId d = corpus.Add(std::move(doc).value());
+  auto registry = CreateDefaultRegistry();
+  AttributeRef attr{"extract", 0, "price"};
+
+  // Example: the bold numeric "$42".
+  Value example = Value::OfSpan(corpus, Span(d, 7, 10));
+  AnswerExclusions ex = DeriveExclusions(corpus, *registry, attr, example);
+
+  Question bold{attr, "bold_font"};
+  ASSERT_TRUE(ex.count(bold.Key()));
+  // The example IS bold, so "no" is impossible; yes/distinct-yes are not.
+  EXPECT_TRUE(ex[bold.Key()].count(FeatureValue::kNo));
+  EXPECT_FALSE(ex[bold.Key()].count(FeatureValue::kYes));
+  EXPECT_FALSE(ex[bold.Key()].count(FeatureValue::kDistinctYes));
+
+  Question numeric{attr, "numeric"};
+  ASSERT_TRUE(ex.count(numeric.Key()));
+  EXPECT_TRUE(ex[numeric.Key()].count(FeatureValue::kNo));
+
+  Question italic{attr, "italic_font"};
+  ASSERT_TRUE(ex.count(italic.Key()));
+  // The example is not italic: yes and distinct-yes are impossible.
+  EXPECT_TRUE(ex[italic.Key()].count(FeatureValue::kYes));
+  EXPECT_TRUE(ex[italic.Key()].count(FeatureValue::kDistinctYes));
+  EXPECT_FALSE(ex[italic.Key()].count(FeatureValue::kNo));
+}
+
+TEST(ExampleFeedbackTest, ScalarExampleUsesTextVerification) {
+  Corpus corpus;
+  auto registry = CreateDefaultRegistry();
+  AttributeRef attr{"extract", 0, "count"};
+  AnswerExclusions ex =
+      DeriveExclusions(corpus, *registry, attr, Value::String("1234"));
+  Question numeric{attr, "numeric"};
+  ASSERT_TRUE(ex.count(numeric.Key()));
+  EXPECT_TRUE(ex[numeric.Key()].count(FeatureValue::kNo));
+  // Markup features cannot be judged on a scalar: nothing excluded.
+  Question bold{attr, "bold_font"};
+  EXPECT_FALSE(ex.count(bold.Key()));
+}
+
+TEST(ExampleFeedbackTest, MergeUnionsSets) {
+  AnswerExclusions a = {{"k", {FeatureValue::kYes}}};
+  AnswerExclusions b = {{"k", {FeatureValue::kNo}},
+                        {"j", {FeatureValue::kDistinctYes}}};
+  MergeExclusions(&a, b);
+  EXPECT_EQ(a["k"].size(), 2u);
+  EXPECT_EQ(a["j"].size(), 1u);
+}
+
+TEST(ExampleFeedbackTest, SessionWithExamplesStillConvergesWithFewerSims) {
+  auto run = [](bool with_examples) {
+    auto task = MakeTask("T2", 30).value();
+    SessionOptions options;
+    options.strategy = StrategyKind::kSimulation;
+    options.example_feedback = with_examples;
+    RefinementSession session(*task->catalog, task->initial_program,
+                              task->developer.get(), options);
+    auto result = session.Run();
+    EXPECT_TRUE(result.ok()) << result.status();
+    EvalReport report = EvaluateResult(*task->corpus, result->final_result,
+                                       task->gold.query_result);
+    return std::make_tuple(result->simulations_run,
+                           result->examples_collected, report.exact);
+  };
+  auto [sims_plain, examples_plain, exact_plain] = run(false);
+  auto [sims_ex, examples_ex, exact_ex] = run(true);
+  EXPECT_TRUE(exact_plain);
+  EXPECT_TRUE(exact_ex);
+  EXPECT_EQ(examples_plain, 0u);
+  EXPECT_EQ(examples_ex, 2u);  // title and year
+  // Pruned answer space -> fewer simulated executions.
+  EXPECT_LT(sims_ex, sims_plain);
+}
+
+TEST(CertainTuplesTest, LowerBoundNeverExceedsUpperBound) {
+  auto task = MakeTask("T7", 40).value();
+  SessionOptions options;
+  RefinementSession session(*task->catalog, task->initial_program,
+                            task->developer.get(), options);
+  auto result = session.Run();
+  ASSERT_TRUE(result.ok());
+  EvalReport report = EvaluateResult(*task->corpus, result->final_result,
+                                     task->gold.query_result);
+  EXPECT_LE(report.certain_tuples, report.result_tuples);
+  // On a converged clean task the bounds meet at the gold count.
+  EXPECT_DOUBLE_EQ(report.certain_tuples,
+                   static_cast<double>(report.gold_tuples));
+}
+
+}  // namespace
+}  // namespace iflex

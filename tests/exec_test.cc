@@ -1,0 +1,431 @@
+#include <gtest/gtest.h>
+
+#include "exec/annotate.h"
+#include "exec/cell_ops.h"
+#include "exec/executor.h"
+#include "text/markup_parser.h"
+
+namespace iflex {
+namespace {
+
+Value Num(double n) { return Value::Number(n); }
+Value Str(const std::string& s) { return Value::String(s); }
+
+// ------------------------------------------------------- BAnnotate (Fig 5)
+
+ATuple MakeATuple(std::vector<std::vector<Value>> cells, bool maybe = false) {
+  ATuple t;
+  t.cells = std::move(cells);
+  t.maybe = maybe;
+  return t;
+}
+
+TEST(BAnnotateTest, PaperFigure5) {
+  // T1 from Figure 5.a with an attribute annotation on age.
+  ATable t1({"name", "age"});
+  t1.Add(MakeATuple({{Str("Alice"), Str("Bob")}, {Num(5)}}));
+  t1.Add(MakeATuple({{Str("Alice"), Str("Carol")}, {Num(6), Num(7)}}));
+  t1.Add(MakeATuple({{Str("Dave")}, {Num(8), Num(9)}}));
+
+  AnnotationSpec spec;
+  spec.annotated = {1};
+  auto t2 = BAnnotate(t1, spec);
+  ASSERT_TRUE(t2.ok()) << t2.status();
+  ASSERT_EQ(t2->size(), 4u);
+
+  auto find = [&](const std::string& name) -> const ATuple* {
+    for (const auto& t : t2->tuples()) {
+      if (t.cells[0][0].AsText() == name) return &t;
+    }
+    return nullptr;
+  };
+  const ATuple* alice = find("Alice");
+  ASSERT_NE(alice, nullptr);
+  EXPECT_TRUE(alice->maybe);
+  EXPECT_EQ(alice->cells[1].size(), 3u);  // {5, 6, 7}
+
+  const ATuple* bob = find("Bob");
+  ASSERT_NE(bob, nullptr);
+  EXPECT_TRUE(bob->maybe);
+  EXPECT_EQ(bob->cells[1].size(), 1u);
+
+  const ATuple* carol = find("Carol");
+  ASSERT_NE(carol, nullptr);
+  EXPECT_TRUE(carol->maybe);
+  EXPECT_EQ(carol->cells[1].size(), 2u);
+
+  // Dave is pinned: every possible relation has a Dave tuple.
+  const ATuple* dave = find("Dave");
+  ASSERT_NE(dave, nullptr);
+  EXPECT_FALSE(dave->maybe);
+  EXPECT_EQ(dave->cells[1].size(), 2u);  // {8, 9}
+}
+
+TEST(BAnnotateTest, MaybeInputNeverPins) {
+  ATable t({"name", "age"});
+  t.Add(MakeATuple({{Str("Dave")}, {Num(8)}}, /*maybe=*/true));
+  AnnotationSpec spec;
+  spec.annotated = {1};
+  auto out = BAnnotate(t, spec);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->size(), 1u);
+  EXPECT_TRUE(out->tuples()[0].maybe);
+}
+
+TEST(BAnnotateTest, MultipleAnnotatedAttributes) {
+  ATable t({"k", "a", "b"});
+  t.Add(MakeATuple({{Str("x")}, {Num(1), Num(2)}, {Num(3)}}));
+  t.Add(MakeATuple({{Str("x")}, {Num(2)}, {Num(4)}}));
+  AnnotationSpec spec;
+  spec.annotated = {1, 2};
+  auto out = BAnnotate(t, spec);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->size(), 1u);
+  EXPECT_EQ(out->tuples()[0].cells[1].size(), 2u);  // {1,2}
+  EXPECT_EQ(out->tuples()[0].cells[2].size(), 2u);  // {3,4}
+  EXPECT_FALSE(out->tuples()[0].maybe);
+}
+
+// ------------------------------------------------------------ cell ops
+
+class CellOpsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto d = ParseMarkup(
+        "d", "Price: <b>$619,000</b>\nSqft: 4700\nSchool: Basktall HS");
+    ASSERT_TRUE(d.ok());
+    doc_ = corpus_.Add(std::move(d).value());
+    registry_ = CreateDefaultRegistry();
+  }
+
+  Cell WholeDocContain() {
+    Cell c;
+    c.assignments.push_back(Assignment::Contain(corpus_.Get(doc_).FullSpan()));
+    return c;
+  }
+
+  Corpus corpus_;
+  DocId doc_ = 0;
+  std::unique_ptr<FeatureRegistry> registry_;
+  CellOpLimits limits_;
+};
+
+TEST_F(CellOpsTest, ConstraintRefinesContainToExactNumbers) {
+  ConstraintLit k;
+  k.feature = "numeric";
+  k.var = "p";
+  k.value = FeatureValue::kYes;
+  auto cell = ApplyConstraintToCell(corpus_, *registry_, WholeDocContain(), k, {});
+  ASSERT_TRUE(cell.ok());
+  ASSERT_EQ(cell->assignments.size(), 2u);  // $619,000 and 4700
+  EXPECT_TRUE(cell->assignments[0].is_exact());
+}
+
+TEST_F(CellOpsTest, ConstraintHistoryRechecked) {
+  // First bold, then numeric: numeric Refine over the bold region; the
+  // result must still satisfy bold (it does: $619,000 is inside bold).
+  ConstraintLit bold;
+  bold.feature = "bold_font";
+  bold.var = "p";
+  ConstraintLit numeric;
+  numeric.feature = "numeric";
+  numeric.var = "p";
+  auto after_bold =
+      ApplyConstraintToCell(corpus_, *registry_, WholeDocContain(), bold, {});
+  ASSERT_TRUE(after_bold.ok());
+  auto after_num = ApplyConstraintToCell(corpus_, *registry_, *after_bold,
+                                         numeric, {bold});
+  ASSERT_TRUE(after_num.ok());
+  ASSERT_EQ(after_num->assignments.size(), 1u);
+  EXPECT_EQ(after_num->assignments[0].value.AsText(), "$619,000");
+
+  // Order independence (paper §4.2): numeric then bold gives the same set.
+  auto a1 = ApplyConstraintToCell(corpus_, *registry_, WholeDocContain(),
+                                  numeric, {});
+  ASSERT_TRUE(a1.ok());
+  auto a2 = ApplyConstraintToCell(corpus_, *registry_, *a1, bold, {numeric});
+  ASSERT_TRUE(a2.ok());
+  ASSERT_EQ(a2->assignments.size(), 1u);
+  EXPECT_EQ(a2->assignments[0].value.AsText(), "$619,000");
+}
+
+TEST_F(CellOpsTest, ScalarValuesVerifiedByText) {
+  Cell c = Cell::Exact(Value::String("42"));
+  ConstraintLit numeric;
+  numeric.feature = "numeric";
+  numeric.var = "v";
+  auto r = ApplyConstraintToCell(corpus_, *registry_, c, numeric, {});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->assignments.size(), 1u);
+  // A markup feature cannot narrow a scalar: value kept (sound).
+  ConstraintLit bold;
+  bold.feature = "bold_font";
+  bold.var = "v";
+  auto r2 = ApplyConstraintToCell(corpus_, *registry_, c, bold, {});
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2->assignments.size(), 1u);
+}
+
+TEST_F(CellOpsTest, CompareCellsTriState) {
+  Cell big = Cell::Exact(Num(619000));
+  Cell small = Cell::Exact(Num(4700));
+  Cell threshold = Cell::Exact(Num(500000));
+  EXPECT_EQ(CompareCells(corpus_, big, CmpOp::kGt, threshold, limits_),
+            SatResult::kAll);
+  EXPECT_EQ(CompareCells(corpus_, small, CmpOp::kGt, threshold, limits_),
+            SatResult::kNone);
+  Cell both;
+  both.assignments.push_back(Assignment::Exact(Num(619000)));
+  both.assignments.push_back(Assignment::Exact(Num(4700)));
+  EXPECT_EQ(CompareCells(corpus_, both, CmpOp::kGt, threshold, limits_),
+            SatResult::kSome);
+}
+
+TEST_F(CellOpsTest, CompareValuesNullSemantics) {
+  EXPECT_TRUE(CompareValues(Value::Null(), CmpOp::kEq, Value::Null()));
+  EXPECT_TRUE(CompareValues(Num(1), CmpOp::kNe, Value::Null()));
+  EXPECT_FALSE(CompareValues(Num(1), CmpOp::kEq, Value::Null()));
+  EXPECT_FALSE(CompareValues(Value::Null(), CmpOp::kLt, Num(1)));
+}
+
+TEST_F(CellOpsTest, CompareValuesMixedNumericString) {
+  EXPECT_TRUE(CompareValues(Str("$39.99"), CmpOp::kEq, Num(39.99)));
+  EXPECT_TRUE(CompareValues(Str("abc"), CmpOp::kLt, Str("abd")));
+  // Both sides parse as numbers, so the comparison is numeric: 10 < 9 is
+  // false even though "10" < "9" lexicographically.
+  EXPECT_FALSE(CompareValues(Str("10"), CmpOp::kLt, Str("9")));
+  // A true number never matches non-numeric text.
+  EXPECT_FALSE(CompareValues(Str("Sqft"), CmpOp::kGt, Num(500000)));
+  EXPECT_TRUE(CompareValues(Str("Sqft"), CmpOp::kNe, Num(500000)));
+}
+
+TEST_F(CellOpsTest, NarrowByComparisonFlagsPartial) {
+  Cell both;
+  both.assignments.push_back(Assignment::Exact(Num(619000)));
+  both.assignments.push_back(Assignment::Exact(Num(4700)));
+  Cell threshold = Cell::Exact(Num(500000));
+  bool partial = false;
+  Cell narrowed = NarrowCellByComparison(corpus_, both, CmpOp::kGt, threshold,
+                                         limits_, &partial);
+  ASSERT_EQ(narrowed.assignments.size(), 1u);
+  EXPECT_EQ(*narrowed.assignments[0].value.AsNumber(), 619000);
+  // No partiality: the dropped assignment had no satisfying value, the
+  // kept one only satisfying values.
+  EXPECT_FALSE(partial);
+
+  // contain over the whole document: some sub-spans satisfy, some do not.
+  bool partial2 = false;
+  Cell narrowed2 = NarrowCellByComparison(corpus_, WholeDocContain(),
+                                          CmpOp::kGt, threshold, limits_,
+                                          &partial2);
+  EXPECT_EQ(narrowed2.assignments.size(), 1u);
+  EXPECT_TRUE(partial2);
+}
+
+// --------------------------------------------------------------- executor
+
+class ExecutorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto p1 = ParseMarkup("page1", "Price: <b>$250,000</b> Sqft: 2000");
+    auto p2 = ParseMarkup("page2", "Price: <b>$619,000</b> Sqft: 4700");
+    ASSERT_TRUE(p1.ok());
+    ASSERT_TRUE(p2.ok());
+    d1_ = corpus_.Add(std::move(p1).value());
+    d2_ = corpus_.Add(std::move(p2).value());
+    catalog_ = std::make_unique<Catalog>(&corpus_);
+    CompactTable pages({"x"});
+    for (DocId d : {d1_, d2_}) {
+      CompactTuple t;
+      t.cells.push_back(Cell::Exact(Value::Doc(d)));
+      pages.Add(t);
+    }
+    ASSERT_TRUE(catalog_->AddTable("pages", std::move(pages)).ok());
+    ASSERT_TRUE(catalog_->DeclareIEPredicate("extractPrice", 1, 1).ok());
+    catalog_->RegisterBuiltinFunctions();
+  }
+
+  Corpus corpus_;
+  DocId d1_ = 0, d2_ = 0;
+  std::unique_ptr<Catalog> catalog_;
+};
+
+TEST_F(ExecutorTest, ExtractWithConstraints) {
+  const char* src = R"(
+    q(x, p) :- pages(x), extractPrice(x, p).
+    extractPrice(x, p) :- from(x, p), numeric(p) = yes,
+                          bold_font(p) = yes.
+  )";
+  auto prog = ParseProgram(src, *catalog_);
+  ASSERT_TRUE(prog.ok()) << prog.status();
+  prog->set_query("q");
+  Executor exec(*catalog_);
+  auto result = exec.Execute(*prog);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->size(), 2u);
+  // Each page's p cell narrowed to the single bold price.
+  for (const auto& t : result->tuples()) {
+    ASSERT_EQ(t.cells[1].assignments.size(), 1u);
+    EXPECT_TRUE(t.cells[1].assignments[0].is_exact());
+  }
+}
+
+TEST_F(ExecutorTest, ComparisonDropsAndNarrows) {
+  const char* src = R"(
+    q(x, p) :- pages(x), extractPrice(x, p), p > 500000.
+    extractPrice(x, p) :- from(x, p), numeric(p) = yes,
+                          bold_font(p) = yes.
+  )";
+  auto prog = ParseProgram(src, *catalog_);
+  ASSERT_TRUE(prog.ok());
+  prog->set_query("q");
+  Executor exec(*catalog_);
+  auto result = exec.Execute(*prog);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->size(), 1u);
+  EXPECT_DOUBLE_EQ(
+      *result->tuples()[0].cells[1].assignments[0].value.AsNumber(), 619000);
+  EXPECT_FALSE(result->tuples()[0].maybe);
+}
+
+TEST_F(ExecutorTest, UnconstrainedAttributeComparisonKeepsMaybe) {
+  // Without the bold/numeric narrowing, some sub-span satisfies and most
+  // do not -> the page-2 tuple survives as a maybe tuple.
+  const char* src = R"(
+    q(x, p) :- pages(x), extractPrice(x, p), p > 500000.
+    extractPrice(x, p) :- from(x, p).
+  )";
+  auto prog = ParseProgram(src, *catalog_);
+  ASSERT_TRUE(prog.ok());
+  prog->set_query("q");
+  Executor exec(*catalog_);
+  auto result = exec.Execute(*prog);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->size(), 1u);
+  EXPECT_TRUE(result->tuples()[0].maybe);
+}
+
+TEST_F(ExecutorTest, ExistenceAnnotationMarksMaybe) {
+  const char* src = R"(
+    q(x, p)? :- pages(x), extractPrice(x, p).
+    extractPrice(x, p) :- from(x, p), numeric(p) = yes, bold_font(p) = yes.
+  )";
+  auto prog = ParseProgram(src, *catalog_);
+  ASSERT_TRUE(prog.ok());
+  prog->set_query("q");
+  Executor exec(*catalog_);
+  auto result = exec.Execute(*prog);
+  ASSERT_TRUE(result.ok());
+  for (const auto& t : result->tuples()) EXPECT_TRUE(t.maybe);
+}
+
+TEST_F(ExecutorTest, AttributeAnnotationGroupsPerKey) {
+  // numeric alone leaves two candidate numbers per page; the attribute
+  // annotation groups them into one tuple per page.
+  const char* src = R"(
+    q(x, <p>) :- pages(x), extractPrice(x, p).
+    extractPrice(x, p) :- from(x, p), numeric(p) = yes.
+  )";
+  auto prog = ParseProgram(src, *catalog_);
+  ASSERT_TRUE(prog.ok());
+  prog->set_query("q");
+  Executor exec(*catalog_);
+  auto result = exec.Execute(*prog);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->size(), 2u);
+  for (const auto& t : result->tuples()) {
+    EXPECT_FALSE(t.maybe);
+    EXPECT_EQ(t.cells[1].assignments.size(), 2u);  // price and sqft numbers
+  }
+}
+
+TEST_F(ExecutorTest, PPredicateAppliesPerInputValue) {
+  ASSERT_TRUE(catalog_
+                  ->DeclarePPredicate(
+                      "double_it", 1, 1,
+                      [](const Corpus&, const std::vector<Value>& in)
+                          -> Result<std::vector<std::vector<Value>>> {
+                        auto n = in[0].AsNumber();
+                        if (!n.has_value()) return std::vector<std::vector<Value>>{};
+                        return std::vector<std::vector<Value>>{
+                            {Value::Number(*n * 2)}};
+                      })
+                  .ok());
+  const char* src = R"(
+    q(x, p, d) :- pages(x), extractPrice(x, p), double_it(p, d).
+    extractPrice(x, p) :- from(x, p), numeric(p) = yes, bold_font(p) = yes.
+  )";
+  auto prog = ParseProgram(src, *catalog_);
+  ASSERT_TRUE(prog.ok()) << prog.status();
+  prog->set_query("q");
+  Executor exec(*catalog_);
+  auto result = exec.Execute(*prog);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->size(), 2u);
+  for (const auto& t : result->tuples()) {
+    double p = *t.cells[1].assignments[0].value.AsNumber();
+    double d = *t.cells[2].assignments[0].value.AsNumber();
+    EXPECT_DOUBLE_EQ(d, 2 * p);
+    EXPECT_FALSE(t.maybe);  // exactly one input combination
+  }
+}
+
+TEST_F(ExecutorTest, ReuseCacheHitsOnUnchangedPredicates) {
+  const char* src = R"(
+    prices(x, p) :- pages(x), extractPrice(x, p).
+    q(x, p) :- prices(x, p), p > 500000.
+    extractPrice(x, p) :- from(x, p), numeric(p) = yes, bold_font(p) = yes.
+  )";
+  auto prog = ParseProgram(src, *catalog_);
+  ASSERT_TRUE(prog.ok());
+  prog->set_query("q");
+  ReuseCache cache;
+  Executor exec(*catalog_);
+  ASSERT_TRUE(exec.Execute(*prog, &cache).ok());
+  EXPECT_EQ(exec.stats().cache_hits, 0u);
+  size_t misses = exec.stats().cache_misses;
+  EXPECT_GT(misses, 0u);
+  ASSERT_TRUE(exec.Execute(*prog, &cache).ok());
+  EXPECT_EQ(exec.stats().cache_hits, misses);
+}
+
+TEST_F(ExecutorTest, StatsAccumulate) {
+  const char* src = R"(
+    q(x, p) :- pages(x), extractPrice(x, p).
+    extractPrice(x, p) :- from(x, p), numeric(p) = yes.
+  )";
+  auto prog = ParseProgram(src, *catalog_);
+  ASSERT_TRUE(prog.ok());
+  prog->set_query("q");
+  Executor exec(*catalog_);
+  ASSERT_TRUE(exec.Execute(*prog).ok());
+  EXPECT_GT(exec.stats().rules_evaluated, 0u);
+  EXPECT_GT(exec.stats().constraint_cells, 0u);
+  exec.ClearStats();
+  EXPECT_EQ(exec.stats().rules_evaluated, 0u);
+}
+
+TEST_F(ExecutorTest, RecursionRejected) {
+  // Hand-build a recursive program (the parser allows it; the executor
+  // must reject it).
+  const char* src = R"(
+    q(x) :- pages(x).
+  )";
+  auto prog = ParseProgram(src, *catalog_);
+  ASSERT_TRUE(prog.ok());
+  Rule rec;
+  rec.head.predicate = "q";
+  rec.head.args = {"x"};
+  rec.head.annotated = {false};
+  Atom self;
+  self.predicate = "q";
+  self.args = {Term::Var("x")};
+  rec.body.push_back(Literal::OfAtom(self));
+  prog->AddRule(rec);
+  prog->set_query("q");
+  Executor exec(*catalog_);
+  EXPECT_FALSE(exec.Execute(*prog).ok());
+}
+
+}  // namespace
+}  // namespace iflex

@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include "features/registry.h"
+#include "oracle/developer.h"
+#include "oracle/evaluate.h"
+#include "oracle/timemodel.h"
+#include "text/markup_parser.h"
+
+namespace iflex {
+namespace {
+
+class DeveloperTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto d1 = ParseMarkup("r1",
+                          "Price: <b>$123.45</b>\nISBN: 0131873253\n"
+                          "<label>Details:</label> in stock");
+    auto d2 = ParseMarkup("r2",
+                          "Price: <b>$67.89</b>\nISBN: 0201538082\n"
+                          "<label>Details:</label> ships soon");
+    ASSERT_TRUE(d1.ok());
+    ASSERT_TRUE(d2.ok());
+    d1_ = corpus_.Add(std::move(d1).value());
+    d2_ = corpus_.Add(std::move(d2).value());
+
+    // Gold: the two bold prices.
+    auto span_of = [this](DocId d, const char* text) {
+      const Document& doc = corpus_.Get(d);
+      size_t at = doc.text().find(text);
+      EXPECT_NE(at, std::string::npos);
+      return Span(d, static_cast<uint32_t>(at),
+                  static_cast<uint32_t>(at + std::string(text).size()));
+    };
+    gold_.extractions["extract"].push_back(GoldStandard::Extraction{
+        d1_, {Value::OfSpan(corpus_, span_of(d1_, "$123.45"))}});
+    gold_.extractions["extract"].push_back(GoldStandard::Extraction{
+        d2_, {Value::OfSpan(corpus_, span_of(d2_, "$67.89"))}});
+
+    registry_ = CreateDefaultRegistry();
+    dev_ = std::make_unique<SimulatedDeveloper>(&corpus_, &gold_);
+  }
+
+  Question Q(const char* feature) {
+    Question q;
+    q.attr.ie_predicate = "extract";
+    q.attr.output_idx = 0;
+    q.attr.display_name = "price";
+    q.feature = feature;
+    return q;
+  }
+
+  Answer Ask(const char* feature) {
+    return dev_->Ask(Q(feature), **registry_->Get(feature));
+  }
+
+  Corpus corpus_;
+  DocId d1_ = 0, d2_ = 0;
+  GoldStandard gold_;
+  std::unique_ptr<FeatureRegistry> registry_;
+  std::unique_ptr<SimulatedDeveloper> dev_;
+};
+
+TEST_F(DeveloperTest, AnswersMarkupQuestionsFromGold) {
+  Answer bold = Ask("bold_font");
+  ASSERT_TRUE(bold.known);
+  // Both prices are distinctly bold; the developer gives the strongest
+  // consistent answer.
+  EXPECT_EQ(bold.value, FeatureValue::kDistinctYes);
+
+  Answer italic = Ask("italic_font");
+  ASSERT_TRUE(italic.known);
+  EXPECT_EQ(italic.value, FeatureValue::kNo);
+
+  Answer numeric = Ask("numeric");
+  ASSERT_TRUE(numeric.known);
+  EXPECT_EQ(numeric.value, FeatureValue::kYes);
+}
+
+TEST_F(DeveloperTest, AnswersValueBoundsFromGold) {
+  Answer min = Ask("min_value");
+  ASSERT_TRUE(min.known);
+  EXPECT_DOUBLE_EQ(*min.param.num, 67.89);
+  Answer max = Ask("max_value");
+  ASSERT_TRUE(max.known);
+  EXPECT_DOUBLE_EQ(*max.param.num, 123.45);
+  Answer len = Ask("max_length");
+  ASSERT_TRUE(len.known);
+  EXPECT_DOUBLE_EQ(*len.param.num, 7);  // "$123.45"
+}
+
+TEST_F(DeveloperTest, AnswersPrecededByWhenConsistent) {
+  Answer a = Ask("preceded_by");
+  ASSERT_TRUE(a.known);
+  EXPECT_EQ(*a.param.str, "Price:");
+}
+
+TEST_F(DeveloperTest, DontKnowForRegexQuestions) {
+  EXPECT_FALSE(Ask("starts_with").known);
+  EXPECT_FALSE(Ask("ends_with").known);
+}
+
+TEST_F(DeveloperTest, DontKnowForUnknownAttribute) {
+  Question q = Q("numeric");
+  q.attr.ie_predicate = "nonexistent";
+  Answer a = dev_->Ask(q, **registry_->Get("numeric"));
+  EXPECT_FALSE(a.known);
+}
+
+TEST_F(DeveloperTest, ScriptedAnswerOverrides) {
+  dev_->Script(Q("starts_with"),
+               Answer::WithParam(FeatureParam::Str("[A-Z]+")));
+  Answer a = Ask("starts_with");
+  ASSERT_TRUE(a.known);
+  EXPECT_EQ(*a.param.str, "[A-Z]+");
+}
+
+TEST_F(DeveloperTest, TracksTimeAndCounts) {
+  DeveloperTimeModel model;
+  (void)Ask("numeric");
+  EXPECT_DOUBLE_EQ(dev_->LastAnswerSeconds(), model.seconds_per_question);
+  EXPECT_EQ(dev_->questions_answered(), 1u);
+}
+
+TEST_F(DeveloperTest, AlphaForcesDontKnow) {
+  SimulatedDeveloper always_unsure(&corpus_, &gold_, DeveloperTimeModel{},
+                                   /*alpha=*/1.0);
+  Answer a = always_unsure.Ask(Q("numeric"), **registry_->Get("numeric"));
+  EXPECT_FALSE(a.known);
+  EXPECT_EQ(always_unsure.dont_knows(), 1u);
+}
+
+TEST(TimeModelTest, XlogAndManualShapes) {
+  DeveloperTimeModel model;
+  // Calibrated near the paper's Table 3: one procedure with two
+  // attributes plus a rule -> ~26 min (paper T1: 28).
+  EXPECT_NEAR(model.XlogMinutes(1, 2, 3), 34, 12);
+  // Manual scales linearly and cuts off.
+  auto small = model.ManualMinutes(100, 0);
+  ASSERT_TRUE(small.has_value());
+  auto big = model.ManualMinutes(100000, 0);
+  EXPECT_FALSE(big.has_value());
+  auto join = model.ManualMinutes(100, 100 * 100);
+  ASSERT_TRUE(join.has_value());
+  EXPECT_GT(*join, *small);
+}
+
+TEST(EvaluateTest, SupersetAndCoverage) {
+  Corpus corpus;
+  CompactTable result({"t"});
+  for (const char* s : {"A", "B", "C"}) {
+    CompactTuple t;
+    t.cells.push_back(Cell::Exact(Value::String(s)));
+    result.Add(std::move(t));
+  }
+  std::vector<std::vector<Value>> gold = {{Value::String("A")},
+                                          {Value::String("B")}};
+  EvalReport rep = EvaluateResult(corpus, result, gold);
+  EXPECT_DOUBLE_EQ(rep.result_tuples, 3);
+  EXPECT_EQ(rep.gold_covered, 2u);
+  EXPECT_TRUE(rep.covers_all_gold);
+  EXPECT_FALSE(rep.exact);
+  EXPECT_DOUBLE_EQ(rep.superset_pct, 150.0);
+
+  std::vector<std::vector<Value>> missing = {{Value::String("Z")}};
+  EvalReport rep2 = EvaluateResult(corpus, result, missing);
+  EXPECT_FALSE(rep2.covers_all_gold);
+}
+
+TEST(EvaluateTest, ExpansionCellsCountPerValue) {
+  Corpus corpus;
+  Document doc("d", "Alice Bob");
+  DocId id = corpus.Add(std::move(doc));
+  CompactTable result({"name"});
+  CompactTuple t;
+  // Two exact values in an expansion cell = two tuples.
+  t.cells.push_back(Cell::Expansion(
+      {Assignment::Exact(Value::OfSpan(corpus, Span(id, 0, 5))),
+       Assignment::Exact(Value::OfSpan(corpus, Span(id, 6, 9)))}));
+  result.Add(std::move(t));
+  std::vector<std::vector<Value>> gold = {{Value::String("Alice")},
+                                          {Value::String("Bob")}};
+  EvalReport rep = EvaluateResult(corpus, result, gold);
+  EXPECT_DOUBLE_EQ(rep.result_tuples, 2);
+  EXPECT_TRUE(rep.exact);
+}
+
+}  // namespace
+}  // namespace iflex

@@ -1,0 +1,192 @@
+// End-to-end reproduction of the paper's running example (Figures 1-3):
+// two house pages, two school pages, the Alog program of Figure 2.c, and
+// the expected answer (x2, 619000, 4700, "Basktall HS").
+#include <gtest/gtest.h>
+
+#include "exec/executor.h"
+#include "text/markup_parser.h"
+
+namespace iflex {
+namespace {
+
+class PaperExampleTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Figure 1.b, lightly adapted: prices are bold; school names in the
+    // school pages are bold.
+    auto x1 = ParseMarkup("x1",
+                          "Price: <b>$351,000</b>\n"
+                          "Cozy house on quiet street\n"
+                          "5146 Windsor Ave, Champaign\n"
+                          "Sqft: 2750\n"
+                          "High school: Vanhise High");
+    auto x2 = ParseMarkup("x2",
+                          "Price: <b>$619,000</b>\n"
+                          "Amazing house in great location\n"
+                          "3112 Stonecreek Blvd, Cherry Hills\n"
+                          "Sqft: 4700\n"
+                          "High school: Basktall HS");
+    auto y1 = ParseMarkup("y1",
+                          "Top High Schools and Location (page 1)\n"
+                          "<b>Basktall</b>, Cherry Hills\n"
+                          "<b>Franklin</b>, Robeson\n"
+                          "<b>Vanhise</b>, Champaign");
+    auto y2 = ParseMarkup("y2",
+                          "Top High Schools and Location (page 2)\n"
+                          "<b>Hoover</b>, Akron\n"
+                          "<b>Ossage</b>, Lynneville");
+    for (auto* d : {&x1, &x2, &y1, &y2}) ASSERT_TRUE(d->ok());
+    x1_ = corpus_.Add(std::move(x1).value());
+    x2_ = corpus_.Add(std::move(x2).value());
+    y1_ = corpus_.Add(std::move(y1).value());
+    y2_ = corpus_.Add(std::move(y2).value());
+
+    catalog_ = std::make_unique<Catalog>(&corpus_);
+    CompactTable houses({"x"});
+    for (DocId d : {x1_, x2_}) {
+      CompactTuple t;
+      t.cells.push_back(Cell::Exact(Value::Doc(d)));
+      houses.Add(t);
+    }
+    ASSERT_TRUE(catalog_->AddTable("housePages", std::move(houses)).ok());
+    CompactTable schools({"y"});
+    for (DocId d : {y1_, y2_}) {
+      CompactTuple t;
+      t.cells.push_back(Cell::Exact(Value::Doc(d)));
+      schools.Add(t);
+    }
+    ASSERT_TRUE(catalog_->AddTable("schoolPages", std::move(schools)).ok());
+    ASSERT_TRUE(catalog_->DeclareIEPredicate("extractHouses", 1, 3).ok());
+    ASSERT_TRUE(catalog_->DeclareIEPredicate("extractSchools", 1, 1).ok());
+    // "Basktall HS" vs "Basktall": token Jaccard 0.5.
+    catalog_->RegisterBuiltinFunctions(/*similarity_threshold=*/0.4);
+  }
+
+  Corpus corpus_;
+  DocId x1_ = 0, x2_ = 0, y1_ = 0, y2_ = 0;
+  std::unique_ptr<Catalog> catalog_;
+};
+
+// Figure 2.c: the annotated Alog program.
+constexpr char kProgram[] = R"(
+  houses(x, <p>, <a>, <h>) :- housePages(x), extractHouses(x, p, a, h).
+  schools(s)? :- schoolPages(y), extractSchools(y, s).
+  q(x, p, a, h) :- houses(x, p, a, h), schools(s), p > 500000, a > 4500,
+                   approx_match(h, s).
+  extractHouses(x, p, a, h) :- from(x, p), from(x, a), from(x, h),
+                               numeric(p) = yes, numeric(a) = yes.
+  extractSchools(y, s) :- from(y, s), bold_font(s) = yes.
+)";
+
+TEST_F(PaperExampleTest, HousesRuleProducesOneTuplePerPage) {
+  auto prog = ParseProgram(kProgram, *catalog_);
+  ASSERT_TRUE(prog.ok()) << prog.status();
+  prog->set_query("houses");
+  Executor exec(*catalog_);
+  auto result = exec.Execute(*prog);
+  ASSERT_TRUE(result.ok()) << result.status();
+  // Example 2.3: each possible houses relation has exactly one tuple per
+  // document, so the compact result has one (non-maybe) tuple per page.
+  ASSERT_EQ(result->size(), 2u);
+  for (const auto& t : result->tuples()) {
+    EXPECT_FALSE(t.maybe);
+    // p and a hold the page's numeric values (3 candidates each).
+    EXPECT_EQ(t.cells[1].assignments.size(), 3u);
+    EXPECT_EQ(t.cells[2].assignments.size(), 3u);
+    // h is condensed to a single contain assignment over the page.
+    ASSERT_EQ(t.cells[3].assignments.size(), 1u);
+    EXPECT_TRUE(t.cells[3].assignments[0].is_contain());
+  }
+}
+
+TEST_F(PaperExampleTest, SchoolsRuleIsCompactAndMaybe) {
+  auto prog = ParseProgram(kProgram, *catalog_);
+  ASSERT_TRUE(prog.ok());
+  prog->set_query("schools");
+  Executor exec(*catalog_);
+  auto result = exec.Execute(*prog);
+  ASSERT_TRUE(result.ok()) << result.status();
+  // Figure 3: one compact tuple per school page, existence-annotated.
+  ASSERT_EQ(result->size(), 2u);
+  size_t bold_spans = 0;
+  for (const auto& t : result->tuples()) {
+    EXPECT_TRUE(t.maybe);
+    EXPECT_TRUE(t.cells[0].is_expansion);
+    bold_spans += t.cells[0].assignments.size();
+  }
+  EXPECT_EQ(bold_spans, 5u);  // Basktall, Franklin, Vanhise, Hoover, Ossage
+}
+
+TEST_F(PaperExampleTest, QueryReturnsTheExpectedHouse) {
+  auto prog = ParseProgram(kProgram, *catalog_);
+  ASSERT_TRUE(prog.ok());
+  prog->set_query("q");
+  Executor exec(*catalog_);
+  auto result = exec.Execute(*prog);
+  ASSERT_TRUE(result.ok()) << result.status();
+  // Example 2.2: only (x2, 619000, 4700, "Basktall HS") qualifies.
+  ASSERT_EQ(result->size(), 1u);
+  const CompactTuple& t = result->tuples()[0];
+  EXPECT_EQ(t.cells[0].assignments[0].value.doc(), x2_);
+  ASSERT_EQ(t.cells[1].assignments.size(), 1u);
+  EXPECT_DOUBLE_EQ(*t.cells[1].assignments[0].value.AsNumber(), 619000);
+  // a narrowed to values > 4500 (the true 4700 must be among them).
+  bool has_4700 = false;
+  std::vector<Value> a_values;
+  t.cells[2].EnumerateValues(corpus_, 100, &a_values);
+  for (const Value& v : a_values) {
+    auto n = v.AsNumber();
+    ASSERT_TRUE(n.has_value());
+    EXPECT_GT(*n, 4500);
+    has_4700 = has_4700 || *n == 4700;
+  }
+  EXPECT_TRUE(has_4700);
+}
+
+TEST_F(PaperExampleTest, CompactTablesBeatATablesInSize) {
+  // The compact houses table encodes vastly more possible tuples than it
+  // stores assignments — the motivation for compact tables (paper §3).
+  auto prog = ParseProgram(kProgram, *catalog_);
+  ASSERT_TRUE(prog.ok());
+  prog->set_query("houses");
+  Executor exec(*catalog_);
+  auto result = exec.Execute(*prog);
+  ASSERT_TRUE(result.ok());
+  double possible = result->PossibleTupleCount(corpus_);
+  size_t assignments = result->AssignmentCount();
+  EXPECT_GT(possible, static_cast<double>(assignments) * 10);
+}
+
+TEST_F(PaperExampleTest, ExampleOneNarrativeSupersetShrinks) {
+  // Example 1.1's narrative: an underspecified program returns a larger
+  // superset; adding "price is bold" shrinks it.
+  // The low threshold keeps several candidate numbers per page, so the
+  // initial result is genuinely ambiguous.
+  const char* loose = R"(
+    q(x, p) :- housePages(x), extractPrice(x, p), p > 3000.
+    extractPrice(x, p) :- from(x, p), numeric(p) = yes.
+  )";
+  ASSERT_TRUE(catalog_->DeclareIEPredicate("extractPrice", 1, 1).ok());
+  auto prog = ParseProgram(loose, *catalog_);
+  ASSERT_TRUE(prog.ok()) << prog.status();
+  prog->set_query("q");
+  Executor exec(*catalog_);
+  auto r1 = exec.Execute(*prog);
+  ASSERT_TRUE(r1.ok());
+  size_t loose_assignments = r1->AssignmentCount();
+
+  ASSERT_TRUE(prog->AddConstraint(*catalog_, "extractPrice", 0, "bold_font",
+                                  FeatureParam::None(), FeatureValue::kYes)
+                  .ok());
+  auto r2 = exec.Execute(*prog);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_LT(r2->AssignmentCount(), loose_assignments);
+  // Both prices exceed the threshold, so both pages remain, now pinned.
+  EXPECT_EQ(r2->size(), 2u);
+  for (const auto& t : r2->tuples()) {
+    EXPECT_EQ(t.cells[1].assignments.size(), 1u);
+  }
+}
+
+}  // namespace
+}  // namespace iflex

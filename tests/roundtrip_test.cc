@@ -1,0 +1,87 @@
+// Cross-cutting round-trip properties over all task programs: the parser
+// and printer agree, validation/unfolding succeed, and fingerprints are
+// stable.
+#include <gtest/gtest.h>
+
+#include "exec/executor.h"
+#include "tasks/task.h"
+#include "text/markup_parser.h"
+
+namespace iflex {
+namespace {
+
+class TaskProgramTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(TaskProgramTest, ParsePrintParseIsStable) {
+  auto task = MakeTask(GetParam(), 10);
+  ASSERT_TRUE(task.ok()) << task.status();
+  const Program& p = (*task)->initial_program;
+  std::string printed = p.ToString();
+  auto reparsed = ParseProgram(printed, *(*task)->catalog);
+  ASSERT_TRUE(reparsed.ok()) << GetParam() << ": " << reparsed.status()
+                             << "\n" << printed;
+  EXPECT_EQ(reparsed->ToString(), printed);
+}
+
+TEST_P(TaskProgramTest, UnfoldSucceedsAndRemovesIEPredicates) {
+  auto task = MakeTask(GetParam(), 10);
+  ASSERT_TRUE(task.ok());
+  auto unfolded = (*task)->initial_program.Unfold(*(*task)->catalog);
+  ASSERT_TRUE(unfolded.ok()) << unfolded.status();
+  for (const Rule& r : unfolded->rules()) {
+    for (const Literal& lit : r.body) {
+      if (lit.kind != Literal::Kind::kAtom) continue;
+      auto kind = (*task)->catalog->KindOf(lit.atom.predicate);
+      if (kind.ok()) {
+        EXPECT_NE(*kind, PredicateKind::kIEPredicate)
+            << lit.atom.predicate << " survived unfolding";
+      }
+    }
+  }
+}
+
+TEST_P(TaskProgramTest, FingerprintIsDeterministic) {
+  auto t1 = MakeTask(GetParam(), 10);
+  auto t2 = MakeTask(GetParam(), 10);
+  ASSERT_TRUE(t1.ok() && t2.ok());
+  EXPECT_EQ((*t1)->initial_program.Fingerprint(),
+            (*t2)->initial_program.Fingerprint());
+}
+
+TEST_P(TaskProgramTest, InitialProgramExecutesOnSmallSubset) {
+  auto task = MakeTask(GetParam(), 10);
+  ASSERT_TRUE(task.ok());
+  Catalog subset = (*task)->catalog->CloneWithSampledTables(0.5, 1);
+  Executor exec(subset);
+  auto result = exec.Execute((*task)->initial_program);
+  ASSERT_TRUE(result.ok()) << GetParam() << ": " << result.status();
+  // The unconstrained initial program must not lose anything: at least
+  // one candidate tuple per sampled input record of the first table.
+  EXPECT_GT(result->size(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTasks, TaskProgramTest,
+                         ::testing::Values("T1", "T2", "T3", "T4", "T5",
+                                           "T6", "T7", "T8", "T9", "Panel",
+                                           "Project", "Chair"),
+                         [](const auto& info) { return info.param; });
+
+TEST(RenderMarkupTest, RoundTripsGeneratedPages) {
+  auto task = MakeTask("T7", 5);
+  ASSERT_TRUE(task.ok());
+  const Corpus& corpus = *(*task)->corpus;
+  for (size_t i = 0; i < corpus.size(); ++i) {
+    const Document& doc = corpus.Get(static_cast<DocId>(i));
+    std::string rendered = RenderMarkup(doc);
+    auto reparsed = ParseMarkup(doc.name() + "/rt", rendered);
+    ASSERT_TRUE(reparsed.ok()) << rendered;
+    EXPECT_EQ(reparsed->text(), doc.text());
+    for (int k = 0; k < kNumMarkupKinds; ++k) {
+      EXPECT_EQ(reparsed->layer(static_cast<MarkupKind>(k)).ranges(),
+                doc.layer(static_cast<MarkupKind>(k)).ranges());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace iflex

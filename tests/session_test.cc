@@ -1,0 +1,160 @@
+// End-to-end refinement sessions over small task instances: the
+// develop/execute/refine loop of the paper, driven by the simulated
+// developer, must converge to (a superset of) the gold result.
+#include <gtest/gtest.h>
+
+#include "assistant/session.h"
+#include "oracle/evaluate.h"
+#include "tasks/task.h"
+#include "xlog/precise.h"
+
+namespace iflex {
+namespace {
+
+struct SessionOutcome {
+  SessionResult session;
+  EvalReport report;
+};
+
+Result<SessionOutcome> RunTask(const std::string& id, size_t scale,
+                               StrategyKind strategy) {
+  IFLEX_ASSIGN_OR_RETURN(std::unique_ptr<TaskInstance> task,
+                         MakeTask(id, scale));
+  SessionOptions options;
+  options.strategy = strategy;
+  RefinementSession session(*task->catalog, task->initial_program,
+                            task->developer.get(), options);
+  IFLEX_ASSIGN_OR_RETURN(SessionResult result, session.Run());
+  EvalReport report = EvaluateResult(*task->corpus, result.final_result,
+                                     task->gold.query_result);
+  return SessionOutcome{std::move(result), report};
+}
+
+class SessionTaskTest
+    : public ::testing::TestWithParam<std::tuple<std::string, size_t>> {};
+
+TEST_P(SessionTaskTest, SimulationConvergesToGoldSuperset) {
+  const auto& [id, scale] = GetParam();
+  auto outcome = RunTask(id, scale, StrategyKind::kSimulation);
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  const EvalReport& report = outcome->report;
+  // Superset semantics: every gold tuple must be covered.
+  EXPECT_TRUE(report.covers_all_gold) << id << ": " << report.ToString();
+  // The session must converge to the exact result on these clean tasks.
+  EXPECT_TRUE(report.exact) << id << ": " << report.ToString();
+  EXPECT_GT(outcome->session.questions_asked, 0u);
+  EXPECT_GE(outcome->session.iterations.size(), 2u);
+  // Last iteration runs on the full data (reuse mode).
+  EXPECT_TRUE(outcome->session.iterations.back().full_data);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CoreTasks, SessionTaskTest,
+    ::testing::Values(std::make_tuple("T1", 30), std::make_tuple("T2", 30),
+                      std::make_tuple("T4", 30), std::make_tuple("T5", 30),
+                      std::make_tuple("T7", 30), std::make_tuple("T8", 30)),
+    [](const auto& info) { return std::get<0>(info.param); });
+
+class JoinSessionTest
+    : public ::testing::TestWithParam<std::tuple<std::string, size_t>> {};
+
+TEST_P(JoinSessionTest, SimulationCoversGold) {
+  const auto& [id, scale] = GetParam();
+  auto outcome = RunTask(id, scale, StrategyKind::kSimulation);
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  EXPECT_TRUE(outcome->report.covers_all_gold)
+      << id << ": " << outcome->report.ToString();
+  // Join tasks may converge slightly above 100% (the paper reports 161% /
+  // 170% outliers). At these small test scales the gold sets are tiny, so
+  // bound the overshoot both relatively and absolutely: a handful of
+  // residual maybe-tuples is fine, an unrefined blow-up is not.
+  double overshoot = outcome->report.result_tuples -
+                     static_cast<double>(outcome->report.gold_tuples);
+  EXPECT_TRUE(outcome->report.superset_pct <= 250.0 || overshoot <= 6.0)
+      << id << ": " << outcome->report.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    JoinTasks, JoinSessionTest,
+    ::testing::Values(std::make_tuple("T3", 40), std::make_tuple("T6", 40),
+                      std::make_tuple("T9", 40)),
+    [](const auto& info) { return std::get<0>(info.param); });
+
+TEST(PreciseBaselineTest, MatchesGoldExactly) {
+  for (const std::string& id : AllTaskIds()) {
+    auto task = MakeTask(id, 40);
+    ASSERT_TRUE(task.ok()) << id << ": " << task.status();
+    ASSERT_TRUE(AddPreciseBaseline(task->get()).ok()) << id;
+    Executor exec(*(*task)->catalog);
+    auto result = exec.Execute((*task)->precise_program);
+    ASSERT_TRUE(result.ok()) << id << ": " << result.status();
+    EvalReport report = EvaluateResult(*(*task)->corpus, *result,
+                                       (*task)->gold.query_result);
+    EXPECT_TRUE(report.exact) << id << ": " << report.ToString();
+  }
+}
+
+class DblifeSessionTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(DblifeSessionTest, ConvergesExactlyWithCleanup) {
+  const std::string& id = GetParam();
+  auto task = MakeTask(id, 60);
+  ASSERT_TRUE(task.ok()) << task.status();
+  SessionOptions options;
+  options.strategy = StrategyKind::kSimulation;
+  RefinementSession session(*(*task)->catalog, (*task)->initial_program,
+                            (*task)->developer.get(), options);
+  auto result = session.Run();
+  ASSERT_TRUE(result.ok()) << result.status();
+
+  // Declarative phase converges to the pre-cleanup gold.
+  EvalReport rep = EvaluateResult(*(*task)->corpus, result->final_result,
+                                  (*task)->gold.query_result);
+  EXPECT_TRUE(rep.exact) << id << ": " << rep.ToString();
+
+  // Cleanup phase (paper §2.2.4), where the task has one.
+  if ((*task)->apply_cleanup) {
+    auto cleaned = (*task)->apply_cleanup(result->final_program);
+    ASSERT_TRUE(cleaned.ok()) << cleaned.status();
+    Executor exec(*(*task)->catalog);
+    auto final = exec.Execute(*cleaned);
+    ASSERT_TRUE(final.ok()) << final.status();
+    EvalReport crep = EvaluateResult(*(*task)->corpus, *final,
+                                     (*task)->cleanup_gold);
+    EXPECT_TRUE(crep.exact) << id << " cleanup: " << crep.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dblife, DblifeSessionTest,
+                         ::testing::Values("Panel", "Project", "Chair"),
+                         [](const auto& info) { return info.param; });
+
+TEST(DblifePreciseTest, BaselineMatchesGold) {
+  for (const std::string& id : DblifeTaskIds()) {
+    auto task = MakeTask(id, 60);
+    ASSERT_TRUE(task.ok()) << task.status();
+    ASSERT_TRUE(AddPreciseBaseline(task->get()).ok()) << id;
+    Executor exec(*(*task)->catalog);
+    auto result = exec.Execute((*task)->precise_program);
+    ASSERT_TRUE(result.ok()) << id << ": " << result.status();
+    const auto& gold = (*task)->apply_cleanup ? (*task)->cleanup_gold
+                                              : (*task)->gold.query_result;
+    EvalReport rep = EvaluateResult(*(*task)->corpus, *result, gold);
+    EXPECT_TRUE(rep.exact) << id << ": " << rep.ToString();
+  }
+}
+
+TEST(SessionTest, SequentialAsksCheaperQuestions) {
+  auto seq = RunTask("T2", 30, StrategyKind::kSequential);
+  ASSERT_TRUE(seq.ok()) << seq.status();
+  // Sequential always terminates and never loses gold tuples.
+  EXPECT_TRUE(seq->report.covers_all_gold) << seq->report.ToString();
+  EXPECT_EQ(seq->session.simulations_run, 0u);
+
+  auto sim = RunTask("T2", 30, StrategyKind::kSimulation);
+  ASSERT_TRUE(sim.ok());
+  EXPECT_GT(sim->session.simulations_run, 0u);
+}
+
+}  // namespace
+}  // namespace iflex

@@ -1,0 +1,95 @@
+// Additional possible-worlds coverage: existence annotations end to end,
+// and world semantics of combined maybe/choice tables.
+#include <gtest/gtest.h>
+
+#include "ctable/worlds.h"
+#include "exec/annotate.h"
+
+namespace iflex {
+namespace {
+
+Value Num(double n) { return Value::Number(n); }
+
+TEST(ExistenceAnnotationTest, PowersetSemantics) {
+  // Definition 1: existence annotation turns R into its powerset.
+  Corpus corpus;
+  CompactTable t({"a"});
+  for (int i = 0; i < 3; ++i) {
+    CompactTuple tup;
+    tup.cells.push_back(Cell::Exact(Num(i)));
+    t.Add(std::move(tup));
+  }
+  AnnotationSpec spec;
+  spec.existence = true;
+  auto out = ApplyAnnotations(corpus, t, spec);
+  ASSERT_TRUE(out.ok());
+  auto at = CompactToATable(corpus, *out);
+  ASSERT_TRUE(at.ok());
+  auto worlds = WorldSet(*at);
+  ASSERT_TRUE(worlds.ok());
+  EXPECT_EQ(worlds->size(), 8u);  // 2^3 subsets
+}
+
+TEST(ExistenceAnnotationTest, ComposesWithAttributeAnnotation) {
+  // p(<a>)? over two tuples with the same key collapses to one maybe
+  // tuple with both values: worlds = {} + {0} + {1} = 3.
+  Corpus corpus;
+  CompactTable t({"k", "a"});
+  for (int i = 0; i < 2; ++i) {
+    CompactTuple tup;
+    tup.cells.push_back(Cell::Exact(Value::String("x")));
+    tup.cells.push_back(Cell::Exact(Num(i)));
+    t.Add(std::move(tup));
+  }
+  AnnotationSpec spec;
+  spec.existence = true;
+  spec.annotated = {1};
+  auto out = ApplyAnnotations(corpus, t, spec);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->size(), 1u);
+  EXPECT_TRUE(out->tuples()[0].maybe);
+  auto at = CompactToATable(corpus, *out);
+  ASSERT_TRUE(at.ok());
+  auto worlds = WorldSet(*at);
+  ASSERT_TRUE(worlds.ok());
+  EXPECT_EQ(worlds->size(), 3u);
+}
+
+TEST(WorldsExtraTest, MixedMaybeAndChoice) {
+  // One fixed tuple with 2 choices, one maybe tuple with 2 choices:
+  // 2 * (1 + 2) = 6 worlds, but value collisions may merge some.
+  ATable t({"a"});
+  ATuple fixed;
+  fixed.cells = {{Num(1), Num(2)}};
+  t.Add(fixed);
+  ATuple maybe;
+  maybe.maybe = true;
+  maybe.cells = {{Num(3), Num(4)}};
+  t.Add(maybe);
+  auto worlds = WorldSet(t);
+  ASSERT_TRUE(worlds.ok());
+  EXPECT_EQ(worlds->size(), 6u);
+}
+
+TEST(WorldsExtraTest, DuplicateTuplesCollapseInWorlds) {
+  ATable t({"a"});
+  ATuple one;
+  one.cells = {{Num(7)}};
+  t.Add(one);
+  t.Add(one);
+  auto worlds = WorldSet(t);
+  ASSERT_TRUE(worlds.ok());
+  // Both copies always exist; as a set that is a single world {7}.
+  EXPECT_EQ(worlds->size(), 1u);
+}
+
+TEST(WorldsExtraTest, CanonicalNumericNormalization) {
+  World w1 = {{Value::String("42")}};
+  World w2 = {{Value::Number(42)}};
+  EXPECT_EQ(CanonicalWorld(w1), CanonicalWorld(w2));
+  World w3 = {{Value::String("forty-two")}};
+  EXPECT_NE(CanonicalWorld(w1), CanonicalWorld(w3));
+}
+
+}  // namespace
+}  // namespace iflex
