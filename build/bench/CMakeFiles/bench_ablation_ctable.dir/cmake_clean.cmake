@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_ctable.dir/bench_ablation_ctable.cc.o"
+  "CMakeFiles/bench_ablation_ctable.dir/bench_ablation_ctable.cc.o.d"
+  "bench_ablation_ctable"
+  "bench_ablation_ctable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_ctable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

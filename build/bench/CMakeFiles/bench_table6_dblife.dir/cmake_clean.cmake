@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_dblife.dir/bench_table6_dblife.cc.o"
+  "CMakeFiles/bench_table6_dblife.dir/bench_table6_dblife.cc.o.d"
+  "bench_table6_dblife"
+  "bench_table6_dblife.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_dblife.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bookstore_deals.dir/bookstore_deals.cpp.o"
+  "CMakeFiles/bookstore_deals.dir/bookstore_deals.cpp.o.d"
+  "bookstore_deals"
+  "bookstore_deals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bookstore_deals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

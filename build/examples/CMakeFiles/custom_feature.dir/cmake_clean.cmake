@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_feature.dir/custom_feature.cpp.o"
+  "CMakeFiles/custom_feature.dir/custom_feature.cpp.o.d"
+  "custom_feature"
+  "custom_feature.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_feature.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

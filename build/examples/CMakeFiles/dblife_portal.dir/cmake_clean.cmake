@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dblife_portal.dir/dblife_portal.cpp.o"
+  "CMakeFiles/dblife_portal.dir/dblife_portal.cpp.o.d"
+  "dblife_portal"
+  "dblife_portal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dblife_portal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

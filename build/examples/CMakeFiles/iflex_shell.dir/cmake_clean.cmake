@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iflex_shell.dir/iflex_shell.cpp.o"
+  "CMakeFiles/iflex_shell.dir/iflex_shell.cpp.o.d"
+  "iflex_shell"
+  "iflex_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iflex_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iflex_alog.dir/ast.cc.o"
+  "CMakeFiles/iflex_alog.dir/ast.cc.o.d"
+  "CMakeFiles/iflex_alog.dir/catalog.cc.o"
+  "CMakeFiles/iflex_alog.dir/catalog.cc.o.d"
+  "CMakeFiles/iflex_alog.dir/lexer.cc.o"
+  "CMakeFiles/iflex_alog.dir/lexer.cc.o.d"
+  "CMakeFiles/iflex_alog.dir/program.cc.o"
+  "CMakeFiles/iflex_alog.dir/program.cc.o.d"
+  "libiflex_alog.a"
+  "libiflex_alog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iflex_alog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libiflex_alog.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iflex_assistant.dir/example_feedback.cc.o"
+  "CMakeFiles/iflex_assistant.dir/example_feedback.cc.o.d"
+  "CMakeFiles/iflex_assistant.dir/question.cc.o"
+  "CMakeFiles/iflex_assistant.dir/question.cc.o.d"
+  "CMakeFiles/iflex_assistant.dir/session.cc.o"
+  "CMakeFiles/iflex_assistant.dir/session.cc.o.d"
+  "CMakeFiles/iflex_assistant.dir/strategy.cc.o"
+  "CMakeFiles/iflex_assistant.dir/strategy.cc.o.d"
+  "libiflex_assistant.a"
+  "libiflex_assistant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iflex_assistant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

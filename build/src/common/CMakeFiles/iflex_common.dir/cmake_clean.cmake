@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iflex_common.dir/rng.cc.o"
+  "CMakeFiles/iflex_common.dir/rng.cc.o.d"
+  "CMakeFiles/iflex_common.dir/status.cc.o"
+  "CMakeFiles/iflex_common.dir/status.cc.o.d"
+  "CMakeFiles/iflex_common.dir/strutil.cc.o"
+  "CMakeFiles/iflex_common.dir/strutil.cc.o.d"
+  "libiflex_common.a"
+  "libiflex_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iflex_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ctable/atable.cc" "src/ctable/CMakeFiles/iflex_ctable.dir/atable.cc.o" "gcc" "src/ctable/CMakeFiles/iflex_ctable.dir/atable.cc.o.d"
+  "/root/repo/src/ctable/compact_table.cc" "src/ctable/CMakeFiles/iflex_ctable.dir/compact_table.cc.o" "gcc" "src/ctable/CMakeFiles/iflex_ctable.dir/compact_table.cc.o.d"
+  "/root/repo/src/ctable/value.cc" "src/ctable/CMakeFiles/iflex_ctable.dir/value.cc.o" "gcc" "src/ctable/CMakeFiles/iflex_ctable.dir/value.cc.o.d"
+  "/root/repo/src/ctable/worlds.cc" "src/ctable/CMakeFiles/iflex_ctable.dir/worlds.cc.o" "gcc" "src/ctable/CMakeFiles/iflex_ctable.dir/worlds.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/text/CMakeFiles/iflex_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/iflex_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iflex_ctable.dir/atable.cc.o"
+  "CMakeFiles/iflex_ctable.dir/atable.cc.o.d"
+  "CMakeFiles/iflex_ctable.dir/compact_table.cc.o"
+  "CMakeFiles/iflex_ctable.dir/compact_table.cc.o.d"
+  "CMakeFiles/iflex_ctable.dir/value.cc.o"
+  "CMakeFiles/iflex_ctable.dir/value.cc.o.d"
+  "CMakeFiles/iflex_ctable.dir/worlds.cc.o"
+  "CMakeFiles/iflex_ctable.dir/worlds.cc.o.d"
+  "libiflex_ctable.a"
+  "libiflex_ctable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iflex_ctable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for iflex_ctable.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datagen/books.cc" "src/datagen/CMakeFiles/iflex_datagen.dir/books.cc.o" "gcc" "src/datagen/CMakeFiles/iflex_datagen.dir/books.cc.o.d"
+  "/root/repo/src/datagen/builder.cc" "src/datagen/CMakeFiles/iflex_datagen.dir/builder.cc.o" "gcc" "src/datagen/CMakeFiles/iflex_datagen.dir/builder.cc.o.d"
+  "/root/repo/src/datagen/dblife.cc" "src/datagen/CMakeFiles/iflex_datagen.dir/dblife.cc.o" "gcc" "src/datagen/CMakeFiles/iflex_datagen.dir/dblife.cc.o.d"
+  "/root/repo/src/datagen/dblp.cc" "src/datagen/CMakeFiles/iflex_datagen.dir/dblp.cc.o" "gcc" "src/datagen/CMakeFiles/iflex_datagen.dir/dblp.cc.o.d"
+  "/root/repo/src/datagen/movies.cc" "src/datagen/CMakeFiles/iflex_datagen.dir/movies.cc.o" "gcc" "src/datagen/CMakeFiles/iflex_datagen.dir/movies.cc.o.d"
+  "/root/repo/src/datagen/names.cc" "src/datagen/CMakeFiles/iflex_datagen.dir/names.cc.o" "gcc" "src/datagen/CMakeFiles/iflex_datagen.dir/names.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/text/CMakeFiles/iflex_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/iflex_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

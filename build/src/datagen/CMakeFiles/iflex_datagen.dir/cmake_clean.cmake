@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iflex_datagen.dir/books.cc.o"
+  "CMakeFiles/iflex_datagen.dir/books.cc.o.d"
+  "CMakeFiles/iflex_datagen.dir/builder.cc.o"
+  "CMakeFiles/iflex_datagen.dir/builder.cc.o.d"
+  "CMakeFiles/iflex_datagen.dir/dblife.cc.o"
+  "CMakeFiles/iflex_datagen.dir/dblife.cc.o.d"
+  "CMakeFiles/iflex_datagen.dir/dblp.cc.o"
+  "CMakeFiles/iflex_datagen.dir/dblp.cc.o.d"
+  "CMakeFiles/iflex_datagen.dir/movies.cc.o"
+  "CMakeFiles/iflex_datagen.dir/movies.cc.o.d"
+  "CMakeFiles/iflex_datagen.dir/names.cc.o"
+  "CMakeFiles/iflex_datagen.dir/names.cc.o.d"
+  "libiflex_datagen.a"
+  "libiflex_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iflex_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

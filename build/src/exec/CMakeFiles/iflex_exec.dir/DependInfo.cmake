@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exec/annotate.cc" "src/exec/CMakeFiles/iflex_exec.dir/annotate.cc.o" "gcc" "src/exec/CMakeFiles/iflex_exec.dir/annotate.cc.o.d"
+  "/root/repo/src/exec/cell_ops.cc" "src/exec/CMakeFiles/iflex_exec.dir/cell_ops.cc.o" "gcc" "src/exec/CMakeFiles/iflex_exec.dir/cell_ops.cc.o.d"
+  "/root/repo/src/exec/executor.cc" "src/exec/CMakeFiles/iflex_exec.dir/executor.cc.o" "gcc" "src/exec/CMakeFiles/iflex_exec.dir/executor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/alog/CMakeFiles/iflex_alog.dir/DependInfo.cmake"
+  "/root/repo/build/src/ctable/CMakeFiles/iflex_ctable.dir/DependInfo.cmake"
+  "/root/repo/build/src/features/CMakeFiles/iflex_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/iflex_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/iflex_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iflex_exec.dir/annotate.cc.o"
+  "CMakeFiles/iflex_exec.dir/annotate.cc.o.d"
+  "CMakeFiles/iflex_exec.dir/cell_ops.cc.o"
+  "CMakeFiles/iflex_exec.dir/cell_ops.cc.o.d"
+  "CMakeFiles/iflex_exec.dir/executor.cc.o"
+  "CMakeFiles/iflex_exec.dir/executor.cc.o.d"
+  "libiflex_exec.a"
+  "libiflex_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iflex_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

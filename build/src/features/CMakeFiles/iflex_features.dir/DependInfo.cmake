@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/features/context_features.cc" "src/features/CMakeFiles/iflex_features.dir/context_features.cc.o" "gcc" "src/features/CMakeFiles/iflex_features.dir/context_features.cc.o.d"
+  "/root/repo/src/features/feature.cc" "src/features/CMakeFiles/iflex_features.dir/feature.cc.o" "gcc" "src/features/CMakeFiles/iflex_features.dir/feature.cc.o.d"
+  "/root/repo/src/features/markup_features.cc" "src/features/CMakeFiles/iflex_features.dir/markup_features.cc.o" "gcc" "src/features/CMakeFiles/iflex_features.dir/markup_features.cc.o.d"
+  "/root/repo/src/features/registry.cc" "src/features/CMakeFiles/iflex_features.dir/registry.cc.o" "gcc" "src/features/CMakeFiles/iflex_features.dir/registry.cc.o.d"
+  "/root/repo/src/features/token_features.cc" "src/features/CMakeFiles/iflex_features.dir/token_features.cc.o" "gcc" "src/features/CMakeFiles/iflex_features.dir/token_features.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/text/CMakeFiles/iflex_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/iflex_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

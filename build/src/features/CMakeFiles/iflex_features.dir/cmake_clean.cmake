@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iflex_features.dir/context_features.cc.o"
+  "CMakeFiles/iflex_features.dir/context_features.cc.o.d"
+  "CMakeFiles/iflex_features.dir/feature.cc.o"
+  "CMakeFiles/iflex_features.dir/feature.cc.o.d"
+  "CMakeFiles/iflex_features.dir/markup_features.cc.o"
+  "CMakeFiles/iflex_features.dir/markup_features.cc.o.d"
+  "CMakeFiles/iflex_features.dir/registry.cc.o"
+  "CMakeFiles/iflex_features.dir/registry.cc.o.d"
+  "CMakeFiles/iflex_features.dir/token_features.cc.o"
+  "CMakeFiles/iflex_features.dir/token_features.cc.o.d"
+  "libiflex_features.a"
+  "libiflex_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iflex_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/oracle/developer.cc" "src/oracle/CMakeFiles/iflex_oracle.dir/developer.cc.o" "gcc" "src/oracle/CMakeFiles/iflex_oracle.dir/developer.cc.o.d"
+  "/root/repo/src/oracle/evaluate.cc" "src/oracle/CMakeFiles/iflex_oracle.dir/evaluate.cc.o" "gcc" "src/oracle/CMakeFiles/iflex_oracle.dir/evaluate.cc.o.d"
+  "/root/repo/src/oracle/timemodel.cc" "src/oracle/CMakeFiles/iflex_oracle.dir/timemodel.cc.o" "gcc" "src/oracle/CMakeFiles/iflex_oracle.dir/timemodel.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/assistant/CMakeFiles/iflex_assistant.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/iflex_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/iflex_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/alog/CMakeFiles/iflex_alog.dir/DependInfo.cmake"
+  "/root/repo/build/src/ctable/CMakeFiles/iflex_ctable.dir/DependInfo.cmake"
+  "/root/repo/build/src/features/CMakeFiles/iflex_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/iflex_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

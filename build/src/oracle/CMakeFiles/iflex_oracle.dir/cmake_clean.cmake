@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iflex_oracle.dir/developer.cc.o"
+  "CMakeFiles/iflex_oracle.dir/developer.cc.o.d"
+  "CMakeFiles/iflex_oracle.dir/evaluate.cc.o"
+  "CMakeFiles/iflex_oracle.dir/evaluate.cc.o.d"
+  "CMakeFiles/iflex_oracle.dir/timemodel.cc.o"
+  "CMakeFiles/iflex_oracle.dir/timemodel.cc.o.d"
+  "libiflex_oracle.a"
+  "libiflex_oracle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iflex_oracle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

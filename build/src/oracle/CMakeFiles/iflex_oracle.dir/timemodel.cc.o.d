@@ -1,0 +1,2 @@
+src/oracle/CMakeFiles/iflex_oracle.dir/timemodel.cc.o: \
+ /root/repo/src/oracle/timemodel.cc /usr/include/stdc-predef.h

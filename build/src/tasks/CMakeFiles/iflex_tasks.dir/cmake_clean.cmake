@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iflex_tasks.dir/book_tasks.cc.o"
+  "CMakeFiles/iflex_tasks.dir/book_tasks.cc.o.d"
+  "CMakeFiles/iflex_tasks.dir/dblife_tasks.cc.o"
+  "CMakeFiles/iflex_tasks.dir/dblife_tasks.cc.o.d"
+  "CMakeFiles/iflex_tasks.dir/dblp_tasks.cc.o"
+  "CMakeFiles/iflex_tasks.dir/dblp_tasks.cc.o.d"
+  "CMakeFiles/iflex_tasks.dir/movie_tasks.cc.o"
+  "CMakeFiles/iflex_tasks.dir/movie_tasks.cc.o.d"
+  "CMakeFiles/iflex_tasks.dir/task.cc.o"
+  "CMakeFiles/iflex_tasks.dir/task.cc.o.d"
+  "libiflex_tasks.a"
+  "libiflex_tasks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iflex_tasks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

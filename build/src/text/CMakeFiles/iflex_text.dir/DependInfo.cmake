@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/text/corpus.cc" "src/text/CMakeFiles/iflex_text.dir/corpus.cc.o" "gcc" "src/text/CMakeFiles/iflex_text.dir/corpus.cc.o.d"
+  "/root/repo/src/text/document.cc" "src/text/CMakeFiles/iflex_text.dir/document.cc.o" "gcc" "src/text/CMakeFiles/iflex_text.dir/document.cc.o.d"
+  "/root/repo/src/text/markup.cc" "src/text/CMakeFiles/iflex_text.dir/markup.cc.o" "gcc" "src/text/CMakeFiles/iflex_text.dir/markup.cc.o.d"
+  "/root/repo/src/text/markup_parser.cc" "src/text/CMakeFiles/iflex_text.dir/markup_parser.cc.o" "gcc" "src/text/CMakeFiles/iflex_text.dir/markup_parser.cc.o.d"
+  "/root/repo/src/text/span.cc" "src/text/CMakeFiles/iflex_text.dir/span.cc.o" "gcc" "src/text/CMakeFiles/iflex_text.dir/span.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/iflex_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

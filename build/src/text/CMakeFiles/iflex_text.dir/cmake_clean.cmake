@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iflex_text.dir/corpus.cc.o"
+  "CMakeFiles/iflex_text.dir/corpus.cc.o.d"
+  "CMakeFiles/iflex_text.dir/document.cc.o"
+  "CMakeFiles/iflex_text.dir/document.cc.o.d"
+  "CMakeFiles/iflex_text.dir/markup.cc.o"
+  "CMakeFiles/iflex_text.dir/markup.cc.o.d"
+  "CMakeFiles/iflex_text.dir/markup_parser.cc.o"
+  "CMakeFiles/iflex_text.dir/markup_parser.cc.o.d"
+  "CMakeFiles/iflex_text.dir/span.cc.o"
+  "CMakeFiles/iflex_text.dir/span.cc.o.d"
+  "libiflex_text.a"
+  "libiflex_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iflex_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iflex_xlog.dir/precise.cc.o"
+  "CMakeFiles/iflex_xlog.dir/precise.cc.o.d"
+  "libiflex_xlog.a"
+  "libiflex_xlog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iflex_xlog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

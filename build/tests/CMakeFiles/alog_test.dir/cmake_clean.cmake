@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alog_test.dir/alog_test.cc.o"
+  "CMakeFiles/alog_test.dir/alog_test.cc.o.d"
+  "alog_test"
+  "alog_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alog_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/annotate_modes_test.dir/annotate_modes_test.cc.o"
+  "CMakeFiles/annotate_modes_test.dir/annotate_modes_test.cc.o.d"
+  "annotate_modes_test"
+  "annotate_modes_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/annotate_modes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for assistant_test.
+# This may be replaced when dependencies are built.

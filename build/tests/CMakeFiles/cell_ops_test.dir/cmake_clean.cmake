@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cell_ops_test.dir/cell_ops_test.cc.o"
+  "CMakeFiles/cell_ops_test.dir/cell_ops_test.cc.o.d"
+  "cell_ops_test"
+  "cell_ops_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cell_ops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_feedback_test.dir/example_feedback_test.cc.o"
+  "CMakeFiles/example_feedback_test.dir/example_feedback_test.cc.o.d"
+  "example_feedback_test"
+  "example_feedback_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_feedback_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

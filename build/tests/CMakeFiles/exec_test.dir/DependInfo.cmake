@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/exec_test.cc" "tests/CMakeFiles/exec_test.dir/exec_test.cc.o" "gcc" "tests/CMakeFiles/exec_test.dir/exec_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/xlog/CMakeFiles/iflex_xlog.dir/DependInfo.cmake"
+  "/root/repo/build/src/tasks/CMakeFiles/iflex_tasks.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/iflex_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/oracle/CMakeFiles/iflex_oracle.dir/DependInfo.cmake"
+  "/root/repo/build/src/assistant/CMakeFiles/iflex_assistant.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/iflex_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/alog/CMakeFiles/iflex_alog.dir/DependInfo.cmake"
+  "/root/repo/build/src/ctable/CMakeFiles/iflex_ctable.dir/DependInfo.cmake"
+  "/root/repo/build/src/features/CMakeFiles/iflex_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/iflex_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/iflex_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

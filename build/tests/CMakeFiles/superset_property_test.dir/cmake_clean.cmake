@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/superset_property_test.dir/superset_property_test.cc.o"
+  "CMakeFiles/superset_property_test.dir/superset_property_test.cc.o.d"
+  "superset_property_test"
+  "superset_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/superset_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/worlds_extra_test.dir/worlds_extra_test.cc.o"
+  "CMakeFiles/worlds_extra_test.dir/worlds_extra_test.cc.o.d"
+  "worlds_extra_test"
+  "worlds_extra_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/worlds_extra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
