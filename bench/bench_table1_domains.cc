@@ -4,6 +4,7 @@
 // the generated counterparts so the scale is auditable.
 #include <cstdio>
 
+#include "bench_util.h"
 #include "datagen/books.h"
 #include "datagen/dblife.h"
 #include "datagen/dblp.h"
@@ -12,6 +13,8 @@
 using namespace iflex;
 
 namespace {
+
+iflex::bench::BenchReporter* g_reporter = nullptr;
 
 size_t CorpusBytes(const Corpus& corpus) {
   size_t bytes = 0;
@@ -24,11 +27,16 @@ size_t CorpusBytes(const Corpus& corpus) {
 void Row(const char* domain, const char* table, const char* desc,
          size_t records) {
   std::printf("%-8s | %-13s | %-42s | %6zu\n", domain, table, desc, records);
+  using R = iflex::bench::BenchReporter;
+  g_reporter->Row({R::S("domain", domain), R::S("table", table),
+                   R::N("records", static_cast<double>(records))});
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  iflex::bench::BenchReporter reporter("table1_domains", argc, argv);
+  g_reporter = &reporter;
   std::printf("Table 1: domains for the experiments (synthetic rebuild)\n");
   std::printf("%-8s | %-13s | %-42s | %6s\n", "Domain", "Table",
               "Description", "Recs");

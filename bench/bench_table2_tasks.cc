@@ -3,11 +3,13 @@
 // Alog program (before any description-rule refinement).
 #include <cstdio>
 
+#include "bench_util.h"
 #include "tasks/task.h"
 
 using namespace iflex;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchReporter reporter("table2_tasks", argc, argv);
   std::printf("Table 2: IE tasks and initial Alog programs\n\n");
   for (const std::string& id : AllTaskIds()) {
     auto task = MakeTask(id, 20);
@@ -18,6 +20,11 @@ int main() {
     }
     std::printf("%s: %s\n", id.c_str(), (*task)->description.c_str());
     std::printf("%s\n", (*task)->initial_program.ToString().c_str());
+    using R = bench::BenchReporter;
+    reporter.Row(
+        {R::S("task", id),
+         R::N("rules",
+              static_cast<double>((*task)->initial_program.rules().size()))});
   }
   return 0;
 }

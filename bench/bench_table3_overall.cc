@@ -14,7 +14,8 @@
 using namespace iflex;
 using namespace iflex::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchReporter reporter("table3_overall", argc, argv);
   DeveloperTimeModel model;
   std::printf(
       "Table 3: developer+machine minutes over 27 scenarios\n"
@@ -79,6 +80,18 @@ int main() {
       if (iflex->report.exact) ++exact_scenarios;
       xlog_total += xlog_minutes;
       iflex_total += iflex_total_minutes;
+      using R = BenchReporter;
+      reporter.Row(
+          {R::S("task", id), R::N("tuples", static_cast<double>(scale)),
+           R::N("manual_minutes", manual.has_value() ? *manual : -1),
+           R::N("xlog_minutes", xlog_minutes),
+           R::N("iflex_minutes", iflex_total_minutes),
+           R::N("cleanup_minutes", iflex->cleanup_minutes),
+           R::N("xlog_machine_seconds", xlog->machine_seconds),
+           R::N("iflex_machine_seconds", iflex->machine_seconds),
+           R::N("superset_pct", iflex->report.superset_pct),
+           R::N("converged", iflex->session.converged ? 1 : 0),
+           R::N("exact", iflex->report.exact ? 1 : 0)});
 
       // Shape checks (the paper's qualitative claims).
       if (!xlog->report.exact) {
@@ -98,5 +111,11 @@ int main() {
   std::printf("Total Xlog minutes %.0f vs iFlex minutes %.0f (%.0f%% saved)\n",
               xlog_total, iflex_total,
               100.0 * (1.0 - iflex_total / xlog_total));
+  using R = BenchReporter;
+  reporter.Row({R::S("task", "TOTAL"),
+                R::N("exact_scenarios", exact_scenarios),
+                R::N("scenarios", scenarios),
+                R::N("xlog_minutes", xlog_total),
+                R::N("iflex_minutes", iflex_total)});
   return 0;
 }

@@ -10,7 +10,8 @@
 using namespace iflex;
 using namespace iflex::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchReporter reporter("table4_iterations", argc, argv);
   DeveloperTimeModel model;
   // The paper's Table 4 picks one scenario per task.
   std::map<std::string, size_t> scenario = {
@@ -53,6 +54,16 @@ int main() {
                 (*task)->tuples_per_table, (*task)->gold.query_result.size(),
                 iters.c_str(), run->session.questions_asked, total_minutes,
                 run->report.superset_pct);
+    using R = BenchReporter;
+    reporter.Row(
+        {R::S("task", id),
+         R::N("tuples", static_cast<double>((*task)->tuples_per_table)),
+         R::N("iterations",
+              static_cast<double>(run->session.iterations.size())),
+         R::N("questions",
+              static_cast<double>(run->session.questions_asked)),
+         R::N("total_minutes", total_minutes),
+         R::N("superset_pct", run->report.superset_pct)});
   }
   return 0;
 }

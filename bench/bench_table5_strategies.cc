@@ -10,7 +10,8 @@
 using namespace iflex;
 using namespace iflex::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchReporter reporter("table5_strategies", argc, argv);
   DeveloperTimeModel model;
   std::map<std::string, size_t> scenario = {
       {"T1", 100}, {"T2", 100}, {"T3", 100}, {"T4", 100}, {"T5", 500},
@@ -50,6 +51,19 @@ int main() {
                   run->session.iterations.size(),
                   run->session.questions_asked, total_minutes,
                   run->report.superset_pct, run->session.simulations_run);
+      using R = BenchReporter;
+      reporter.Row(
+          {R::S("task", id),
+           R::S("strategy",
+                kind == StrategyKind::kSequential ? "seq" : "sim"),
+           R::N("iterations",
+                static_cast<double>(run->session.iterations.size())),
+           R::N("questions",
+                static_cast<double>(run->session.questions_asked)),
+           R::N("total_minutes", total_minutes),
+           R::N("superset_pct", run->report.superset_pct),
+           R::N("simulations",
+                static_cast<double>(run->session.simulations_run))});
     }
   }
   return 0;

@@ -10,7 +10,8 @@
 using namespace iflex;
 using namespace iflex::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchReporter reporter("table6_dblife", argc, argv);
   DeveloperTimeModel model;
   std::printf(
       "Table 6: DBLife tasks\n"
@@ -61,6 +62,12 @@ int main() {
     std::printf("%-8s | %6.1f (%2.0f)    | %10.2f | %8.0f%% | %8.0f\n",
                 id.c_str(), iflex_minutes, run->cleanup_minutes, runtime,
                 run->report.superset_pct, perl_minutes);
+    using R = BenchReporter;
+    reporter.Row({R::S("task", id), R::N("iflex_minutes", iflex_minutes),
+                  R::N("cleanup_minutes", run->cleanup_minutes),
+                  R::N("final_runtime_seconds", runtime),
+                  R::N("superset_pct", run->report.superset_pct),
+                  R::N("perl_model_minutes", perl_minutes)});
   }
   return 0;
 }

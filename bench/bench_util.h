@@ -2,10 +2,18 @@
 #define IFLEX_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "assistant/session.h"
 #include "common/stopwatch.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "oracle/evaluate.h"
 #include "oracle/timemodel.h"
 #include "tasks/task.h"
@@ -13,6 +21,129 @@
 
 namespace iflex {
 namespace bench {
+
+/// Per-bench observability + result harness. Construct it first thing in
+/// main():
+///   - parses `--trace-out <file>` (enables the default tracer and writes
+///     a chrome://tracing JSON + a stderr summary tree at the end) and
+///     `--json-out <file>`;
+///   - opens a root "bench.<name>" span so the exported span tree covers
+///     the bench's whole wall time;
+///   - collects structured result rows via Row() and writes them as
+///     BENCH_<name>.json (with the aggregated metric registry and wall
+///     time) when destroyed — the machine-readable perf trajectory next
+///     to the stdout table.
+class BenchReporter {
+ public:
+  struct Field {
+    std::string key;
+    bool is_num = false;
+    double num = 0;
+    std::string str;
+  };
+  static Field N(std::string key, double v) {
+    Field f;
+    f.key = std::move(key);
+    f.is_num = true;
+    f.num = v;
+    return f;
+  }
+  static Field S(std::string key, std::string v) {
+    Field f;
+    f.key = std::move(key);
+    f.str = std::move(v);
+    return f;
+  }
+
+  explicit BenchReporter(std::string name, int argc = 0,
+                         char** argv = nullptr)
+      : name_(std::move(name)) {
+    for (int i = 1; argv != nullptr && i < argc; ++i) {
+      auto take = [&](const char* flag, std::string* out) {
+        if (std::strcmp(argv[i], flag) == 0 && i + 1 < argc) {
+          *out = argv[++i];
+          return true;
+        }
+        return false;
+      };
+      if (take("--trace-out", &trace_out_)) continue;
+      if (take("--json-out", &json_out_)) continue;
+    }
+    if (json_out_.empty()) {
+      const char* dir = std::getenv("IFLEX_BENCH_JSON_DIR");
+      json_out_ = (dir != nullptr && dir[0] != '\0')
+                      ? std::string(dir) + "/BENCH_" + name_ + ".json"
+                      : "BENCH_" + name_ + ".json";
+    }
+    if (!trace_out_.empty()) obs::DefaultTracer().set_enabled(true);
+    root_name_ = "bench." + name_;
+    root_span_.emplace(&obs::DefaultTracer(), root_name_.c_str());
+  }
+
+  ~BenchReporter() { Finish(); }
+  BenchReporter(const BenchReporter&) = delete;
+  BenchReporter& operator=(const BenchReporter&) = delete;
+
+  void Row(std::vector<Field> fields) { rows_.push_back(std::move(fields)); }
+
+  /// Writes the JSON artifacts now (idempotent; also runs at destruction).
+  void Finish() {
+    if (finished_) return;
+    finished_ = true;
+    root_span_->End();
+    double wall = watch_.ElapsedSeconds();
+
+    obs::JsonWriter w;
+    w.BeginObject();
+    w.Key("bench").String(name_);
+    w.Key("wall_seconds").Number(wall);
+    w.Key("rows").BeginArray();
+    for (const auto& row : rows_) {
+      w.BeginObject();
+      for (const Field& f : row) {
+        w.Key(f.key);
+        if (f.is_num) {
+          w.Number(f.num);
+        } else {
+          w.String(f.str);
+        }
+      }
+      w.EndObject();
+    }
+    w.EndArray();
+    w.Key("metrics");
+    obs::DefaultMetrics().WriteJson(&w);
+    w.EndObject();
+    if (std::FILE* f = std::fopen(json_out_.c_str(), "w")) {
+      std::fwrite(w.str().data(), 1, w.str().size(), f);
+      std::fclose(f);
+      std::fprintf(stderr, "[bench] wrote %s\n", json_out_.c_str());
+    } else {
+      std::fprintf(stderr, "[bench] cannot write %s\n", json_out_.c_str());
+    }
+
+    if (!trace_out_.empty()) {
+      if (obs::DefaultTracer().WriteChromeJson(trace_out_)) {
+        std::fprintf(stderr, "[bench] wrote trace %s (open in %s)\n",
+                     trace_out_.c_str(), "chrome://tracing");
+      } else {
+        std::fprintf(stderr, "[bench] cannot write trace %s\n",
+                     trace_out_.c_str());
+      }
+      std::fprintf(stderr, "%s", obs::DefaultTracer().SummaryTree().c_str());
+    }
+  }
+
+ private:
+  std::string name_;
+  std::string trace_out_;
+  std::string json_out_;
+  std::string root_name_;
+  std::optional<obs::TraceSpan> root_span_;
+  Stopwatch watch_;
+  std::vector<std::vector<Field>> rows_;
+  bool finished_ = false;
+};
 
 /// Outcome of one iFlex run over a task instance (one Table 3 cell).
 struct IFlexRun {
@@ -30,6 +161,13 @@ inline Result<IFlexRun> RunIFlex(TaskInstance* task, StrategyKind strategy,
                                  SessionOptions options = {}) {
   IFlexRun run;
   options.strategy = strategy;
+  // Aggregate every executor of the run into the process-wide registry so
+  // the BENCH_*.json metrics cover the whole bench.
+  if (options.exec_options.metrics == nullptr) {
+    options.exec_options.metrics = &obs::DefaultMetrics();
+  }
+  obs::TraceSpan span(obs::TracerOrDefault(options.exec_options.tracer),
+                      "bench.run_iflex");
   Stopwatch watch;
   RefinementSession session(*task->catalog, task->initial_program,
                             task->developer.get(), options);
@@ -65,8 +203,11 @@ inline Result<XlogRun> RunXlogBaseline(TaskInstance* task) {
     IFLEX_RETURN_NOT_OK(AddPreciseBaseline(task));
   }
   XlogRun run;
+  ExecOptions exec_options;
+  exec_options.metrics = &obs::DefaultMetrics();
+  obs::TraceSpan span(obs::TracerOrDefault(nullptr), "bench.run_xlog");
   Stopwatch watch;
-  Executor exec(*task->catalog);
+  Executor exec(*task->catalog, exec_options);
   IFLEX_ASSIGN_OR_RETURN(CompactTable result,
                          exec.Execute(task->precise_program));
   run.machine_seconds = watch.ElapsedSeconds();

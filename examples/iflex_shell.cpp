@@ -15,6 +15,7 @@
 //
 // Also scriptable: ./examples/iflex_shell < script.iflex
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -25,6 +26,7 @@
 #include "datagen/dblp.h"
 #include "datagen/movies.h"
 #include "exec/executor.h"
+#include "obs/trace.h"
 #include "text/markup_parser.h"
 
 using namespace iflex;
@@ -82,6 +84,10 @@ class Shell {
     if (cmd == "tables") return Tables();
     if (cmd == "constrain") return Constrain(in);
     if (cmd == "run") return Execute();
+    if (cmd == "trace") {
+      std::printf("%s", obs::DefaultTracer().SummaryTree().c_str());
+      return Status::OK();
+    }
     return Status::InvalidArgument("unknown command '" + cmd +
                                    "' (try: help)");
   }
@@ -98,6 +104,7 @@ class Shell {
         "  constrain <iepred> <idx> <feature> [param] [value]\n"
         "                                  add a domain constraint\n"
         "  run                             execute and print the result\n"
+        "  trace                           print the recorded span tree\n"
         "  tables                          list extensional tables\n"
         "  quit\n");
     return Status::OK();
@@ -276,4 +283,22 @@ class Shell {
 
 }  // namespace
 
-int main() { return Shell().Run(); }
+int main(int argc, char** argv) {
+  std::string trace_out;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      trace_out = argv[++i];
+    }
+  }
+  if (!trace_out.empty()) iflex::obs::DefaultTracer().set_enabled(true);
+  int rc = Shell().Run();
+  if (!trace_out.empty()) {
+    if (iflex::obs::DefaultTracer().WriteChromeJson(trace_out)) {
+      std::fprintf(stderr, "wrote trace %s (open in chrome://tracing)\n",
+                   trace_out.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write trace %s\n", trace_out.c_str());
+    }
+  }
+  return rc;
+}

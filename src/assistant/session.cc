@@ -1,8 +1,11 @@
 #include "assistant/session.h"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "common/stopwatch.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace iflex {
 
@@ -26,6 +29,11 @@ double RefinementSession::AutoSubsetFraction(size_t n) {
 Result<SessionResult> RefinementSession::Run() {
   SessionResult out;
   Stopwatch total;
+  obs::Tracer* tracer = obs::TracerOrDefault(options_.exec_options.tracer);
+  obs::MetricRegistry* metrics = options_.exec_options.metrics != nullptr
+                                     ? options_.exec_options.metrics
+                                     : &obs::DefaultMetrics();
+  obs::TraceSpan run_span(tracer, "session.run");
 
   // Size the subset from the largest extensional table.
   size_t max_table = 1;
@@ -69,6 +77,7 @@ Result<SessionResult> RefinementSession::Run() {
   // attribute up front and rule out the answers it contradicts.
   AnswerExclusions exclusions;
   if (options_.example_feedback) {
+    obs::TraceSpan feedback_span(tracer, "session.example_feedback");
     for (const AttributeRef& attr :
          EnumerateAttributes(program_, catalog_)) {
       std::optional<Value> example = developer_->ProvideExample(attr);
@@ -95,28 +104,41 @@ Result<SessionResult> RefinementSession::Run() {
     IterationRecord rec;
     rec.iteration = iter;
     Stopwatch iter_watch;
+    char iter_buf[16];
+    std::snprintf(iter_buf, sizeof(iter_buf), "%d", iter);
+    obs::TraceSpan iter_span(tracer, "session.iteration", iter_buf);
+    metrics->counter("session.iterations")->Add();
 
     // Execute the current program on the subset; grow the subset while it
     // yields nothing (an empty sample cannot guide question selection).
     CompactTable result;
     size_t process_assignments = 0;
     double process_values = 0;
-    while (true) {
-      Executor exec(subset, options_.exec_options);
-      IFLEX_ASSIGN_OR_RETURN(result, exec.Execute(program_, &subset_cache));
-      process_assignments = exec.stats().process_assignments;
-      process_values = exec.stats().process_values;
-      if (result.size() > 0 || !grow_subset()) break;
+    {
+      obs::TraceSpan subset_span(tracer, "session.subset_eval");
+      while (true) {
+        Executor exec(subset, options_.exec_options);
+        IFLEX_ASSIGN_OR_RETURN(result, exec.Execute(program_, &subset_cache));
+        process_assignments = exec.stats().process_assignments;
+        process_values = exec.stats().process_values;
+        if (result.size() > 0 || !grow_subset()) break;
+        metrics->counter("session.subset_grows")->Add();
+      }
     }
     rec.result_tuples = ResultSize(result, catalog_.corpus());
     rec.assignments = process_assignments;
     rec.process_values = process_values;
     rec.full_data = false;
 
-    bool converged = detector.Observe(rec.result_tuples, rec.process_values);
+    bool converged;
+    {
+      obs::TraceSpan conv_span(tracer, "session.convergence_check");
+      converged = detector.Observe(rec.result_tuples, rec.process_values);
+    }
 
     if (!converged && !space_exhausted) {
       // Solicit the next-effort questions and fold the answers in.
+      obs::TraceSpan questions_span(tracer, "session.questions");
       ctx.program = &program_;
       for (int qi = 0; qi < options_.questions_per_iteration; ++qi) {
         IFLEX_ASSIGN_OR_RETURN(std::optional<Question> q,
@@ -143,6 +165,8 @@ Result<SessionResult> RefinementSession::Run() {
     }
 
     rec.machine_seconds = iter_watch.ElapsedSeconds();
+    metrics->histogram("session.iteration_seconds")
+        ->Record(rec.machine_seconds);
     out.developer_seconds += rec.developer_seconds;
     out.iterations.push_back(rec);
 
@@ -155,6 +179,7 @@ Result<SessionResult> RefinementSession::Run() {
 
   // Reuse mode: compute the complete result over the full data.
   {
+    obs::TraceSpan full_span(tracer, "session.full_eval");
     IterationRecord rec;
     rec.iteration = static_cast<int>(out.iterations.size()) + 1;
     Stopwatch iter_watch;
@@ -173,6 +198,8 @@ Result<SessionResult> RefinementSession::Run() {
   if (auto* sim = dynamic_cast<SimulationStrategy*>(strategy.get())) {
     out.simulations_run = sim->simulations_run();
   }
+  metrics->counter("session.questions_asked")->Add(out.questions_asked);
+  metrics->counter("session.simulations")->Add(out.simulations_run);
   out.final_program = program_;
   out.machine_seconds = total.ElapsedSeconds() - out.developer_seconds;
   return out;

@@ -6,6 +6,7 @@
 #include <map>
 
 #include "common/strutil.h"
+#include "obs/trace.h"
 
 namespace iflex {
 
@@ -22,6 +23,8 @@ Status ApplyAnswer(Program* program, const Catalog& catalog,
 std::vector<Value> ProbeAttributeValues(const StrategyContext& ctx,
                                         const AttributeRef& attr,
                                         size_t max_values) {
+  obs::TraceSpan span(obs::TracerOrDefault(ctx.exec_options.tracer),
+                      "strategy.probe", attr.ie_predicate);
   // Find a non-description rule whose body uses the IE predicate, and
   // re-head it to expose the attribute's variable.
   const Program& program = *ctx.program;
@@ -264,6 +267,8 @@ Result<std::optional<Question>> SequentialStrategy::Next(
 
 Result<std::optional<Question>> SimulationStrategy::Next(
     const StrategyContext& ctx) {
+  obs::Tracer* tracer = obs::TracerOrDefault(ctx.exec_options.tracer);
+  obs::TraceSpan span(tracer, "strategy.next");
   const FeatureRegistry& registry = ctx.full_catalog->features();
   const Corpus& corpus = ctx.subset_catalog->corpus();
 
@@ -342,6 +347,7 @@ Result<std::optional<Question>> SimulationStrategy::Next(
       }
       std::vector<double> pvalues;
       for (const Answer& a : answers) {
+        obs::TraceSpan sim_span(tracer, "strategy.simulate", fname);
         Program refined = *ctx.program;
         Status st = ApplyAnswer(&refined, *ctx.full_catalog, q, a);
         double size = current_size;

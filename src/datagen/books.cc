@@ -5,6 +5,7 @@
 #include "common/strutil.h"
 #include "datagen/builder.h"
 #include "datagen/names.h"
+#include "obs/trace.h"
 
 namespace iflex {
 
@@ -88,6 +89,7 @@ BookRecord MakeAmazonRecord(Corpus* corpus, Rng* rng,
 }  // namespace
 
 BooksData GenerateBooks(Corpus* corpus, const BooksSpec& spec) {
+  obs::TraceSpan span(obs::DefaultTracer(), "datagen.books");
   Rng rng(spec.seed);
   BooksData data;
 

@@ -6,6 +6,7 @@
 #include "common/strutil.h"
 #include "datagen/builder.h"
 #include "datagen/names.h"
+#include "obs/trace.h"
 
 namespace iflex {
 
@@ -143,6 +144,7 @@ DocId MakeDistractorPage(Corpus* corpus, Rng* rng, size_t idx) {
 }  // namespace
 
 DblifeData GenerateDblife(Corpus* corpus, const DblifeSpec& spec) {
+  obs::TraceSpan span(obs::DefaultTracer(), "datagen.dblife");
   Rng rng(spec.seed);
   DblifeData data;
 

@@ -5,6 +5,7 @@
 #include "common/strutil.h"
 #include "datagen/builder.h"
 #include "datagen/names.h"
+#include "obs/trace.h"
 
 namespace iflex {
 
@@ -88,6 +89,7 @@ PubRecord MakeVenueRecord(Corpus* corpus, Rng* rng, const char* venue,
 }  // namespace
 
 DblpData GenerateDblp(Corpus* corpus, const DblpSpec& spec) {
+  obs::TraceSpan span(obs::DefaultTracer(), "datagen.dblp");
   Rng rng(spec.seed);
   DblpData data;
 

@@ -3,6 +3,7 @@
 #include "common/strutil.h"
 #include "datagen/builder.h"
 #include "datagen/names.h"
+#include "obs/trace.h"
 
 namespace iflex {
 
@@ -75,6 +76,7 @@ MovieRecord MakePrasannaRecord(Corpus* corpus, Rng* rng,
 }  // namespace
 
 MoviesData GenerateMovies(Corpus* corpus, const MoviesSpec& spec) {
+  obs::TraceSpan span(obs::DefaultTracer(), "datagen.movies");
   Rng rng(spec.seed);
   size_t shared = std::min({spec.n_shared, spec.n_imdb, spec.n_ebert,
                             spec.n_prasanna});

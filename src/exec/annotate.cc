@@ -40,7 +40,8 @@ struct Group {
 }  // namespace
 
 Result<ATable> BAnnotate(const ATable& input, const AnnotationSpec& spec,
-                         size_t max_combos_per_tuple) {
+                         size_t max_combos_per_tuple, obs::Tracer* tracer) {
+  obs::TraceSpan span(tracer, "exec.bannotate");
   size_t arity = input.arity();
   std::vector<bool> is_annotated(arity, false);
   for (size_t i : spec.annotated) {
@@ -248,16 +249,20 @@ bool KeysAreSingletonExact(const CompactTable& input,
 Result<CompactTable> ApplyAnnotations(const Corpus& corpus,
                                       const CompactTable& input,
                                       const AnnotationSpec& spec,
-                                      bool use_compact, size_t max_tuples) {
+                                      bool use_compact, size_t max_tuples,
+                                      obs::Tracer* tracer) {
   CompactTable result = input;
   if (!spec.annotated.empty()) {
     if (use_compact && KeysAreSingletonExact(input, spec)) {
+      obs::TraceSpan span(tracer, "exec.annotate", "compact");
       IFLEX_ASSIGN_OR_RETURN(result, CompactAnnotate(input, spec));
     } else {
       // Default strategy (paper §4.3): via a-tables.
+      obs::TraceSpan span(tracer, "exec.annotate", "atable");
       IFLEX_ASSIGN_OR_RETURN(ATable at,
                              CompactToATable(corpus, input, max_tuples));
-      IFLEX_ASSIGN_OR_RETURN(ATable annotated, BAnnotate(at, spec));
+      IFLEX_ASSIGN_OR_RETURN(ATable annotated,
+                             BAnnotate(at, spec, 100000, tracer));
       result = ATableToCompact(annotated, input.schema());
     }
   }

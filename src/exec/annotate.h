@@ -6,6 +6,7 @@
 #include "common/result.h"
 #include "ctable/atable.h"
 #include "ctable/compact_table.h"
+#include "obs/trace.h"
 
 namespace iflex {
 
@@ -23,7 +24,8 @@ struct AnnotationSpec {
 /// each annotated attribute per group, and pins a group as non-maybe iff
 /// some non-maybe input a-tuple fixes that group key with singleton cells.
 Result<ATable> BAnnotate(const ATable& input, const AnnotationSpec& spec,
-                         size_t max_combos_per_tuple = 100000);
+                         size_t max_combos_per_tuple = 100000,
+                         obs::Tracer* tracer = nullptr);
 
 /// The annotation operator ψ (paper §4.3). `use_compact` selects the
 /// optimized direct-over-compact-tables implementation (the full-paper
@@ -34,7 +36,8 @@ Result<CompactTable> ApplyAnnotations(const Corpus& corpus,
                                       const CompactTable& input,
                                       const AnnotationSpec& spec,
                                       bool use_compact = true,
-                                      size_t max_tuples = 2000000);
+                                      size_t max_tuples = 2000000,
+                                      obs::Tracer* tracer = nullptr);
 
 }  // namespace iflex
 

@@ -44,11 +44,16 @@ class RuleEvaluator {
  public:
   RuleEvaluator(const Catalog& catalog, const ExecOptions& options,
                 const std::unordered_map<std::string, CompactTable>* idb,
-                ExecStats* stats)
-      : catalog_(catalog), options_(options), idb_(idb), stats_(stats) {}
+                const ExecCounters* stats, obs::Tracer* tracer)
+      : catalog_(catalog),
+        options_(options),
+        idb_(idb),
+        stats_(stats),
+        tracer_(tracer) {}
 
   Result<CompactTable> Evaluate(const Rule& rule) {
-    ++stats_->rules_evaluated;
+    obs::TraceSpan span(tracer_, "exec.rule", rule.head.predicate);
+    stats_->rules_evaluated->Add();
     binding_ = CompactTable(std::vector<std::string>{});
     binding_.Add(CompactTuple{});
     columns_.clear();
@@ -90,7 +95,7 @@ class RuleEvaluator {
     if (spec.empty()) return projected;
     return ApplyAnnotations(catalog_.corpus(), projected, spec,
                             options_.compact_annotate,
-                            options_.max_table_tuples);
+                            options_.max_table_tuples, tracer_);
   }
 
  private:
@@ -148,21 +153,27 @@ class RuleEvaluator {
 
   Status Apply(const Literal& lit, std::vector<Literal>* pending) {
     switch (lit.kind) {
-      case Literal::Kind::kConstraint:
+      case Literal::Kind::kConstraint: {
+        obs::TraceSpan span(tracer_, "exec.constraint", lit.constraint.var);
         return ApplyConstraint(lit.constraint);
-      case Literal::Kind::kComparison:
+      }
+      case Literal::Kind::kComparison: {
+        obs::TraceSpan span(tracer_, "exec.comparison");
         return ApplyComparison(lit.cmp);
+      }
       case Literal::Kind::kAtom: {
         PredicateKind k = catalog_.Has(lit.atom.predicate)
                               ? *catalog_.KindOf(lit.atom.predicate)
                               : PredicateKind::kIntensional;
         switch (k) {
           case PredicateKind::kExtensional: {
+            obs::TraceSpan span(tracer_, "exec.join", lit.atom.predicate);
             IFLEX_ASSIGN_OR_RETURN(const CompactTable* t,
                                    catalog_.Table(lit.atom.predicate));
             return JoinAtom(lit.atom, *t, pending);
           }
           case PredicateKind::kIntensional: {
+            obs::TraceSpan span(tracer_, "exec.join", lit.atom.predicate);
             auto it = idb_->find(lit.atom.predicate);
             if (it == idb_->end()) {
               return Status::Internal("intensional table not yet computed: " +
@@ -170,12 +181,18 @@ class RuleEvaluator {
             }
             return JoinAtom(lit.atom, it->second, pending);
           }
-          case PredicateKind::kBuiltinFrom:
+          case PredicateKind::kBuiltinFrom: {
+            obs::TraceSpan span(tracer_, "exec.from");
             return ApplyFrom(lit.atom);
-          case PredicateKind::kPPredicate:
+          }
+          case PredicateKind::kPPredicate: {
+            obs::TraceSpan span(tracer_, "exec.ppred", lit.atom.predicate);
             return ApplyPPredicate(lit.atom);
-          case PredicateKind::kPFunction:
+          }
+          case PredicateKind::kPFunction: {
+            obs::TraceSpan span(tracer_, "exec.pfunction", lit.atom.predicate);
             return ApplyPFunction(lit.atom);
+          }
           default:
             return Status::Internal("unexpected IE predicate at execution: " +
                                     lit.atom.predicate);
@@ -398,7 +415,7 @@ class RuleEvaluator {
       for (size_t ci = 0; ci < n_candidates; ++ci) {
         const CompactTuple& t =
             ttuples[indexed_probe ? candidates[ci] : ci];
-        ++stats_->join_pairs;
+        stats_->join_pairs->Add();
         bool dead = false;
         bool some = false;
         for (const EqCond& c : conds) {
@@ -526,7 +543,7 @@ class RuleEvaluator {
     std::vector<ConstraintLit>& hist = history_[k.var];
     CompactTable out(binding_.schema());
     for (const CompactTuple& b : binding_.tuples()) {
-      ++stats_->constraint_cells;
+      stats_->constraint_cells->Add();
       IFLEX_ASSIGN_OR_RETURN(
           Cell cell, ApplyConstraintToCell(corpus, catalog_.features(),
                                            b.cells[col], k, hist));
@@ -685,7 +702,7 @@ class RuleEvaluator {
         for (size_t i = 0; i < n_inputs; ++i) {
           args.push_back(in_values[i][idx[i]]);
         }
-        ++stats_->ppred_invocations;
+        stats_->ppred_invocations->Add();
         Result<std::vector<std::vector<Value>>> rows = (*fn)(corpus, args);
         if (!rows.ok()) return rows.status();
         for (const auto& row : *rows) {
@@ -789,14 +806,15 @@ class RuleEvaluator {
       }
       out.Add(std::move(t));
     }
-    stats_->tuples_emitted += out.size();
+    stats_->tuples_emitted->Add(out.size());
     return out;
   }
 
   const Catalog& catalog_;
   const ExecOptions& options_;
   const std::unordered_map<std::string, CompactTable>* idb_;
-  ExecStats* stats_;
+  const ExecCounters* stats_;
+  obs::Tracer* tracer_;
 
   CompactTable binding_;
   std::unordered_map<std::string, size_t> columns_;
@@ -880,8 +898,55 @@ uint64_t PredicateFingerprint(
 
 }  // namespace
 
+void ExecCounters::BindTo(obs::MetricRegistry* registry) {
+  rules_evaluated = registry->counter("exec.rules_evaluated");
+  tuples_emitted = registry->counter("exec.tuples_emitted");
+  join_pairs = registry->counter("exec.join_pairs");
+  constraint_cells = registry->counter("exec.constraint_cells");
+  ppred_invocations = registry->counter("exec.ppred_invocations");
+  cache_hits = registry->counter("exec.cache_hits");
+  cache_misses = registry->counter("exec.cache_misses");
+  process_assignments = registry->counter("exec.process_assignments");
+  process_values = registry->gauge("exec.process_values");
+}
+
 Executor::Executor(const Catalog& catalog, ExecOptions options)
-    : catalog_(catalog), options_(options) {}
+    : catalog_(catalog),
+      options_(options),
+      tracer_(obs::TracerOrDefault(options.tracer)) {
+  if (options_.metrics != nullptr) {
+    metrics_ = options_.metrics;
+  } else {
+    owned_metrics_ = std::make_unique<obs::MetricRegistry>();
+    metrics_ = owned_metrics_.get();
+  }
+  counters_.BindTo(metrics_);
+}
+
+const ExecStats& Executor::stats() const {
+  stats_.rules_evaluated = counters_.rules_evaluated->value();
+  stats_.tuples_emitted = counters_.tuples_emitted->value();
+  stats_.join_pairs = counters_.join_pairs->value();
+  stats_.constraint_cells = counters_.constraint_cells->value();
+  stats_.ppred_invocations = counters_.ppred_invocations->value();
+  stats_.cache_hits = counters_.cache_hits->value();
+  stats_.cache_misses = counters_.cache_misses->value();
+  stats_.process_assignments = counters_.process_assignments->value();
+  stats_.process_values = counters_.process_values->value();
+  return stats_;
+}
+
+void Executor::ClearStats() {
+  counters_.rules_evaluated->Reset();
+  counters_.tuples_emitted->Reset();
+  counters_.join_pairs->Reset();
+  counters_.constraint_cells->Reset();
+  counters_.ppred_invocations->Reset();
+  counters_.cache_hits->Reset();
+  counters_.cache_misses->Reset();
+  counters_.process_assignments->Reset();
+  counters_.process_values->Reset();
+}
 
 Result<CompactTable> Executor::Execute(const Program& program) {
   return Execute(program, nullptr);
@@ -889,6 +954,13 @@ Result<CompactTable> Executor::Execute(const Program& program) {
 
 Result<CompactTable> Executor::Execute(const Program& program,
                                        ReuseCache* cache) {
+  obs::TraceSpan exec_span(tracer_, "exec.execute", program.query());
+  // Per-execution gauges reset up front: a failed execution reports 0,
+  // never the previous run's stale numbers, and a re-execution served
+  // fully from the reuse cache cannot double-count.
+  counters_.process_assignments->Set(0);
+  counters_.process_values->Set(0);
+
   IFLEX_ASSIGN_OR_RETURN(Program unfolded, program.Unfold(catalog_));
   std::unordered_map<std::string, std::vector<const Rule*>> by_head;
   for (const Rule& r : unfolded.rules()) {
@@ -905,20 +977,21 @@ Result<CompactTable> Executor::Execute(const Program& program,
   std::unordered_map<std::string, uint64_t> fp_memo;
   std::unordered_map<std::string, CompactTable> idb;
   for (const std::string& pred : order) {
+    obs::TraceSpan pred_span(tracer_, "exec.predicate", pred);
     uint64_t fp = PredicateFingerprint(pred, by_head, &fp_memo);
     if (cache != nullptr) {
       const CompactTable* hit = cache->Lookup(fp);
       if (hit != nullptr) {
-        ++stats_.cache_hits;
+        counters_.cache_hits->Add();
         idb.emplace(pred, *hit);
         continue;
       }
-      ++stats_.cache_misses;
+      counters_.cache_misses->Add();
     }
     CompactTable result;
     bool first = true;
     for (const Rule* r : by_head[pred]) {
-      RuleEvaluator eval(catalog_, options_, &idb, &stats_);
+      RuleEvaluator eval(catalog_, options_, &idb, &counters_, tracer_);
       IFLEX_ASSIGN_OR_RETURN(CompactTable t, eval.Evaluate(*r));
       if (first) {
         result = std::move(t);
@@ -932,13 +1005,15 @@ Result<CompactTable> Executor::Execute(const Program& program,
     if (cache != nullptr) cache->Insert(fp, result);
     idb.emplace(pred, std::move(result));
   }
-  stats_.process_assignments = 0;
-  stats_.process_values = 0;
+  size_t process_assignments = 0;
+  double process_values = 0;
   for (const auto& [pred, table] : idb) {
     (void)pred;
-    stats_.process_assignments += table.AssignmentCount();
-    stats_.process_values += table.TotalValueCount(catalog_.corpus());
+    process_assignments += table.AssignmentCount();
+    process_values += table.TotalValueCount(catalog_.corpus());
   }
+  counters_.process_assignments->Set(process_assignments);
+  counters_.process_values->Set(process_values);
   CompactTable out = idb.at(query);
   last_idb_ = std::move(idb);
   return out;

@@ -2,12 +2,15 @@
 #define IFLEX_EXEC_EXECUTOR_H_
 
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
 
 #include "alog/program.h"
 #include "common/result.h"
 #include "ctable/compact_table.h"
 #include "exec/cell_ops.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace iflex {
 
@@ -20,9 +23,21 @@ struct ExecOptions {
   /// (fall back to the a-table BAnnotate route otherwise). Turning this
   /// off forces the paper's default strategy everywhere (ablation A).
   bool compact_annotate = true;
+  /// Span sink for the per-rule / per-operator instrumentation; null
+  /// means the process-wide obs::DefaultTracer() (runtime-off unless the
+  /// IFLEX_TRACE env var or --trace-out turned it on).
+  obs::Tracer* tracer = nullptr;
+  /// Metric sink; null gives the executor a private registry, so each
+  /// Executor's counters stay independent (what the tests and the
+  /// assistant's per-iteration reads expect). Point several executors at
+  /// one registry to aggregate a whole bench run.
+  obs::MetricRegistry* metrics = nullptr;
 };
 
 /// Counters exposed for the benches and the multi-iteration optimizer.
+/// Since the obs layer landed this is a *snapshot view* over the
+/// executor's MetricRegistry (metric names "exec.*"); the struct shape is
+/// kept so call sites read fields as before.
 struct ExecStats {
   size_t rules_evaluated = 0;
   size_t tuples_emitted = 0;
@@ -35,12 +50,31 @@ struct ExecStats {
   /// "the number of assignments produced by the extraction process"
   /// (paper §5.1), which the convergence detector monitors. Unlike the
   /// final result's own count, this sees narrowing that projection hides.
+  /// Reset at the *start* of every Execute, so a failed execution reports
+  /// 0 instead of the previous run's stale value.
   size_t process_assignments = 0;
   /// Total |V(c)| across all intensional tables (capped): moves whenever
   /// any constraint narrows any cell anywhere in the process.
   double process_values = 0;
 
   void Clear() { *this = ExecStats(); }
+};
+
+/// Stable metric pointers for the executor's hot-path counters; cached
+/// once per Executor so increments are plain pointer bumps. Internal to
+/// the executor — read the numbers via Executor::stats() or metrics().
+struct ExecCounters {
+  obs::Counter* rules_evaluated = nullptr;
+  obs::Counter* tuples_emitted = nullptr;
+  obs::Counter* join_pairs = nullptr;
+  obs::Counter* constraint_cells = nullptr;
+  obs::Counter* ppred_invocations = nullptr;
+  obs::Counter* cache_hits = nullptr;
+  obs::Counter* cache_misses = nullptr;
+  obs::Counter* process_assignments = nullptr;
+  obs::Gauge* process_values = nullptr;
+
+  void BindTo(obs::MetricRegistry* registry);
 };
 
 /// Cross-iteration reuse cache (paper §5.2): intermediate results —
@@ -79,8 +113,13 @@ class Executor {
   /// Same, reusing/filling `cache` across iterations (paper §5.2).
   Result<CompactTable> Execute(const Program& program, ReuseCache* cache);
 
-  const ExecStats& stats() const { return stats_; }
-  void ClearStats() { stats_.Clear(); }
+  /// Snapshot of the "exec.*" metrics in the legacy struct shape.
+  const ExecStats& stats() const;
+  void ClearStats();
+
+  /// The executor's metric registry (private unless ExecOptions pointed
+  /// it at a shared one).
+  obs::MetricRegistry& metrics() const { return *metrics_; }
 
   /// Tables of every intensional predicate computed by the last Execute
   /// (the assistant inspects intermediate extraction coverage).
@@ -91,7 +130,11 @@ class Executor {
  private:
   const Catalog& catalog_;
   ExecOptions options_;
-  ExecStats stats_;
+  obs::Tracer* tracer_;
+  std::unique_ptr<obs::MetricRegistry> owned_metrics_;
+  obs::MetricRegistry* metrics_;
+  ExecCounters counters_;
+  mutable ExecStats stats_;
   std::unordered_map<std::string, CompactTable> last_idb_;
 };
 

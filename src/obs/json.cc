@@ -1,0 +1,59 @@
+#include "obs/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace iflex {
+namespace obs {
+
+void JsonWriter::Escape(std::string_view in, std::string* out) {
+  for (char c : in) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+}
+
+JsonWriter& JsonWriter::Number(double v) {
+  Prefix();
+  if (!std::isfinite(v)) {  // JSON has no inf/nan
+    out_ += "null";
+    return *this;
+  }
+  char buf[32];
+  // %.17g round-trips doubles; trim to shortest via %g first.
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Number(uint64_t v) {
+  Prefix();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+}  // namespace obs
+}  // namespace iflex

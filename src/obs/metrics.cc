@@ -1,0 +1,111 @@
+#include "obs/metrics.h"
+
+#include <cstdio>
+
+#include "obs/json.h"
+
+namespace iflex {
+namespace obs {
+
+namespace {
+
+template <typename Map, typename Make>
+auto* GetOrCreate(std::mutex& mu, Map& map, std::string_view name,
+                  Make make) {
+  std::lock_guard<std::mutex> lock(mu);
+  auto it = map.find(name);
+  if (it == map.end()) {
+    it = map.emplace(std::string(name), make()).first;
+  }
+  return it->second.get();
+}
+
+}  // namespace
+
+Counter* MetricRegistry::counter(std::string_view name) {
+  return GetOrCreate(mu_, counters_, name,
+                     [] { return std::make_unique<Counter>(); });
+}
+
+Gauge* MetricRegistry::gauge(std::string_view name) {
+  return GetOrCreate(mu_, gauges_, name,
+                     [] { return std::make_unique<Gauge>(); });
+}
+
+Histogram* MetricRegistry::histogram(std::string_view name) {
+  return GetOrCreate(mu_, histograms_, name,
+                     [] { return std::make_unique<Histogram>(); });
+}
+
+void MetricRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+void MetricRegistry::WriteJson(JsonWriter* w) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  w->BeginObject();
+  w->Key("counters").BeginObject();
+  for (const auto& [name, c] : counters_) {
+    w->Key(name).Number(c->value());
+  }
+  w->EndObject();
+  w->Key("gauges").BeginObject();
+  for (const auto& [name, g] : gauges_) {
+    w->Key(name).Number(g->value());
+  }
+  w->EndObject();
+  w->Key("histograms").BeginObject();
+  for (const auto& [name, h] : histograms_) {
+    w->Key(name).BeginObject();
+    w->Key("count").Number(static_cast<uint64_t>(h->count()));
+    w->Key("sum").Number(h->sum());
+    w->Key("min").Number(h->min());
+    w->Key("max").Number(h->max());
+    w->Key("p50").Number(h->Percentile(0.5));
+    w->Key("p90").Number(h->Percentile(0.9));
+    w->Key("p99").Number(h->Percentile(0.99));
+    w->EndObject();
+  }
+  w->EndObject();
+  w->EndObject();
+}
+
+std::string MetricRegistry::ToJson() const {
+  JsonWriter w;
+  WriteJson(&w);
+  return w.Release();
+}
+
+std::string MetricRegistry::ToText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  char buf[160];
+  for (const auto& [name, c] : counters_) {
+    std::snprintf(buf, sizeof(buf), "%-40s %llu\n", name.c_str(),
+                  static_cast<unsigned long long>(c->value()));
+    out += buf;
+  }
+  for (const auto& [name, g] : gauges_) {
+    std::snprintf(buf, sizeof(buf), "%-40s %.6g\n", name.c_str(), g->value());
+    out += buf;
+  }
+  for (const auto& [name, h] : histograms_) {
+    std::snprintf(buf, sizeof(buf),
+                  "%-40s count=%zu mean=%.6g p50=%.6g p99=%.6g max=%.6g\n",
+                  name.c_str(), h->count(), h->mean(), h->Percentile(0.5),
+                  h->Percentile(0.99), h->max());
+    out += buf;
+  }
+  return out;
+}
+
+MetricRegistry& DefaultMetrics() {
+  static MetricRegistry* registry = new MetricRegistry();
+  return *registry;
+}
+
+}  // namespace obs
+}  // namespace iflex

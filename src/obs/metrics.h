@@ -1,0 +1,139 @@
+#ifndef IFLEX_OBS_METRICS_H_
+#define IFLEX_OBS_METRICS_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace iflex {
+namespace obs {
+
+class JsonWriter;
+
+/// Monotonic (until Reset) event counter. Updates are plain stores: the
+/// executor and the refinement loop are single-writer, and the registry
+/// only synchronizes metric *creation*.
+class Counter {
+ public:
+  void Add(uint64_t d = 1) { value_ += d; }
+  void Set(uint64_t v) { value_ = v; }
+  void Reset() { value_ = 0; }
+  uint64_t value() const { return value_; }
+
+ private:
+  uint64_t value_ = 0;
+};
+
+/// Last-value-wins instantaneous measurement (result sizes, process-wide
+/// assignment counts, fractions).
+class Gauge {
+ public:
+  void Set(double v) { value_ = v; }
+  void Add(double d) { value_ += d; }
+  void Reset() { value_ = 0; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0;
+};
+
+/// Sample distribution with exact percentiles over a bounded reservoir
+/// (the first `max_samples` observations; count/sum/min/max stay exact
+/// beyond that).
+class Histogram {
+ public:
+  explicit Histogram(size_t max_samples = 1 << 16)
+      : max_samples_(max_samples) {}
+
+  void Record(double v) {
+    ++count_;
+    sum_ += v;
+    min_ = count_ == 1 ? v : std::min(min_, v);
+    max_ = count_ == 1 ? v : std::max(max_, v);
+    if (samples_.size() < max_samples_) {
+      samples_.push_back(v);
+      sorted_ = false;
+    }
+  }
+
+  size_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ == 0 ? 0 : sum_ / static_cast<double>(count_); }
+  double min() const { return count_ == 0 ? 0 : min_; }
+  double max() const { return count_ == 0 ? 0 : max_; }
+
+  /// Exact percentile (linear interpolation) over the retained samples;
+  /// q in [0, 1].
+  double Percentile(double q) const {
+    if (samples_.empty()) return 0;
+    if (!sorted_) {
+      std::sort(samples_.begin(), samples_.end());
+      sorted_ = true;
+    }
+    q = std::min(1.0, std::max(0.0, q));
+    double idx = q * static_cast<double>(samples_.size() - 1);
+    size_t lo = static_cast<size_t>(idx);
+    size_t hi = std::min(lo + 1, samples_.size() - 1);
+    double frac = idx - static_cast<double>(lo);
+    return samples_[lo] * (1 - frac) + samples_[hi] * frac;
+  }
+
+  void Reset() {
+    samples_.clear();
+    sorted_ = false;
+    count_ = 0;
+    sum_ = 0;
+    min_ = 0;
+    max_ = 0;
+  }
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+  size_t max_samples_;
+  size_t count_ = 0;
+  double sum_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+/// Named metric store. Get-or-create is synchronized and returns stable
+/// pointers, so hot paths cache the pointer once and update lock-free.
+/// Names are dotted paths ("exec.join_pairs"); export order is sorted.
+class MetricRegistry {
+ public:
+  Counter* counter(std::string_view name);
+  Gauge* gauge(std::string_view name);
+  Histogram* histogram(std::string_view name);
+
+  /// Zeroes every registered metric (pointers stay valid).
+  void ResetAll();
+
+  /// Writes {"counters":{...},"gauges":{...},"histograms":{...}} as one
+  /// JSON object value into `w`.
+  void WriteJson(JsonWriter* w) const;
+  std::string ToJson() const;
+
+  /// Human-readable "name value" lines, sorted by name.
+  std::string ToText() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// Process-wide registry: instrumentation that has no per-run registry
+/// wired through (datagen, loaders, bench harnesses) lands here.
+MetricRegistry& DefaultMetrics();
+
+}  // namespace obs
+}  // namespace iflex
+
+#endif  // IFLEX_OBS_METRICS_H_

@@ -1,0 +1,238 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <map>
+#include <memory>
+#include <thread>
+
+#include "obs/json.h"
+
+namespace iflex {
+namespace obs {
+
+namespace {
+
+/// Current nesting depth of live spans on this thread.
+thread_local uint16_t tls_depth = 0;
+
+}  // namespace
+
+Tracer::Tracer(size_t capacity) : capacity_(std::max<size_t>(1, capacity)) {
+  ring_.reserve(std::min<size_t>(capacity_, 4096));
+}
+
+void Tracer::Record(TraceEvent ev) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(ev));
+    return;
+  }
+  // Full: overwrite the oldest slot (the buffer becomes a proper ring).
+  ring_[next_] = std::move(ev);
+  next_ = (next_ + 1) % capacity_;
+  wrapped_ = true;
+  ++dropped_;
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  next_ = 0;
+  wrapped_ = false;
+  dropped_ = 0;
+}
+
+std::vector<TraceEvent> Tracer::Snapshot() const {
+  std::vector<TraceEvent> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!wrapped_) {
+      out = ring_;
+    } else {
+      out.reserve(ring_.size());
+      for (size_t i = 0; i < ring_.size(); ++i) {
+        out.push_back(ring_[(next_ + i) % ring_.size()]);
+      }
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     if (a.tid != b.tid) return a.tid < b.tid;
+                     if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+                     return a.dur_ns > b.dur_ns;  // parents before children
+                   });
+  return out;
+}
+
+size_t Tracer::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+uint64_t Tracer::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+std::string Tracer::ToChromeJson() const {
+  std::vector<TraceEvent> events = Snapshot();
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("traceEvents").BeginArray();
+  for (const TraceEvent& ev : events) {
+    w.BeginObject();
+    w.Key("name").String(ev.name);
+    w.Key("cat").String("iflex");
+    w.Key("ph").String("X");
+    w.Key("ts").Number(static_cast<double>(ev.start_ns) / 1000.0);
+    w.Key("dur").Number(static_cast<double>(ev.dur_ns) / 1000.0);
+    w.Key("pid").Number(uint64_t{1});
+    w.Key("tid").Number(static_cast<uint64_t>(ev.tid));
+    if (!ev.detail.empty()) {
+      w.Key("args").BeginObject();
+      w.Key("detail").String(ev.detail);
+      w.EndObject();
+    }
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("displayTimeUnit").String("ms");
+  w.Key("otherData").BeginObject();
+  w.Key("dropped_events").Number(dropped());
+  w.EndObject();
+  w.EndObject();
+  return w.Release();
+}
+
+bool Tracer::WriteChromeJson(const std::string& path) const {
+  std::string json = ToChromeJson();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  bool ok = written == json.size();
+  ok = std::fclose(f) == 0 && ok;
+  return ok;
+}
+
+namespace {
+
+struct SummaryNode {
+  size_t count = 0;
+  uint64_t total_ns = 0;
+  std::map<std::string, std::unique_ptr<SummaryNode>> children;
+};
+
+void PrintSummary(const SummaryNode& node, int depth, std::string* out) {
+  // Children sorted by total time, descending.
+  std::vector<std::pair<const std::string*, const SummaryNode*>> kids;
+  for (const auto& [name, child] : node.children) {
+    kids.emplace_back(&name, child.get());
+  }
+  std::sort(kids.begin(), kids.end(), [](const auto& a, const auto& b) {
+    return a.second->total_ns > b.second->total_ns;
+  });
+  for (const auto& [name, child] : kids) {
+    char buf[192];
+    std::snprintf(buf, sizeof(buf), "%*s%-*s %8zux %12.3f ms\n", depth * 2,
+                  "", 36 - depth * 2, name->c_str(), child->count,
+                  static_cast<double>(child->total_ns) / 1e6);
+    *out += buf;
+    PrintSummary(*child, depth + 1, out);
+  }
+}
+
+}  // namespace
+
+std::string Tracer::SummaryTree() const {
+  // Rebuild span nesting per thread from start-time order + containment
+  // (a child starts and ends inside its parent), then aggregate by the
+  // name path so repeated operators fold into one line.
+  std::vector<TraceEvent> events = Snapshot();
+  SummaryNode root;
+  struct Open {
+    uint64_t end_ns;
+    SummaryNode* node;
+  };
+  std::vector<Open> stack;
+  uint32_t cur_tid = 0;
+  for (const TraceEvent& ev : events) {
+    if (ev.tid != cur_tid) {
+      stack.clear();
+      cur_tid = ev.tid;
+    }
+    while (!stack.empty() && ev.start_ns >= stack.back().end_ns) {
+      stack.pop_back();
+    }
+    SummaryNode* parent = stack.empty() ? &root : stack.back().node;
+    std::unique_ptr<SummaryNode>& slot = parent->children[ev.name];
+    if (slot == nullptr) slot = std::make_unique<SummaryNode>();
+    slot->count += 1;
+    slot->total_ns += ev.dur_ns;
+    stack.push_back(Open{ev.start_ns + ev.dur_ns, slot.get()});
+  }
+  std::string out;
+  PrintSummary(root, 0, &out);
+  if (uint64_t d = dropped(); d > 0) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "(+%llu dropped events)\n",
+                  static_cast<unsigned long long>(d));
+    out += buf;
+  }
+  return out;
+}
+
+uint64_t Tracer::NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+uint32_t Tracer::CurrentTid() {
+  return static_cast<uint32_t>(
+      std::hash<std::thread::id>{}(std::this_thread::get_id()));
+}
+
+Tracer& DefaultTracer() {
+  static Tracer* tracer = [] {
+    auto* t = new Tracer();
+    const char* env = std::getenv("IFLEX_TRACE");
+    if (env != nullptr && env[0] != '\0' && std::strcmp(env, "0") != 0) {
+      t->set_enabled(true);
+    }
+    return t;
+  }();
+  return *tracer;
+}
+
+TraceSpan::TraceSpan(Tracer* tracer, const char* name,
+                     std::string_view detail) {
+  if (tracer == nullptr || !tracer->enabled()) return;  // zero-cost path
+  tracer_ = tracer;
+  name_ = name;
+  if (!detail.empty()) detail_.assign(detail.data(), detail.size());
+  depth_ = tls_depth++;
+  start_ns_ = Tracer::NowNs();
+}
+
+void TraceSpan::End() {
+  if (tracer_ == nullptr) return;
+  TraceEvent ev;
+  ev.name = name_;
+  ev.detail = std::move(detail_);
+  ev.start_ns = start_ns_;
+  ev.dur_ns = Tracer::NowNs() - start_ns_;
+  ev.tid = Tracer::CurrentTid();
+  ev.depth = depth_;
+  --tls_depth;
+  tracer_->Record(std::move(ev));
+  tracer_ = nullptr;
+}
+
+}  // namespace obs
+}  // namespace iflex

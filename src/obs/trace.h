@@ -1,0 +1,110 @@
+#ifndef IFLEX_OBS_TRACE_H_
+#define IFLEX_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace iflex {
+namespace obs {
+
+/// One completed span. Spans are recorded when they end (Chrome "X"
+/// complete events), so the buffer is ordered by end time; start/depth
+/// allow the exporters to rebuild the tree.
+struct TraceEvent {
+  std::string name;    // operator/stage id, e.g. "exec.join"
+  std::string detail;  // free-form argument, e.g. the predicate name
+  uint64_t start_ns = 0;
+  uint64_t dur_ns = 0;
+  uint32_t tid = 0;
+  uint16_t depth = 0;
+};
+
+/// Ring-buffered span store. Runtime-off by default: when disabled,
+/// TraceSpan construction is a single relaxed load and records nothing
+/// (no clock read, no allocation). When the ring fills, the *oldest*
+/// events are overwritten — the tail of a run is what a trace viewer
+/// needs — and the drop count is reported in the export.
+class Tracer {
+ public:
+  explicit Tracer(size_t capacity = 1 << 16);
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  void Record(TraceEvent ev);
+  void Clear();
+
+  /// Events in chronological (start time) order.
+  std::vector<TraceEvent> Snapshot() const;
+  size_t size() const;
+  uint64_t dropped() const;
+
+  /// chrome://tracing / Perfetto "traceEvents" JSON.
+  std::string ToChromeJson() const;
+  /// Writes ToChromeJson() to `path`; returns false on I/O failure.
+  bool WriteChromeJson(const std::string& path) const;
+
+  /// Aggregated human-readable tree: per (ancestry path) name, call count
+  /// and total wall time, indented by depth.
+  std::string SummaryTree() const;
+
+  static uint64_t NowNs();
+  static uint32_t CurrentTid();
+
+ private:
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> ring_;
+  size_t capacity_;
+  size_t next_ = 0;      // ring write cursor
+  bool wrapped_ = false;
+  uint64_t dropped_ = 0;
+};
+
+/// Process-wide tracer. Enabled at startup when the IFLEX_TRACE
+/// environment variable is set to anything but "" or "0"; flip it at
+/// runtime with set_enabled().
+Tracer& DefaultTracer();
+
+/// RAII span: times from construction to End()/destruction and records
+/// into the tracer when enabled. `name` must outlive the span (string
+/// literals); `detail` is copied at construction only when tracing is
+/// enabled, so pass string_views of live strings — never build a
+/// temporary string at the call site for it.
+class TraceSpan {
+ public:
+  TraceSpan(Tracer* tracer, const char* name, std::string_view detail = {});
+  TraceSpan(Tracer& tracer, const char* name, std::string_view detail = {})
+      : TraceSpan(&tracer, name, detail) {}
+  ~TraceSpan() { End(); }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Ends and records the span now (idempotent).
+  void End();
+
+ private:
+  Tracer* tracer_ = nullptr;  // null when tracing was off at construction
+  const char* name_ = nullptr;
+  std::string detail_;
+  uint64_t start_ns_ = 0;
+  uint16_t depth_ = 0;
+};
+
+/// Resolution helper for the "null means the process default" convention
+/// used by ExecOptions / SessionOptions.
+inline Tracer* TracerOrDefault(Tracer* t) {
+  return t != nullptr ? t : &DefaultTracer();
+}
+
+}  // namespace obs
+}  // namespace iflex
+
+#endif  // IFLEX_OBS_TRACE_H_

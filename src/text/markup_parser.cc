@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/strutil.h"
+#include "obs/trace.h"
 
 namespace iflex {
 
@@ -31,6 +32,7 @@ const TagInfo* FindTag(std::string_view name) {
 }  // namespace
 
 Result<Document> ParseMarkup(std::string name, std::string_view markup) {
+  obs::TraceSpan span(obs::DefaultTracer(), "text.parse_markup", name);
   std::string text;
   text.reserve(markup.size());
   struct Open {

@@ -1,8 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <utility>
+
 #include "exec/annotate.h"
 #include "exec/cell_ops.h"
 #include "exec/executor.h"
+#include "obs/metrics.h"
 #include "text/markup_parser.h"
 
 namespace iflex {
@@ -425,6 +428,159 @@ TEST_F(ExecutorTest, RecursionRejected) {
   prog->set_query("q");
   Executor exec(*catalog_);
   EXPECT_FALSE(exec.Execute(*prog).ok());
+}
+
+// ------------------------------------------------- observability counters
+
+// Catalog with two small extensional tables whose join costs are exactly
+// countable: r = {(1,10),(2,20),(3,30)}, s = {(10,100),(20,200)}.
+class CounterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    catalog_ = std::make_unique<Catalog>(&corpus_);
+    CompactTable r({"a", "b"});
+    for (auto [a, b] : {std::pair{1, 10}, {2, 20}, {3, 30}}) {
+      CompactTuple t;
+      t.cells.push_back(Cell::Exact(Num(a)));
+      t.cells.push_back(Cell::Exact(Num(b)));
+      r.Add(std::move(t));
+    }
+    ASSERT_TRUE(catalog_->AddTable("r", std::move(r)).ok());
+    CompactTable st({"b", "c"});
+    for (auto [b, c] : {std::pair{10, 100}, {20, 200}}) {
+      CompactTuple t;
+      t.cells.push_back(Cell::Exact(Num(b)));
+      t.cells.push_back(Cell::Exact(Num(c)));
+      st.Add(std::move(t));
+    }
+    ASSERT_TRUE(catalog_->AddTable("s", std::move(st)).ok());
+    catalog_->RegisterBuiltinFunctions();
+  }
+
+  Corpus corpus_;
+  std::unique_ptr<Catalog> catalog_;
+};
+
+TEST_F(CounterTest, JoinCountersMatchGroundTruth) {
+  auto prog = ParseProgram("q(a, c) :- r(a, b), s(b, c).", *catalog_);
+  ASSERT_TRUE(prog.ok()) << prog.status();
+  prog->set_query("q");
+  Executor exec(*catalog_);
+  auto result = exec.Execute(*prog);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->size(), 2u);  // (1,100), (2,200)
+
+  const ExecStats& stats = exec.stats();
+  EXPECT_EQ(stats.rules_evaluated, 1u);
+  // Seed binding {()} x r -> 3 pairs; 3 bindings x s -> 6 pairs.
+  EXPECT_EQ(stats.join_pairs, 9u);
+  // Only the q projection emits: 2 result tuples.
+  EXPECT_EQ(stats.tuples_emitted, 2u);
+  EXPECT_EQ(stats.constraint_cells, 0u);
+  EXPECT_EQ(stats.ppred_invocations, 0u);
+  EXPECT_EQ(stats.cache_hits, 0u);   // no cache wired in
+  EXPECT_EQ(stats.cache_misses, 0u);
+  EXPECT_GT(stats.process_assignments, 0u);
+}
+
+TEST_F(CounterTest, CountersAliasTheMetricRegistry) {
+  auto prog = ParseProgram("q(a, c) :- r(a, b), s(b, c).", *catalog_);
+  ASSERT_TRUE(prog.ok());
+  prog->set_query("q");
+  obs::MetricRegistry registry;
+  ExecOptions options;
+  options.metrics = &registry;
+  Executor exec(*catalog_, options);
+  ASSERT_TRUE(exec.Execute(*prog).ok());
+  // ExecStats is a view over the named metrics in the caller's registry.
+  EXPECT_EQ(registry.counter("exec.join_pairs")->value(),
+            exec.stats().join_pairs);
+  EXPECT_EQ(registry.counter("exec.tuples_emitted")->value(), 2u);
+}
+
+TEST_F(ExecutorTest, OperatorCountersMatchGroundTruth) {
+  ASSERT_TRUE(catalog_
+                  ->DeclarePPredicate(
+                      "double_it", 1, 1,
+                      [](const Corpus&, const std::vector<Value>& in)
+                          -> Result<std::vector<std::vector<Value>>> {
+                        auto n = in[0].AsNumber();
+                        if (!n.has_value()) return std::vector<std::vector<Value>>{};
+                        return std::vector<std::vector<Value>>{
+                            {Value::Number(*n * 2)}};
+                      })
+                  .ok());
+  const char* src = R"(
+    q(x, p, d) :- pages(x), extractPrice(x, p), double_it(p, d).
+    extractPrice(x, p) :- from(x, p), numeric(p) = yes, bold_font(p) = yes.
+  )";
+  auto prog = ParseProgram(src, *catalog_);
+  ASSERT_TRUE(prog.ok()) << prog.status();
+  prog->set_query("q");
+  Executor exec(*catalog_);
+  auto result = exec.Execute(*prog);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->size(), 2u);
+
+  const ExecStats& stats = exec.stats();
+  // extractPrice is an IE predicate, so Unfold inlines it: one rule runs.
+  EXPECT_EQ(stats.rules_evaluated, 1u);
+  // `from` binds one p cell per page, then each of numeric/bold_font
+  // visits both binding tuples.
+  EXPECT_EQ(stats.constraint_cells, 4u);
+  // One bold price per page after the constraints -> one p-predicate
+  // call per page.
+  EXPECT_EQ(stats.ppred_invocations, 2u);
+  // The only join is seed x pages (1x2); `from` is not a join.
+  EXPECT_EQ(stats.join_pairs, 2u);
+  // The single unfolded rule emits the 2 result tuples.
+  EXPECT_EQ(stats.tuples_emitted, 2u);
+}
+
+// ------------------------------------------- stats lifecycle regressions
+
+TEST_F(ExecutorTest, CachedReexecutionDoesNotDoubleCountProcessSize) {
+  const char* src = R"(
+    q(x, p) :- pages(x), extractPrice(x, p).
+    extractPrice(x, p) :- from(x, p), numeric(p) = yes, bold_font(p) = yes.
+  )";
+  auto prog = ParseProgram(src, *catalog_);
+  ASSERT_TRUE(prog.ok());
+  prog->set_query("q");
+  ReuseCache cache;
+  Executor exec(*catalog_);
+  ASSERT_TRUE(exec.Execute(*prog, &cache).ok());
+  size_t cold = exec.stats().process_assignments;
+  double cold_values = exec.stats().process_values;
+  EXPECT_GT(cold, 0u);
+  // Second run is served from the cache; the process size of the run is
+  // the same, not doubled (and not zero).
+  ASSERT_TRUE(exec.Execute(*prog, &cache).ok());
+  EXPECT_GT(exec.stats().cache_hits, 0u);
+  EXPECT_EQ(exec.stats().process_assignments, cold);
+  EXPECT_DOUBLE_EQ(exec.stats().process_values, cold_values);
+}
+
+TEST_F(ExecutorTest, FailedExecutionReportsZeroProcessSize) {
+  const char* ok_src = R"(
+    q(x, p) :- pages(x), extractPrice(x, p).
+    extractPrice(x, p) :- from(x, p), numeric(p) = yes.
+  )";
+  auto ok_prog = ParseProgram(ok_src, *catalog_);
+  ASSERT_TRUE(ok_prog.ok());
+  ok_prog->set_query("q");
+  Executor exec(*catalog_);
+  ASSERT_TRUE(exec.Execute(*ok_prog).ok());
+  EXPECT_GT(exec.stats().process_assignments, 0u);
+
+  // A failing execution must not leave the previous run's process size
+  // behind: the gauges reset at Execute start.
+  auto bad_prog = ParseProgram("nope(x) :- pages(x).", *catalog_);
+  ASSERT_TRUE(bad_prog.ok());
+  bad_prog->set_query("q");  // no rule defines q here
+  EXPECT_FALSE(exec.Execute(*bad_prog).ok());
+  EXPECT_EQ(exec.stats().process_assignments, 0u);
+  EXPECT_DOUBLE_EQ(exec.stats().process_values, 0.0);
 }
 
 }  // namespace
