@@ -4,8 +4,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <optional>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -16,6 +18,7 @@
 #include "obs/trace.h"
 #include "oracle/evaluate.h"
 #include "oracle/timemodel.h"
+#include "runtime/task_pool.h"
 #include "tasks/task.h"
 #include "xlog/precise.h"
 
@@ -68,6 +71,11 @@ class BenchReporter {
       };
       if (take("--trace-out", &trace_out_)) continue;
       if (take("--json-out", &json_out_)) continue;
+      std::string threads;
+      if (take("--threads", &threads)) {
+        threads_ = static_cast<size_t>(std::strtoul(threads.c_str(), nullptr, 10));
+        continue;
+      }
     }
     if (json_out_.empty()) {
       const char* dir = std::getenv("IFLEX_BENCH_JSON_DIR");
@@ -85,6 +93,17 @@ class BenchReporter {
   BenchReporter& operator=(const BenchReporter&) = delete;
 
   void Row(std::vector<Field> fields) { rows_.push_back(std::move(fields)); }
+
+  /// `--threads N` value; 1 (serial) when the flag was absent or 0.
+  size_t threads() const { return threads_ == 0 ? 1 : threads_; }
+  /// Shared pool for the bench run: null in serial mode, created lazily
+  /// for --threads > 1. Execution results are identical either way.
+  runtime::TaskPool* pool() {
+    if (threads() > 1 && pool_ == nullptr) {
+      pool_ = std::make_unique<runtime::TaskPool>(threads());
+    }
+    return pool_.get();
+  }
 
   /// Writes the JSON artifacts now (idempotent; also runs at destruction).
   void Finish() {
@@ -138,6 +157,8 @@ class BenchReporter {
   std::string name_;
   std::string trace_out_;
   std::string json_out_;
+  size_t threads_ = 0;
+  std::unique_ptr<runtime::TaskPool> pool_;
   std::string root_name_;
   std::optional<obs::TraceSpan> root_span_;
   Stopwatch watch_;
@@ -215,6 +236,46 @@ inline Result<XlogRun> RunXlogBaseline(TaskInstance* task) {
                                          : task->gold.query_result;
   run.report = EvaluateResult(*task->corpus, result, gold);
   return run;
+}
+
+/// Re-runs one scenario serially and with a pool and appends a "SCALING"
+/// row (machine seconds at 1 vs N threads, speedup) to the reporter —
+/// the machine-readable speedup-vs-threads record next to the per-task
+/// rows. N is --threads when given, hardware concurrency otherwise.
+inline void EmitScalingRow(BenchReporter* reporter, const std::string& task_id,
+                           size_t scale, StrategyKind strategy,
+                           const DeveloperTimeModel& model) {
+  size_t threads = reporter->threads();
+  if (threads <= 1) {
+    threads = std::max<size_t>(1, std::thread::hardware_concurrency());
+  }
+  auto run_with = [&](runtime::TaskPool* pool) -> double {
+    auto task = MakeTask(task_id, scale);
+    if (!task.ok()) return -1;
+    SessionOptions options;
+    options.pool = pool;
+    auto run = RunIFlex(task->get(), strategy, model, options);
+    return run.ok() ? run->machine_seconds : -1;
+  };
+  std::fprintf(stderr, "[scaling] %s @ %zu at 1 and %zu threads...\n",
+               task_id.c_str(), scale, threads);
+  double serial_seconds = run_with(nullptr);
+  runtime::TaskPool pool(threads);
+  double parallel_seconds = run_with(&pool);
+  double speedup = serial_seconds > 0 && parallel_seconds > 0
+                       ? serial_seconds / parallel_seconds
+                       : 0;
+  std::printf(
+      "Scaling on %s@%zu: %.2fs serial, %.2fs at %zu threads (%.2fx)\n",
+      task_id.c_str(), scale, serial_seconds, parallel_seconds, threads,
+      speedup);
+  using R = BenchReporter;
+  reporter->Row({R::S("task", "SCALING"), R::S("scenario", task_id),
+                 R::N("tuples", static_cast<double>(scale)),
+                 R::N("threads", static_cast<double>(threads)),
+                 R::N("serial_seconds", serial_seconds),
+                 R::N("parallel_seconds", parallel_seconds),
+                 R::N("speedup", speedup)});
 }
 
 inline std::string FmtMinutes(double minutes) {

@@ -15,9 +15,11 @@
 //
 // Also scriptable: ./examples/iflex_shell < script.iflex
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 
 #include "common/strutil.h"
@@ -27,6 +29,7 @@
 #include "datagen/movies.h"
 #include "exec/executor.h"
 #include "obs/trace.h"
+#include "runtime/task_pool.h"
 #include "text/markup_parser.h"
 
 using namespace iflex;
@@ -35,7 +38,13 @@ namespace {
 
 class Shell {
  public:
-  Shell() : catalog_(&corpus_) { catalog_.RegisterBuiltinFunctions(); }
+  /// `threads == 0` sizes the pool to the hardware; 1 runs serial (no
+  /// pool at all). Executions are bit-identical at any setting.
+  explicit Shell(size_t threads) : catalog_(&corpus_) {
+    catalog_.RegisterBuiltinFunctions();
+    if (threads == 0) threads = std::thread::hardware_concurrency();
+    if (threads > 1) pool_ = std::make_unique<runtime::TaskPool>(threads);
+  }
 
   int Run() {
     std::string line;
@@ -106,7 +115,10 @@ class Shell {
         "  run                             execute and print the result\n"
         "  trace                           print the recorded span tree\n"
         "  tables                          list extensional tables\n"
-        "  quit\n");
+        "  quit\n"
+        "flags: --threads N  pool width for run (default: hardware\n"
+        "       concurrency; 1 = serial; results are identical)\n"
+        "       --trace-out <file>  write a chrome://tracing JSON on exit\n");
     return Status::OK();
   }
 
@@ -259,7 +271,9 @@ class Shell {
 
   Status Execute() {
     IFLEX_ASSIGN_OR_RETURN(Program prog, CurrentProgram());
-    Executor exec(catalog_);
+    ExecOptions options;
+    options.pool = pool_.get();
+    Executor exec(catalog_, options);
     IFLEX_ASSIGN_OR_RETURN(CompactTable result, exec.Execute(prog));
     std::printf("%zu compact tuple(s), ~%.0f candidate tuple(s)\n",
                 result.size(), result.ExpandedTupleCount(corpus_));
@@ -276,6 +290,7 @@ class Shell {
 
   Corpus corpus_;
   Catalog catalog_;
+  std::unique_ptr<runtime::TaskPool> pool_;
   std::string program_src_;
   std::string query_;
   bool done_ = false;
@@ -285,13 +300,16 @@ class Shell {
 
 int main(int argc, char** argv) {
   std::string trace_out;
+  size_t threads = 0;  // 0 = hardware concurrency
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
       trace_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = static_cast<size_t>(std::strtoul(argv[++i], nullptr, 10));
     }
   }
   if (!trace_out.empty()) iflex::obs::DefaultTracer().set_enabled(true);
-  int rc = Shell().Run();
+  int rc = Shell(threads).Run();
   if (!trace_out.empty()) {
     if (iflex::obs::DefaultTracer().WriteChromeJson(trace_out)) {
       std::fprintf(stderr, "wrote trace %s (open in chrome://tracing)\n",

@@ -29,6 +29,7 @@ double RefinementSession::AutoSubsetFraction(size_t n) {
 Result<SessionResult> RefinementSession::Run() {
   SessionResult out;
   Stopwatch total;
+  if (options_.pool != nullptr) options_.exec_options.pool = options_.pool;
   obs::Tracer* tracer = obs::TracerOrDefault(options_.exec_options.tracer);
   obs::MetricRegistry* metrics = options_.exec_options.metrics != nullptr
                                      ? options_.exec_options.metrics

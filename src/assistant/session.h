@@ -37,6 +37,10 @@ struct SessionOptions {
   uint64_t subset_seed = 42;
   int max_iterations = 40;
   ExecOptions exec_options;
+  /// Convenience alias for exec_options.pool: a non-null pool here is
+  /// copied over it at Run() start, parallelizing every execution and
+  /// simulation of the session. Results are bit-identical either way.
+  runtime::TaskPool* pool = nullptr;
 };
 
 /// One row of the paper's Table 4: the per-iteration trace.

@@ -7,6 +7,7 @@
 
 #include "common/strutil.h"
 #include "obs/trace.h"
+#include "runtime/task_pool.h"
 
 namespace iflex {
 
@@ -346,36 +347,59 @@ Result<std::optional<Question>> SimulationStrategy::Next(
         if (cov_it != base_coverage.end()) base_cov = cov_it->second;
       }
       std::vector<double> pvalues;
-      for (const Answer& a : answers) {
-        obs::TraceSpan sim_span(tracer, "strategy.simulate", fname);
-        Program refined = *ctx.program;
-        Status st = ApplyAnswer(&refined, *ctx.full_catalog, q, a);
-        double size = current_size;
-        double pv = current_values;
-        bool coverage_ok = true;
-        if (st.ok()) {
-          Executor exec(*ctx.subset_catalog, ctx.exec_options);
-          Result<CompactTable> r = exec.Execute(refined, ctx.subset_cache);
-          ++simulations_run_;
-          if (r.ok()) {
-            size = ResultSize(*r, corpus);
-            pv = exec.stats().process_values;
-            if (head_it != consuming_head.end()) {
-              auto it = exec.last_idb().find(head_it->second);
-              // A correct constraint may legitimately drop records that
-              // simply lack the attribute (journal-year on conference
-              // entries), so require only that a reasonable share of the
-              // extractor's tuples survives; total annihilation marks a
-              // wrong guess.
-              coverage_ok = it != exec.last_idb().end() &&
-                            static_cast<double>(it->second.size()) >=
-                                0.25 * static_cast<double>(base_cov);
+      // Candidate simulations are independent (each gets its own Executor
+      // over the shared subset catalog/cache), so they fan out across the
+      // pool; outcomes are folded serially in answer order below, which
+      // keeps question selection identical to the serial run.
+      struct SimOutcome {
+        bool ran = false;
+        bool keep = false;
+        double size = 0;
+        double pv = 0;
+      };
+      std::vector<SimOutcome> outcomes = runtime::ParallelMap<SimOutcome>(
+          ctx.exec_options.pool, answers.size(), [&](size_t ai) {
+            const Answer& a = answers[ai];
+            obs::TraceSpan sim_span(tracer, "strategy.simulate", fname);
+            Program refined = *ctx.program;
+            Status st = ApplyAnswer(&refined, *ctx.full_catalog, q, a);
+            SimOutcome out;
+            out.size = current_size;
+            out.pv = current_values;
+            bool coverage_ok = true;
+            if (st.ok()) {
+              // Each simulation reads its own process_values gauge back;
+              // a shared registry would let concurrent simulations clobber
+              // that gauge, so simulations always get a private one.
+              ExecOptions sim_options = ctx.exec_options;
+              sim_options.metrics = nullptr;
+              Executor exec(*ctx.subset_catalog, sim_options);
+              Result<CompactTable> r = exec.Execute(refined, ctx.subset_cache);
+              out.ran = true;
+              if (r.ok()) {
+                out.size = ResultSize(*r, corpus);
+                out.pv = exec.stats().process_values;
+                if (head_it != consuming_head.end()) {
+                  auto it = exec.last_idb().find(head_it->second);
+                  // A correct constraint may legitimately drop records that
+                  // simply lack the attribute (journal-year on conference
+                  // entries), so require only that a reasonable share of the
+                  // extractor's tuples survives; total annihilation marks a
+                  // wrong guess.
+                  coverage_ok = it != exec.last_idb().end() &&
+                                static_cast<double>(it->second.size()) >=
+                                    0.25 * static_cast<double>(base_cov);
+                }
+              }
             }
-          }
-        }
-        if (size > 0 && coverage_ok) {
-          sizes.push_back(size);
-          pvalues.push_back(pv);
+            out.keep = out.size > 0 && coverage_ok;
+            return out;
+          });
+      for (const SimOutcome& out : outcomes) {
+        if (out.ran) ++simulations_run_;
+        if (out.keep) {
+          sizes.push_back(out.size);
+          pvalues.push_back(out.pv);
         }
       }
       if (sizes.empty()) continue;  // no plausible answer: useless question

@@ -9,6 +9,7 @@
 
 #include "common/strutil.h"
 #include "exec/annotate.h"
+#include "runtime/task_pool.h"
 
 namespace iflex {
 
@@ -62,27 +63,9 @@ class RuleEvaluator {
     std::vector<Literal> pending;
     for (const Literal& lit : rule.body) pending.push_back(lit);
 
-    while (!pending.empty()) {
-      size_t best = SIZE_MAX;
-      int best_prio = INT_MAX;
-      for (size_t i = 0; i < pending.size(); ++i) {
-        int prio = Priority(pending[i]);
-        if (prio >= 0 && prio < best_prio) {
-          best_prio = prio;
-          best = i;
-        }
-      }
-      if (best == SIZE_MAX) {
-        return Status::Internal("no evaluable literal left in rule " +
-                                rule.ToString());
-      }
-      Literal lit = std::move(pending[best]);
-      pending.erase(pending.begin() + static_cast<ptrdiff_t>(best));
-      IFLEX_RETURN_NOT_OK(Apply(lit, &pending));
-      if (binding_.size() > options_.max_table_tuples) {
-        return Status::ExecutionError(
-            "intermediate table exceeds max_table_tuples");
-      }
+    IFLEX_ASSIGN_OR_RETURN(bool sharded, TryShardedBody(rule, &pending));
+    if (!sharded) {
+      IFLEX_RETURN_NOT_OK(RunPipeline(rule, &pending));
     }
 
     IFLEX_ASSIGN_OR_RETURN(CompactTable projected, Project(rule.head));
@@ -99,6 +82,122 @@ class RuleEvaluator {
   }
 
  private:
+  // Index of the lowest-priority evaluable pending literal, SIZE_MAX when
+  // none is evaluable. Depends only on the bound-column set, so every
+  // shard of a sharded body makes the same sequence of choices.
+  size_t SelectBest(const std::vector<Literal>& pending) const {
+    size_t best = SIZE_MAX;
+    int best_prio = INT_MAX;
+    for (size_t i = 0; i < pending.size(); ++i) {
+      int prio = Priority(pending[i]);
+      if (prio >= 0 && prio < best_prio) {
+        best_prio = prio;
+        best = i;
+      }
+    }
+    return best;
+  }
+
+  // Consumes every pending literal in priority order against binding_.
+  Status RunPipeline(const Rule& rule, std::vector<Literal>* pending) {
+    while (!pending->empty()) {
+      size_t best = SelectBest(*pending);
+      if (best == SIZE_MAX) {
+        return Status::Internal("no evaluable literal left in rule " +
+                                rule.ToString());
+      }
+      Literal lit = std::move((*pending)[best]);
+      pending->erase(pending->begin() + static_cast<ptrdiff_t>(best));
+      IFLEX_RETURN_NOT_OK(Apply(lit, pending));
+      if (binding_.size() > options_.max_table_tuples) {
+        return Status::ExecutionError(
+            "intermediate table exceeds max_table_tuples");
+      }
+    }
+    return Status::OK();
+  }
+
+  // Document-sharded body evaluation (docs/RUNTIME.md). When a pool is
+  // available and the first literal the planner would pick is a
+  // stored/intensional join seeding the empty binding, slice that table
+  // into contiguous shards, run "seed join + remaining pipeline" per
+  // shard, and concatenate the shard bindings in slice order. Every later
+  // operator is per-tuple and literal selection depends only on the
+  // bound-column set (identical across shards), so the concatenation
+  // equals the serial binding table tuple for tuple; Project and ψ then
+  // run once on the merged table, because cross-tuple deduplication must
+  // see all tuples. Slice boundaries depend only on table size and the
+  // shard-count cap — never on timing — so any thread count produces a
+  // bit-identical result. Returns false when the body is not shardable
+  // (pending is left untouched and the serial pipeline runs).
+  Result<bool> TryShardedBody(const Rule& rule, std::vector<Literal>* pending) {
+    runtime::TaskPool* pool = options_.pool;
+    if (pool == nullptr || pool->thread_count() <= 1) return false;
+    if (!columns_.empty() || pending->size() < 2) return false;
+    size_t best = SelectBest(*pending);
+    if (best == SIZE_MAX) return false;  // serial path reports the error
+    const Literal& lit = (*pending)[best];
+    if (lit.kind != Literal::Kind::kAtom) return false;
+    auto kind = catalog_.KindOf(lit.atom.predicate);
+    PredicateKind k = kind.ok() ? *kind : PredicateKind::kIntensional;
+    const CompactTable* table = nullptr;
+    if (k == PredicateKind::kExtensional) {
+      IFLEX_ASSIGN_OR_RETURN(table, catalog_.Table(lit.atom.predicate));
+    } else if (k == PredicateKind::kIntensional) {
+      auto it = idb_->find(lit.atom.predicate);
+      if (it == idb_->end()) return false;  // serial path reports the error
+      table = &it->second;
+    } else {
+      return false;
+    }
+    if (table->size() < 2) return false;
+
+    Atom seed = lit.atom;
+    pending->erase(pending->begin() + static_cast<ptrdiff_t>(best));
+    size_t n = table->size();
+    size_t shards = std::min(n, pool->thread_count() * 4);
+    obs::TraceSpan span(tracer_, "exec.sharded_body", rule.head.predicate);
+
+    struct ShardOut {
+      Status status = Status::OK();
+      CompactTable binding;
+      std::unordered_map<std::string, size_t> columns;
+    };
+    std::vector<ShardOut> outs = runtime::ParallelMap<ShardOut>(
+        pool, shards, [&](size_t si) {
+          size_t lo = si * n / shards;
+          size_t hi = (si + 1) * n / shards;
+          CompactTable slice(table->schema());
+          for (size_t j = lo; j < hi; ++j) slice.Add(table->tuples()[j]);
+          RuleEvaluator sub(catalog_, options_, idb_, stats_, tracer_);
+          sub.binding_ = CompactTable(std::vector<std::string>{});
+          sub.binding_.Add(CompactTuple{});
+          std::vector<Literal> sub_pending = *pending;
+          ShardOut out;
+          out.status = sub.JoinAtom(seed, slice, &sub_pending);
+          if (out.status.ok()) out.status = sub.RunPipeline(rule, &sub_pending);
+          out.binding = std::move(sub.binding_);
+          out.columns = std::move(sub.columns_);
+          return out;
+        });
+    // Errors surface in slice order, so a failing program fails on the
+    // same shard regardless of thread count.
+    for (ShardOut& o : outs) IFLEX_RETURN_NOT_OK(o.status);
+    columns_ = std::move(outs.front().columns);
+    binding_ = std::move(outs.front().binding);
+    for (size_t si = 1; si < outs.size(); ++si) {
+      for (CompactTuple& t : outs[si].binding.tuples()) {
+        binding_.Add(std::move(t));
+      }
+    }
+    if (binding_.size() > options_.max_table_tuples) {
+      return Status::ExecutionError(
+          "intermediate table exceeds max_table_tuples");
+    }
+    pending->clear();
+    return true;
+  }
+
   bool Bound(const std::string& var) const { return columns_.count(var) > 0; }
 
   bool AtomIsConnected(const Atom& atom) const {
@@ -988,17 +1087,43 @@ Result<CompactTable> Executor::Execute(const Program& program,
       }
       counters_.cache_misses->Add();
     }
+    const std::vector<const Rule*>& rules = by_head[pred];
     CompactTable result;
-    bool first = true;
-    for (const Rule* r : by_head[pred]) {
-      RuleEvaluator eval(catalog_, options_, &idb, &counters_, tracer_);
-      IFLEX_ASSIGN_OR_RETURN(CompactTable t, eval.Evaluate(*r));
-      if (first) {
-        result = std::move(t);
-        first = false;
-      } else {
-        for (CompactTuple& tup : t.tuples()) {
-          result.Add(std::move(tup));
+    if (options_.pool != nullptr && rules.size() > 1) {
+      // Rule-per-task fan-out; merging in rule order reproduces the
+      // serial append exactly, and a failing rule reports the same error
+      // the serial loop would (the first failure in rule order).
+      std::vector<Result<CompactTable>> parts =
+          runtime::ParallelMap<Result<CompactTable>>(
+              options_.pool, rules.size(), [&](size_t i) {
+                RuleEvaluator eval(catalog_, options_, &idb, &counters_,
+                                   tracer_);
+                return eval.Evaluate(*rules[i]);
+              });
+      bool first = true;
+      for (Result<CompactTable>& part : parts) {
+        if (!part.ok()) return part.status();
+        if (first) {
+          result = std::move(*part);
+          first = false;
+        } else {
+          for (CompactTuple& tup : part->tuples()) {
+            result.Add(std::move(tup));
+          }
+        }
+      }
+    } else {
+      bool first = true;
+      for (const Rule* r : rules) {
+        RuleEvaluator eval(catalog_, options_, &idb, &counters_, tracer_);
+        IFLEX_ASSIGN_OR_RETURN(CompactTable t, eval.Evaluate(*r));
+        if (first) {
+          result = std::move(t);
+          first = false;
+        } else {
+          for (CompactTuple& tup : t.tuples()) {
+            result.Add(std::move(tup));
+          }
         }
       }
     }

@@ -1,8 +1,10 @@
 #ifndef IFLEX_EXEC_EXECUTOR_H_
 #define IFLEX_EXEC_EXECUTOR_H_
 
+#include <array>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 
 #include "alog/program.h"
@@ -13,6 +15,10 @@
 #include "obs/trace.h"
 
 namespace iflex {
+
+namespace runtime {
+class TaskPool;
+}  // namespace runtime
 
 /// Tuning knobs of the approximate query processor.
 struct ExecOptions {
@@ -32,6 +38,12 @@ struct ExecOptions {
   /// assistant's per-iteration reads expect). Point several executors at
   /// one registry to aggregate a whole bench run.
   obs::MetricRegistry* metrics = nullptr;
+  /// Execution pool; null (the default) runs fully serial. With a pool,
+  /// rule bodies seeded by a stored/intensional join are evaluated in
+  /// document shards and multi-rule predicates fan out rule-per-task —
+  /// results are merged in stable doc-id / rule order, so the output is
+  /// bit-identical to serial at any thread count (docs/RUNTIME.md).
+  runtime::TaskPool* pool = nullptr;
 };
 
 /// Counters exposed for the benches and the multi-iteration optimizer.
@@ -82,20 +94,52 @@ struct ExecCounters {
 /// fingerprint of the rules that produce it (transitively). When the
 /// developer's feedback touches only one extractor, every untouched
 /// predicate is served from cache.
+///
+/// Thread-safety: Lookup/Insert are synchronized by striped locks, so
+/// concurrent simulation executors can share one cache. Returned table
+/// pointers stay valid across concurrent inserts (node-based map; a
+/// duplicate insert keeps the first copy — harmless, since parallel
+/// execution is deterministic and both copies are identical). Clear() must
+/// not race with readers still holding pointers.
 class ReuseCache {
  public:
   const CompactTable* Lookup(uint64_t key) const {
-    auto it = cache_.find(key);
-    return it == cache_.end() ? nullptr : &it->second;
+    const Stripe& s = stripe(key);
+    std::lock_guard<std::mutex> lock(s.mu);
+    auto it = s.map.find(key);
+    return it == s.map.end() ? nullptr : &it->second;
   }
   void Insert(uint64_t key, CompactTable table) {
-    cache_.emplace(key, std::move(table));
+    Stripe& s = stripe(key);
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.map.emplace(key, std::move(table));
   }
-  void Clear() { cache_.clear(); }
-  size_t size() const { return cache_.size(); }
+  void Clear() {
+    for (Stripe& s : stripes_) {
+      std::lock_guard<std::mutex> lock(s.mu);
+      s.map.clear();
+    }
+  }
+  size_t size() const {
+    size_t n = 0;
+    for (const Stripe& s : stripes_) {
+      std::lock_guard<std::mutex> lock(s.mu);
+      n += s.map.size();
+    }
+    return n;
+  }
 
  private:
-  std::unordered_map<uint64_t, CompactTable> cache_;
+  struct Stripe {
+    mutable std::mutex mu;
+    std::unordered_map<uint64_t, CompactTable> map;
+  };
+  static constexpr size_t kStripes = 16;
+
+  Stripe& stripe(uint64_t key) { return stripes_[key % kStripes]; }
+  const Stripe& stripe(uint64_t key) const { return stripes_[key % kStripes]; }
+
+  std::array<Stripe, kStripes> stripes_;
 };
 
 /// Evaluates Alog programs over compact tables with superset semantics

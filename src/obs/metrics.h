@@ -2,6 +2,7 @@
 #define IFLEX_OBS_METRICS_H_
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -15,42 +16,47 @@ namespace obs {
 
 class JsonWriter;
 
-/// Monotonic (until Reset) event counter. Updates are plain stores: the
-/// executor and the refinement loop are single-writer, and the registry
-/// only synchronizes metric *creation*.
+/// Monotonic (until Reset) event counter. Hot-path updates are relaxed
+/// atomics: several executors running on pool threads routinely share one
+/// registry (docs/OBSERVABILITY.md recommends exactly that for benches),
+/// so plain stores would be a data race. Relaxed ordering is enough — the
+/// totals are read after a join, never used for synchronization.
 class Counter {
  public:
-  void Add(uint64_t d = 1) { value_ += d; }
-  void Set(uint64_t v) { value_ = v; }
-  void Reset() { value_ = 0; }
-  uint64_t value() const { return value_; }
+  void Add(uint64_t d = 1) { value_.fetch_add(d, std::memory_order_relaxed); }
+  void Set(uint64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
-  uint64_t value_ = 0;
+  std::atomic<uint64_t> value_{0};
 };
 
 /// Last-value-wins instantaneous measurement (result sizes, process-wide
-/// assignment counts, fractions).
+/// assignment counts, fractions). Atomic for the same reason as Counter.
 class Gauge {
  public:
-  void Set(double v) { value_ = v; }
-  void Add(double d) { value_ += d; }
-  void Reset() { value_ = 0; }
-  double value() const { return value_; }
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(double d) { value_.fetch_add(d, std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
-  double value_ = 0;
+  std::atomic<double> value_{0};
 };
 
 /// Sample distribution with exact percentiles over a bounded reservoir
 /// (the first `max_samples` observations; count/sum/min/max stay exact
-/// beyond that).
+/// beyond that). Record and the accessors take a small mutex — histograms
+/// are off the per-tuple hot path (per-iteration / per-run timings), and
+/// the lazy re-sort in Percentile needs the exclusion anyway.
 class Histogram {
  public:
   explicit Histogram(size_t max_samples = 1 << 16)
       : max_samples_(max_samples) {}
 
   void Record(double v) {
+    std::lock_guard<std::mutex> lock(mu_);
     ++count_;
     sum_ += v;
     min_ = count_ == 1 ? v : std::min(min_, v);
@@ -61,15 +67,31 @@ class Histogram {
     }
   }
 
-  size_t count() const { return count_; }
-  double sum() const { return sum_; }
-  double mean() const { return count_ == 0 ? 0 : sum_ / static_cast<double>(count_); }
-  double min() const { return count_ == 0 ? 0 : min_; }
-  double max() const { return count_ == 0 ? 0 : max_; }
+  size_t count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return count_;
+  }
+  double sum() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return sum_;
+  }
+  double mean() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return count_ == 0 ? 0 : sum_ / static_cast<double>(count_);
+  }
+  double min() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return count_ == 0 ? 0 : min_;
+  }
+  double max() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return count_ == 0 ? 0 : max_;
+  }
 
   /// Exact percentile (linear interpolation) over the retained samples;
   /// q in [0, 1].
   double Percentile(double q) const {
+    std::lock_guard<std::mutex> lock(mu_);
     if (samples_.empty()) return 0;
     if (!sorted_) {
       std::sort(samples_.begin(), samples_.end());
@@ -84,6 +106,7 @@ class Histogram {
   }
 
   void Reset() {
+    std::lock_guard<std::mutex> lock(mu_);
     samples_.clear();
     sorted_ = false;
     count_ = 0;
@@ -93,6 +116,7 @@ class Histogram {
   }
 
  private:
+  mutable std::mutex mu_;
   mutable std::vector<double> samples_;
   mutable bool sorted_ = false;
   size_t max_samples_;

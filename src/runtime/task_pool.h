@@ -1,0 +1,201 @@
+#ifndef IFLEX_RUNTIME_TASK_POOL_H_
+#define IFLEX_RUNTIME_TASK_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace iflex {
+namespace runtime {
+
+/// Zero-dependency work-stealing thread pool.
+///
+/// Design (see docs/RUNTIME.md):
+///   - one deque per worker; the owner pushes/pops at the front (LIFO, keeps
+///     nested subtasks cache-hot), thieves steal from the back (FIFO, grabs
+///     the oldest — largest — pending work first, which is what balances
+///     skewed task sizes);
+///   - joins are *helping*: a thread that waits on a batch (ParallelFor,
+///     Future::Wait) executes queued tasks instead of blocking, so nested
+///     ParallelFor from inside a worker can never deadlock — worst case the
+///     calling worker runs the whole inner batch itself;
+///   - `threads == 1` (or a null pool passed to the free functions) runs
+///     everything inline on the caller with no locking at all.
+///
+/// Determinism contract: the pool schedules *when* tasks run, never what
+/// they compute or how results are combined. ParallelFor/ParallelMap index
+/// the work items, and callers must combine results by index — every
+/// integration in this repo does — so output is identical at any thread
+/// count.
+class TaskPool {
+ public:
+  /// `threads == 0` picks std::thread::hardware_concurrency(). The pool
+  /// spawns `threads - 1` workers: the thread that joins a batch is itself
+  /// the remaining executor.
+  explicit TaskPool(size_t threads = 0);
+  ~TaskPool();
+
+  TaskPool(const TaskPool&) = delete;
+  TaskPool& operator=(const TaskPool&) = delete;
+
+  /// Total execution width (workers + the joining caller).
+  size_t thread_count() const { return workers_.size() + 1; }
+
+  /// Process-wide pool sized to the hardware; created on first use.
+  static TaskPool* Default();
+
+  /// Enqueues one fire-and-forget task. Prefer ParallelFor/ParallelMap /
+  /// Async — they own completion tracking and exception propagation.
+  void Submit(std::function<void()> fn);
+
+  /// Runs queued tasks on the calling thread until `done()` returns true;
+  /// sleeps briefly only when the queues are empty. This is the helping
+  /// join every blocking primitive is built on.
+  void HelpUntil(const std::function<bool()>& done);
+
+  /// Calls fn(i) for every i in [0, n), distributed over the pool; the
+  /// calling thread participates. Work is handed out in contiguous chunks
+  /// through a shared cursor, so skewed per-index costs rebalance
+  /// automatically. The first exception thrown by any fn(i) is rethrown on
+  /// the calling thread after the batch drains (remaining indices are
+  /// skipped, already-running ones finish).
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+ private:
+  struct Worker {
+    std::mutex mu;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void WorkerMain(size_t index);
+  /// Pops one task (own deque front, else steal from the back of the
+  /// busiest sibling); returns false when every deque is empty.
+  bool TryRunOne(size_t self);
+
+  std::vector<std::unique_ptr<Worker>> queues_;  // one per worker thread
+  std::vector<std::thread> workers_;
+  std::atomic<size_t> pending_{0};
+  std::atomic<bool> stop_{false};
+  std::atomic<size_t> next_queue_{0};  // round-robin for external submits
+  std::mutex wake_mu_;
+  std::condition_variable wake_cv_;
+};
+
+namespace internal {
+
+template <typename T>
+struct FutureState {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool ready = false;
+  std::optional<T> value;
+  std::exception_ptr error;
+};
+
+}  // namespace internal
+
+/// Join handle for one Async task. Get() helps the pool while waiting (so
+/// it is safe to call from inside another pool task) and rethrows the
+/// task's exception, if any.
+template <typename T>
+class Future {
+ public:
+  Future() = default;
+
+  bool valid() const { return state_ != nullptr; }
+
+  T Get() {
+    auto* s = state_.get();
+    if (pool_ != nullptr) {
+      pool_->HelpUntil([s] {
+        std::lock_guard<std::mutex> lock(s->mu);
+        return s->ready;
+      });
+    } else {
+      // Null-pool Async ran inline; the state is already ready.
+      std::unique_lock<std::mutex> lock(s->mu);
+      s->cv.wait(lock, [s] { return s->ready; });
+    }
+    if (s->error) std::rethrow_exception(s->error);
+    return std::move(*s->value);
+  }
+
+ private:
+  template <typename U, typename Fn>
+  friend Future<U> Async(TaskPool* pool, Fn&& fn);
+
+  TaskPool* pool_ = nullptr;
+  std::shared_ptr<internal::FutureState<T>> state_;
+};
+
+/// Spawns fn() on the pool and returns its join handle. A null pool runs
+/// fn inline (the handle is already ready).
+template <typename T, typename Fn>
+Future<T> Async(TaskPool* pool, Fn&& fn) {
+  Future<T> out;
+  out.state_ = std::make_shared<internal::FutureState<T>>();
+  auto state = out.state_;
+  auto run = [state, fn = std::forward<Fn>(fn)]() mutable {
+    std::exception_ptr error;
+    std::optional<T> value;
+    try {
+      value.emplace(fn());
+    } catch (...) {
+      error = std::current_exception();
+    }
+    std::lock_guard<std::mutex> lock(state->mu);
+    state->value = std::move(value);
+    state->error = error;
+    state->ready = true;
+    state->cv.notify_all();
+  };
+  if (pool == nullptr || pool->thread_count() == 1) {
+    out.pool_ = pool;
+    run();
+    if (pool == nullptr) {
+      // No pool to help: surface errors eagerly so Get() never blocks.
+      if (state->error) std::rethrow_exception(state->error);
+    }
+    return out;
+  }
+  out.pool_ = pool;
+  pool->Submit(std::move(run));
+  return out;
+}
+
+/// ParallelFor over a null pool degrades to a plain serial loop.
+inline void ParallelFor(TaskPool* pool, size_t n,
+                        const std::function<void(size_t)>& fn) {
+  if (pool == nullptr || pool->thread_count() == 1 || n <= 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  pool->ParallelFor(n, fn);
+}
+
+/// out[i] = fn(i) for i in [0, n), in index order regardless of execution
+/// order — the deterministic-merge primitive the executor and the
+/// simulation strategy build on. T needs no default constructor.
+template <typename T, typename Fn>
+std::vector<T> ParallelMap(TaskPool* pool, size_t n, const Fn& fn) {
+  std::vector<std::optional<T>> slots(n);
+  ParallelFor(pool, n, [&](size_t i) { slots[i].emplace(fn(i)); });
+  std::vector<T> out;
+  out.reserve(n);
+  for (auto& s : slots) out.push_back(std::move(*s));
+  return out;
+}
+
+}  // namespace runtime
+}  // namespace iflex
+
+#endif  // IFLEX_RUNTIME_TASK_POOL_H_

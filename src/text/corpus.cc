@@ -7,6 +7,7 @@ namespace iflex {
 DocId Corpus::Add(Document doc) {
   DocId id = static_cast<DocId>(docs_.size());
   doc.set_id(id);
+  doc.Freeze();  // markup queries after registration must be read-only
   by_name_.emplace(doc.name(), id);
   docs_.push_back(std::make_unique<Document>(std::move(doc)));
   return id;

@@ -76,6 +76,12 @@ class Document {
   /// Called by Corpus on registration.
   void set_id(DocId id) { id_ = id; }
 
+  /// Coalesces all markup layers so every later query is read-only —
+  /// required before documents are shared across extraction shards.
+  void Freeze() {
+    for (MarkupLayer& layer : layers_) layer.Freeze();
+  }
+
  private:
   void Tokenize();
 

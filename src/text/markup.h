@@ -58,6 +58,12 @@ class MarkupLayer {
     return ranges_;
   }
 
+  /// Coalesces any pending ranges now. Queries are `const` but lazily
+  /// normalize on first use, which is a data race when several pool
+  /// threads read one document concurrently; Corpus::Add freezes every
+  /// layer up front so reads after registration are genuinely read-only.
+  void Freeze() { Normalize(); }
+
   bool empty() const { return ranges_.empty() && pending_.empty(); }
 
  private:

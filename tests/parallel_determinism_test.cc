@@ -1,0 +1,183 @@
+// Parallel execution must be a pure scheduling change: at 1, 2, or 8
+// threads the executor (document-sharded extraction) and the assistant
+// (concurrent simulation) must produce byte-identical results to the
+// serial run. These tests oversubscribe a small machine happily — the
+// determinism contract is thread-count independent by construction
+// (docs/RUNTIME.md).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "assistant/session.h"
+#include "exec/executor.h"
+#include "runtime/task_pool.h"
+#include "tasks/task.h"
+#include "text/markup_parser.h"
+
+namespace iflex {
+namespace {
+
+// The paper's running example (Figures 1-3), as in paper_example_test.
+constexpr char kProgram[] = R"(
+  houses(x, <p>, <a>, <h>) :- housePages(x), extractHouses(x, p, a, h).
+  schools(s)? :- schoolPages(y), extractSchools(y, s).
+  q(x, p, a, h) :- houses(x, p, a, h), schools(s), p > 500000, a > 4500,
+                   approx_match(h, s).
+  extractHouses(x, p, a, h) :- from(x, p), from(x, a), from(x, h),
+                               numeric(p) = yes, numeric(a) = yes.
+  extractSchools(y, s) :- from(y, s), bold_font(s) = yes.
+)";
+
+class PaperExampleDeterminismTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto x1 = ParseMarkup("x1",
+                          "Price: <b>$351,000</b>\n"
+                          "Cozy house on quiet street\n"
+                          "5146 Windsor Ave, Champaign\n"
+                          "Sqft: 2750\n"
+                          "High school: Vanhise High");
+    auto x2 = ParseMarkup("x2",
+                          "Price: <b>$619,000</b>\n"
+                          "Amazing house in great location\n"
+                          "3112 Stonecreek Blvd, Cherry Hills\n"
+                          "Sqft: 4700\n"
+                          "High school: Basktall HS");
+    auto y1 = ParseMarkup("y1",
+                          "Top High Schools and Location (page 1)\n"
+                          "<b>Basktall</b>, Cherry Hills\n"
+                          "<b>Franklin</b>, Robeson\n"
+                          "<b>Vanhise</b>, Champaign");
+    auto y2 = ParseMarkup("y2",
+                          "Top High Schools and Location (page 2)\n"
+                          "<b>Hoover</b>, Akron\n"
+                          "<b>Ossage</b>, Lynneville");
+    for (auto* d : {&x1, &x2, &y1, &y2}) ASSERT_TRUE(d->ok());
+    std::vector<DocId> houses_docs = {corpus_.Add(std::move(x1).value()),
+                                      corpus_.Add(std::move(x2).value())};
+    std::vector<DocId> school_docs = {corpus_.Add(std::move(y1).value()),
+                                      corpus_.Add(std::move(y2).value())};
+
+    catalog_ = std::make_unique<Catalog>(&corpus_);
+    CompactTable houses({"x"});
+    for (DocId d : houses_docs) {
+      CompactTuple t;
+      t.cells.push_back(Cell::Exact(Value::Doc(d)));
+      houses.Add(t);
+    }
+    ASSERT_TRUE(catalog_->AddTable("housePages", std::move(houses)).ok());
+    CompactTable schools({"y"});
+    for (DocId d : school_docs) {
+      CompactTuple t;
+      t.cells.push_back(Cell::Exact(Value::Doc(d)));
+      schools.Add(t);
+    }
+    ASSERT_TRUE(catalog_->AddTable("schoolPages", std::move(schools)).ok());
+    ASSERT_TRUE(catalog_->DeclareIEPredicate("extractHouses", 1, 3).ok());
+    ASSERT_TRUE(catalog_->DeclareIEPredicate("extractSchools", 1, 1).ok());
+    catalog_->RegisterBuiltinFunctions(/*similarity_threshold=*/0.4);
+  }
+
+  Corpus corpus_;
+  std::unique_ptr<Catalog> catalog_;
+};
+
+TEST_F(PaperExampleDeterminismTest, ExecutionIsIdenticalAtAnyThreadCount) {
+  auto prog = ParseProgram(kProgram, *catalog_);
+  ASSERT_TRUE(prog.ok()) << prog.status();
+  prog->set_query("q");
+
+  Executor serial(*catalog_);
+  auto base = serial.Execute(*prog);
+  ASSERT_TRUE(base.ok()) << base.status();
+  const std::string expected = base->ToString(&corpus_);
+  const size_t expected_assignments = serial.stats().process_assignments;
+
+  for (size_t threads : {1, 2, 8}) {
+    runtime::TaskPool pool(threads);
+    ExecOptions options;
+    options.pool = &pool;
+    Executor exec(*catalog_, options);
+    auto r = exec.Execute(*prog);
+    ASSERT_TRUE(r.ok()) << r.status();
+    EXPECT_EQ(r->ToString(&corpus_), expected) << threads << " threads";
+    EXPECT_EQ(exec.stats().process_assignments, expected_assignments)
+        << threads << " threads";
+    // Every intermediate table must match too, not just the query's.
+    ASSERT_EQ(exec.last_idb().size(), serial.last_idb().size());
+    for (const auto& [pred, table] : serial.last_idb()) {
+      auto it = exec.last_idb().find(pred);
+      ASSERT_NE(it, exec.last_idb().end()) << pred;
+      EXPECT_EQ(it->second.ToString(&corpus_), table.ToString(&corpus_))
+          << pred << " at " << threads << " threads";
+    }
+  }
+}
+
+// A DBLife-style program (Table 6 "Panel" task) over a generated corpus:
+// document-sharded extraction over the docs table must be byte-identical
+// to serial at every thread count.
+TEST(DblifeDeterminismTest, PanelExtractionIsIdenticalAtAnyThreadCount) {
+  auto serial_task = MakeTask("Panel", 40);
+  ASSERT_TRUE(serial_task.ok()) << serial_task.status();
+  Executor serial(*(*serial_task)->catalog);
+  auto base = serial.Execute((*serial_task)->initial_program);
+  ASSERT_TRUE(base.ok()) << base.status();
+  const std::string expected =
+      base->ToString((*serial_task)->corpus.get());
+  ASSERT_FALSE(expected.empty());
+  const size_t expected_assignments = serial.stats().process_assignments;
+
+  for (size_t threads : {1, 2, 8}) {
+    // Fresh task instance per run: generation is seeded, so the corpora
+    // are identical; what varies is only the thread count.
+    auto task = MakeTask("Panel", 40);
+    ASSERT_TRUE(task.ok()) << task.status();
+    runtime::TaskPool pool(threads);
+    ExecOptions options;
+    options.pool = &pool;
+    Executor exec(*(*task)->catalog, options);
+    auto r = exec.Execute((*task)->initial_program);
+    ASSERT_TRUE(r.ok()) << r.status();
+    EXPECT_EQ(r->ToString((*task)->corpus.get()), expected)
+        << threads << " threads";
+    EXPECT_EQ(exec.stats().process_assignments, expected_assignments)
+        << threads << " threads";
+  }
+}
+
+// End-to-end: a whole refinement session — subset executions, concurrent
+// candidate simulations, question selection, reuse-mode full evaluation —
+// must make the same decisions and produce the same final table with a
+// pool as without.
+TEST(SessionDeterminismTest, RefinementSessionIsIdenticalWithPool) {
+  auto run_session = [](runtime::TaskPool* pool)
+      -> Result<std::pair<std::string, std::pair<size_t, size_t>>> {
+    IFLEX_ASSIGN_OR_RETURN(auto task, MakeTask("T1", 10));
+    SessionOptions options;
+    options.strategy = StrategyKind::kSimulation;
+    options.pool = pool;
+    RefinementSession session(*task->catalog, task->initial_program,
+                              task->developer.get(), options);
+    IFLEX_ASSIGN_OR_RETURN(SessionResult result, session.Run());
+    return std::make_pair(
+        result.final_result.ToString(task->corpus.get()),
+        std::make_pair(result.questions_asked, result.simulations_run));
+  };
+
+  auto serial = run_session(nullptr);
+  ASSERT_TRUE(serial.ok()) << serial.status();
+  for (size_t threads : {2, 8}) {
+    runtime::TaskPool pool(threads);
+    auto parallel = run_session(&pool);
+    ASSERT_TRUE(parallel.ok()) << parallel.status();
+    EXPECT_EQ(parallel->first, serial->first) << threads << " threads";
+    EXPECT_EQ(parallel->second.first, serial->second.first)
+        << "questions_asked at " << threads << " threads";
+    EXPECT_EQ(parallel->second.second, serial->second.second)
+        << "simulations_run at " << threads << " threads";
+  }
+}
+
+}  // namespace
+}  // namespace iflex
