@@ -23,6 +23,8 @@
 #include <sstream>
 
 #include "common/strutil.h"
+#include "resilience/deadline.h"
+#include "resilience/failpoint.h"
 #include "datagen/books.h"
 #include "datagen/dblife.h"
 #include "datagen/dblp.h"
@@ -40,22 +42,28 @@ class Shell {
  public:
   /// `threads == 0` sizes the pool to the hardware; 1 runs serial (no
   /// pool at all). Executions are bit-identical at any setting.
-  explicit Shell(size_t threads) : catalog_(&corpus_) {
+  Shell(size_t threads, int64_t deadline_ms) : catalog_(&corpus_) {
     catalog_.RegisterBuiltinFunctions();
     if (threads == 0) threads = std::thread::hardware_concurrency();
     if (threads > 1) pool_ = std::make_unique<runtime::TaskPool>(threads);
+    deadline_ms_ = deadline_ms;
   }
 
+  /// Exits nonzero when any command failed, so scripted runs
+  /// (./iflex_shell < script.iflex) compose with `&&` and CI.
   int Run() {
     std::string line;
     Prompt();
     while (std::getline(std::cin, line)) {
       Status st = Dispatch(line);
-      if (!st.ok()) std::printf("error: %s\n", st.ToString().c_str());
+      if (!st.ok()) {
+        std::printf("error: %s\n", st.ToString().c_str());
+        had_error_ = true;
+      }
       if (done_) break;
       Prompt();
     }
-    return 0;
+    return had_error_ ? 1 : 0;
   }
 
  private:
@@ -118,7 +126,10 @@ class Shell {
         "  quit\n"
         "flags: --threads N  pool width for run (default: hardware\n"
         "       concurrency; 1 = serial; results are identical)\n"
-        "       --trace-out <file>  write a chrome://tracing JSON on exit\n");
+        "       --trace-out <file>  write a chrome://tracing JSON on exit\n"
+        "       --deadline-ms N     time bound on each run command\n"
+        "       --fail <spec>       arm fail points (IFLEX_FAILPOINTS "
+        "syntax)\n");
     return Status::OK();
   }
 
@@ -273,6 +284,9 @@ class Shell {
     IFLEX_ASSIGN_OR_RETURN(Program prog, CurrentProgram());
     ExecOptions options;
     options.pool = pool_.get();
+    if (deadline_ms_ > 0) {
+      options.deadline = resilience::Deadline::AfterMillis(deadline_ms_);
+    }
     Executor exec(catalog_, options);
     IFLEX_ASSIGN_OR_RETURN(CompactTable result, exec.Execute(prog));
     std::printf("%zu compact tuple(s), ~%.0f candidate tuple(s)\n",
@@ -293,7 +307,9 @@ class Shell {
   std::unique_ptr<runtime::TaskPool> pool_;
   std::string program_src_;
   std::string query_;
+  int64_t deadline_ms_ = 0;
   bool done_ = false;
+  bool had_error_ = false;
 };
 
 }  // namespace
@@ -301,15 +317,27 @@ class Shell {
 int main(int argc, char** argv) {
   std::string trace_out;
   size_t threads = 0;  // 0 = hardware concurrency
+  int64_t deadline_ms = 0;  // 0 = no deadline
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
       trace_out = argv[++i];
     } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       threads = static_cast<size_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--deadline-ms") == 0 && i + 1 < argc) {
+      deadline_ms = std::strtol(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--fail") == 0 && i + 1 < argc) {
+      // Same syntax as the IFLEX_FAILPOINTS env var; lets a script
+      // exercise fault handling without touching the environment.
+      iflex::Status st =
+          iflex::resilience::FailPoints::Instance().Configure(argv[++i]);
+      if (!st.ok()) {
+        std::fprintf(stderr, "bad --fail spec: %s\n", st.ToString().c_str());
+        return 2;
+      }
     }
   }
   if (!trace_out.empty()) iflex::obs::DefaultTracer().set_enabled(true);
-  int rc = Shell(threads).Run();
+  int rc = Shell(threads, deadline_ms).Run();
   if (!trace_out.empty()) {
     if (iflex::obs::DefaultTracer().WriteChromeJson(trace_out)) {
       std::fprintf(stderr, "wrote trace %s (open in chrome://tracing)\n",

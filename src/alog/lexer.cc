@@ -3,6 +3,7 @@
 #include <cctype>
 
 #include "common/strutil.h"
+#include "resilience/failpoint.h"
 
 namespace iflex {
 
@@ -49,6 +50,7 @@ std::string Tok::ToString() const {
 }
 
 Result<std::vector<Tok>> Lex(const std::string& src) {
+  IFLEX_FAIL_POINT("alog.lexer");
   std::vector<Tok> out;
   int line = 1;
   size_t i = 0;

@@ -30,6 +30,15 @@ Result<SessionResult> RefinementSession::Run() {
   SessionResult out;
   Stopwatch total;
   if (options_.pool != nullptr) options_.exec_options.pool = options_.pool;
+  // Session-level bounds flow down into every Execute (hierarchical: the
+  // tighter of the session's and the caller's own exec deadline wins).
+  options_.exec_options.deadline = resilience::Deadline::Sooner(
+      options_.exec_options.deadline, options_.deadline);
+  if (options_.exec_options.cancel == nullptr) {
+    options_.exec_options.cancel = options_.cancel;
+  }
+  resilience::StopPoller session_stop(options_.exec_options.deadline,
+                                      options_.exec_options.cancel);
   obs::Tracer* tracer = obs::TracerOrDefault(options_.exec_options.tracer);
   obs::MetricRegistry* metrics = options_.exec_options.metrics != nullptr
                                      ? options_.exec_options.metrics
@@ -102,6 +111,7 @@ Result<SessionResult> RefinementSession::Run() {
 
   bool space_exhausted = false;
   for (int iter = 1; iter <= options_.max_iterations; ++iter) {
+    IFLEX_RETURN_NOT_OK(session_stop.Check("Session::Run"));
     IterationRecord rec;
     rec.iteration = iter;
     Stopwatch iter_watch;
@@ -120,6 +130,7 @@ Result<SessionResult> RefinementSession::Run() {
       while (true) {
         Executor exec(subset, options_.exec_options);
         IFLEX_ASSIGN_OR_RETURN(result, exec.Execute(program_, &subset_cache));
+        out.report.Merge(exec.report());
         process_assignments = exec.stats().process_assignments;
         process_values = exec.stats().process_values;
         if (result.size() > 0 || !grow_subset()) break;
@@ -180,6 +191,7 @@ Result<SessionResult> RefinementSession::Run() {
 
   // Reuse mode: compute the complete result over the full data.
   {
+    IFLEX_RETURN_NOT_OK(session_stop.Check("Session::Run"));
     obs::TraceSpan full_span(tracer, "session.full_eval");
     IterationRecord rec;
     rec.iteration = static_cast<int>(out.iterations.size()) + 1;
@@ -187,6 +199,7 @@ Result<SessionResult> RefinementSession::Run() {
     Executor exec(catalog_, options_.exec_options);
     IFLEX_ASSIGN_OR_RETURN(CompactTable result,
                            exec.Execute(program_, &full_cache));
+    out.report.Merge(exec.report());
     rec.result_tuples = ResultSize(result, catalog_.corpus());
     rec.assignments = exec.stats().process_assignments;
     rec.process_values = exec.stats().process_values;

@@ -41,6 +41,15 @@ struct SessionOptions {
   /// copied over it at Run() start, parallelizing every execution and
   /// simulation of the session. Results are bit-identical either way.
   runtime::TaskPool* pool = nullptr;
+  /// Time bound on the whole refinement loop. Combined with
+  /// exec_options.deadline via Deadline::Sooner at Run() start, checked
+  /// between iterations, and enforced inside every Execute — an expired
+  /// session returns kDeadlineExceeded instead of starting more work.
+  resilience::Deadline deadline;
+  /// Cooperative cancellation for the whole session; the token must
+  /// outlive Run(). Forwarded into exec_options when that has no token of
+  /// its own.
+  const resilience::CancellationToken* cancel = nullptr;
 };
 
 /// One row of the paper's Table 4: the per-iteration trace.
@@ -71,6 +80,10 @@ struct SessionResult {
   double machine_seconds = 0;
   double developer_seconds = 0;
   size_t simulations_run = 0;
+  /// Degradation events accumulated across every execution of the session
+  /// (subset evaluations and the final full-data pass). degraded == false
+  /// means no fault was trapped anywhere — the result is exact.
+  resilience::ExecReport report;
 };
 
 /// The develop/execute/refine loop of iFlex (paper §1, §5): execute the

@@ -357,7 +357,9 @@ Result<std::optional<Question>> SimulationStrategy::Next(
         double size = 0;
         double pv = 0;
       };
-      std::vector<SimOutcome> outcomes = runtime::ParallelMap<SimOutcome>(
+      std::vector<SimOutcome> outcomes;
+      try {
+        outcomes = runtime::ParallelMap<SimOutcome>(
           ctx.exec_options.pool, answers.size(), [&](size_t ai) {
             const Answer& a = answers[ai];
             obs::TraceSpan sim_span(tracer, "strategy.simulate", fname);
@@ -395,6 +397,13 @@ Result<std::optional<Question>> SimulationStrategy::Next(
             out.keep = out.size > 0 && coverage_ok;
             return out;
           });
+      } catch (const std::exception& e) {
+        // A worker exception (simulation bug, injected task fault) aborts
+        // question selection with a clean Status instead of crossing the
+        // pool join unwound.
+        return Status::Internal(
+            std::string("worker exception in simulation: ") + e.what());
+      }
       for (const SimOutcome& out : outcomes) {
         if (out.ran) ++simulations_run_;
         if (out.keep) {

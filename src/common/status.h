@@ -19,7 +19,16 @@ enum class StatusCode {
   kExecutionError,
   kUnimplemented,
   kInternal,
+  /// A deadline attached to the operation expired before it finished.
+  kDeadlineExceeded,
+  /// The operation was cancelled through a CancellationToken.
+  kCancelled,
 };
+
+/// Number of StatusCode values; keep in sync with the enum. Tests assert
+/// StatusCodeToString covers exactly this many codes.
+inline constexpr int kNumStatusCodes =
+    static_cast<int>(StatusCode::kCancelled) + 1;
 
 /// Returns a human-readable name for a status code (e.g. "ParseError").
 const char* StatusCodeToString(StatusCode code);
@@ -61,9 +70,22 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
+  /// True for the two cooperative-stop codes. Fault isolation must never
+  /// swallow these: a deadline/cancel outcome propagates to the caller
+  /// even in best-effort mode.
+  bool IsStop() const {
+    return code_ == StatusCode::kDeadlineExceeded ||
+           code_ == StatusCode::kCancelled;
+  }
   const std::string& message() const { return message_; }
 
   /// "OK" or "<CodeName>: <message>".

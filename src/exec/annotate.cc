@@ -4,6 +4,7 @@
 #include <string>
 
 #include "common/strutil.h"
+#include "resilience/failpoint.h"
 
 namespace iflex {
 
@@ -251,6 +252,7 @@ Result<CompactTable> ApplyAnnotations(const Corpus& corpus,
                                       const AnnotationSpec& spec,
                                       bool use_compact, size_t max_tuples,
                                       obs::Tracer* tracer) {
+  IFLEX_FAIL_POINT("exec.annotate");
   CompactTable result = input;
   if (!spec.annotated.empty()) {
     if (use_compact && KeysAreSingletonExact(input, spec)) {

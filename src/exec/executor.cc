@@ -15,6 +15,35 @@ namespace iflex {
 
 namespace {
 
+// True once the options' deadline/cancel pair demands a cooperative stop.
+bool StopRequested(const ExecOptions& options) {
+  return (options.cancel != nullptr && options.cancel->Cancelled()) ||
+         options.deadline.Expired();
+}
+
+// The Status a stopped execution reports; cancellation wins over deadline
+// so an explicit cancel is never misattributed to timing.
+Status StopStatus(const ExecOptions& options) {
+  if (options.cancel != nullptr && options.cancel->Cancelled()) {
+    return Status::Cancelled("Execute cancelled");
+  }
+  return Status::DeadlineExceeded("Execute exceeded its deadline");
+}
+
+// Document id a seed tuple is derived from, for fault-isolation
+// bookkeeping: the first cell holding exactly one doc-provenance value.
+// kInvalidDocId when the tuple has no document provenance.
+DocId TupleDocId(const CompactTuple& tuple) {
+  for (const Cell& cell : tuple.cells) {
+    if (cell.assignments.size() != 1) continue;
+    const Assignment& a = cell.assignments[0];
+    if (a.is_contain()) return a.span.doc;
+    if (a.value.kind() == Value::Kind::kDoc) return a.value.doc();
+    if (a.value.has_span()) return a.value.span().doc;
+  }
+  return kInvalidDocId;
+}
+
 // Lowercased alphanumeric tokens of a string (for join blocking).
 std::vector<std::string> SimTokens(const std::string& s) {
   std::vector<std::string> out;
@@ -45,12 +74,15 @@ class RuleEvaluator {
  public:
   RuleEvaluator(const Catalog& catalog, const ExecOptions& options,
                 const std::unordered_map<std::string, CompactTable>* idb,
-                const ExecCounters* stats, obs::Tracer* tracer)
+                const ExecCounters* stats, obs::Tracer* tracer,
+                resilience::ExecReport* report)
       : catalog_(catalog),
         options_(options),
         idb_(idb),
         stats_(stats),
-        tracer_(tracer) {}
+        tracer_(tracer),
+        report_(report),
+        stop_(options.deadline, options.cancel) {}
 
   Result<CompactTable> Evaluate(const Rule& rule) {
     obs::TraceSpan span(tracer_, "exec.rule", rule.head.predicate);
@@ -59,6 +91,7 @@ class RuleEvaluator {
     binding_.Add(CompactTuple{});
     columns_.clear();
     history_.clear();
+    budget_exhausted_ = false;
 
     std::vector<Literal> pending;
     for (const Literal& lit : rule.body) pending.push_back(lit);
@@ -101,6 +134,7 @@ class RuleEvaluator {
   // Consumes every pending literal in priority order against binding_.
   Status RunPipeline(const Rule& rule, std::vector<Literal>* pending) {
     while (!pending->empty()) {
+      IFLEX_RETURN_NOT_OK(stop_.Check("Execute"));
       size_t best = SelectBest(*pending);
       if (best == SIZE_MAX) {
         return Status::Internal("no evaluable literal left in rule " +
@@ -110,10 +144,28 @@ class RuleEvaluator {
       pending->erase(pending->begin() + static_cast<ptrdiff_t>(best));
       IFLEX_RETURN_NOT_OK(Apply(lit, pending));
       if (binding_.size() > options_.max_table_tuples) {
-        return Status::ExecutionError(
-            "intermediate table exceeds max_table_tuples");
+        IFLEX_RETURN_NOT_OK(OverBudget(&binding_, "intermediate table"));
       }
     }
+    return Status::OK();
+  }
+
+  // Applies the intermediate-tuple budget to an overflowing `table`.
+  // Best-effort mode truncates to the cap, records the event once, and
+  // latches budget_exhausted_ so enumeration loops stop growing tables;
+  // otherwise the legacy hard error aborts the rule.
+  Status OverBudget(CompactTable* table, const char* what) {
+    if (!options_.best_effort) {
+      return Status::ExecutionError(std::string(what) +
+                                    " exceeds max_table_tuples");
+    }
+    if (!budget_exhausted_) {
+      report_->AddTruncation(
+          StringPrintf("%s truncated to %zu tuples", what,
+                       options_.max_table_tuples));
+      budget_exhausted_ = true;
+    }
+    table->tuples().resize(options_.max_table_tuples);
     return Status::OK();
   }
 
@@ -160,39 +212,114 @@ class RuleEvaluator {
 
     struct ShardOut {
       Status status = Status::OK();
+      // False when fault isolation salvaged nothing from the range, so
+      // the columns/binding below carry no schema to merge from.
+      bool valid = false;
       CompactTable binding;
       std::unordered_map<std::string, size_t> columns;
+      resilience::ExecReport report;
     };
-    std::vector<ShardOut> outs = runtime::ParallelMap<ShardOut>(
-        pool, shards, [&](size_t si) {
-          size_t lo = si * n / shards;
-          size_t hi = (si + 1) * n / shards;
-          CompactTable slice(table->schema());
-          for (size_t j = lo; j < hi; ++j) slice.Add(table->tuples()[j]);
-          RuleEvaluator sub(catalog_, options_, idb_, stats_, tracer_);
-          sub.binding_ = CompactTable(std::vector<std::string>{});
-          sub.binding_.Add(CompactTuple{});
-          std::vector<Literal> sub_pending = *pending;
-          ShardOut out;
-          out.status = sub.JoinAtom(seed, slice, &sub_pending);
-          if (out.status.ok()) out.status = sub.RunPipeline(rule, &sub_pending);
-          out.binding = std::move(sub.binding_);
-          out.columns = std::move(sub.columns_);
-          return out;
-        });
-    // Errors surface in slice order, so a failing program fails on the
-    // same shard regardless of thread count.
-    for (ShardOut& o : outs) IFLEX_RETURN_NOT_OK(o.status);
-    columns_ = std::move(outs.front().columns);
-    binding_ = std::move(outs.front().binding);
-    for (size_t si = 1; si < outs.size(); ++si) {
-      for (CompactTuple& t : outs[si].binding.tuples()) {
+
+    // Seed-join + remaining pipeline over the seed tuples in [lo, hi).
+    auto eval_range = [&](size_t lo, size_t hi) {
+      ShardOut out;
+      out.status = resilience::FailPointStatus("exec.shard");
+      if (!out.status.ok()) return out;
+      CompactTable slice(table->schema());
+      for (size_t j = lo; j < hi; ++j) slice.Add(table->tuples()[j]);
+      RuleEvaluator sub(catalog_, options_, idb_, stats_, tracer_,
+                        &out.report);
+      sub.binding_ = CompactTable(std::vector<std::string>{});
+      sub.binding_.Add(CompactTuple{});
+      std::vector<Literal> sub_pending = *pending;
+      out.status = sub.JoinAtom(seed, slice, &sub_pending);
+      if (out.status.ok()) out.status = sub.RunPipeline(rule, &sub_pending);
+      out.valid = out.status.ok();
+      out.binding = std::move(sub.binding_);
+      out.columns = std::move(sub.columns_);
+      return out;
+    };
+
+    // One shard; under best-effort a failing shard is retried seed tuple
+    // by seed tuple, so a single poisoned document drops only itself
+    // (recorded in the report) instead of its whole shard.
+    auto eval_shard = [&](size_t si) {
+      size_t lo = si * n / shards;
+      size_t hi = (si + 1) * n / shards;
+      ShardOut out = eval_range(lo, hi);
+      if (out.status.ok() || !options_.best_effort || out.status.IsStop()) {
+        return out;
+      }
+      ShardOut iso;
+      iso.status = Status::OK();
+      for (size_t j = lo; j < hi; ++j) {
+        ShardOut one = eval_range(j, j + 1);
+        iso.report.Merge(one.report);
+        if (one.status.IsStop()) {
+          iso.status = one.status;
+          break;
+        }
+        if (!one.status.ok()) {
+          DocId doc = TupleDocId(table->tuples()[j]);
+          if (doc != kInvalidDocId) {
+            iso.report.AddFailedDoc(doc);
+          } else {
+            iso.report.AddFailedInput();
+          }
+          continue;
+        }
+        if (!iso.valid) {
+          iso.valid = true;
+          iso.binding = std::move(one.binding);
+          iso.columns = std::move(one.columns);
+        } else {
+          for (CompactTuple& t : one.binding.tuples()) {
+            iso.binding.Add(std::move(t));
+          }
+        }
+      }
+      return iso;
+    };
+
+    std::vector<std::optional<ShardOut>> slots(shards);
+    auto stop = [this] { return StopRequested(options_); };
+    try {
+      runtime::ParallelFor(
+          pool, shards, [&](size_t si) { slots[si].emplace(eval_shard(si)); },
+          stop);
+    } catch (const std::exception& e) {
+      return Status::Internal(
+          std::string("worker exception in sharded evaluation: ") + e.what());
+    }
+    for (const auto& slot : slots) {
+      // Unfilled slots mean the pool skipped work on a stop request.
+      if (!slot.has_value()) return StopStatus(options_);
+    }
+    // Errors and degradation records surface in slice order, so a failing
+    // program fails on the same shard regardless of thread count.
+    size_t first = SIZE_MAX;
+    for (size_t si = 0; si < shards; ++si) {
+      ShardOut& o = *slots[si];
+      report_->Merge(o.report);
+      IFLEX_RETURN_NOT_OK(o.status);
+      if (first == SIZE_MAX && o.valid) first = si;
+    }
+    if (first == SIZE_MAX) {
+      // Best-effort isolation salvaged no seed tuple at all; the rule has
+      // no surviving binding to project. Report it as a rule-level error
+      // (the caller's per-rule isolation records it).
+      return Status::ExecutionError("no seed document survived in rule " +
+                                    rule.ToString());
+    }
+    columns_ = std::move(slots[first]->columns);
+    binding_ = std::move(slots[first]->binding);
+    for (size_t si = first + 1; si < shards; ++si) {
+      for (CompactTuple& t : slots[si]->binding.tuples()) {
         binding_.Add(std::move(t));
       }
     }
     if (binding_.size() > options_.max_table_tuples) {
-      return Status::ExecutionError(
-          "intermediate table exceeds max_table_tuples");
+      IFLEX_RETURN_NOT_OK(OverBudget(&binding_, "intermediate table"));
     }
     pending->clear();
     return true;
@@ -490,6 +617,7 @@ class RuleEvaluator {
     CompactTable out(NewSchema(new_cols));
     std::vector<size_t> candidates;
     for (const CompactTuple& b : binding_.tuples()) {
+      if (budget_exhausted_) break;
       const std::vector<CompactTuple>& ttuples = table.tuples();
       candidates.clear();
       bool indexed_probe = false;
@@ -515,6 +643,7 @@ class RuleEvaluator {
         const CompactTuple& t =
             ttuples[indexed_probe ? candidates[ci] : ci];
         stats_->join_pairs->Add();
+        IFLEX_RETURN_NOT_OK(stop_.Poll("Execute"));
         bool dead = false;
         bool some = false;
         for (const EqCond& c : conds) {
@@ -557,8 +686,8 @@ class RuleEvaluator {
         merged.maybe = b.maybe || t.maybe || some;
         out.Add(std::move(merged));
         if (out.size() > options_.max_table_tuples) {
-          return Status::ExecutionError(
-              "join output exceeds max_table_tuples");
+          IFLEX_RETURN_NOT_OK(OverBudget(&out, "join output"));
+          break;  // best-effort: stop enumerating candidates
         }
       }
     }
@@ -643,6 +772,7 @@ class RuleEvaluator {
     CompactTable out(binding_.schema());
     for (const CompactTuple& b : binding_.tuples()) {
       stats_->constraint_cells->Add();
+      IFLEX_RETURN_NOT_OK(stop_.Poll("Execute"));
       IFLEX_ASSIGN_OR_RETURN(
           Cell cell, ApplyConstraintToCell(corpus, catalog_.features(),
                                            b.cells[col], k, hist));
@@ -660,6 +790,7 @@ class RuleEvaluator {
     const Corpus& corpus = catalog_.corpus();
     CompactTable out(binding_.schema());
     for (const CompactTuple& b : binding_.tuples()) {
+      IFLEX_RETURN_NOT_OK(stop_.Poll("Execute"));
       Cell lhs = CellForTerm(cmp.lhs, b);
       Cell rhs = CellForTerm(cmp.rhs, b);
       bool maybe = b.maybe;
@@ -729,6 +860,7 @@ class RuleEvaluator {
     Literal lit = Literal::OfAtom(atom);
     CompactTable out(binding_.schema());
     for (const CompactTuple& b : binding_.tuples()) {
+      IFLEX_RETURN_NOT_OK(stop_.Poll("Execute"));
       IFLEX_ASSIGN_OR_RETURN(SatResult r, EvalFilter(lit, b, columns_));
       if (r == SatResult::kNone) continue;
       CompactTuple merged = b;
@@ -764,17 +896,29 @@ class RuleEvaluator {
     CompactTable out(std::move(schema));
 
     for (const CompactTuple& b : binding_.tuples()) {
+      if (budget_exhausted_) break;
+      IFLEX_RETURN_NOT_OK(stop_.Poll("Execute"));
       // Enumerate the possible input tuples (paper §4.1), capped. An
       // expansion cell expands into *certain* separate tuples; only a
       // plain multi-value cell (one tuple, uncertain value) makes the
-      // outputs maybe.
+      // outputs maybe. Overflowing the enumeration cap is a hard error by
+      // default; best-effort mode drops just this tuple and records the
+      // truncation, so the rest of the binding table still contributes.
       std::vector<std::vector<Value>> in_values(n_inputs);
       size_t combos = 1;
       bool uncertain_multi = false;
-      for (size_t i = 0; i < n_inputs; ++i) {
+      bool drop_tuple = false;
+      for (size_t i = 0; i < n_inputs && !drop_tuple; ++i) {
         Cell c = CellForTerm(atom.args[i], b);
         if (!c.EnumerateValues(corpus, options_.limits.max_ppred_combos,
                                &in_values[i])) {
+          if (options_.best_effort) {
+            report_->AddTruncation(StringPrintf(
+                "p-predicate %s: input enumeration capped; tuple dropped",
+                atom.predicate.c_str()));
+            drop_tuple = true;
+            break;
+          }
           return Status::ExecutionError(StringPrintf(
               "p-predicate %s: too many possible input values; add "
               "constraints first",
@@ -785,13 +929,20 @@ class RuleEvaluator {
         }
         combos *= std::max<size_t>(1, in_values[i].size());
         if (combos > options_.limits.max_ppred_combos) {
+          if (options_.best_effort) {
+            report_->AddTruncation(StringPrintf(
+                "p-predicate %s: input combinations capped; tuple dropped",
+                atom.predicate.c_str()));
+            drop_tuple = true;
+            break;
+          }
           return Status::ExecutionError(StringPrintf(
               "p-predicate %s: more than %zu input combinations",
               atom.predicate.c_str(), options_.limits.max_ppred_combos));
         }
         if (in_values[i].empty()) combos = 0;
       }
-      if (combos == 0) continue;
+      if (drop_tuple || combos == 0) continue;
       bool multi = uncertain_multi;
 
       std::vector<size_t> idx(n_inputs, 0);
@@ -851,8 +1002,7 @@ class RuleEvaluator {
         if (k == n_inputs) break;
       }
       if (out.size() > options_.max_table_tuples) {
-        return Status::ExecutionError(
-            "p-predicate output exceeds max_table_tuples");
+        IFLEX_RETURN_NOT_OK(OverBudget(&out, "p-predicate output"));
       }
     }
     for (const auto& nc : new_cols) columns_.emplace(nc.var, columns_.size());
@@ -914,10 +1064,15 @@ class RuleEvaluator {
   const std::unordered_map<std::string, CompactTable>* idb_;
   const ExecCounters* stats_;
   obs::Tracer* tracer_;
+  resilience::ExecReport* report_;
+  resilience::StopPoller stop_;
 
   CompactTable binding_;
   std::unordered_map<std::string, size_t> columns_;
   std::unordered_map<std::string, std::vector<ConstraintLit>> history_;
+  // Latched by OverBudget in best-effort mode: once an output table hit
+  // the cap, enumeration loops stop adding to it.
+  bool budget_exhausted_ = false;
 };
 
 // Dependency-ordered list of intensional predicates needed for the query.
@@ -1020,6 +1175,7 @@ Executor::Executor(const Catalog& catalog, ExecOptions options)
     metrics_ = owned_metrics_.get();
   }
   counters_.BindTo(metrics_);
+  report_ = options_.report != nullptr ? options_.report : &owned_report_;
 }
 
 const ExecStats& Executor::stats() const {
@@ -1053,12 +1209,89 @@ Result<CompactTable> Executor::Execute(const Program& program) {
 
 Result<CompactTable> Executor::Execute(const Program& program,
                                        ReuseCache* cache) {
-  obs::TraceSpan exec_span(tracer_, "exec.execute", program.query());
-  // Per-execution gauges reset up front: a failed execution reports 0,
-  // never the previous run's stale numbers, and a re-execution served
-  // fully from the reuse cache cannot double-count.
+  report_->Clear();
+  // Reset up front so an execution failing before the GaugeFinalizer is
+  // even constructed (parse/topo-order errors) still reports 0, never the
+  // previous run's stale numbers.
   counters_.process_assignments->Set(0);
   counters_.process_values->Set(0);
+  Result<CompactTable> result = [&]() -> Result<CompactTable> {
+    try {
+      return ExecuteInternal(program, cache);
+    } catch (const std::exception& e) {
+      // Worker exceptions that escape the join-level traps (or a throw on
+      // the calling thread itself) degrade to a clean error, never a
+      // process abort.
+      return Status::Internal(std::string("uncaught worker exception: ") +
+                              e.what());
+    }
+  }();
+  if (!result.ok()) {
+    if (result.status().code() == StatusCode::kDeadlineExceeded) {
+      metrics_->counter("resilience.deadline_exceeded")->Add();
+    } else if (result.status().code() == StatusCode::kCancelled) {
+      metrics_->counter("resilience.cancelled")->Add();
+    }
+  }
+  if (report_->degraded) {
+    metrics_->counter("resilience.degraded_runs")->Add();
+    metrics_->counter("resilience.docs_failed")
+        ->Add(report_->failed_docs.size());
+    metrics_->counter("resilience.inputs_failed")->Add(report_->failed_inputs);
+    metrics_->counter("resilience.rules_skipped")
+        ->Add(report_->skipped_rules.size());
+    metrics_->counter("resilience.truncations")
+        ->Add(report_->truncations.size());
+  }
+  return result;
+}
+
+namespace {
+
+// RAII finalizer for the per-execution process gauges: whatever path
+// ExecuteInternal exits through — success, error, deadline, or an
+// exception unwinding to the Execute wrapper — the gauges reflect exactly
+// the tables in `idb` at that moment, never a previous run's stale values
+// and never a torn half-update.
+class GaugeFinalizer {
+ public:
+  GaugeFinalizer(const std::unordered_map<std::string, CompactTable>* idb,
+                 const Corpus* corpus, const ExecCounters* counters)
+      : idb_(idb), corpus_(corpus), counters_(counters) {
+    counters_->process_assignments->Set(0);
+    counters_->process_values->Set(0);
+  }
+
+  ~GaugeFinalizer() { Finalize(); }
+
+  /// Idempotent; the success path calls it explicitly before moving the
+  /// idb map out, the destructor covers every early-exit path.
+  void Finalize() {
+    if (done_) return;
+    done_ = true;
+    size_t assignments = 0;
+    double values = 0;
+    for (const auto& [pred, table] : *idb_) {
+      (void)pred;
+      assignments += table.AssignmentCount();
+      values += table.TotalValueCount(*corpus_);
+    }
+    counters_->process_assignments->Set(assignments);
+    counters_->process_values->Set(values);
+  }
+
+ private:
+  const std::unordered_map<std::string, CompactTable>* idb_;
+  const Corpus* corpus_;
+  const ExecCounters* counters_;
+  bool done_ = false;
+};
+
+}  // namespace
+
+Result<CompactTable> Executor::ExecuteInternal(const Program& program,
+                                               ReuseCache* cache) {
+  obs::TraceSpan exec_span(tracer_, "exec.execute", program.query());
 
   IFLEX_ASSIGN_OR_RETURN(Program unfolded, program.Unfold(catalog_));
   std::unordered_map<std::string, std::vector<const Rule*>> by_head;
@@ -1075,8 +1308,14 @@ Result<CompactTable> Executor::Execute(const Program& program,
 
   std::unordered_map<std::string, uint64_t> fp_memo;
   std::unordered_map<std::string, CompactTable> idb;
+  // Gauges finalize on every exit path — success, error, early stop —
+  // from exactly the tables computed so far (satisfies the "no torn
+  // metrics on early exit" contract in docs/ROBUSTNESS.md).
+  GaugeFinalizer gauges(&idb, &catalog_.corpus(), &counters_);
   for (const std::string& pred : order) {
     obs::TraceSpan pred_span(tracer_, "exec.predicate", pred);
+    resilience::StopPoller stop(options_.deadline, options_.cancel);
+    IFLEX_RETURN_NOT_OK(stop.Check("Execute"));
     uint64_t fp = PredicateFingerprint(pred, by_head, &fp_memo);
     if (cache != nullptr) {
       const CompactTable* hit = cache->Lookup(fp);
@@ -1088,57 +1327,73 @@ Result<CompactTable> Executor::Execute(const Program& program,
       counters_.cache_misses->Add();
     }
     const std::vector<const Rule*>& rules = by_head[pred];
+    // Events already in the report before this predicate ran; used below
+    // to keep degraded tables out of the reuse cache.
+    const size_t report_events_before = report_->EventCount();
     CompactTable result;
+    bool first = true;
+    // Folds one rule's outcome into `result`. Per-rule fault isolation:
+    // under best_effort a failing rule is skipped and recorded — its
+    // siblings' tuples still answer the query (superset semantics over
+    // the surviving rules). Stop codes always propagate.
+    auto merge_rule = [&](const Rule& rule,
+                          Result<CompactTable> part) -> Status {
+      if (!part.ok()) {
+        if (options_.best_effort && !part.status().IsStop()) {
+          report_->AddSkippedRule(pred + ": " + part.status().ToString());
+          return Status::OK();
+        }
+        return part.status();
+      }
+      (void)rule;
+      if (first) {
+        result = std::move(*part);
+        first = false;
+      } else {
+        for (CompactTuple& tup : part->tuples()) {
+          result.Add(std::move(tup));
+        }
+      }
+      return Status::OK();
+    };
     if (options_.pool != nullptr && rules.size() > 1) {
       // Rule-per-task fan-out; merging in rule order reproduces the
       // serial append exactly, and a failing rule reports the same error
-      // the serial loop would (the first failure in rule order).
+      // the serial loop would (the first failure in rule order). Each
+      // task gets its own report shard, merged in rule order too.
+      std::vector<resilience::ExecReport> reports(rules.size());
       std::vector<Result<CompactTable>> parts =
           runtime::ParallelMap<Result<CompactTable>>(
               options_.pool, rules.size(), [&](size_t i) {
                 RuleEvaluator eval(catalog_, options_, &idb, &counters_,
-                                   tracer_);
+                                   tracer_, &reports[i]);
                 return eval.Evaluate(*rules[i]);
               });
-      bool first = true;
-      for (Result<CompactTable>& part : parts) {
-        if (!part.ok()) return part.status();
-        if (first) {
-          result = std::move(*part);
-          first = false;
-        } else {
-          for (CompactTuple& tup : part->tuples()) {
-            result.Add(std::move(tup));
-          }
-        }
+      for (size_t i = 0; i < rules.size(); ++i) {
+        report_->Merge(reports[i]);
+        IFLEX_RETURN_NOT_OK(merge_rule(*rules[i], std::move(parts[i])));
       }
     } else {
-      bool first = true;
       for (const Rule* r : rules) {
-        RuleEvaluator eval(catalog_, options_, &idb, &counters_, tracer_);
-        IFLEX_ASSIGN_OR_RETURN(CompactTable t, eval.Evaluate(*r));
-        if (first) {
-          result = std::move(t);
-          first = false;
-        } else {
-          for (CompactTuple& tup : t.tuples()) {
-            result.Add(std::move(tup));
-          }
-        }
+        RuleEvaluator eval(catalog_, options_, &idb, &counters_, tracer_,
+                           report_);
+        IFLEX_RETURN_NOT_OK(merge_rule(*r, eval.Evaluate(*r)));
       }
     }
-    if (cache != nullptr) cache->Insert(fp, result);
+    if (first) {
+      // Every rule of this predicate was skipped: degrade to an empty
+      // table with the head schema so downstream joins stay well-formed.
+      result = CompactTable(std::vector<std::string>(
+          rules.front()->head.args.begin(), rules.front()->head.args.end()));
+    }
+    // A table assembled with faults trapped is incomplete for *this* run
+    // only — caching it would silently degrade future fault-free
+    // iterations, so degraded predicates never enter the cache.
+    const bool clean = report_->EventCount() == report_events_before;
+    if (cache != nullptr && clean) cache->Insert(fp, result);
     idb.emplace(pred, std::move(result));
   }
-  size_t process_assignments = 0;
-  double process_values = 0;
-  for (const auto& [pred, table] : idb) {
-    (void)pred;
-    process_assignments += table.AssignmentCount();
-    process_values += table.TotalValueCount(catalog_.corpus());
-  }
-  counters_.process_assignments->Set(process_assignments);
-  counters_.process_values->Set(process_values);
+  gauges.Finalize();
   CompactTable out = idb.at(query);
   last_idb_ = std::move(idb);
   return out;

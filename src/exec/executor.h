@@ -13,6 +13,9 @@
 #include "exec/cell_ops.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "resilience/deadline.h"
+#include "resilience/failpoint.h"
+#include "resilience/report.h"
 
 namespace iflex {
 
@@ -44,6 +47,24 @@ struct ExecOptions {
   /// results are merged in stable doc-id / rule order, so the output is
   /// bit-identical to serial at any thread count (docs/RUNTIME.md).
   runtime::TaskPool* pool = nullptr;
+  /// Time bound on Execute (docs/ROBUSTNESS.md); checked cooperatively in
+  /// every per-tuple loop, so expiry surfaces as kDeadlineExceeded
+  /// promptly at any thread count. Never expires by default.
+  resilience::Deadline deadline;
+  /// Cooperative cancellation; polled alongside the deadline. The token
+  /// (and whatever source tree it hangs off) must outlive Execute.
+  const resilience::CancellationToken* cancel = nullptr;
+  /// Graceful degradation: trap per-document faults in sharded evaluation
+  /// and per-rule faults at the predicate level, truncate-and-report on
+  /// budget overruns instead of erroring, and record everything dropped in
+  /// the ExecReport. The result stays a valid superset-semantics answer
+  /// over the surviving inputs. Deadline/cancel stops always propagate —
+  /// best-effort never hides them. Off by default: errors abort Execute
+  /// exactly as before.
+  bool best_effort = false;
+  /// Degradation sink; null keeps the report inside the Executor (read it
+  /// via Executor::report()). Cleared at the start of every Execute.
+  resilience::ExecReport* report = nullptr;
 };
 
 /// Counters exposed for the benches and the multi-iteration optimizer.
@@ -104,6 +125,9 @@ struct ExecCounters {
 class ReuseCache {
  public:
   const CompactTable* Lookup(uint64_t key) const {
+    // Fail-point site "exec.cache": an injected fault degrades to a cache
+    // miss — the caller recomputes, trading time for correctness.
+    if (resilience::FailPointFired("exec.cache")) return nullptr;
     const Stripe& s = stripe(key);
     std::lock_guard<std::mutex> lock(s.mu);
     auto it = s.map.find(key);
@@ -171,7 +195,15 @@ class Executor {
     return last_idb_;
   }
 
+  /// Degradation report of the last Execute (what best-effort mode
+  /// dropped; report.degraded == false means the result is fault-free).
+  /// Aliases ExecOptions::report when one was supplied.
+  const resilience::ExecReport& report() const { return *report_; }
+
  private:
+  Result<CompactTable> ExecuteInternal(const Program& program,
+                                       ReuseCache* cache);
+
   const Catalog& catalog_;
   ExecOptions options_;
   obs::Tracer* tracer_;
@@ -180,6 +212,8 @@ class Executor {
   ExecCounters counters_;
   mutable ExecStats stats_;
   std::unordered_map<std::string, CompactTable> last_idb_;
+  resilience::ExecReport owned_report_;
+  resilience::ExecReport* report_ = nullptr;
 };
 
 /// Counts the extraction result size the way the paper reports it: the

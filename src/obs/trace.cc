@@ -60,12 +60,18 @@ std::vector<TraceEvent> Tracer::Snapshot() const {
       }
     }
   }
-  std::stable_sort(out.begin(), out.end(),
-                   [](const TraceEvent& a, const TraceEvent& b) {
-                     if (a.tid != b.tid) return a.tid < b.tid;
-                     if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
-                     return a.dur_ns > b.dur_ns;  // parents before children
-                   });
+  // In-place sort with a total order (depth/name tie-breaks) so the result
+  // is deterministic without stable_sort's temporary-buffer allocation.
+  std::sort(out.begin(), out.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.tid != b.tid) return a.tid < b.tid;
+              if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+              if (a.dur_ns != b.dur_ns) {
+                return a.dur_ns > b.dur_ns;  // parents before children
+              }
+              if (a.depth != b.depth) return a.depth < b.depth;
+              return a.name < b.name;
+            });
   return out;
 }
 

@@ -1,0 +1,163 @@
+#ifndef IFLEX_RESILIENCE_DEADLINE_H_
+#define IFLEX_RESILIENCE_DEADLINE_H_
+
+#include <atomic>
+#include <chrono>
+#include <limits>
+#include <memory>
+
+#include "common/status.h"
+
+namespace iflex {
+namespace resilience {
+
+/// Absolute time bound on an operation, steady-clock based so wall-clock
+/// adjustments never extend or shrink it. Value type: copying a Deadline
+/// copies the time point, so a parent can hand children a tighter bound
+/// with Sooner() (hierarchical deadlines). The default Deadline never
+/// expires, which keeps it safe to embed in options structs.
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+  using TimePoint = Clock::time_point;
+
+  /// Never expires.
+  Deadline() : tp_(TimePoint::max()) {}
+
+  static Deadline Never() { return Deadline(); }
+  static Deadline At(TimePoint tp) { return Deadline(tp); }
+  static Deadline After(std::chrono::nanoseconds d) {
+    return Deadline(Clock::now() + d);
+  }
+  static Deadline AfterMillis(int64_t ms) {
+    return After(std::chrono::milliseconds(ms));
+  }
+
+  bool IsNever() const { return tp_ == TimePoint::max(); }
+  bool Expired() const { return !IsNever() && Clock::now() >= tp_; }
+  TimePoint time() const { return tp_; }
+
+  /// Seconds until expiry; negative when already expired, +inf for Never.
+  double RemainingSeconds() const {
+    if (IsNever()) return std::numeric_limits<double>::infinity();
+    return std::chrono::duration<double>(tp_ - Clock::now()).count();
+  }
+
+  /// The tighter of two bounds — how a child operation combines its own
+  /// deadline with its parent's.
+  static Deadline Sooner(const Deadline& a, const Deadline& b) {
+    return a.tp_ < b.tp_ ? a : b;
+  }
+
+  bool operator==(const Deadline& other) const { return tp_ == other.tp_; }
+
+ private:
+  explicit Deadline(TimePoint tp) : tp_(tp) {}
+
+  TimePoint tp_;
+};
+
+namespace internal {
+
+struct CancelState {
+  std::atomic<bool> cancelled{false};
+  std::shared_ptr<const CancelState> parent;
+
+  bool Cancelled() const {
+    for (const CancelState* s = this; s != nullptr; s = s->parent.get()) {
+      if (s->cancelled.load(std::memory_order_acquire)) return true;
+    }
+    return false;
+  }
+};
+
+}  // namespace internal
+
+/// Read side of a cancellation request. Cheap to copy; a default token
+/// can never be cancelled. Tokens are hierarchical: a token derived from a
+/// parent source reports cancelled when either its own source or any
+/// ancestor cancels.
+class CancellationToken {
+ public:
+  CancellationToken() = default;
+
+  bool CanBeCancelled() const { return state_ != nullptr; }
+  bool Cancelled() const { return state_ != nullptr && state_->Cancelled(); }
+
+ private:
+  friend class CancellationSource;
+  explicit CancellationToken(std::shared_ptr<const internal::CancelState> s)
+      : state_(std::move(s)) {}
+
+  std::shared_ptr<const internal::CancelState> state_;
+};
+
+/// Write side: owns one cancellation flag and hands out tokens observing
+/// it. Constructing a source from a parent token chains the flags, so
+/// cancelling a request cancels every sub-operation spawned under it.
+/// Cancel() is thread-safe and idempotent.
+class CancellationSource {
+ public:
+  CancellationSource() : state_(std::make_shared<internal::CancelState>()) {}
+  explicit CancellationSource(const CancellationToken& parent)
+      : CancellationSource() {
+    state_->parent = parent.state_;
+  }
+
+  void Cancel() { state_->cancelled.store(true, std::memory_order_release); }
+  bool Cancelled() const { return state_->Cancelled(); }
+  CancellationToken token() const { return CancellationToken(state_); }
+
+ private:
+  std::shared_ptr<internal::CancelState> state_;
+};
+
+/// Cooperative stop poller combining a deadline and an optional token.
+/// Check() is meant for per-tuple hot loops: it reads the clock only every
+/// `stride` calls (the token check is a couple of relaxed loads), so
+/// polling densely costs almost nothing. Not thread-safe — give each
+/// evaluator/shard its own poller.
+class StopPoller {
+ public:
+  StopPoller(const Deadline& deadline, const CancellationToken* cancel,
+             unsigned stride = 64)
+      : deadline_(deadline),
+        cancel_(cancel),
+        stride_(stride),
+        armed_(!deadline.IsNever() ||
+               (cancel != nullptr && cancel->CanBeCancelled())) {}
+
+  /// OK, kCancelled, or kDeadlineExceeded. `what` names the operation in
+  /// the error message. One branch when neither bound is armed.
+  Status Check(const char* what) {
+    if (!armed_) return Status::OK();
+    if (cancel_ != nullptr && cancel_->Cancelled()) {
+      return Status::Cancelled(std::string(what) + " cancelled");
+    }
+    if (deadline_.Expired()) {
+      return Status::DeadlineExceeded(std::string(what) +
+                                      " exceeded its deadline");
+    }
+    return Status::OK();
+  }
+
+  /// Strided Check for tight loops: a full check every `stride` calls.
+  Status Poll(const char* what) {
+    if (!armed_ || ++calls_ % stride_ != 0) return Status::OK();
+    return Check(what);
+  }
+
+  bool armed() const { return armed_; }
+
+ private:
+  Deadline deadline_;
+  const CancellationToken* cancel_;
+  unsigned stride_;
+  bool armed_;
+  unsigned calls_ = 0;
+};
+
+}  // namespace resilience
+}  // namespace iflex
+
+#endif  // IFLEX_RESILIENCE_DEADLINE_H_

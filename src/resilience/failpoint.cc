@@ -1,0 +1,163 @@
+#include "resilience/failpoint.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <thread>
+
+namespace iflex {
+namespace resilience {
+
+std::atomic<int> FailPoints::active_count_{0};
+
+namespace {
+
+struct Point {
+  bool error = false;
+  int delay_ms = 0;
+  uint64_t every = 1;
+  std::atomic<uint64_t> hits{0};
+
+  Point() = default;
+  Point(const Point& o)
+      : error(o.error), delay_ms(o.delay_ms), every(o.every), hits(0) {}
+};
+
+// `spec` is one clause list "error|delay:5|every:3"; fills `p`.
+Status ParseClauses(std::string_view site, std::string_view spec, Point* p) {
+  size_t pos = 0;
+  while (pos <= spec.size()) {
+    size_t bar = spec.find('|', pos);
+    std::string_view clause = spec.substr(
+        pos, bar == std::string_view::npos ? spec.size() - pos : bar - pos);
+    if (clause == "error") {
+      p->error = true;
+    } else if (clause.rfind("delay:", 0) == 0) {
+      p->delay_ms = std::atoi(std::string(clause.substr(6)).c_str());
+      if (p->delay_ms <= 0) {
+        return Status::InvalidArgument("fail point " + std::string(site) +
+                                       ": bad delay clause '" +
+                                       std::string(clause) + "'");
+      }
+    } else if (clause.rfind("every:", 0) == 0) {
+      long k = std::atol(std::string(clause.substr(6)).c_str());
+      if (k <= 0) {
+        return Status::InvalidArgument("fail point " + std::string(site) +
+                                       ": bad every clause '" +
+                                       std::string(clause) + "'");
+      }
+      p->every = static_cast<uint64_t>(k);
+    } else {
+      return Status::InvalidArgument("fail point " + std::string(site) +
+                                     ": unknown clause '" +
+                                     std::string(clause) + "'");
+    }
+    if (bar == std::string_view::npos) break;
+    pos = bar + 1;
+  }
+  if (!p->error && p->delay_ms == 0) {
+    return Status::InvalidArgument("fail point " + std::string(site) +
+                                   ": no error or delay clause");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+struct FailPoints::Impl {
+  mutable std::mutex mu;
+  std::map<std::string, Point, std::less<>> points;
+};
+
+FailPoints::FailPoints() : impl_(new Impl) {
+  const char* env = std::getenv("IFLEX_FAILPOINTS");
+  if (env != nullptr && env[0] != '\0') {
+    // Env errors can't propagate; a bad spec disarms everything rather
+    // than silently arming a subset.
+    if (!Configure(env).ok()) Clear();
+  }
+}
+
+FailPoints& FailPoints::Instance() {
+  static FailPoints* instance = new FailPoints();
+  return *instance;
+}
+
+Status FailPoints::Configure(std::string_view spec) {
+  std::map<std::string, Point, std::less<>> parsed;
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t comma = spec.find(',', pos);
+    std::string_view entry = spec.substr(
+        pos, comma == std::string_view::npos ? spec.size() - pos
+                                             : comma - pos);
+    if (!entry.empty()) {
+      size_t eq = entry.find('=');
+      if (eq == std::string_view::npos || eq == 0) {
+        return Status::InvalidArgument("fail point spec entry '" +
+                                       std::string(entry) +
+                                       "' is not site=clauses");
+      }
+      std::string_view site = entry.substr(0, eq);
+      Point p;
+      IFLEX_RETURN_NOT_OK(ParseClauses(site, entry.substr(eq + 1), &p));
+      parsed.emplace(std::string(site), p);
+    }
+    if (comma == std::string_view::npos) break;
+    pos = comma + 1;
+  }
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->points = std::move(parsed);
+  active_count_.store(static_cast<int>(impl_->points.size()),
+                      std::memory_order_relaxed);
+  return Status::OK();
+}
+
+void FailPoints::Clear() {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->points.clear();
+  active_count_.store(0, std::memory_order_relaxed);
+}
+
+bool FailPoints::Hit(std::string_view site) {
+  int delay_ms = 0;
+  bool fire_error = false;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    auto it = impl_->points.find(site);
+    if (it == impl_->points.end()) return false;
+    Point& p = it->second;
+    uint64_t hit = p.hits.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (hit % p.every != 0) return false;
+    delay_ms = p.delay_ms;
+    fire_error = p.error;
+  }
+  // Sleep outside the lock so a delayed site never serializes other sites.
+  if (delay_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+  }
+  return fire_error;
+}
+
+uint64_t FailPoints::HitCount(std::string_view site) const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  auto it = impl_->points.find(site);
+  return it == impl_->points.end()
+             ? 0
+             : it->second.hits.load(std::memory_order_relaxed);
+}
+
+std::vector<std::string> FailPoints::ArmedSites() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  std::vector<std::string> out;
+  out.reserve(impl_->points.size());
+  for (const auto& [name, p] : impl_->points) {
+    (void)p;
+    out.push_back(name);
+  }
+  return out;
+}
+
+}  // namespace resilience
+}  // namespace iflex

@@ -1,0 +1,108 @@
+#ifndef IFLEX_RESILIENCE_FAILPOINT_H_
+#define IFLEX_RESILIENCE_FAILPOINT_H_
+
+#include <atomic>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace iflex {
+namespace resilience {
+
+/// Deterministic fail-point framework (RocksDB/TiKV style): named sites in
+/// the code evaluate an injected action when armed and are a single
+/// relaxed atomic load when not. Configuration comes from the
+/// IFLEX_FAILPOINTS environment variable (read once, at first use) or from
+/// FailPoints::Configure in tests:
+///
+///   IFLEX_FAILPOINTS="alog.lexer=error,exec.shard=delay:5|every:3"
+///
+/// Grammar: comma-separated `site=clause(|clause)*` entries with clauses
+///   error     the site reports an injected ExecutionError (or throws
+///             FailPointError at exception-based sites, or degrades at
+///             sites with a built-in fallback such as the reuse cache)
+///   delay:N   the site sleeps N milliseconds before proceeding
+///   every:K   the error/delay clauses fire only on every K-th hit
+///             (1-based: hits K, 2K, 3K, ...); default every hit
+///
+/// Hit counting is per-site and atomic, so `every:K` is deterministic for
+/// a serial execution and exact-in-aggregate for parallel ones.
+class FailPoints {
+ public:
+  /// Process-wide registry (sites are global names).
+  static FailPoints& Instance();
+
+  /// Replaces the active configuration. Empty spec disarms everything.
+  /// Unknown clauses or malformed entries return kInvalidArgument and
+  /// leave the previous configuration in place.
+  Status Configure(std::string_view spec);
+
+  /// Disarms all sites and resets hit counters.
+  void Clear();
+
+  /// True when any site is armed — the fast-path gate.
+  static bool Active() {
+    return active_count_.load(std::memory_order_relaxed) > 0;
+  }
+
+  /// Evaluates the site: applies any delay clause inline (sleep) and
+  /// returns true when an error clause fires on this hit. Call only after
+  /// Active() returned true.
+  bool Hit(std::string_view site);
+
+  /// Total hits observed at `site` since the last Configure/Clear.
+  uint64_t HitCount(std::string_view site) const;
+
+  /// Names of currently armed sites (for --help / docs tooling).
+  std::vector<std::string> ArmedSites() const;
+
+ private:
+  FailPoints();
+  struct Impl;
+  Impl* impl_;
+
+  static std::atomic<int> active_count_;
+};
+
+/// Thrown by fail-point sites that live inside TaskPool tasks, where no
+/// Status channel exists; the pool's batch machinery ferries it to the
+/// joining thread, which converts it back into a Status.
+class FailPointError : public std::runtime_error {
+ public:
+  explicit FailPointError(const std::string& site)
+      : std::runtime_error("fail point '" + site + "' fired") {}
+};
+
+/// Status-channel site: OK normally, injected ExecutionError when armed
+/// and firing.
+inline Status FailPointStatus(std::string_view site) {
+  if (!FailPoints::Active()) return Status::OK();
+  if (!FailPoints::Instance().Hit(site)) return Status::OK();
+  return Status::ExecutionError("fail point '" + std::string(site) +
+                                "' fired");
+}
+
+/// Boolean site for code with a built-in degradation path (e.g. a cache
+/// lookup that can report a miss).
+inline bool FailPointFired(std::string_view site) {
+  return FailPoints::Active() && FailPoints::Instance().Hit(site);
+}
+
+/// Exception-channel site for TaskPool task bodies.
+inline void FailPointMaybeThrow(std::string_view site) {
+  if (FailPoints::Active() && FailPoints::Instance().Hit(site)) {
+    throw FailPointError(std::string(site));
+  }
+}
+
+/// Propagating form for functions returning Status/Result.
+#define IFLEX_FAIL_POINT(site) \
+  IFLEX_RETURN_NOT_OK(::iflex::resilience::FailPointStatus(site))
+
+}  // namespace resilience
+}  // namespace iflex
+
+#endif  // IFLEX_RESILIENCE_FAILPOINT_H_

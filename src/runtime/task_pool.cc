@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <chrono>
 
+#include "resilience/failpoint.h"
+
 namespace iflex {
 namespace runtime {
 
@@ -133,10 +135,22 @@ void TaskPool::HelpUntil(const std::function<bool()>& done) {
 }
 
 void TaskPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  ParallelForImpl(n, fn, nullptr);
+}
+
+void TaskPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn,
+                           const std::function<bool()>& stop) {
+  ParallelForImpl(n, fn, &stop);
+}
+
+void TaskPool::ParallelForImpl(size_t n,
+                               const std::function<void(size_t)>& fn,
+                               const std::function<bool()>* stop) {
   struct Batch {
     std::atomic<size_t> next{0};       // work cursor
     std::atomic<size_t> finished{0};   // indices completed or skipped
     std::atomic<bool> failed{false};
+    std::atomic<bool> stopped{false};
     std::mutex mu;                     // guards error
     std::exception_ptr error;
   };
@@ -144,13 +158,21 @@ void TaskPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   const size_t chunk =
       std::max<size_t>(1, n / (thread_count() * 4));
 
-  auto participate = [batch, n, chunk, &fn] {
+  auto participate = [batch, n, chunk, &fn, stop] {
     while (true) {
       size_t begin = batch->next.fetch_add(chunk, std::memory_order_relaxed);
       if (begin >= n) return;
       size_t end = std::min(n, begin + chunk);
-      if (!batch->failed.load(std::memory_order_acquire)) {
+      if (stop != nullptr &&
+          !batch->stopped.load(std::memory_order_acquire) && (*stop)()) {
+        batch->stopped.store(true, std::memory_order_release);
+      }
+      if (!batch->failed.load(std::memory_order_acquire) &&
+          !batch->stopped.load(std::memory_order_acquire)) {
         try {
+          // Fail-point site "runtime.task": injected task-level faults
+          // travel the same exception channel real ones would.
+          resilience::FailPointMaybeThrow("runtime.task");
           for (size_t i = begin; i < end; ++i) fn(i);
         } catch (...) {
           std::lock_guard<std::mutex> lock(batch->mu);

@@ -14,6 +14,8 @@
 #include <utility>
 #include <vector>
 
+#include "resilience/failpoint.h"
+
 namespace iflex {
 namespace runtime {
 
@@ -70,7 +72,18 @@ class TaskPool {
   /// skipped, already-running ones finish).
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
+  /// Same, with a cooperative stop predicate polled before every chunk on
+  /// every participating thread. Once `stop()` returns true, remaining
+  /// chunks are skipped (their indices settle without running fn), so a
+  /// deadline or cancellation drains the batch promptly at any thread
+  /// count. Callers must treat the batch as aborted when stop() fired —
+  /// skipped indices produced no results.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn,
+                   const std::function<bool()>& stop);
+
  private:
+  void ParallelForImpl(size_t n, const std::function<void(size_t)>& fn,
+                       const std::function<bool()>* stop);
   struct Worker {
     std::mutex mu;
     std::deque<std::function<void()>> tasks;
@@ -148,6 +161,8 @@ Future<T> Async(TaskPool* pool, Fn&& fn) {
     std::exception_ptr error;
     std::optional<T> value;
     try {
+      // Fail-point site "runtime.task" (also armed in ParallelFor chunks).
+      resilience::FailPointMaybeThrow("runtime.task");
       value.emplace(fn());
     } catch (...) {
       error = std::current_exception();
@@ -180,6 +195,21 @@ inline void ParallelFor(TaskPool* pool, size_t n,
     return;
   }
   pool->ParallelFor(n, fn);
+}
+
+/// Stop-aware variant; the serial degradation polls `stop` before every
+/// index, matching the pooled per-chunk polling.
+inline void ParallelFor(TaskPool* pool, size_t n,
+                        const std::function<void(size_t)>& fn,
+                        const std::function<bool()>& stop) {
+  if (pool == nullptr || pool->thread_count() == 1 || n <= 1) {
+    for (size_t i = 0; i < n; ++i) {
+      if (stop()) return;
+      fn(i);
+    }
+    return;
+  }
+  pool->ParallelFor(n, fn, stop);
 }
 
 /// out[i] = fn(i) for i in [0, n), in index order regardless of execution

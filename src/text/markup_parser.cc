@@ -29,6 +29,11 @@ const TagInfo* FindTag(std::string_view name) {
   return nullptr;
 }
 
+// Nesting depth cap: real markup in this corpus nests a handful of levels;
+// anything deeper is malformed (or adversarial) input, rejected before the
+// open-tag stack can grow with the document size.
+constexpr size_t kMaxMarkupDepth = 64;
+
 }  // namespace
 
 Result<Document> ParseMarkup(std::string name, std::string_view markup) {
@@ -39,6 +44,7 @@ Result<Document> ParseMarkup(std::string name, std::string_view markup) {
     MarkupKind kind;
     uint32_t begin;
     std::string_view tag;
+    size_t at;  // offset of the opening '<' in the raw markup
   };
   std::vector<Open> stack;
   std::vector<std::tuple<MarkupKind, uint32_t, uint32_t>> ranges;
@@ -67,13 +73,18 @@ Result<Document> ParseMarkup(std::string name, std::string_view markup) {
           inner.data(), name.c_str()));
     }
     if (!is_close) {
+      if (stack.size() >= kMaxMarkupDepth) {
+        return Status::ParseError(StringPrintf(
+            "markup nesting deeper than %zu at offset %zu in document %s",
+            kMaxMarkupDepth, i, name.c_str()));
+      }
       stack.push_back(Open{tag->kind, static_cast<uint32_t>(text.size()),
-                           tag->name});
+                           tag->name, i});
     } else {
       if (stack.empty() || stack.back().kind != tag->kind) {
         return Status::ParseError(StringPrintf(
-            "mismatched </%.*s> in document %s",
-            static_cast<int>(inner.size()), inner.data(), name.c_str()));
+            "mismatched </%.*s> at offset %zu in document %s",
+            static_cast<int>(inner.size()), inner.data(), i, name.c_str()));
       }
       ranges.emplace_back(stack.back().kind, stack.back().begin,
                           static_cast<uint32_t>(text.size()));
@@ -83,9 +94,9 @@ Result<Document> ParseMarkup(std::string name, std::string_view markup) {
   }
   if (!stack.empty()) {
     return Status::ParseError(StringPrintf(
-        "unclosed <%.*s> in document %s",
+        "unclosed <%.*s> opened at offset %zu in document %s",
         static_cast<int>(stack.back().tag.size()), stack.back().tag.data(),
-        name.c_str()));
+        stack.back().at, name.c_str()));
   }
 
   Document doc(std::move(name), std::move(text));

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <set>
+#include <string>
+
 #include "common/result.h"
 #include "common/rng.h"
 #include "common/status.h"
@@ -22,14 +25,62 @@ TEST(StatusTest, ErrorCarriesCodeAndMessage) {
 }
 
 TEST(StatusTest, AllCodesHaveNames) {
-  for (StatusCode c :
-       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
-        StatusCode::kAlreadyExists, StatusCode::kParseError,
-        StatusCode::kUnsafeRule, StatusCode::kTypeError,
-        StatusCode::kExecutionError, StatusCode::kUnimplemented,
-        StatusCode::kInternal}) {
-    EXPECT_STRNE(StatusCodeToString(c), "Unknown");
+  // Exhaustive over the enum: adding a StatusCode without a name (or
+  // without bumping kNumStatusCodes) fails here, not in a log message.
+  std::set<std::string> names;
+  for (int i = 0; i < kNumStatusCodes; ++i) {
+    const char* name = StatusCodeToString(static_cast<StatusCode>(i));
+    EXPECT_STRNE(name, "Unknown") << "code " << i;
+    names.insert(name);
   }
+  EXPECT_EQ(names.size(), static_cast<size_t>(kNumStatusCodes))
+      << "two status codes share a name";
+  EXPECT_STREQ(StatusCodeToString(static_cast<StatusCode>(kNumStatusCodes)),
+               "Unknown");
+}
+
+TEST(StatusTest, StopCodes) {
+  Status d = Status::DeadlineExceeded("late");
+  Status c = Status::Cancelled("stop");
+  EXPECT_FALSE(d.ok());
+  EXPECT_FALSE(c.ok());
+  EXPECT_EQ(d.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(c.code(), StatusCode::kCancelled);
+  EXPECT_TRUE(d.IsStop());
+  EXPECT_TRUE(c.IsStop());
+  EXPECT_FALSE(Status::OK().IsStop());
+  EXPECT_FALSE(Status::ExecutionError("boom").IsStop());
+  EXPECT_EQ(d.ToString(), "DeadlineExceeded: late");
+  EXPECT_EQ(c.ToString(), "Cancelled: stop");
+}
+
+Status FailsWhenNegative(int x) {
+  if (x < 0) return Status::InvalidArgument("negative");
+  return Status::OK();
+}
+
+Status CheckedTwice(int x, int* progress) {
+  IFLEX_RETURN_NOT_OK(FailsWhenNegative(x));
+  *progress = 1;
+  IFLEX_RETURN_NOT_OK(FailsWhenNegative(x - 10));
+  *progress = 2;
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnNotOkPropagatesAndStopsEarly) {
+  int progress = 0;
+  Status st = CheckedTwice(-1, &progress);
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(progress, 0);  // first check returned, nothing after it ran
+
+  progress = 0;
+  st = CheckedTwice(5, &progress);
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(progress, 1);  // failed at the second checkpoint
+
+  progress = 0;
+  EXPECT_TRUE(CheckedTwice(15, &progress).ok());
+  EXPECT_EQ(progress, 2);
 }
 
 TEST(ResultTest, HoldsValue) {
@@ -60,6 +111,23 @@ Result<int> Quarter(int x) {
 TEST(ResultTest, AssignOrReturnPropagates) {
   EXPECT_EQ(*Quarter(8), 2);
   EXPECT_FALSE(Quarter(6).ok());  // 6/2=3 is odd
+}
+
+Result<int> StoppedComputation() {
+  return Status::DeadlineExceeded("ran out of time");
+}
+
+Result<int> UsesStoppedComputation() {
+  IFLEX_ASSIGN_OR_RETURN(int v, StoppedComputation());
+  return v + 1;
+}
+
+TEST(ResultTest, AssignOrReturnPreservesCodeAndMessage) {
+  Result<int> r = UsesStoppedComputation();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(r.status().message(), "ran out of time");
+  EXPECT_TRUE(r.status().IsStop());
 }
 
 TEST(StrUtilTest, Split) {

@@ -10,6 +10,7 @@
 
 #include "assistant/session.h"
 #include "exec/executor.h"
+#include "resilience/deadline.h"
 #include "runtime/task_pool.h"
 #include "tasks/task.h"
 #include "text/markup_parser.h"
@@ -93,16 +94,25 @@ TEST_F(PaperExampleDeterminismTest, ExecutionIsIdenticalAtAnyThreadCount) {
   const std::string expected = base->ToString(&corpus_);
   const size_t expected_assignments = serial.stats().process_assignments;
 
+  // The resilience machinery is armed (far deadline, live cancellation
+  // token, best-effort isolation) but never triggered: it must be a pure
+  // observer — byte-identical results, no degradation.
+  resilience::CancellationSource cancel_source;
+  const resilience::CancellationToken cancel_token = cancel_source.token();
   for (size_t threads : {1, 2, 8}) {
     runtime::TaskPool pool(threads);
     ExecOptions options;
     options.pool = &pool;
+    options.deadline = resilience::Deadline::AfterMillis(60 * 60 * 1000);
+    options.cancel = &cancel_token;
+    options.best_effort = true;
     Executor exec(*catalog_, options);
     auto r = exec.Execute(*prog);
     ASSERT_TRUE(r.ok()) << r.status();
     EXPECT_EQ(r->ToString(&corpus_), expected) << threads << " threads";
     EXPECT_EQ(exec.stats().process_assignments, expected_assignments)
         << threads << " threads";
+    EXPECT_FALSE(exec.report().degraded) << threads << " threads";
     // Every intermediate table must match too, not just the query's.
     ASSERT_EQ(exec.last_idb().size(), serial.last_idb().size());
     for (const auto& [pred, table] : serial.last_idb()) {

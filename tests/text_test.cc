@@ -150,6 +150,51 @@ TEST(MarkupParserTest, RejectsMismatchedTags) {
   EXPECT_FALSE(ParseMarkup("d", "a < b").ok());
 }
 
+TEST(MarkupParserTest, MalformedMarkupReportsParseErrorWithPosition) {
+  // Every rejection is a kParseError naming the document and the offset
+  // of the offending construct — the load path surfaces these verbatim.
+  auto mismatched = ParseMarkup("doc.html", "ab<b>x</i>");
+  ASSERT_FALSE(mismatched.ok());
+  EXPECT_EQ(mismatched.status().code(), StatusCode::kParseError);
+  EXPECT_NE(mismatched.status().message().find("offset 6"),
+            std::string::npos)
+      << mismatched.status().message();
+  EXPECT_NE(mismatched.status().message().find("doc.html"),
+            std::string::npos);
+
+  auto unterminated = ParseMarkup("doc.html", "abc<b unterminated");
+  ASSERT_FALSE(unterminated.ok());
+  EXPECT_EQ(unterminated.status().code(), StatusCode::kParseError);
+  EXPECT_NE(unterminated.status().message().find("offset 3"),
+            std::string::npos)
+      << unterminated.status().message();
+
+  auto unclosed = ParseMarkup("doc.html", "xy<b>bold text");
+  ASSERT_FALSE(unclosed.ok());
+  EXPECT_EQ(unclosed.status().code(), StatusCode::kParseError);
+  EXPECT_NE(unclosed.status().message().find("offset 2"), std::string::npos)
+      << unclosed.status().message();
+}
+
+TEST(MarkupParserTest, RejectsPathologicalNesting) {
+  // Depth cap: 64 is far above real documents, far below a stack bomb.
+  std::string deep;
+  for (int i = 0; i < 100; ++i) deep += "<b>";
+  deep += "x";
+  for (int i = 0; i < 100; ++i) deep += "</b>";
+  auto doc = ParseMarkup("d", deep);
+  ASSERT_FALSE(doc.ok());
+  EXPECT_EQ(doc.status().code(), StatusCode::kParseError);
+  EXPECT_NE(doc.status().message().find("nesting"), std::string::npos);
+
+  // At the cap itself parsing still succeeds.
+  std::string ok_deep;
+  for (int i = 0; i < 64; ++i) ok_deep += "<b>";
+  ok_deep += "x";
+  for (int i = 0; i < 64; ++i) ok_deep += "</b>";
+  EXPECT_TRUE(ParseMarkup("d", ok_deep).ok());
+}
+
 TEST(MarkupParserTest, RenderRoundTrip) {
   std::string src = "<title>IMDB</title>\n<b>#1</b> <i>The Movie</i>";
   auto doc = ParseMarkup("d", src);
