@@ -1,0 +1,193 @@
+// Hot-path micro-benchmarks for the interned fast paths
+// (docs/PERFORMANCE.md): string interning, cached token similarity, the
+// JoinAtom hash equi-join vs the legacy tri-state scan, and the Verify
+// memo. Writes BENCH_MICRO.json; bench/check_regression.py diffs it
+// against the committed baseline. Every workload is seeded/synthetic, so
+// the op counts are exactly reproducible — only the timings move.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/intern.h"
+#include "exec/executor.h"
+#include "exec/verify_memo.h"
+
+using namespace iflex;
+using namespace iflex::bench;
+
+namespace {
+
+// Deterministic pseudo-words: enough collisions to exercise the intern
+// hit path, enough spread to grow the arena.
+std::string Word(size_t i) {
+  static const char* kStems[] = {"alpha", "bravo", "china",  "delta",
+                                 "echo",  "fox",   "golf",   "hotel",
+                                 "india", "julia", "kilo",   "lima"};
+  return std::string(kStems[i % 12]) + std::to_string(i % 997);
+}
+
+std::string Phrase(size_t i, size_t words) {
+  std::string s;
+  for (size_t w = 0; w < words; ++w) {
+    if (!s.empty()) s += ' ';
+    s += Word(i * 7 + w * 13);
+  }
+  return s;
+}
+
+// Catalog with r(a,b) |><| s(b,c) on exact numeric keys, sized so the
+// join dominates: every probe key exists, so the scan pays the full
+// |r| x |s| tri-state comparisons the index skips.
+std::unique_ptr<Catalog> JoinCatalog(Corpus* corpus, size_t r_rows,
+                                     size_t s_rows) {
+  auto catalog = std::make_unique<Catalog>(corpus);
+  auto num = [](double n) { return Cell::Exact(Value::Number(n)); };
+  CompactTable r({"a", "b"});
+  for (size_t i = 0; i < r_rows; ++i) {
+    CompactTuple t;
+    t.cells.push_back(num(static_cast<double>(i)));
+    t.cells.push_back(num(static_cast<double>(i % s_rows)));
+    r.Add(std::move(t));
+  }
+  CompactTable s({"b", "c"});
+  for (size_t i = 0; i < s_rows; ++i) {
+    CompactTuple t;
+    t.cells.push_back(num(static_cast<double>(i)));
+    t.cells.push_back(num(static_cast<double>(i * 100)));
+    s.Add(std::move(t));
+  }
+  if (!catalog->AddTable("r", std::move(r)).ok()) return nullptr;
+  if (!catalog->AddTable("s", std::move(s)).ok()) return nullptr;
+  catalog->RegisterBuiltinFunctions();
+  return catalog;
+}
+
+double JoinSeconds(const Catalog& catalog, const Program& prog, bool fast,
+                   size_t* join_pairs) {
+  ExecOptions options;
+  options.enable_fast_path = fast;
+  Executor exec(catalog, options);
+  Stopwatch watch;
+  auto result = exec.Execute(prog);
+  double seconds = watch.ElapsedSeconds();
+  if (!result.ok()) {
+    std::fprintf(stderr, "join bench: %s\n",
+                 result.status().ToString().c_str());
+    return -1;
+  }
+  *join_pairs = exec.stats().join_pairs;
+  return seconds;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchReporter reporter("MICRO", argc, argv);
+  using R = BenchReporter;
+
+  // ------------------------------------------------ interner throughput
+  {
+    constexpr size_t kOps = 400000;
+    StringInterner interner;
+    Stopwatch watch;
+    for (size_t i = 0; i < kOps; ++i) interner.Intern(Word(i));
+    double seconds = watch.ElapsedSeconds();
+    std::printf("intern            %8zu ops  %6.1f ns/op  (%zu distinct)\n",
+                kOps, 1e9 * seconds / kOps, interner.size());
+    reporter.Row({R::S("case", "intern"), R::N("ops", kOps),
+                  R::N("seconds", seconds),
+                  R::N("ns_per_op", 1e9 * seconds / kOps),
+                  R::N("distinct", static_cast<double>(interner.size()))});
+  }
+
+  // ------------------------------- similarity: legacy vs interned tokens
+  {
+    constexpr size_t kPairs = 40000;
+    std::vector<std::string> lhs, rhs;
+    for (size_t i = 0; i < kPairs; ++i) {
+      lhs.push_back(Phrase(i, 6));
+      rhs.push_back(Phrase(i / 3, 6));  // 1-in-3 near-duplicates
+    }
+    double legacy_sum = 0, fast_sum = 0;
+    Stopwatch legacy_watch;
+    for (size_t i = 0; i < kPairs; ++i)
+      legacy_sum += TokenJaccard(lhs[i], rhs[i]);
+    double legacy_seconds = legacy_watch.ElapsedSeconds();
+
+    StringInterner interner;
+    TokenCache cache(&interner);
+    Stopwatch fast_watch;
+    for (size_t i = 0; i < kPairs; ++i)
+      fast_sum += TokenIdJaccard(cache.TokensOf(lhs[i]), cache.TokensOf(rhs[i]));
+    double fast_seconds = fast_watch.ElapsedSeconds();
+    if (legacy_sum != fast_sum) {
+      std::fprintf(stderr, "similarity mismatch: %f vs %f\n", legacy_sum,
+                   fast_sum);
+      return 1;
+    }
+    std::printf("similar legacy    %8zu ops  %6.1f ns/op\n", kPairs,
+                1e9 * legacy_seconds / kPairs);
+    std::printf("similar interned  %8zu ops  %6.1f ns/op  (%.1fx)\n", kPairs,
+                1e9 * fast_seconds / kPairs, legacy_seconds / fast_seconds);
+    reporter.Row({R::S("case", "similar_legacy"), R::N("ops", kPairs),
+                  R::N("seconds", legacy_seconds),
+                  R::N("ns_per_op", 1e9 * legacy_seconds / kPairs)});
+    reporter.Row({R::S("case", "similar_interned"), R::N("ops", kPairs),
+                  R::N("seconds", fast_seconds),
+                  R::N("ns_per_op", 1e9 * fast_seconds / kPairs),
+                  R::N("speedup", legacy_seconds / fast_seconds)});
+  }
+
+  // --------------------------------------- join: hash index vs tri-state
+  {
+    Corpus corpus;
+    auto catalog = JoinCatalog(&corpus, 2000, 1000);
+    if (catalog == nullptr) return 1;
+    auto prog = ParseProgram("q(a, c) :- r(a, b), s(b, c).", *catalog);
+    if (!prog.ok()) return 1;
+    prog->set_query("q");
+    size_t scan_pairs = 0, hash_pairs = 0;
+    double scan_seconds =
+        JoinSeconds(*catalog, *prog, /*fast=*/false, &scan_pairs);
+    double hash_seconds =
+        JoinSeconds(*catalog, *prog, /*fast=*/true, &hash_pairs);
+    if (scan_seconds < 0 || hash_seconds < 0) return 1;
+    std::printf("join scan         %8zu pairs %6.3f s\n", scan_pairs,
+                scan_seconds);
+    std::printf("join hash         %8zu pairs %6.3f s  (%.1fx)\n", hash_pairs,
+                hash_seconds, scan_seconds / hash_seconds);
+    reporter.Row({R::S("case", "join_scan"),
+                  R::N("join_pairs", static_cast<double>(scan_pairs)),
+                  R::N("seconds", scan_seconds)});
+    reporter.Row({R::S("case", "join_hash"),
+                  R::N("join_pairs", static_cast<double>(hash_pairs)),
+                  R::N("seconds", hash_seconds),
+                  R::N("speedup", scan_seconds / hash_seconds)});
+  }
+
+  // ------------------------------------------------- verify memo lookups
+  {
+    constexpr size_t kOps = 1000000;
+    VerifyMemo memo;
+    VerifyMemo::Key k{};
+    k.target_kind = 1;
+    Stopwatch watch;
+    for (size_t i = 0; i < kOps; ++i) {
+      k.feature = static_cast<ValueId>(i % 64);
+      k.text = static_cast<ValueId>(i % 4096);
+      if (!memo.Lookup(k).has_value()) memo.Insert(k, 1);
+    }
+    double seconds = watch.ElapsedSeconds();
+    std::printf("verify memo       %8zu ops  %6.1f ns/op  (%zu entries, "
+                "%zu hits)\n",
+                kOps, 1e9 * seconds / kOps, memo.size(), memo.hits());
+    reporter.Row({R::S("case", "verify_memo"), R::N("ops", kOps),
+                  R::N("seconds", seconds),
+                  R::N("ns_per_op", 1e9 * seconds / kOps),
+                  R::N("entries", static_cast<double>(memo.size())),
+                  R::N("hits", static_cast<double>(memo.hits()))});
+  }
+
+  return 0;
+}

@@ -1,0 +1,144 @@
+#!/usr/bin/env python3
+"""Diff a fresh BENCH_*.json against its committed baseline.
+
+Usage:
+    bench/check_regression.py NEW.json [--baseline BASE.json]
+                              [--tolerance 0.5] [--wall-tolerance 1.0]
+
+Rows are matched by their identity fields (every string-valued field,
+e.g. "case" or "task"). Two classes of numeric fields are checked:
+
+  * Deterministic counts (ops, join_pairs, distinct, entries, hits,
+    converged, exact, ...) must match the baseline exactly — the
+    workloads are seeded, so any drift is a behaviour change, not noise.
+  * Timings (seconds, ns_per_op, wall_seconds, *_minutes) may regress by
+    at most --tolerance (fraction over baseline; default 0.5 = 50%
+    slower) before the check fails. Improvements never fail. Derived
+    speedup ratios are reported but not gated (they move with both
+    numerator and denominator).
+
+The default baseline is bench/baselines/<basename of NEW>. Exit code 0
+on pass, 1 on regression/mismatch, 2 on usage or I/O errors. Stdlib
+only — no third-party packages.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+TIMING_KEYS = ("seconds", "ns_per_op", "wall_seconds")
+TIMING_SUFFIXES = ("_seconds", "_minutes")
+UNGATED_KEYS = ("speedup",)
+
+
+def is_timing(key):
+    return key in TIMING_KEYS or key.endswith(TIMING_SUFFIXES)
+
+
+def row_identity(row):
+    return tuple(sorted((k, v) for k, v in row.items() if isinstance(v, str)))
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"check_regression: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
+    )
+    parser.add_argument("fresh", help="freshly produced BENCH_*.json")
+    parser.add_argument(
+        "--baseline",
+        help="committed baseline (default bench/baselines/<name of FRESH>)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.5,
+        help="allowed fractional slowdown per timing field (default 0.5)",
+    )
+    parser.add_argument(
+        "--wall-tolerance",
+        type=float,
+        default=1.0,
+        help="allowed fractional slowdown of total wall_seconds (default 1.0)",
+    )
+    args = parser.parse_args()
+
+    baseline_path = args.baseline or os.path.join(
+        os.path.dirname(os.path.abspath(__file__)),
+        "baselines",
+        os.path.basename(args.fresh),
+    )
+    fresh = load(args.fresh)
+    base = load(baseline_path)
+
+    failures = []
+
+    def check_timing(label, key, base_v, new_v, tolerance):
+        if base_v <= 0:
+            return
+        ratio = new_v / base_v
+        verdict = "ok"
+        if ratio > 1 + tolerance:
+            verdict = "REGRESSION"
+            failures.append(
+                f"{label}.{key}: {new_v:.6g} vs baseline {base_v:.6g} "
+                f"({ratio:.2f}x, tolerance {1 + tolerance:.2f}x)"
+            )
+        print(f"  {label}.{key}: {base_v:.6g} -> {new_v:.6g} ({ratio:.2f}x) {verdict}")
+
+    print(f"baseline {baseline_path}")
+    print(f"fresh    {args.fresh}")
+    check_timing(
+        "total", "wall_seconds",
+        float(base.get("wall_seconds", 0)), float(fresh.get("wall_seconds", 0)),
+        args.wall_tolerance,
+    )
+
+    base_rows = {row_identity(r): r for r in base.get("rows", [])}
+    fresh_rows = {row_identity(r): r for r in fresh.get("rows", [])}
+    for ident, base_row in base_rows.items():
+        label = ",".join(v for _, v in ident) or "<row>"
+        fresh_row = fresh_rows.get(ident)
+        if fresh_row is None:
+            failures.append(f"{label}: row missing from fresh results")
+            continue
+        for key, base_v in base_row.items():
+            if not isinstance(base_v, (int, float)) or isinstance(base_v, bool):
+                continue
+            new_v = fresh_row.get(key)
+            if not isinstance(new_v, (int, float)):
+                failures.append(f"{label}.{key}: missing from fresh results")
+                continue
+            if key in UNGATED_KEYS:
+                print(f"  {label}.{key}: {base_v:.6g} -> {new_v:.6g} (ungated)")
+            elif is_timing(key):
+                check_timing(label, key, float(base_v), float(new_v), args.tolerance)
+            elif new_v != base_v:
+                failures.append(
+                    f"{label}.{key}: count {new_v:.6g} != baseline {base_v:.6g} "
+                    "(deterministic field; investigate the behaviour change)"
+                )
+    for ident in fresh_rows.keys() - base_rows.keys():
+        label = ",".join(v for _, v in ident) or "<row>"
+        print(f"  {label}: new row (not in baseline; add it on the next rebase)")
+
+    if failures:
+        print(f"\nFAIL: {len(failures)} regression(s)", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print("\nPASS: no regressions beyond tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

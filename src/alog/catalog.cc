@@ -214,13 +214,18 @@ double TokenJaccard(const std::string& a, const std::string& b) {
 
 void Catalog::RegisterBuiltinFunctions(double similarity_threshold) {
   auto similar = [similarity_threshold](
-                     const Corpus&,
+                     const Corpus& corpus,
                      const std::vector<Value>& args) -> Result<Value> {
     if (args.size() != 2) {
       return Status::InvalidArgument("similar() expects 2 arguments");
     }
-    return Value::Bool(TokenJaccard(args[0].AsText(), args[1].AsText()) >=
-                       similarity_threshold);
+    // Token sets are memoized per distinct text in the corpus-scoped
+    // cache, so the quadratic filter loop does sorted-id intersections
+    // instead of re-tokenizing (and re-allocating) per pair.
+    TokenCache& cache = corpus.tokens();
+    const std::vector<ValueId>& ta = cache.TokensOf(args[0].AsText());
+    const std::vector<ValueId>& tb = cache.TokensOf(args[1].AsText());
+    return Value::Bool(TokenIdJaccard(ta, tb) >= similarity_threshold);
   };
   (void)DeclarePFunction("similar", 2, similar);
   (void)DeclarePFunction("approx_match", 2, similar);

@@ -61,6 +61,17 @@ Result<SessionResult> RefinementSession::Run() {
   Catalog subset =
       catalog_.CloneWithSampledTables(fraction, options_.subset_seed);
   ReuseCache subset_cache;
+  // Session-scoped Verify memo, shared by every iteration's subset
+  // executor, every candidate simulation, and the final full evaluation:
+  // subset catalogs share the corpus, so interned keys — and therefore
+  // cached verdicts — stay valid across all of them. Lives next to the
+  // reuse caches and follows their lifecycle (see VerifyMemo docs for why
+  // it needs no Clear on subset growth: verdicts are corpus-level facts,
+  // not subset-dependent tables).
+  VerifyMemo verify_memo;
+  if (options_.exec_options.verify_memo == nullptr) {
+    options_.exec_options.verify_memo = &verify_memo;
+  }
 
   // Grows the subset when it stops carrying signal (zero-result subsets
   // make every question look useless). Returns true if it grew.

@@ -4,11 +4,24 @@
 
 namespace iflex {
 
+namespace {
+const std::string& TrueText() {
+  static const std::string* t = new std::string("true");
+  return *t;
+}
+const std::string& FalseText() {
+  static const std::string* f = new std::string("false");
+  return *f;
+}
+}  // namespace
+
 Value Value::Doc(DocId id) {
   Value v;
   v.kind_ = Kind::kDoc;
   v.doc_ = id;
-  v.text_ = StringPrintf("<doc %u>", id);
+  v.owned_ =
+      std::make_shared<const std::string>(StringPrintf("<doc %u>", id));
+  v.text_ = *v.owned_;
   return v;
 }
 
@@ -16,26 +29,38 @@ Value Value::OfSpan(const Corpus& corpus, const Span& span) {
   Value v;
   v.kind_ = Kind::kSpan;
   v.span_ = span;
-  v.text_ = std::string(corpus.TextOf(span));
+  v.text_ = corpus.TextOf(span);  // document text is frozen: view is stable
+  if (auto n = ParseLooseNumber(v.text_)) {
+    v.has_num_ = true;
+    v.num_ = *n;
+  }
   return v;
 }
 
 Value Value::String(std::string s) {
   Value v;
   v.kind_ = Kind::kString;
-  v.text_ = std::move(s);
+  v.owned_ = std::make_shared<const std::string>(std::move(s));
+  v.text_ = *v.owned_;
+  if (auto n = ParseLooseNumber(v.text_)) {
+    v.has_num_ = true;
+    v.num_ = *n;
+  }
   return v;
 }
 
 Value Value::Number(double n) {
   Value v;
   v.kind_ = Kind::kNumber;
+  v.has_num_ = true;
   v.num_ = n;
   if (n == static_cast<int64_t>(n)) {
-    v.text_ = StringPrintf("%lld", static_cast<long long>(n));
+    v.owned_ = std::make_shared<const std::string>(
+        StringPrintf("%lld", static_cast<long long>(n)));
   } else {
-    v.text_ = StringPrintf("%g", n);
+    v.owned_ = std::make_shared<const std::string>(StringPrintf("%g", n));
   }
+  v.text_ = *v.owned_;
   return v;
 }
 
@@ -43,20 +68,8 @@ Value Value::Bool(bool b) {
   Value v;
   v.kind_ = Kind::kBool;
   v.num_ = b ? 1 : 0;
-  v.text_ = b ? "true" : "false";
+  v.text_ = b ? TrueText() : FalseText();
   return v;
-}
-
-std::optional<double> Value::AsNumber() const {
-  switch (kind_) {
-    case Kind::kNumber:
-      return num_;
-    case Kind::kSpan:
-    case Kind::kString:
-      return ParseLooseNumber(text_);
-    default:
-      return std::nullopt;
-  }
 }
 
 bool Value::Equals(const Value& other) const {
@@ -66,9 +79,7 @@ bool Value::Equals(const Value& other) const {
   if (kind_ == Kind::kNull || other.kind_ == Kind::kNull) {
     return kind_ == other.kind_;
   }
-  auto a = AsNumber();
-  auto b = other.AsNumber();
-  if (a.has_value() && b.has_value()) return *a == *b;
+  if (has_num_ && other.has_num_) return num_ == other.num_;
   return text_ == other.text_;
 }
 
@@ -79,10 +90,9 @@ size_t Value::Hash() const {
     case Kind::kDoc:
       return 0xd0c ^ (static_cast<size_t>(doc_) * 0x9e3779b97f4a7c15ULL);
     default: {
-      auto n = AsNumber();
-      if (n.has_value()) {
+      if (has_num_) {
         // Hash the numeric value so "92" and 92 collide (Equals-consistent).
-        double d = *n;
+        double d = num_;
         uint64_t bits;
         static_assert(sizeof(bits) == sizeof(d));
         __builtin_memcpy(&bits, &d, sizeof(bits));
@@ -113,14 +123,13 @@ std::string Value::ToString() const {
     case Kind::kNull:
       return "NULL";
     case Kind::kDoc:
-      return text_;
+      return std::string(text_);
     case Kind::kSpan:
-      return "\"" + text_ + "\"";
     case Kind::kString:
-      return "\"" + text_ + "\"";
+      return "\"" + std::string(text_) + "\"";
     case Kind::kNumber:
     case Kind::kBool:
-      return text_;
+      return std::string(text_);
   }
   return "?";
 }

@@ -2,17 +2,25 @@
 #define IFLEX_CTABLE_VALUE_H_
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
+#include <string_view>
 
+#include "common/intern.h"
 #include "text/corpus.h"
 #include "text/span.h"
 
 namespace iflex {
 
 /// A concrete attribute value in a (possible) relation: a document
-/// reference, an extracted text span (materialized with its text), or a
-/// scalar produced by a p-function / cleanup procedure.
+/// reference, an extracted text span, or a scalar produced by a
+/// p-function / cleanup procedure.
+///
+/// Values are cheap to copy: the textual form is a string_view into
+/// either the owning document's frozen text (span values — zero-copy) or
+/// a refcounted string (scalars), and the loose numeric cast is computed
+/// once at construction instead of on every comparison.
 class Value {
  public:
   enum class Kind : uint8_t { kNull, kDoc, kSpan, kString, kNumber, kBool };
@@ -21,8 +29,9 @@ class Value {
 
   static Value Null() { return Value(); }
   static Value Doc(DocId id);
-  /// Span value; the text is materialized from `corpus` once, so later
-  /// comparisons need no corpus access.
+  /// Span value; the text is a view into `corpus`'s document storage,
+  /// which is frozen on Corpus::Add and must outlive the value (true for
+  /// every table in a session — tables never outlive their corpus).
   static Value OfSpan(const Corpus& corpus, const Span& span);
   static Value String(std::string s);
   static Value Number(double n);
@@ -38,12 +47,15 @@ class Value {
 
   /// The textual form: span/string text, number formatting, document name
   /// placeholder for kDoc.
-  const std::string& AsText() const { return text_; }
+  std::string_view AsText() const { return text_; }
 
   /// Numeric view — a kNumber's value, or a loose parse of the text
   /// ("$351,000" -> 351000). This realizes the paper's "optional cast from
-  /// string to numeric" on exact assignments.
-  std::optional<double> AsNumber() const;
+  /// string to numeric" on exact assignments. Parsed at construction.
+  std::optional<double> AsNumber() const {
+    if (has_num_) return num_;
+    return std::nullopt;
+  }
 
   bool AsBool() const { return kind_ == Kind::kBool && num_ != 0; }
 
@@ -61,10 +73,12 @@ class Value {
 
  private:
   Kind kind_;
+  bool has_num_ = false;
   DocId doc_ = kInvalidDocId;
   Span span_;
-  std::string text_;
+  std::string_view text_;
   double num_ = 0;
+  std::shared_ptr<const std::string> owned_;  // backs text_ for scalars
 };
 
 struct ValueHash {

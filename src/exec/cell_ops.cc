@@ -8,22 +8,92 @@ namespace iflex {
 
 namespace {
 
+// Constraint-invariant part of a VerifyMemo key (feature, value, param),
+// computed once per (feature, constraint) pair instead of per assignment.
+struct MemoKeyBase {
+  VerifyMemo::Key key;
+  bool usable = false;  // false when no memo is in play
+};
+
+MemoKeyBase MakeMemoBase(const Corpus& corpus, const Feature& fe,
+                         const ConstraintLit& k, VerifyMemo* memo) {
+  MemoKeyBase base;
+  if (memo == nullptr) return base;
+  base.usable = true;
+  base.key.feature = corpus.interner().Intern(fe.name());
+  if (base.key.feature == kInvalidValueId) base.usable = false;
+  base.key.value = static_cast<uint8_t>(k.value);
+  if (k.param.str.has_value()) {
+    base.key.param_kind = 1;
+    base.key.param_str = corpus.interner().Intern(*k.param.str);
+    // A frozen interner can refuse new strings; keys must never collide,
+    // so such constraints just go unmemoized.
+    if (base.key.param_str == kInvalidValueId) base.usable = false;
+  } else if (k.param.num.has_value()) {
+    base.key.param_kind = 2;
+    double d = *k.param.num;
+    __builtin_memcpy(&base.key.param_num, &d, sizeof(d));
+  }
+  return base;
+}
+
+// Memoized f(span) = v; Verify is a pure function of the key over the
+// frozen corpus, so a cached verdict is exact.
+bool VerifySpan(const Corpus& corpus, const Feature& fe,
+                const ConstraintLit& k, const Span& span, VerifyMemo* memo,
+                const MemoKeyBase& base) {
+  if (!base.usable) {
+    return fe.Verify(corpus.Get(span.doc), span, k.param, k.value);
+  }
+  VerifyMemo::Key key = base.key;
+  key.target_kind = 0;
+  key.doc = span.doc;
+  key.begin = span.begin;
+  key.end = span.end;
+  if (auto cached = memo->Lookup(key)) return *cached != 0;
+  bool holds = fe.Verify(corpus.Get(span.doc), span, k.param, k.value);
+  memo->Insert(key, holds ? 1 : 0);
+  return holds;
+}
+
+// Memoized VerifyText; the tri-state verdict (holds / fails / needs
+// document context) is keyed by the interned scalar text.
+std::optional<bool> VerifyScalar(const Corpus& corpus, const Feature& fe,
+                                 const ConstraintLit& k, std::string_view text,
+                                 VerifyMemo* memo, const MemoKeyBase& base) {
+  if (!base.usable) return fe.VerifyText(text, k.param, k.value);
+  VerifyMemo::Key key = base.key;
+  key.target_kind = 1;
+  key.text = corpus.interner().Intern(text);
+  if (key.text == kInvalidValueId) {  // frozen interner refused the text
+    return fe.VerifyText(text, k.param, k.value);
+  }
+  if (auto cached = memo->Lookup(key)) {
+    if (*cached < 0) return std::nullopt;
+    return *cached != 0;
+  }
+  std::optional<bool> verdict = fe.VerifyText(text, k.param, k.value);
+  memo->Insert(key, !verdict.has_value() ? int8_t{-1}
+                                         : (*verdict ? int8_t{1} : int8_t{0}));
+  return verdict;
+}
+
 // A(k, m(s)) of paper §4.2: the assignments resulting from applying
 // constraint `k` (via feature fe) to one assignment.
 std::vector<Assignment> ApplyOne(const Corpus& corpus, const Feature& fe,
-                                 const ConstraintLit& k,
-                                 const Assignment& a) {
+                                 const ConstraintLit& k, const Assignment& a,
+                                 VerifyMemo* memo, const MemoKeyBase& base) {
   std::vector<Assignment> out;
   if (a.is_exact()) {
     const Value& v = a.value;
     if (v.has_span()) {
-      if (fe.Verify(corpus.Get(v.span().doc), v.span(), k.param, k.value)) {
+      if (VerifySpan(corpus, fe, k, v.span(), memo, base)) {
         out.push_back(a);
       }
     } else {
       // Scalar value: fall back to text-only verification; features that
       // need document context keep the value (no narrowing, still sound).
-      auto verdict = fe.VerifyText(v.AsText(), k.param, k.value);
+      auto verdict = VerifyScalar(corpus, fe, k, v.AsText(), memo, base);
       if (!verdict.has_value() || *verdict) out.push_back(a);
     }
     return out;
@@ -69,20 +139,28 @@ void DedupAssignments(std::vector<Assignment>* as) {
 Result<Cell> ApplyConstraintToCell(const Corpus& corpus,
                                    const FeatureRegistry& features,
                                    const Cell& cell, const ConstraintLit& k,
-                                   const std::vector<ConstraintLit>& history) {
+                                   const std::vector<ConstraintLit>& history,
+                                   VerifyMemo* memo) {
   IFLEX_ASSIGN_OR_RETURN(const Feature* fe, features.Get(k.feature));
+  const MemoKeyBase base = MakeMemoBase(corpus, *fe, k, memo);
+  std::vector<const Feature*> prior_features(history.size());
+  std::vector<MemoKeyBase> prior_bases(history.size());
+  for (size_t i = 0; i < history.size(); ++i) {
+    IFLEX_ASSIGN_OR_RETURN(prior_features[i], features.Get(history[i].feature));
+    prior_bases[i] = MakeMemoBase(corpus, *prior_features[i], history[i], memo);
+  }
   Cell out;
   out.is_expansion = cell.is_expansion;
   for (const Assignment& a : cell.assignments) {
-    std::vector<Assignment> current = ApplyOne(corpus, *fe, k, a);
+    std::vector<Assignment> current = ApplyOne(corpus, *fe, k, a, memo, base);
     // Re-check newly created assignments against the constraints applied
     // earlier for this attribute (paper §4.2: sub-spans created with k_j
     // are checked for violation of k_1..k_{j-1}).
-    for (const ConstraintLit& prior : history) {
-      IFLEX_ASSIGN_OR_RETURN(const Feature* pf, features.Get(prior.feature));
+    for (size_t i = 0; i < history.size(); ++i) {
       std::vector<Assignment> next;
       for (const Assignment& cur : current) {
-        std::vector<Assignment> rechecked = ApplyOne(corpus, *pf, prior, cur);
+        std::vector<Assignment> rechecked = ApplyOne(
+            corpus, *prior_features[i], history[i], cur, memo, prior_bases[i]);
         next.insert(next.end(), rechecked.begin(), rechecked.end());
       }
       current = std::move(next);

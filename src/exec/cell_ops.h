@@ -6,6 +6,7 @@
 #include "alog/ast.h"
 #include "common/result.h"
 #include "ctable/compact_table.h"
+#include "exec/verify_memo.h"
 #include "features/registry.h"
 
 namespace iflex {
@@ -34,10 +35,13 @@ struct CellOpLimits {
 /// assignments go through Verify, contain assignments through Refine, and
 /// every refined assignment is re-checked against the previously applied
 /// constraints `history` for this attribute. Preserves the expansion flag.
+/// With `memo` non-null, Verify/VerifyText verdicts are served from (and
+/// recorded into) the memo instead of re-running the feature procedures.
 Result<Cell> ApplyConstraintToCell(const Corpus& corpus,
                                    const FeatureRegistry& features,
                                    const Cell& cell, const ConstraintLit& k,
-                                   const std::vector<ConstraintLit>& history);
+                                   const std::vector<ConstraintLit>& history,
+                                   VerifyMemo* memo = nullptr);
 
 /// Evaluates `lhs op (rhs + rhs_offset)` over all possible value pairs of
 /// two cells (either may be a 1-value "constant cell"). Overflowing the

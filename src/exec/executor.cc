@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <cctype>
 #include <climits>
-#include <set>
+#include <cmath>
+#include <cstdlib>
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/intern.h"
 #include "common/strutil.h"
 #include "exec/annotate.h"
 #include "runtime/task_pool.h"
@@ -44,21 +46,56 @@ DocId TupleDocId(const CompactTuple& tuple) {
   return kInvalidDocId;
 }
 
-// Lowercased alphanumeric tokens of a string (for join blocking).
-std::vector<std::string> SimTokens(const std::string& s) {
-  std::vector<std::string> out;
-  std::string cur;
-  for (char c : s) {
-    if (std::isalnum(static_cast<unsigned char>(c))) {
-      cur.push_back(
-          static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
-    } else if (!cur.empty()) {
-      out.push_back(cur);
-      cur.clear();
-    }
+// Kill switch for the interned fast paths (hash equi-join, Verify memo):
+// any non-empty IFLEX_DISABLE_FASTPATH forces the legacy scan, which the
+// differential determinism tests compare against byte for byte.
+bool FastPathDisabledByEnv() {
+  static const bool disabled = [] {
+    const char* v = std::getenv("IFLEX_DISABLE_FASTPATH");
+    return v != nullptr && *v != '\0';
+  }();
+  return disabled;
+}
+
+// Appends the equi-join key of a singleton-exact cell to `out`, tagged so
+// two keys collide exactly when CompareValues(kEq) holds for the values:
+// NULL matches only NULL, two numeric-castable values match on the number
+// ("92" joins 92), everything else matches on interned text. Returns
+// false when the cell cannot be hashed — contain/expansion or multi-value
+// cells (tri-state outcomes), NaN (never equal to itself) — and the row
+// or probe must take the legacy scan. Probes pass intern_new = false: a
+// text the build side never interned matches nothing, which the sentinel
+// tag encodes (build keys never contain it).
+bool AppendCellKey(const Cell& cell, StringInterner& interner, bool intern_new,
+                   std::string* out) {
+  if (cell.is_expansion || cell.assignments.size() != 1 ||
+      !cell.assignments[0].is_exact()) {
+    return false;
   }
-  if (!cur.empty()) out.push_back(cur);
-  return out;
+  const Value& v = cell.assignments[0].value;
+  if (v.is_null()) {
+    out->push_back('n');
+    return true;
+  }
+  if (auto n = v.AsNumber()) {
+    if (std::isnan(*n)) return false;
+    double d = *n == 0.0 ? 0.0 : *n;  // -0.0 and +0.0 compare equal
+    out->push_back('#');
+    out->append(reinterpret_cast<const char*>(&d), sizeof(d));
+    return true;
+  }
+  // Text tag; covers kDoc and kBool too — CompareValues falls through to
+  // a text compare for them, and their placeholder texts are injective.
+  ValueId id = intern_new ? interner.Intern(v.AsText())
+                          : interner.Find(v.AsText());
+  if (id == kInvalidValueId) {
+    if (intern_new) return false;  // frozen interner: keep the scan
+    out->push_back('m');           // probe-only miss sentinel
+    return true;
+  }
+  out->push_back('t');
+  out->append(reinterpret_cast<const char*>(&id), sizeof(id));
+  return true;
 }
 
 // ----------------------------------------------------------- RuleEvaluator
@@ -465,9 +502,10 @@ class RuleEvaluator {
     bool any = false;
     bool all = true;
     std::vector<size_t> idx(atom.args.size(), 0);
+    std::vector<Value> args;
+    args.reserve(atom.args.size());
     while (true) {
-      std::vector<Value> args;
-      args.reserve(atom.args.size());
+      args.clear();
       for (size_t i = 0; i < atom.args.size(); ++i) {
         args.push_back(arg_values[i][idx[i]]);
       }
@@ -594,9 +632,13 @@ class RuleEvaluator {
     // table cell can take is tokenized (bounded enumeration); a probe
     // tuple then only needs to test candidates sharing a token — lossless
     // for token-similarity predicates, whatever shape the cells are in.
-    std::unordered_map<std::string, std::vector<size_t>> token_index;
+    // Token sets come from the corpus token cache, so each distinct value
+    // text is tokenized once per session, not once per probe.
+    TokenCache& token_cache = corpus.tokens();
+    std::unordered_map<ValueId, std::vector<size_t>> token_index;
     bool use_index = sim_filter_idx >= 0 && conds.empty() && table.size() > 32;
     if (use_index) {
+      std::vector<ValueId> seen;
       for (size_t ti = 0; ti < table.tuples().size() && use_index; ++ti) {
         const Cell& c = table.tuples()[ti].cells[sim_table_col];
         std::vector<Value> values;
@@ -604,68 +646,177 @@ class RuleEvaluator {
           use_index = false;  // too wide to index: fall back to full scan
           break;
         }
-        std::set<std::string> seen;
+        seen.clear();
         for (const Value& v : values) {
-          for (const std::string& tok : SimTokens(v.AsText())) {
-            if (seen.insert(tok).second) token_index[tok].push_back(ti);
+          for (ValueId tok : token_cache.TokensOf(v.AsText())) {
+            if (std::find(seen.begin(), seen.end(), tok) == seen.end()) {
+              seen.push_back(tok);
+              token_index[tok].push_back(ti);
+            }
           }
         }
       }
       if (!use_index) token_index.clear();
     }
 
+    // Hash equi-join fast path: for joins carrying equality conditions,
+    // key the build side by interned singleton-exact values instead of
+    // scanning binding × table with a tri-state compare per pair.
+    // Constant / intra-table conditions resolve once at build time; rows
+    // whose join cells cannot be hashed (contain/expansion, multi-value,
+    // NaN) go to an `irregular` list that every probe still scans
+    // tri-state, and a probe whose own cells cannot be hashed falls back
+    // to the full scan — so the fast path is byte-identical to the legacy
+    // join (candidates are visited in ascending table order either way).
+    StringInterner& interner = corpus.interner();
+    const bool hash_eligible = options_.enable_fast_path && !conds.empty() &&
+                               table.size() >= 8;
+    // Fail-point site "exec.joinindex": an injected fault degrades to the
+    // legacy scan — slower, never wrong.
+    bool use_hash =
+        hash_eligible && !resilience::FailPointFired("exec.joinindex");
+    std::unordered_map<std::string, std::vector<size_t>> hash_index;
+    std::vector<size_t> irregular;     // rows the index cannot cover
+    std::vector<char> row_some;        // build-time kSome per indexed row
+    std::vector<const EqCond*> probe_conds;  // kVsBinding, in cond order
+    if (use_hash) {
+      for (const EqCond& c : conds) {
+        if (c.kind == EqCond::kVsBinding) probe_conds.push_back(&c);
+      }
+      row_some.assign(table.size(), 0);
+      std::string key;
+      for (size_t ti = 0; ti < table.tuples().size(); ++ti) {
+        const CompactTuple& t = table.tuples()[ti];
+        bool dead = false;
+        bool some = false;
+        for (const EqCond& c : conds) {
+          if (c.kind == EqCond::kVsBinding) continue;
+          const Cell& rhs =
+              c.kind == EqCond::kVsConstant ? c.constant : t.cells[c.other];
+          SatResult r =
+              CellsEqual(corpus, t.cells[c.table_col], rhs, options_.limits);
+          if (r == SatResult::kNone) {
+            dead = true;
+            break;
+          }
+          if (r == SatResult::kSome) some = true;
+        }
+        if (dead) continue;  // dead against every probe
+        row_some[ti] = some ? 1 : 0;
+        key.clear();
+        bool hashable = true;
+        for (const EqCond* c : probe_conds) {
+          if (!AppendCellKey(t.cells[c->table_col], interner,
+                             /*intern_new=*/true, &key)) {
+            hashable = false;
+            break;
+          }
+        }
+        if (hashable) {
+          hash_index[key].push_back(ti);
+        } else {
+          irregular.push_back(ti);
+        }
+      }
+      stats_->join_build_rows->Add(table.size());
+    }
+
     CompactTable out(NewSchema(new_cols));
     std::vector<size_t> candidates;
+    std::vector<char> cand_prechecked;  // conds resolved via the hash key
+    std::string probe_key;
     for (const CompactTuple& b : binding_.tuples()) {
       if (budget_exhausted_) break;
       const std::vector<CompactTuple>& ttuples = table.tuples();
       candidates.clear();
+      cand_prechecked.clear();
       bool indexed_probe = false;
       if (use_index) {
         const Cell& probe = b.cells[sim_binding_col];
         std::vector<Value> probe_values;
         if (probe.EnumerateValues(corpus, 512, &probe_values)) {
-          std::set<size_t> cand_set;
+          std::vector<size_t> cand_set;
           for (const Value& v : probe_values) {
-            for (const std::string& tok : SimTokens(v.AsText())) {
+            for (ValueId tok : token_cache.TokensOf(v.AsText())) {
               auto it = token_index.find(tok);
               if (it == token_index.end()) continue;
-              cand_set.insert(it->second.begin(), it->second.end());
+              cand_set.insert(cand_set.end(), it->second.begin(),
+                              it->second.end());
             }
           }
-          candidates.assign(cand_set.begin(), cand_set.end());
+          std::sort(cand_set.begin(), cand_set.end());
+          cand_set.erase(std::unique(cand_set.begin(), cand_set.end()),
+                         cand_set.end());
+          candidates = std::move(cand_set);
+          indexed_probe = true;
+        }
+      } else if (use_hash) {
+        probe_key.clear();
+        bool hashable = true;
+        for (const EqCond* c : probe_conds) {
+          if (!AppendCellKey(b.cells[c->other], interner,
+                             /*intern_new=*/false, &probe_key)) {
+            hashable = false;  // tri-state probe: full legacy scan
+            break;
+          }
+        }
+        if (hashable) {
+          stats_->join_probes->Add();
+          static const std::vector<size_t> kNoRows;
+          auto it = hash_index.find(probe_key);
+          const std::vector<size_t>& bucket =
+              it == hash_index.end() ? kNoRows : it->second;
+          // Merge bucket and irregular rows in ascending table order so
+          // the output order matches the legacy scan exactly.
+          candidates.reserve(bucket.size() + irregular.size());
+          cand_prechecked.reserve(bucket.size() + irregular.size());
+          size_t bi = 0, ii = 0;
+          while (bi < bucket.size() || ii < irregular.size()) {
+            bool take_bucket =
+                ii >= irregular.size() ||
+                (bi < bucket.size() && bucket[bi] < irregular[ii]);
+            candidates.push_back(take_bucket ? bucket[bi++]
+                                             : irregular[ii++]);
+            cand_prechecked.push_back(take_bucket ? 1 : 0);
+          }
           indexed_probe = true;
         }
       }
       size_t n_candidates = indexed_probe ? candidates.size() : ttuples.size();
 
       for (size_t ci = 0; ci < n_candidates; ++ci) {
-        const CompactTuple& t =
-            ttuples[indexed_probe ? candidates[ci] : ci];
+        size_t ti = indexed_probe ? candidates[ci] : ci;
+        const CompactTuple& t = ttuples[ti];
         stats_->join_pairs->Add();
         IFLEX_RETURN_NOT_OK(stop_.Poll("Execute"));
         bool dead = false;
         bool some = false;
-        for (const EqCond& c : conds) {
-          const Cell& lhs = t.cells[c.table_col];
-          const Cell* rhs = nullptr;
-          switch (c.kind) {
-            case EqCond::kVsBinding:
-              rhs = &b.cells[c.other];
+        if (ci < cand_prechecked.size() && cand_prechecked[ci]) {
+          // Equality held by key identity; singleton-exact cells compare
+          // kAll, so only the build-time conds can contribute kSome.
+          some = row_some[ti] != 0;
+        } else {
+          for (const EqCond& c : conds) {
+            const Cell& lhs = t.cells[c.table_col];
+            const Cell* rhs = nullptr;
+            switch (c.kind) {
+              case EqCond::kVsBinding:
+                rhs = &b.cells[c.other];
+                break;
+              case EqCond::kVsConstant:
+                rhs = &c.constant;
+                break;
+              case EqCond::kVsTableCol:
+                rhs = &t.cells[c.other];
+                break;
+            }
+            SatResult r = CellsEqual(corpus, lhs, *rhs, options_.limits);
+            if (r == SatResult::kNone) {
+              dead = true;
               break;
-            case EqCond::kVsConstant:
-              rhs = &c.constant;
-              break;
-            case EqCond::kVsTableCol:
-              rhs = &t.cells[c.other];
-              break;
+            }
+            if (r == SatResult::kSome) some = true;
           }
-          SatResult r = CellsEqual(corpus, lhs, *rhs, options_.limits);
-          if (r == SatResult::kNone) {
-            dead = true;
-            break;
-          }
-          if (r == SatResult::kSome) some = true;
         }
         if (dead) continue;
         CompactTuple merged = b;
@@ -775,7 +926,8 @@ class RuleEvaluator {
       IFLEX_RETURN_NOT_OK(stop_.Poll("Execute"));
       IFLEX_ASSIGN_OR_RETURN(
           Cell cell, ApplyConstraintToCell(corpus, catalog_.features(),
-                                           b.cells[col], k, hist));
+                                           b.cells[col], k, hist,
+                                           options_.verify_memo));
       if (cell.assignments.empty()) continue;  // no value can satisfy k
       CompactTuple merged = b;
       merged.cells[col] = std::move(cell);
@@ -1156,18 +1308,34 @@ void ExecCounters::BindTo(obs::MetricRegistry* registry) {
   rules_evaluated = registry->counter("exec.rules_evaluated");
   tuples_emitted = registry->counter("exec.tuples_emitted");
   join_pairs = registry->counter("exec.join_pairs");
+  join_probes = registry->counter("exec.join_probes");
+  join_build_rows = registry->counter("exec.join_build_rows");
   constraint_cells = registry->counter("exec.constraint_cells");
   ppred_invocations = registry->counter("exec.ppred_invocations");
   cache_hits = registry->counter("exec.cache_hits");
   cache_misses = registry->counter("exec.cache_misses");
   process_assignments = registry->counter("exec.process_assignments");
   process_values = registry->gauge("exec.process_values");
+  intern_hits = registry->counter("exec.intern_hits");
+  intern_misses = registry->counter("exec.intern_misses");
+  verify_memo_hits = registry->counter("exec.verify_memo_hits");
+  verify_memo_misses = registry->counter("exec.verify_memo_misses");
 }
 
 Executor::Executor(const Catalog& catalog, ExecOptions options)
     : catalog_(catalog),
       options_(options),
       tracer_(obs::TracerOrDefault(options.tracer)) {
+  if (FastPathDisabledByEnv()) options_.enable_fast_path = false;
+  if (!options_.enable_fast_path) {
+    options_.verify_memo = nullptr;
+  } else if (options_.verify_memo == nullptr) {
+    // No session-scoped memo supplied: a private one still pays off
+    // within one Execute (history re-checks) and across Executes of this
+    // executor.
+    owned_verify_memo_ = std::make_unique<VerifyMemo>();
+    options_.verify_memo = owned_verify_memo_.get();
+  }
   if (options_.metrics != nullptr) {
     metrics_ = options_.metrics;
   } else {
@@ -1182,6 +1350,10 @@ const ExecStats& Executor::stats() const {
   stats_.rules_evaluated = counters_.rules_evaluated->value();
   stats_.tuples_emitted = counters_.tuples_emitted->value();
   stats_.join_pairs = counters_.join_pairs->value();
+  stats_.join_probes = counters_.join_probes->value();
+  stats_.join_build_rows = counters_.join_build_rows->value();
+  stats_.intern_hits = counters_.intern_hits->value();
+  stats_.verify_memo_hits = counters_.verify_memo_hits->value();
   stats_.constraint_cells = counters_.constraint_cells->value();
   stats_.ppred_invocations = counters_.ppred_invocations->value();
   stats_.cache_hits = counters_.cache_hits->value();
@@ -1195,6 +1367,12 @@ void Executor::ClearStats() {
   counters_.rules_evaluated->Reset();
   counters_.tuples_emitted->Reset();
   counters_.join_pairs->Reset();
+  counters_.join_probes->Reset();
+  counters_.join_build_rows->Reset();
+  counters_.intern_hits->Reset();
+  counters_.intern_misses->Reset();
+  counters_.verify_memo_hits->Reset();
+  counters_.verify_memo_misses->Reset();
   counters_.constraint_cells->Reset();
   counters_.ppred_invocations->Reset();
   counters_.cache_hits->Reset();
@@ -1232,6 +1410,17 @@ Result<CompactTable> Executor::Execute(const Program& program,
     } else if (result.status().code() == StatusCode::kCancelled) {
       metrics_->counter("resilience.cancelled")->Add();
     }
+  }
+  // Publish the cumulative totals of the session-shared caches. These are
+  // Set, not Add: interner/token-cache/memo outlive any one executor, so
+  // the totals are session-wide by construction.
+  const StringInterner& interner = catalog_.corpus().interner();
+  const TokenCache& token_cache = catalog_.corpus().tokens();
+  counters_.intern_hits->Set(interner.hits() + token_cache.hits());
+  counters_.intern_misses->Set(interner.misses() + token_cache.misses());
+  if (options_.verify_memo != nullptr) {
+    counters_.verify_memo_hits->Set(options_.verify_memo->hits());
+    counters_.verify_memo_misses->Set(options_.verify_memo->misses());
   }
   if (report_->degraded) {
     metrics_->counter("resilience.degraded_runs")->Add();

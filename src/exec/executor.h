@@ -11,6 +11,7 @@
 #include "common/result.h"
 #include "ctable/compact_table.h"
 #include "exec/cell_ops.h"
+#include "exec/verify_memo.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "resilience/deadline.h"
@@ -65,6 +66,17 @@ struct ExecOptions {
   /// Degradation sink; null keeps the report inside the Executor (read it
   /// via Executor::report()). Cleared at the start of every Execute.
   resilience::ExecReport* report = nullptr;
+  /// Interned fast paths: the hash equi-join in JoinAtom and the Verify
+  /// memo. Off forces the legacy tri-state scan and direct feature calls
+  /// everywhere — results are byte-identical either way (the differential
+  /// determinism tests enforce it). Also forced off by setting the
+  /// IFLEX_DISABLE_FASTPATH environment variable.
+  bool enable_fast_path = true;
+  /// Verify/VerifyText memo shared across executors (the assistant points
+  /// every iteration and simulation at one session-scoped memo). Null
+  /// gives the executor a private memo; ignored when enable_fast_path is
+  /// off.
+  VerifyMemo* verify_memo = nullptr;
 };
 
 /// Counters exposed for the benches and the multi-iteration optimizer.
@@ -75,10 +87,19 @@ struct ExecStats {
   size_t rules_evaluated = 0;
   size_t tuples_emitted = 0;
   size_t join_pairs = 0;
+  /// Hash equi-join fast path: probes answered from the build-side index,
+  /// and rows it indexed. Zero when every join took the legacy scan.
+  size_t join_probes = 0;
+  size_t join_build_rows = 0;
   size_t constraint_cells = 0;
   size_t ppred_invocations = 0;
   size_t cache_hits = 0;
   size_t cache_misses = 0;
+  /// Cumulative totals of the session-shared caches at the end of the
+  /// last Execute: corpus interner / token-cache lookups and Verify-memo
+  /// lookups that hit.
+  size_t intern_hits = 0;
+  size_t verify_memo_hits = 0;
   /// Assignments across *all* intensional tables of the last Execute —
   /// "the number of assignments produced by the extraction process"
   /// (paper §5.1), which the convergence detector monitors. Unlike the
@@ -100,12 +121,20 @@ struct ExecCounters {
   obs::Counter* rules_evaluated = nullptr;
   obs::Counter* tuples_emitted = nullptr;
   obs::Counter* join_pairs = nullptr;
+  obs::Counter* join_probes = nullptr;
+  obs::Counter* join_build_rows = nullptr;
   obs::Counter* constraint_cells = nullptr;
   obs::Counter* ppred_invocations = nullptr;
   obs::Counter* cache_hits = nullptr;
   obs::Counter* cache_misses = nullptr;
   obs::Counter* process_assignments = nullptr;
   obs::Gauge* process_values = nullptr;
+  // Set (not added) at the end of every Execute to the cumulative totals
+  // of the session-shared caches, which outlive any one executor.
+  obs::Counter* intern_hits = nullptr;
+  obs::Counter* intern_misses = nullptr;
+  obs::Counter* verify_memo_hits = nullptr;
+  obs::Counter* verify_memo_misses = nullptr;
 
   void BindTo(obs::MetricRegistry* registry);
 };
@@ -207,6 +236,7 @@ class Executor {
   const Catalog& catalog_;
   ExecOptions options_;
   obs::Tracer* tracer_;
+  std::unique_ptr<VerifyMemo> owned_verify_memo_;
   std::unique_ptr<obs::MetricRegistry> owned_metrics_;
   obs::MetricRegistry* metrics_;
   ExecCounters counters_;

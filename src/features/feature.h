@@ -93,7 +93,7 @@ class Feature {
   /// produced by p-predicates/cleanup procedures. Returns nullopt when the
   /// feature inherently needs document context (markup, labels, position);
   /// the constraint then cannot narrow such values.
-  virtual std::optional<bool> VerifyText(const std::string& text,
+  virtual std::optional<bool> VerifyText(std::string_view text,
                                          const FeatureParam& param,
                                          FeatureValue v) const {
     (void)text;

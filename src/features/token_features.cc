@@ -103,7 +103,7 @@ std::vector<RefinedRegion> NumericFeature::Refine(const Document& doc,
   }, /*exact_per_token=*/true);
 }
 
-std::optional<bool> NumericFeature::VerifyText(const std::string& text,
+std::optional<bool> NumericFeature::VerifyText(std::string_view text,
                                                const FeatureParam& /*param*/,
                                                FeatureValue v) const {
   bool numeric = IsLooseNumber(text);
@@ -258,7 +258,7 @@ bool ValueBoundFeature::Verify(const Document& doc, const Span& span,
   return false;
 }
 
-std::optional<bool> ValueBoundFeature::VerifyText(const std::string& text,
+std::optional<bool> ValueBoundFeature::VerifyText(std::string_view text,
                                                   const FeatureParam& param,
                                                   FeatureValue v) const {
   auto parsed = ParseLooseNumber(text);
@@ -320,7 +320,7 @@ bool MaxLengthFeature::Verify(const Document& doc, const Span& span,
   return false;
 }
 
-std::optional<bool> MaxLengthFeature::VerifyText(const std::string& text,
+std::optional<bool> MaxLengthFeature::VerifyText(std::string_view text,
                                                  const FeatureParam& param,
                                                  FeatureValue v) const {
   bool holds = param.num.has_value() &&

@@ -22,7 +22,7 @@ class NumericFeature : public Feature {
   NumericFeature() : Feature("numeric") {}
   bool Verify(const Document& doc, const Span& span, const FeatureParam& param,
               FeatureValue v) const override;
-  std::optional<bool> VerifyText(const std::string& text,
+  std::optional<bool> VerifyText(std::string_view text,
                                  const FeatureParam& param,
                                  FeatureValue v) const override;
   std::vector<RefinedRegion> Refine(const Document& doc, const Span& span,
@@ -68,7 +68,7 @@ class ValueBoundFeature : public Feature {
   ParamKind param_kind() const override { return ParamKind::kNumber; }
   bool Verify(const Document& doc, const Span& span, const FeatureParam& param,
               FeatureValue v) const override;
-  std::optional<bool> VerifyText(const std::string& text,
+  std::optional<bool> VerifyText(std::string_view text,
                                  const FeatureParam& param,
                                  FeatureValue v) const override;
   std::vector<RefinedRegion> Refine(const Document& doc, const Span& span,
@@ -89,7 +89,7 @@ class MaxLengthFeature : public Feature {
   ParamKind param_kind() const override { return ParamKind::kNumber; }
   bool Verify(const Document& doc, const Span& span, const FeatureParam& param,
               FeatureValue v) const override;
-  std::optional<bool> VerifyText(const std::string& text,
+  std::optional<bool> VerifyText(std::string_view text,
                                  const FeatureParam& param,
                                  FeatureValue v) const override;
   std::vector<RefinedRegion> Refine(const Document& doc, const Span& span,

@@ -196,7 +196,16 @@ void TaskPool::ParallelForImpl(size_t n,
   HelpUntil([batch, n] {
     return batch->finished.load(std::memory_order_acquire) >= n;
   });
-  if (batch->error) std::rethrow_exception(batch->error);
+  // Move the error out before rethrowing: a helper task may still hold
+  // the last Batch reference and destroy it at any point after bumping
+  // `finished`, and the exception object must not be released on that
+  // thread while the caller is reading it.
+  std::exception_ptr error;
+  {
+    std::lock_guard<std::mutex> lock(batch->mu);
+    error = std::move(batch->error);
+  }
+  if (error) std::rethrow_exception(error);
 }
 
 }  // namespace runtime

@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/intern.h"
 #include "common/result.h"
 #include "text/document.h"
 
@@ -16,7 +17,9 @@ namespace iflex {
 /// a `const Corpus&`.
 class Corpus {
  public:
-  Corpus() = default;
+  Corpus()
+      : interner_(std::make_unique<StringInterner>()),
+        tokens_(std::make_unique<TokenCache>(interner_.get())) {}
   Corpus(const Corpus&) = delete;
   Corpus& operator=(const Corpus&) = delete;
   Corpus(Corpus&&) = default;
@@ -38,9 +41,21 @@ class Corpus {
     return Get(span.doc).TextOf(span);
   }
 
+  /// Corpus-scoped string pool: value texts and tokens interned here get
+  /// ids that are stable for the session (subset catalogs share the
+  /// corpus, so ids carry across refinement iterations). Internally
+  /// synchronized, hence usable through a const Corpus&.
+  StringInterner& interner() const { return *interner_; }
+
+  /// Memoized tokenizer for token-similarity predicates and the sim-join
+  /// token index. Internally synchronized.
+  TokenCache& tokens() const { return *tokens_; }
+
  private:
   std::vector<std::unique_ptr<Document>> docs_;
   std::unordered_map<std::string, DocId> by_name_;
+  std::unique_ptr<StringInterner> interner_;
+  std::unique_ptr<TokenCache> tokens_;
 };
 
 }  // namespace iflex

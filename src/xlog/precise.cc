@@ -205,7 +205,7 @@ Rows ConfRows(const Corpus& corpus, const std::vector<Value>& in) {
                                 .MaximalRunsWithin(titles[0].first,
                                                    titles[0].second)) {
     Value v = Value::OfSpan(corpus, Span(doc.id(), b, e));
-    const std::string& s = v.AsText();
+    std::string_view s = v.AsText();
     if (s.size() >= 4 &&
         std::isdigit(static_cast<unsigned char>(s[s.size() - 1]))) {
       rows.push_back({std::move(v)});

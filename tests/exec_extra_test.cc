@@ -173,7 +173,7 @@ class PPredExpansionTest : public ::testing::Test {
                         "shout", 1, 1,
                         [](const Corpus&, const std::vector<Value>& in)
                             -> Result<std::vector<std::vector<Value>>> {
-                          std::string s = in[0].AsText();
+                          std::string s(in[0].AsText());
                           for (char& c : s) {
                             c = static_cast<char>(
                                 std::toupper(static_cast<unsigned char>(c)));

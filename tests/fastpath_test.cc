@@ -1,0 +1,244 @@
+// Interned fast paths (docs/PERFORMANCE.md): the string interner and
+// token cache behind similar(), the Verify memo behind constraint
+// application, and the hash equi-join inside JoinAtom. The contract for
+// every fast path is the same — byte-identical results to the legacy
+// code, just fewer repeated computations — so most tests here are
+// differential: run the same program with ExecOptions::enable_fast_path
+// on and off and require equal output.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "alog/catalog.h"
+#include "common/intern.h"
+#include "exec/executor.h"
+#include "exec/verify_memo.h"
+#include "resilience/failpoint.h"
+
+namespace iflex {
+namespace {
+
+// ---------------------------------------------------------- StringInterner
+
+TEST(StringInternerTest, InternIsIdempotentAndRoundTrips) {
+  StringInterner interner;
+  ValueId a = interner.Intern("hello");
+  ValueId b = interner.Intern("world");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(interner.Intern("hello"), a);
+  EXPECT_EQ(interner.TextOf(a), "hello");
+  EXPECT_EQ(interner.TextOf(b), "world");
+  EXPECT_EQ(interner.size(), 2u);
+  // One miss per distinct string, one hit for the repeat.
+  EXPECT_EQ(interner.misses(), 2u);
+  EXPECT_EQ(interner.hits(), 1u);
+}
+
+TEST(StringInternerTest, FindNeverInserts) {
+  StringInterner interner;
+  EXPECT_EQ(interner.Find("absent"), kInvalidValueId);
+  EXPECT_EQ(interner.size(), 0u);
+  ValueId id = interner.Intern("present");
+  EXPECT_EQ(interner.Find("present"), id);
+  EXPECT_EQ(interner.size(), 1u);
+}
+
+TEST(StringInternerTest, FreezeStopsGrowthButKeepsLookups) {
+  StringInterner interner;
+  ValueId known = interner.Intern("known");
+  interner.Freeze();
+  EXPECT_TRUE(interner.frozen());
+  // Known strings still resolve; unseen ones report invalid instead of
+  // growing the arena (callers fall back to their slow path).
+  EXPECT_EQ(interner.Intern("known"), known);
+  EXPECT_EQ(interner.Intern("unseen"), kInvalidValueId);
+  EXPECT_EQ(interner.size(), 1u);
+  EXPECT_EQ(interner.TextOf(known), "known");
+}
+
+// --------------------------------------------------------------TokenCache
+
+TEST(TokenCacheTest, TokensAreSortedUniqueAndCached) {
+  StringInterner interner;
+  TokenCache cache(&interner);
+  const std::vector<ValueId>& t1 = cache.TokensOf("The quick the QUICK fox");
+  // Lowercased, deduplicated: {the, quick, fox}.
+  EXPECT_EQ(t1.size(), 3u);
+  for (size_t i = 1; i < t1.size(); ++i) EXPECT_LT(t1[i - 1], t1[i]);
+  const std::vector<ValueId>& t2 = cache.TokensOf("The quick the QUICK fox");
+  EXPECT_EQ(&t1, &t2);  // stable reference, served from cache
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(TokenCacheTest, TokenIdJaccardMatchesReferenceImplementation) {
+  StringInterner interner;
+  TokenCache cache(&interner);
+  const std::vector<std::pair<std::string, std::string>> cases = {
+      {"The Godfather", "the godfather"},
+      {"Basktall HS", "Basktall"},
+      {"abc", "xyz"},
+      {"", ""},
+      {"one two three", "two three four"},
+      {"Price: $351,000", "price 351 000"},
+  };
+  for (const auto& [a, b] : cases) {
+    EXPECT_DOUBLE_EQ(TokenIdJaccard(cache.TokensOf(a), cache.TokensOf(b)),
+                     TokenJaccard(a, b))
+        << "\"" << a << "\" vs \"" << b << "\"";
+  }
+}
+
+// -------------------------------------------------------------- VerifyMemo
+
+VerifyMemo::Key TestKey(ValueId feature, uint8_t value) {
+  VerifyMemo::Key k{};
+  k.feature = feature;
+  k.value = value;
+  k.target_kind = 1;
+  k.text = 7;
+  return k;
+}
+
+TEST(VerifyMemoTest, LookupAfterInsertHitsAndCounts) {
+  VerifyMemo memo;
+  EXPECT_FALSE(memo.Lookup(TestKey(1, 1)).has_value());
+  memo.Insert(TestKey(1, 1), 1);
+  memo.Insert(TestKey(2, 0), 0);
+  memo.Insert(TestKey(3, 1), -1);  // VerifyText "don't know"
+  EXPECT_EQ(memo.Lookup(TestKey(1, 1)), 1);
+  EXPECT_EQ(memo.Lookup(TestKey(2, 0)), 0);
+  EXPECT_EQ(memo.Lookup(TestKey(3, 1)), -1);
+  EXPECT_FALSE(memo.Lookup(TestKey(4, 0)).has_value());
+  EXPECT_EQ(memo.size(), 3u);
+  EXPECT_EQ(memo.hits(), 3u);
+  EXPECT_EQ(memo.misses(), 2u);
+  memo.Clear();
+  EXPECT_EQ(memo.size(), 0u);
+  EXPECT_FALSE(memo.Lookup(TestKey(1, 1)).has_value());
+}
+
+TEST(VerifyMemoTest, InsertSuppressedWhileFailPointsArmed) {
+  // Mirrors the ReuseCache degraded-exclusion rule: runs that may have
+  // been perturbed by injected faults must never populate shared caches.
+  VerifyMemo memo;
+  ASSERT_TRUE(
+      resilience::FailPoints::Instance().Configure("some.site=error").ok());
+  memo.Insert(TestKey(1, 1), 1);
+  resilience::FailPoints::Instance().Clear();
+  EXPECT_EQ(memo.size(), 0u);
+  EXPECT_FALSE(memo.Lookup(TestKey(1, 1)).has_value());
+  // Disarmed again: inserts flow normally.
+  memo.Insert(TestKey(1, 1), 1);
+  EXPECT_EQ(memo.Lookup(TestKey(1, 1)), 1);
+}
+
+// ----------------------------------------------------------- hash equi-join
+
+Cell Num(double n) { return Cell::Exact(Value::Number(n)); }
+Cell Str(const std::string& s) { return Cell::Exact(Value::String(s)); }
+
+// Join fixture sized past the hash threshold, with deliberately awkward
+// rows: a numeric-text key ("30" must join 30), a multi-assignment cell
+// (irregular: the index cannot cover it), and keys that collide as text
+// but not as values.
+class HashJoinTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    catalog_ = std::make_unique<Catalog>(&corpus_);
+    CompactTable r({"a", "b"});
+    auto add_r = [&](Cell a, Cell b) {
+      CompactTuple t;
+      t.cells.push_back(std::move(a));
+      t.cells.push_back(std::move(b));
+      r.Add(std::move(t));
+    };
+    add_r(Num(1), Num(10));
+    add_r(Num(2), Num(20));
+    add_r(Num(3), Str("30"));   // joins s's numeric 30 (text parses loose)
+    add_r(Num(4), Str("abc"));
+    add_r(Num(5), Num(999));    // matches nothing
+    ASSERT_TRUE(catalog_->AddTable("r", std::move(r)).ok());
+
+    CompactTable s({"b", "c"});
+    auto add_s = [&](Cell b, Cell c) {
+      CompactTuple t;
+      t.cells.push_back(std::move(b));
+      t.cells.push_back(std::move(c));
+      s.Add(std::move(t));
+    };
+    add_s(Num(10), Num(100));
+    add_s(Num(20), Num(200));
+    add_s(Num(30), Num(300));
+    add_s(Str("abc"), Num(400));
+    // Irregular row: two possible key values; the scan must still find it
+    // for both b=10 and b=20 probes.
+    {
+      CompactTuple t;
+      Cell multi;
+      multi.assignments.push_back(Assignment::Exact(Value::Number(10)));
+      multi.assignments.push_back(Assignment::Exact(Value::Number(20)));
+      t.cells.push_back(std::move(multi));
+      t.cells.push_back(Num(500));
+      s.Add(std::move(t));
+    }
+    add_s(Str("xyz"), Num(600));
+    add_s(Num(70), Num(700));
+    add_s(Num(80), Num(800));
+    add_s(Num(90), Num(900));  // 9 rows >= hash threshold (8)
+    ASSERT_TRUE(catalog_->AddTable("s", std::move(s)).ok());
+    catalog_->RegisterBuiltinFunctions();
+  }
+
+  Result<CompactTable> Run(bool fast, ExecStats* stats_out) {
+    auto prog = ParseProgram("q(a, c) :- r(a, b), s(b, c).", *catalog_);
+    if (!prog.ok()) return prog.status();
+    prog->set_query("q");
+    ExecOptions options;
+    options.enable_fast_path = fast;
+    Executor exec(*catalog_, options);
+    IFLEX_ASSIGN_OR_RETURN(CompactTable result, exec.Execute(*prog));
+    if (stats_out != nullptr) *stats_out = exec.stats();
+    return result;
+  }
+
+  Corpus corpus_;
+  std::unique_ptr<Catalog> catalog_;
+};
+
+TEST_F(HashJoinTest, HashPathIsByteIdenticalToLegacyScan) {
+  ExecStats legacy_stats, fast_stats;
+  auto legacy = Run(/*fast=*/false, &legacy_stats);
+  ASSERT_TRUE(legacy.ok()) << legacy.status();
+  auto fast = Run(/*fast=*/true, &fast_stats);
+  ASSERT_TRUE(fast.ok()) << fast.status();
+
+  EXPECT_EQ(fast->ToString(&corpus_), legacy->ToString(&corpus_));
+  // Expected matches: (1,100), (1,500 maybe), (2,200), (2,500 maybe),
+  // (3,300), (4,400) -> 6 result tuples either way.
+  EXPECT_EQ(fast->size(), 6u);
+
+  // The legacy run never touches the index; the fast run answers every
+  // r-binding probe from it.
+  EXPECT_EQ(legacy_stats.join_probes, 0u);
+  EXPECT_EQ(legacy_stats.join_build_rows, 0u);
+  EXPECT_GT(fast_stats.join_probes, 0u);
+  EXPECT_EQ(fast_stats.join_build_rows, 9u);
+  // Indexed probes skip non-matching rows entirely, so the fast path
+  // counts strictly fewer candidate pairs.
+  EXPECT_LT(fast_stats.join_pairs, legacy_stats.join_pairs);
+}
+
+TEST_F(HashJoinTest, EnvVarForcesLegacyPath) {
+  // The ctor reads IFLEX_DISABLE_FASTPATH once per process, so this test
+  // exercises the ExecOptions gate the env var maps onto.
+  ExecStats stats;
+  auto result = Run(/*fast=*/false, &stats);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(stats.join_probes, 0u);
+  EXPECT_EQ(stats.verify_memo_hits, 0u);
+}
+
+}  // namespace
+}  // namespace iflex
