@@ -1,6 +1,8 @@
 #ifndef IFLEX_BENCH_BENCH_UTIL_H_
 #define IFLEX_BENCH_BENCH_UTIL_H_
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -13,8 +15,10 @@
 
 #include "assistant/session.h"
 #include "common/stopwatch.h"
+#include "obs/cost_model.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/openmetrics.h"
 #include "obs/trace.h"
 #include "oracle/evaluate.h"
 #include "oracle/timemodel.h"
@@ -71,6 +75,13 @@ class BenchReporter {
       };
       if (take("--trace-out", &trace_out_)) continue;
       if (take("--json-out", &json_out_)) continue;
+      if (take("--explain-out", &explain_out_)) {
+        // Attribution profiling rides the process-wide model: every
+        // executor the bench creates charges into it unless the bench
+        // wired its own.
+        obs::DefaultCostModel().set_enabled(true);
+        continue;
+      }
       std::string threads;
       if (take("--threads", &threads)) {
         threads_ = static_cast<size_t>(std::strtoul(threads.c_str(), nullptr, 10));
@@ -141,6 +152,41 @@ class BenchReporter {
       std::fprintf(stderr, "[bench] cannot write %s\n", json_out_.c_str());
     }
 
+    // OpenMetrics sibling of the JSON artifact: the same registry in
+    // Prometheus text exposition, for scrape-style tooling and the
+    // check_regression.py format gate.
+    std::string om_out = json_out_;
+    size_t dot = om_out.rfind(".json");
+    if (dot != std::string::npos && dot == om_out.size() - 5) {
+      om_out.resize(dot);
+    }
+    om_out += ".om";
+    obs::OpenMetricsOptions om_options;
+    om_options.labels["run_id"] = name_ + "." + std::to_string(::getpid());
+    om_options.labels["scenario"] = name_;
+    om_options.labels["threads"] = std::to_string(threads());
+    if (obs::WriteOpenMetrics(obs::DefaultMetrics(), om_out, om_options)) {
+      std::fprintf(stderr, "[bench] wrote %s\n", om_out.c_str());
+    } else {
+      std::fprintf(stderr, "[bench] cannot write %s\n", om_out.c_str());
+    }
+
+    if (!explain_out_.empty()) {
+      obs::ExplainReport explain = obs::DefaultCostModel().Report();
+      auto write_file = [](const std::string& path, const std::string& body) {
+        std::FILE* f = std::fopen(path.c_str(), "w");
+        if (f == nullptr) {
+          std::fprintf(stderr, "[bench] cannot write %s\n", path.c_str());
+          return;
+        }
+        std::fwrite(body.data(), 1, body.size(), f);
+        std::fclose(f);
+        std::fprintf(stderr, "[bench] wrote %s\n", path.c_str());
+      };
+      write_file(explain_out_, explain.ToText());
+      write_file(explain_out_ + ".json", explain.ToJson());
+    }
+
     if (!trace_out_.empty()) {
       if (obs::DefaultTracer().WriteChromeJson(trace_out_)) {
         std::fprintf(stderr, "[bench] wrote trace %s (open in %s)\n",
@@ -157,6 +203,7 @@ class BenchReporter {
   std::string name_;
   std::string trace_out_;
   std::string json_out_;
+  std::string explain_out_;
   size_t threads_ = 0;
   std::unique_ptr<runtime::TaskPool> pool_;
   std::string root_name_;

@@ -4,6 +4,7 @@
 Usage:
     bench/check_regression.py NEW.json [--baseline BASE.json]
                               [--tolerance 0.5] [--wall-tolerance 1.0]
+                              [--openmetrics FILE.om]
 
 Rows are matched by their identity fields (every string-valued field,
 e.g. "case" or "task"). Two classes of numeric fields are checked:
@@ -25,6 +26,7 @@ only — no third-party packages.
 import argparse
 import json
 import os
+import re
 import sys
 
 TIMING_KEYS = ("seconds", "ns_per_op", "wall_seconds")
@@ -49,6 +51,106 @@ def load(path):
         sys.exit(2)
 
 
+# ----------------------------------------------------------- OpenMetrics
+# Tiny structural validator for the exposition the bench harness writes
+# next to BENCH_*.json (stdlib only, mirrors the subset the writer emits).
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>[^ ]+)$"
+)
+_LABEL_RE = re.compile(r'^[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\["\\n])*"$')
+
+
+def parse_openmetrics(text):
+    """Parses an OpenMetrics text exposition; returns a list of
+    (name, labels_dict, value) samples. Raises ValueError on malformed
+    input: bad names/labels/values, non-cumulative histogram buckets, or
+    a missing `# EOF` terminator."""
+    samples = []
+    lines = text.split("\n")
+    if lines and lines[-1] == "":
+        lines.pop()
+    if not lines or lines[-1] != "# EOF":
+        raise ValueError("missing '# EOF' terminator")
+    typed = {}
+    for lineno, line in enumerate(lines[:-1], 1):
+        if line.startswith("# TYPE "):
+            parts = line.split(" ")
+            if len(parts) != 4 or not _NAME_RE.match(parts[2]) or parts[
+                3
+            ] not in ("counter", "gauge", "histogram"):
+                raise ValueError(f"line {lineno}: malformed TYPE line: {line}")
+            typed[parts[2]] = parts[3]
+            continue
+        if line.startswith("#"):
+            continue
+        m = _SAMPLE_RE.match(line)
+        if not m:
+            raise ValueError(f"line {lineno}: malformed sample: {line}")
+        labels = {}
+        if m.group("labels"):
+            for pair in m.group("labels").split(","):
+                if not _LABEL_RE.match(pair):
+                    raise ValueError(f"line {lineno}: malformed label: {pair}")
+                k, v = pair.split("=", 1)
+                labels[k] = v[1:-1]
+        try:
+            value = float(m.group("value"))
+        except ValueError:
+            raise ValueError(
+                f"line {lineno}: non-numeric value: {m.group('value')}"
+            )
+        samples.append((m.group("name"), labels, value))
+    # Sample names must belong to a declared family (allowing the
+    # counter _total and histogram _bucket/_sum/_count suffixes).
+    for name, labels, _ in samples:
+        base = name
+        for suffix in ("_total", "_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[: -len(suffix)] in typed:
+                base = name[: -len(suffix)]
+                break
+        if base not in typed:
+            raise ValueError(f"sample {name} has no TYPE declaration")
+    # Histogram buckets must be cumulative in le order, ending at +Inf.
+    buckets = {}
+    for name, labels, value in samples:
+        if not name.endswith("_bucket"):
+            continue
+        if "le" not in labels:
+            raise ValueError(f"bucket sample {name} lacks an le label")
+        le = float("inf") if labels["le"] == "+Inf" else float(labels["le"])
+        buckets.setdefault(name, []).append((le, value))
+    for name, series in buckets.items():
+        series.sort(key=lambda p: p[0])
+        if series[-1][0] != float("inf"):
+            raise ValueError(f"{name}: no le=\"+Inf\" bucket")
+        last = 0.0
+        for le, value in series:
+            if value < last:
+                raise ValueError(f"{name}: bucket counts not cumulative")
+            last = value
+    return samples
+
+
+def check_openmetrics(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            text = f.read()
+    except OSError as e:
+        print(f"check_regression: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    try:
+        samples = parse_openmetrics(text)
+    except ValueError as e:
+        print(f"  {path}: INVALID OpenMetrics: {e}")
+        return [f"{path}: invalid OpenMetrics: {e}"]
+    print(f"  {path}: valid OpenMetrics ({len(samples)} samples)")
+    return []
+
+
 def main():
     parser = argparse.ArgumentParser(
         description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
@@ -69,6 +171,11 @@ def main():
         type=float,
         default=1.0,
         help="allowed fractional slowdown of total wall_seconds (default 1.0)",
+    )
+    parser.add_argument(
+        "--openmetrics",
+        help="also validate this OpenMetrics exposition (the .om sibling "
+        "the bench wrote); fails on format errors",
     )
     args = parser.parse_args()
 
@@ -130,6 +237,9 @@ def main():
     for ident in fresh_rows.keys() - base_rows.keys():
         label = ",".join(v for _, v in ident) or "<row>"
         print(f"  {label}: new row (not in baseline; add it on the next rebase)")
+
+    if args.openmetrics:
+        failures.extend(check_openmetrics(args.openmetrics))
 
     if failures:
         print(f"\nFAIL: {len(failures)} regression(s)", file=sys.stderr)

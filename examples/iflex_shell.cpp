@@ -30,6 +30,9 @@
 #include "datagen/dblp.h"
 #include "datagen/movies.h"
 #include "exec/executor.h"
+#include "obs/cost_model.h"
+#include "obs/metrics.h"
+#include "obs/openmetrics.h"
 #include "obs/trace.h"
 #include "runtime/task_pool.h"
 #include "text/markup_parser.h"
@@ -105,6 +108,8 @@ class Shell {
       std::printf("%s", obs::DefaultTracer().SummaryTree().c_str());
       return Status::OK();
     }
+    if (cmd == "explain") return Explain();
+    if (cmd == "telemetry") return Telemetry(in);
     return Status::InvalidArgument("unknown command '" + cmd +
                                    "' (try: help)");
   }
@@ -122,6 +127,11 @@ class Shell {
         "                                  add a domain constraint\n"
         "  run                             execute and print the result\n"
         "  trace                           print the recorded span tree\n"
+        "  explain                         enable the attribution profiler\n"
+        "                                  / print the (rule, operator)\n"
+        "                                  cost table of the runs so far\n"
+        "  telemetry [file]                print (or write) the metric\n"
+        "                                  registry as OpenMetrics text\n"
         "  tables                          list extensional tables\n"
         "  quit\n"
         "flags: --threads N  pool width for run (default: hardware\n"
@@ -280,10 +290,48 @@ class Shell {
     return prog;
   }
 
+  Status Explain() {
+    obs::CostModel& model = obs::DefaultCostModel();
+    if (!model.enabled()) {
+      model.set_enabled(true);
+      std::printf(
+          "attribution profiler enabled; 'run' then 'explain' again\n");
+      return Status::OK();
+    }
+    obs::ExplainReport report = model.Report();
+    if (report.empty()) {
+      std::printf("nothing charged yet (profiler is on; try 'run')\n");
+      return Status::OK();
+    }
+    std::printf("%s", report.ToText().c_str());
+    return Status::OK();
+  }
+
+  Status Telemetry(std::istringstream& in) {
+    obs::OpenMetricsOptions options;
+    options.labels["scenario"] = "iflex_shell";
+    options.labels["threads"] =
+        std::to_string(pool_ != nullptr ? pool_->thread_count() : 1);
+    std::string path;
+    in >> path;
+    if (path.empty()) {
+      std::printf("%s", obs::ToOpenMetrics(obs::DefaultMetrics(),
+                                           options).c_str());
+      return Status::OK();
+    }
+    if (!obs::WriteOpenMetrics(obs::DefaultMetrics(), path, options)) {
+      return Status::NotFound("cannot write " + path);
+    }
+    std::printf("wrote %s\n", path.c_str());
+    return Status::OK();
+  }
+
   Status Execute() {
     IFLEX_ASSIGN_OR_RETURN(Program prog, CurrentProgram());
     ExecOptions options;
     options.pool = pool_.get();
+    // Shared registry so the telemetry command sees the runs' counters.
+    options.metrics = &obs::DefaultMetrics();
     if (deadline_ms_ > 0) {
       options.deadline = resilience::Deadline::AfterMillis(deadline_ms_);
     }

@@ -130,6 +130,10 @@ Result<SessionResult> RefinementSession::Run() {
     std::snprintf(iter_buf, sizeof(iter_buf), "%d", iter);
     obs::TraceSpan iter_span(tracer, "session.iteration", iter_buf);
     metrics->counter("session.iterations")->Add();
+    // Stamp this iteration into every CostKey its Executes charge — the
+    // subset evaluation here and the candidate simulations below.
+    options_.exec_options.cost_iteration = iter;
+    ctx.exec_options.cost_iteration = iter;
 
     // Execute the current program on the subset; grow the subset while it
     // yields nothing (an empty sample cannot guide question selection).
@@ -207,6 +211,7 @@ Result<SessionResult> RefinementSession::Run() {
     IterationRecord rec;
     rec.iteration = static_cast<int>(out.iterations.size()) + 1;
     Stopwatch iter_watch;
+    options_.exec_options.cost_iteration = rec.iteration;
     Executor exec(catalog_, options_.exec_options);
     IFLEX_ASSIGN_OR_RETURN(CompactTable result,
                            exec.Execute(program_, &full_cache));

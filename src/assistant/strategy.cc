@@ -6,6 +6,8 @@
 #include <map>
 
 #include "common/strutil.h"
+#include "obs/cost_model.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "runtime/task_pool.h"
 
@@ -272,6 +274,17 @@ Result<std::optional<Question>> SimulationStrategy::Next(
   obs::TraceSpan span(tracer, "strategy.next");
   const FeatureRegistry& registry = ctx.full_catalog->features();
   const Corpus& corpus = ctx.subset_catalog->corpus();
+  // Observability sinks the candidate simulations report back into: each
+  // simulation runs with a private registry / cost model (concurrent
+  // executors must not clobber shared gauges), then folds its numbers
+  // into these parents when it ends — metrics under a "sim." prefix,
+  // attribution as one ("sim.<feature>", candidate) row.
+  obs::MetricRegistry* parent_metrics = ctx.exec_options.metrics != nullptr
+                                            ? ctx.exec_options.metrics
+                                            : &obs::DefaultMetrics();
+  obs::CostModel* parent_cost =
+      obs::CostModelOrDefault(ctx.exec_options.cost_model);
+  const bool profiling = parent_cost->enabled();
 
   // Current subset result size plus the per-extractor coverage baseline:
   // the compact tuple count of each intensional predicate whose rule uses
@@ -375,9 +388,27 @@ Result<std::optional<Question>> SimulationStrategy::Next(
               // that gauge, so simulations always get a private one.
               ExecOptions sim_options = ctx.exec_options;
               sim_options.metrics = nullptr;
+              obs::CostModel sim_cost;
+              if (profiling) {
+                sim_cost.set_enabled(true);
+                sim_options.cost_model = &sim_cost;
+              }
               Executor exec(*ctx.subset_catalog, sim_options);
               Result<CompactTable> r = exec.Execute(refined, ctx.subset_cache);
               out.ran = true;
+              exec.metrics().MergeInto(parent_metrics, "sim.");
+              if (profiling) {
+                // The candidate's whole simulated execution collapses
+                // into one parent row. Its Execute span joins the
+                // parent's coverage denominator too, so attributed wall
+                // stays a subset of accounted span time.
+                parent_cost->Charge(
+                    obs::CostKey{"sim." + fname,
+                                 StringPrintf("cand%zu", ai),
+                                 ctx.exec_options.cost_iteration},
+                    sim_cost.Total());
+                parent_cost->AddSpan(sim_cost.span_ns());
+              }
               if (r.ok()) {
                 out.size = ResultSize(*r, corpus);
                 out.pv = exec.stats().process_values;

@@ -27,6 +27,7 @@ ValueId StringInterner::Intern(std::string_view s) {
   }
   misses_.fetch_add(1, std::memory_order_relaxed);
   arena_.emplace_back(s);
+  arena_bytes_.fetch_add(s.size(), std::memory_order_relaxed);
   ValueId id = static_cast<ValueId>(arena_.size() - 1);
   ids_.emplace(std::string_view(arena_.back()), id);
   return id;

@@ -54,6 +54,12 @@ class StringInterner {
   uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
   uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
 
+  /// Total bytes of interned text held in the arena (payload only, not
+  /// map overhead). The attribution profiler charges deltas of this.
+  uint64_t arena_bytes() const {
+    return arena_bytes_.load(std::memory_order_relaxed);
+  }
+
  private:
   mutable std::shared_mutex mu_;
   std::atomic<bool> frozen_{false};
@@ -61,6 +67,7 @@ class StringInterner {
   std::unordered_map<std::string_view, ValueId> ids_;  // keys view arena_
   mutable std::atomic<uint64_t> hits_{0};
   mutable std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> arena_bytes_{0};
 };
 
 /// Memoized tokenizer over an interner: text -> sorted unique ids of its

@@ -119,10 +119,13 @@ class RuleEvaluator {
         stats_(stats),
         tracer_(tracer),
         report_(report),
+        cost_model_(obs::CostModelOrDefault(options.cost_model)),
+        event_log_(obs::EventLogOrDefault(options.event_log)),
         stop_(options.deadline, options.cancel) {}
 
   Result<CompactTable> Evaluate(const Rule& rule) {
     obs::TraceSpan span(tracer_, "exec.rule", rule.head.predicate);
+    scope_ = rule.head.predicate;
     stats_->rules_evaluated->Add();
     binding_ = CompactTable(std::vector<std::string>{});
     binding_.Add(CompactTuple{});
@@ -146,9 +149,15 @@ class RuleEvaluator {
       if (rule.head.annotated[i]) spec.annotated.push_back(i);
     }
     if (spec.empty()) return projected;
-    return ApplyAnnotations(catalog_.corpus(), projected, spec,
-                            options_.compact_annotate,
-                            options_.max_table_tuples, tracer_);
+    obs::CostScope cost(cost_model_, scope_, "annotate",
+                        options_.cost_iteration);
+    Result<CompactTable> annotated = ApplyAnnotations(
+        catalog_.corpus(), projected, spec, options_.compact_annotate,
+        options_.max_table_tuples, tracer_);
+    if (cost.active() && annotated.ok()) {
+      cost.cost()->rows = annotated->size();
+    }
+    return annotated;
   }
 
  private:
@@ -200,6 +209,12 @@ class RuleEvaluator {
       report_->AddTruncation(
           StringPrintf("%s truncated to %zu tuples", what,
                        options_.max_table_tuples));
+      if (event_log_->ShouldLog(obs::LogLevel::kWarn)) {
+        event_log_->Warn(
+            "exec.budget",
+            StringPrintf("%s in rule %s truncated to %zu tuples", what,
+                         scope_.c_str(), options_.max_table_tuples));
+      }
       budget_exhausted_ = true;
     }
     table->tuples().resize(options_.max_table_tuples);
@@ -266,6 +281,7 @@ class RuleEvaluator {
       for (size_t j = lo; j < hi; ++j) slice.Add(table->tuples()[j]);
       RuleEvaluator sub(catalog_, options_, idb_, stats_, tracer_,
                         &out.report);
+      sub.scope_ = scope_;  // shards charge the same rule
       sub.binding_ = CompactTable(std::vector<std::string>{});
       sub.binding_.Add(CompactTuple{});
       std::vector<Literal> sub_pending = *pending;
@@ -533,6 +549,7 @@ class RuleEvaluator {
   // atom's new columns exist.
   Status JoinAtom(const Atom& atom, const CompactTable& table,
                   std::vector<Literal>* pending) {
+    obs::CostScope cost(cost_model_, scope_, "join", options_.cost_iteration);
     const Corpus& corpus = catalog_.corpus();
     struct NewCol {
       size_t table_col;
@@ -762,6 +779,7 @@ class RuleEvaluator {
         }
         if (hashable) {
           stats_->join_probes->Add();
+          if (cost.active()) ++cost.cost()->join_probes;
           static const std::vector<size_t> kNoRows;
           auto it = hash_index.find(probe_key);
           const std::vector<size_t>& bucket =
@@ -844,6 +862,10 @@ class RuleEvaluator {
     }
     columns_ = std::move(merged_cols);
     binding_ = std::move(out);
+    if (cost.active()) {
+      cost.cost()->rows = binding_.size();
+      cost.cost()->docs = DistinctDocs();
+    }
     return Status::OK();
   }
 
@@ -872,8 +894,21 @@ class RuleEvaluator {
     return schema;
   }
 
+  // Distinct source documents among the current binding tuples. Only
+  // computed when the profiler is on — it walks the whole table.
+  uint64_t DistinctDocs() const {
+    std::unordered_set<DocId> docs;
+    for (const CompactTuple& t : binding_.tuples()) {
+      DocId d = TupleDocId(t);
+      if (d != kInvalidDocId) docs.insert(d);
+    }
+    return docs.size();
+  }
+
   // from(x, y): appends column y = expand({contain(s) per assignment of x}).
   Status ApplyFrom(const Atom& atom) {
+    obs::CostScope cost(cost_model_, scope_, "from", options_.cost_iteration);
+    if (cost.active()) cost.cost()->docs = DistinctDocs();
     const Corpus& corpus = catalog_.corpus();
     if (!atom.args[0].is_var() || !atom.args[1].is_var()) {
       return Status::InvalidArgument("from() arguments must be variables");
@@ -907,6 +942,7 @@ class RuleEvaluator {
     }
     columns_.emplace(out_var, columns_.size());
     binding_ = std::move(out);
+    if (cost.active()) cost.cost()->rows = binding_.size();
     return Status::OK();
   }
 
@@ -917,12 +953,16 @@ class RuleEvaluator {
   }
 
   Status ApplyConstraint(const ConstraintLit& k) {
+    obs::CostScope cost(cost_model_, scope_, "constraint",
+                        options_.cost_iteration);
+    if (cost.active()) cost.cost()->docs = DistinctDocs();
     const Corpus& corpus = catalog_.corpus();
     size_t col = columns_.at(k.var);
     std::vector<ConstraintLit>& hist = history_[k.var];
     CompactTable out(binding_.schema());
     for (const CompactTuple& b : binding_.tuples()) {
       stats_->constraint_cells->Add();
+      if (cost.active()) ++cost.cost()->verify_calls;
       IFLEX_RETURN_NOT_OK(stop_.Poll("Execute"));
       IFLEX_ASSIGN_OR_RETURN(
           Cell cell, ApplyConstraintToCell(corpus, catalog_.features(),
@@ -935,10 +975,13 @@ class RuleEvaluator {
     }
     hist.push_back(k);
     binding_ = std::move(out);
+    if (cost.active()) cost.cost()->rows = binding_.size();
     return Status::OK();
   }
 
   Status ApplyComparison(const Comparison& cmp) {
+    obs::CostScope cost(cost_model_, scope_, "comparison",
+                        options_.cost_iteration);
     const Corpus& corpus = catalog_.corpus();
     CompactTable out(binding_.schema());
     for (const CompactTuple& b : binding_.tuples()) {
@@ -983,6 +1026,7 @@ class RuleEvaluator {
       out.Add(std::move(merged));
     }
     binding_ = std::move(out);
+    if (cost.active()) cost.cost()->rows = binding_.size();
     return Status::OK();
   }
 
@@ -1009,6 +1053,8 @@ class RuleEvaluator {
   }
 
   Status ApplyPFunction(const Atom& atom) {
+    obs::CostScope cost(cost_model_, scope_, "pfunction",
+                        options_.cost_iteration);
     Literal lit = Literal::OfAtom(atom);
     CompactTable out(binding_.schema());
     for (const CompactTuple& b : binding_.tuples()) {
@@ -1020,10 +1066,12 @@ class RuleEvaluator {
       out.Add(std::move(merged));
     }
     binding_ = std::move(out);
+    if (cost.active()) cost.cost()->rows = binding_.size();
     return Status::OK();
   }
 
   Status ApplyPPredicate(const Atom& atom) {
+    obs::CostScope cost(cost_model_, scope_, "ppred", options_.cost_iteration);
     const Corpus& corpus = catalog_.corpus();
     IFLEX_ASSIGN_OR_RETURN(const PPredicateFn* fn,
                            catalog_.PPredicate(atom.predicate));
@@ -1159,10 +1207,13 @@ class RuleEvaluator {
     }
     for (const auto& nc : new_cols) columns_.emplace(nc.var, columns_.size());
     binding_ = std::move(out);
+    if (cost.active()) cost.cost()->rows = binding_.size();
     return Status::OK();
   }
 
   Result<CompactTable> Project(const RuleHead& head) {
+    obs::CostScope cost(cost_model_, scope_, "project",
+                        options_.cost_iteration);
     CompactTable out(
         std::vector<std::string>(head.args.begin(), head.args.end()));
     std::vector<size_t> cols;
@@ -1208,6 +1259,7 @@ class RuleEvaluator {
       out.Add(std::move(t));
     }
     stats_->tuples_emitted->Add(out.size());
+    if (cost.active()) cost.cost()->rows = out.size();
     return out;
   }
 
@@ -1217,6 +1269,11 @@ class RuleEvaluator {
   const ExecCounters* stats_;
   obs::Tracer* tracer_;
   resilience::ExecReport* report_;
+  obs::CostModel* cost_model_;
+  obs::EventLog* event_log_;
+  // Attribution scope: the head predicate of the rule being evaluated.
+  // Shard sub-evaluators inherit it so shards charge the same rule.
+  std::string scope_;
   resilience::StopPoller stop_;
 
   CompactTable binding_;
@@ -1325,7 +1382,9 @@ void ExecCounters::BindTo(obs::MetricRegistry* registry) {
 Executor::Executor(const Catalog& catalog, ExecOptions options)
     : catalog_(catalog),
       options_(options),
-      tracer_(obs::TracerOrDefault(options.tracer)) {
+      tracer_(obs::TracerOrDefault(options.tracer)),
+      cost_model_(obs::CostModelOrDefault(options.cost_model)),
+      event_log_(obs::EventLogOrDefault(options.event_log)) {
   if (FastPathDisabledByEnv()) options_.enable_fast_path = false;
   if (!options_.enable_fast_path) {
     options_.verify_memo = nullptr;
@@ -1393,6 +1452,25 @@ Result<CompactTable> Executor::Execute(const Program& program,
   // previous run's stale numbers.
   counters_.process_assignments->Set(0);
   counters_.process_values->Set(0);
+  if (event_log_->ShouldLog(obs::LogLevel::kInfo)) {
+    event_log_->Info("exec",
+                     StringPrintf("execute begin: query=%s",
+                                  program.query().c_str()));
+  }
+  // Baselines for the execute-level "caches" charge and the fail-point
+  // trip detector: deltas across this Execute, not process totals.
+  const bool profiling = cost_model_->enabled();
+  const uint64_t span_start_ns = obs::Tracer::NowNs();
+  const uint64_t memo_hits_before =
+      options_.verify_memo != nullptr ? options_.verify_memo->hits() : 0;
+  const uint64_t arena_before = catalog_.corpus().interner().arena_bytes();
+  std::vector<std::pair<std::string, uint64_t>> failpoint_hits_before;
+  if (resilience::FailPoints::Active()) {
+    for (std::string& site : resilience::FailPoints::Instance().ArmedSites()) {
+      uint64_t hits = resilience::FailPoints::Instance().HitCount(site);
+      failpoint_hits_before.emplace_back(std::move(site), hits);
+    }
+  }
   Result<CompactTable> result = [&]() -> Result<CompactTable> {
     try {
       return ExecuteInternal(program, cache);
@@ -1431,6 +1509,58 @@ Result<CompactTable> Executor::Execute(const Program& program,
         ->Add(report_->skipped_rules.size());
     metrics_->counter("resilience.truncations")
         ->Add(report_->truncations.size());
+  }
+  const uint64_t span_ns = obs::Tracer::NowNs() - span_start_ns;
+  if (profiling) {
+    cost_model_->AddSpan(span_ns);
+    // Execute-level charge for the session-shared caches: memo hits and
+    // interner growth are not observable per operator (the memo is shared
+    // and hits happen deep inside cell ops), so their deltas land on one
+    // row per Execute. wall_ns stays 0 — the leaf operators already
+    // account for this time, and the coverage ratio must not double-count.
+    obs::Cost caches;
+    caches.count = 1;
+    if (options_.verify_memo != nullptr) {
+      caches.memo_hits = options_.verify_memo->hits() - memo_hits_before;
+    }
+    caches.arena_bytes =
+        catalog_.corpus().interner().arena_bytes() - arena_before;
+    cost_model_->Charge(
+        obs::CostKey{program.query(), "caches", options_.cost_iteration},
+        caches);
+    report_->explain = cost_model_->Report().ToText();
+  }
+  if (event_log_->ShouldLog(obs::LogLevel::kInfo)) {
+    event_log_->Info(
+        "exec",
+        StringPrintf("execute end: query=%s status=%s report=%s wall_ms=%.3f",
+                     program.query().c_str(),
+                     result.ok() ? "ok" : result.status().message().c_str(),
+                     report_->ToString().c_str(),
+                     static_cast<double>(span_ns) / 1e6));
+  }
+  // Flight recorder: a run that ended degraded, hit its deadline, was
+  // cancelled, or tripped a fail point dumps the event-log tail into the
+  // report so the context survives for post-mortems.
+  const bool stopped =
+      !result.ok() &&
+      (result.status().code() == StatusCode::kDeadlineExceeded ||
+       result.status().code() == StatusCode::kCancelled);
+  bool failpoint_tripped = false;
+  for (const auto& [site, before] : failpoint_hits_before) {
+    if (resilience::FailPoints::Instance().HitCount(site) > before) {
+      failpoint_tripped = true;
+      break;
+    }
+  }
+  if (report_->degraded || stopped || failpoint_tripped) {
+    event_log_->Warn(
+        "exec",
+        StringPrintf("dumping flight recorder: degraded=%d stopped=%d "
+                     "failpoint=%d",
+                     report_->degraded ? 1 : 0, stopped ? 1 : 0,
+                     failpoint_tripped ? 1 : 0));
+    report_->flight_recorder = event_log_->FormatRecent();
   }
   return result;
 }
@@ -1530,6 +1660,12 @@ Result<CompactTable> Executor::ExecuteInternal(const Program& program,
       if (!part.ok()) {
         if (options_.best_effort && !part.status().IsStop()) {
           report_->AddSkippedRule(pred + ": " + part.status().ToString());
+          if (event_log_->ShouldLog(obs::LogLevel::kWarn)) {
+            event_log_->Warn("exec.rule",
+                             StringPrintf("rule for %s skipped: %s",
+                                          pred.c_str(),
+                                          part.status().ToString().c_str()));
+          }
           return Status::OK();
         }
         return part.status();

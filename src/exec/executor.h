@@ -12,6 +12,8 @@
 #include "ctable/compact_table.h"
 #include "exec/cell_ops.h"
 #include "exec/verify_memo.h"
+#include "obs/cost_model.h"
+#include "obs/event_log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "resilience/deadline.h"
@@ -77,6 +79,21 @@ struct ExecOptions {
   /// gives the executor a private memo; ignored when enable_fast_path is
   /// off.
   VerifyMemo* verify_memo = nullptr;
+  /// Attribution profiler (docs/OBSERVABILITY.md): when enabled, every
+  /// operator application is charged to a (rule, operator, iteration)
+  /// CostKey. Null means obs::DefaultCostModel(), which is disabled
+  /// unless something (--explain-out, the shell) turned it on — the
+  /// disabled path costs one relaxed load per operator application.
+  obs::CostModel* cost_model = nullptr;
+  /// Iteration tag stamped into every CostKey this Execute charges; the
+  /// refinement session sets it per iteration, -1 means "outside a
+  /// session".
+  int cost_iteration = -1;
+  /// Structured event log / flight recorder. Null means
+  /// obs::DefaultEventLog(). When an Execute ends degraded, exceeds its
+  /// deadline, is cancelled, or trips a fail point, the recorder's tail
+  /// is dumped into ExecReport::flight_recorder.
+  obs::EventLog* event_log = nullptr;
 };
 
 /// Counters exposed for the benches and the multi-iteration optimizer.
@@ -236,6 +253,8 @@ class Executor {
   const Catalog& catalog_;
   ExecOptions options_;
   obs::Tracer* tracer_;
+  obs::CostModel* cost_model_;
+  obs::EventLog* event_log_;
   std::unique_ptr<VerifyMemo> owned_verify_memo_;
   std::unique_ptr<obs::MetricRegistry> owned_metrics_;
   obs::MetricRegistry* metrics_;

@@ -1,0 +1,251 @@
+#include "obs/event_log.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+
+#include "obs/json.h"
+#include "obs/trace.h"
+
+namespace iflex {
+namespace obs {
+
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kError:
+      return "error";
+    case LogLevel::kOff:
+      return "off";
+  }
+  return "info";
+}
+
+LogLevel ParseLogLevel(std::string_view text, LogLevel fallback) {
+  std::string lower(text);
+  for (char& c : lower) {
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+  }
+  if (lower == "debug") return LogLevel::kDebug;
+  if (lower == "info") return LogLevel::kInfo;
+  if (lower == "warn" || lower == "warning") return LogLevel::kWarn;
+  if (lower == "error") return LogLevel::kError;
+  if (lower == "off" || lower == "none") return LogLevel::kOff;
+  return fallback;
+}
+
+EventLog::EventLog(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity),
+      slots_(new Slot[capacity == 0 ? 1 : capacity]) {}
+
+EventLog::~EventLog() {
+  std::lock_guard<std::mutex> lock(sink_mu_);
+  if (sink_ != nullptr) std::fclose(sink_);
+}
+
+namespace {
+
+// Truncated copy of `s` into `words` (relaxed atomic stores happen at the
+// caller); unused bytes stay zero so decoding can strlen-scan.
+void PackString(std::string_view s, uint64_t* words, size_t word_count) {
+  char buf[EventLog::kMessageBytes];  // large enough for either field
+  size_t n = std::min(s.size(), word_count * 8);
+  std::memset(buf, 0, word_count * 8);
+  std::memcpy(buf, s.data(), n);
+  for (size_t i = 0; i < word_count; ++i) {
+    std::memcpy(&words[i], buf + i * 8, 8);
+  }
+}
+
+std::string UnpackString(const uint64_t* words, size_t word_count) {
+  char buf[EventLog::kMessageBytes];
+  for (size_t i = 0; i < word_count; ++i) {
+    std::memcpy(buf + i * 8, &words[i], 8);
+  }
+  size_t len = 0;
+  size_t max = word_count * 8;
+  while (len < max && buf[len] != '\0') ++len;
+  return std::string(buf, len);
+}
+
+void AppendEventJson(const LogEvent& ev, JsonWriter* w) {
+  w->BeginObject();
+  w->Key("ticket").Number(ev.ticket);
+  w->Key("ts_ns").Number(ev.ts_ns);
+  w->Key("level").String(LogLevelName(ev.level));
+  w->Key("tid").Number(static_cast<uint64_t>(ev.tid));
+  w->Key("site").String(ev.site);
+  w->Key("msg").String(ev.message);
+  w->EndObject();
+}
+
+}  // namespace
+
+void EventLog::Log(LogLevel level, std::string_view site,
+                   std::string_view message) {
+  if (level == LogLevel::kOff || !ShouldLog(level)) return;
+  uint64_t ticket = cursor_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = slots_[ticket % capacity_];
+
+  uint64_t buf[kWordsPerSlot] = {};
+  buf[0] = Tracer::NowNs();
+  buf[1] = static_cast<uint64_t>(level) |
+           (static_cast<uint64_t>(Tracer::CurrentTid()) << 8);
+  PackString(site, &buf[2], kSiteWords);
+  PackString(message, &buf[2 + kSiteWords], kMessageWords);
+
+  // Seqlock write: mark the slot in-flight (odd), publish the payload,
+  // mark it complete (even). The acq_rel exchange keeps the payload
+  // stores from sinking above the odd mark; the release store keeps them
+  // from floating below the even mark.
+  slot.seq.exchange(ticket * 2 + 1, std::memory_order_acq_rel);
+  for (size_t i = 0; i < kWordsPerSlot; ++i) {
+    slot.words[i].store(buf[i], std::memory_order_relaxed);
+  }
+  slot.seq.store(ticket * 2 + 2, std::memory_order_release);
+
+  if (!sink_active_.load(std::memory_order_relaxed)) return;
+  std::lock_guard<std::mutex> lock(sink_mu_);
+  if (sink_ != nullptr) {
+    LogEvent ev;
+    ev.ticket = ticket;
+    ev.ts_ns = buf[0];
+    ev.level = level;
+    ev.tid = static_cast<uint32_t>(buf[1] >> 8);
+    ev.site = std::string(site.substr(0, kSiteBytes));
+    ev.message = std::string(message.substr(0, kMessageBytes));
+    JsonWriter w;
+    AppendEventJson(ev, &w);
+    std::fputs(w.str().c_str(), sink_);
+    std::fputc('\n', sink_);
+    std::fflush(sink_);
+  }
+}
+
+bool EventLog::DecodeSlot(const Slot& slot, LogEvent* out) const {
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    uint64_t s1 = slot.seq.load(std::memory_order_acquire);
+    if (s1 == 0) return false;  // never written
+    if (s1 & 1) continue;       // write in flight — retry briefly
+    uint64_t buf[kWordsPerSlot];
+    for (size_t i = 0; i < kWordsPerSlot; ++i) {
+      buf[i] = slot.words[i].load(std::memory_order_relaxed);
+    }
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (slot.seq.load(std::memory_order_relaxed) != s1) continue;
+    out->ticket = s1 / 2 - 1;
+    out->ts_ns = buf[0];
+    out->level = static_cast<LogLevel>(buf[1] & 0xff);
+    out->tid = static_cast<uint32_t>(buf[1] >> 8);
+    out->site = UnpackString(&buf[2], kSiteWords);
+    out->message = UnpackString(&buf[2 + kSiteWords], kMessageWords);
+    return true;
+  }
+  return false;  // churning slot: its event aged out anyway
+}
+
+std::vector<LogEvent> EventLog::Snapshot() const {
+  std::vector<LogEvent> out;
+  out.reserve(std::min<uint64_t>(total(), capacity_));
+  for (size_t i = 0; i < capacity_; ++i) {
+    LogEvent ev;
+    if (DecodeSlot(slots_[i], &ev)) out.push_back(std::move(ev));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const LogEvent& a, const LogEvent& b) {
+              return a.ticket < b.ticket;
+            });
+  return out;
+}
+
+void EventLog::Clear() {
+  cursor_.store(0, std::memory_order_relaxed);
+  for (size_t i = 0; i < capacity_; ++i) {
+    for (size_t w = 0; w < kWordsPerSlot; ++w) {
+      slots_[i].words[w].store(0, std::memory_order_relaxed);
+    }
+    slots_[i].seq.store(0, std::memory_order_release);
+  }
+}
+
+std::string EventLog::ToJsonl() const {
+  std::string out;
+  for (const LogEvent& ev : Snapshot()) {
+    JsonWriter w;
+    AppendEventJson(ev, &w);
+    out += w.str();
+    out.push_back('\n');
+  }
+  return out;
+}
+
+bool EventLog::WriteJsonl(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::string body = ToJsonl();
+  size_t written = std::fwrite(body.data(), 1, body.size(), f);
+  bool ok = (written == body.size());
+  ok = (std::fclose(f) == 0) && ok;
+  return ok;
+}
+
+std::vector<std::string> EventLog::FormatRecent(size_t max_events) const {
+  std::vector<LogEvent> events = Snapshot();
+  if (events.size() > max_events) {
+    events.erase(events.begin(),
+                 events.end() - static_cast<ptrdiff_t>(max_events));
+  }
+  std::vector<std::string> out;
+  out.reserve(events.size());
+  uint64_t base = events.empty() ? 0 : events.front().ts_ns;
+  char buf[64];
+  for (const LogEvent& ev : events) {
+    double rel_ms =
+        static_cast<double>(ev.ts_ns - base) / 1e6;
+    std::snprintf(buf, sizeof(buf), "[%-5s] +%9.3fms tid=%u ",
+                  LogLevelName(ev.level), rel_ms, ev.tid);
+    std::string line(buf);
+    line += ev.site;
+    line += ": ";
+    line += ev.message;
+    out.push_back(std::move(line));
+  }
+  return out;
+}
+
+bool EventLog::SetJsonlSink(const std::string& path) {
+  std::lock_guard<std::mutex> lock(sink_mu_);
+  if (sink_ != nullptr) {
+    std::fclose(sink_);
+    sink_ = nullptr;
+  }
+  if (path.empty()) {
+    sink_active_.store(false, std::memory_order_relaxed);
+    return true;
+  }
+  sink_ = std::fopen(path.c_str(), "a");
+  sink_active_.store(sink_ != nullptr, std::memory_order_relaxed);
+  return sink_ != nullptr;
+}
+
+EventLog& DefaultEventLog() {
+  static EventLog* log = [] {
+    auto* l = new EventLog();
+    if (const char* env = std::getenv("IFLEX_LOG")) {
+      l->set_level(ParseLogLevel(env, LogLevel::kInfo));
+    }
+    if (const char* sink = std::getenv("IFLEX_LOG_JSONL")) {
+      if (sink[0] != '\0') l->SetJsonlSink(sink);
+    }
+    return l;
+  }();
+  return *log;
+}
+
+}  // namespace obs
+}  // namespace iflex

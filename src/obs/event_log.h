@@ -1,0 +1,193 @@
+#ifndef IFLEX_OBS_EVENT_LOG_H_
+#define IFLEX_OBS_EVENT_LOG_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace iflex {
+namespace obs {
+
+/// Severity levels, ordered. kOff is a threshold value only — no event
+/// carries it.
+enum class LogLevel : uint8_t {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+/// "debug" / "info" / "warn" / "error" / "off".
+const char* LogLevelName(LogLevel level);
+
+/// Case-insensitive parse of the names above (also accepts "warning");
+/// anything else returns `fallback`.
+LogLevel ParseLogLevel(std::string_view text, LogLevel fallback);
+
+/// One decoded event. `ticket` is the global admission number (0-based,
+/// monotone across threads), which orders a Snapshot deterministically
+/// even when timestamps tie.
+struct LogEvent {
+  uint64_t ticket = 0;
+  uint64_t ts_ns = 0;  // steady clock (Tracer::NowNs)
+  LogLevel level = LogLevel::kInfo;
+  uint32_t tid = 0;
+  std::string site;     // stable code-site id, e.g. "exec.deadline"
+  std::string message;  // free text, truncated to the slot budget
+};
+
+/// Leveled, bounded, lock-free event log: the flight recorder.
+///
+/// The ring keeps the newest `capacity` events that pass the level
+/// threshold; older ones are overwritten (and counted in dropped()).
+/// Writers never block each other or readers: each slot is a seqlock —
+/// a generation word (odd while a write is in flight) guarding a fixed
+/// block of relaxed atomic payload words. Site and message strings are
+/// truncated into the slot, so Log() does not allocate.
+///
+/// Snapshot() is safe against concurrent writers: a slot whose
+/// generation changed mid-read is simply skipped (it was being
+/// overwritten, i.e. its event had already aged out of the window).
+/// Clear() is NOT safe against concurrent writers — call it only at
+/// quiescent points (between executions), like MetricRegistry::ResetAll.
+///
+/// An optional JSONL sink streams every admitted event to a file as one
+/// JSON object per line; sink I/O takes a mutex, so enable it for
+/// debugging sessions, not for hot paths.
+class EventLog {
+ public:
+  static constexpr size_t kDefaultCapacity = 256;
+  static constexpr size_t kSiteBytes = 24;     // truncation budgets
+  static constexpr size_t kMessageBytes = 96;
+
+  explicit EventLog(size_t capacity = kDefaultCapacity);
+  ~EventLog();
+
+  EventLog(const EventLog&) = delete;
+  EventLog& operator=(const EventLog&) = delete;
+
+  LogLevel level() const {
+    return static_cast<LogLevel>(level_.load(std::memory_order_relaxed));
+  }
+  void set_level(LogLevel level) {
+    level_.store(static_cast<uint8_t>(level), std::memory_order_relaxed);
+  }
+
+  /// The cheap call-site gate: one relaxed load. Guard message
+  /// construction with it when the message is not a literal.
+  bool ShouldLog(LogLevel level) const {
+    return static_cast<uint8_t>(level) >=
+           level_.load(std::memory_order_relaxed);
+  }
+
+  void Log(LogLevel level, std::string_view site, std::string_view message);
+  void Debug(std::string_view site, std::string_view message) {
+    Log(LogLevel::kDebug, site, message);
+  }
+  void Info(std::string_view site, std::string_view message) {
+    Log(LogLevel::kInfo, site, message);
+  }
+  void Warn(std::string_view site, std::string_view message) {
+    Log(LogLevel::kWarn, site, message);
+  }
+  void Error(std::string_view site, std::string_view message) {
+    Log(LogLevel::kError, site, message);
+  }
+
+  /// Surviving events, ticket-ordered (oldest first).
+  std::vector<LogEvent> Snapshot() const;
+
+  /// Events admitted since construction / Clear().
+  uint64_t total() const {
+    return cursor_.load(std::memory_order_relaxed);
+  }
+  /// Admitted events no longer in the ring (overwritten).
+  uint64_t dropped() const {
+    uint64_t t = total();
+    return t > capacity_ ? t - capacity_ : 0;
+  }
+  size_t capacity() const { return capacity_; }
+
+  /// Quiescent-point reset (see class comment).
+  void Clear();
+
+  /// One JSON object per line, ticket-ordered — same schema as the sink.
+  std::string ToJsonl() const;
+  /// Writes ToJsonl() to `path`; false on I/O failure.
+  bool WriteJsonl(const std::string& path) const;
+
+  /// Human-readable lines for the flight-recorder dump, oldest first:
+  /// "[warn ] +12.345ms tid=3 exec.deadline: message". Timestamps are
+  /// relative to the oldest surviving event.
+  std::vector<std::string> FormatRecent(size_t max_events = 64) const;
+
+  /// Streams every admitted event to `path` as JSONL (append). Empty
+  /// path closes the sink.
+  bool SetJsonlSink(const std::string& path);
+
+ private:
+  // Payload words: [0] ts_ns, [1] level | tid<<8, then the site bytes,
+  // then the message bytes.
+  static constexpr size_t kSiteWords = kSiteBytes / 8;
+  static constexpr size_t kMessageWords = kMessageBytes / 8;
+  static constexpr size_t kWordsPerSlot = 2 + kSiteWords + kMessageWords;
+
+  struct Slot {
+    std::atomic<uint64_t> seq{0};  // 0 empty; odd mid-write; even done
+    std::atomic<uint64_t> words[kWordsPerSlot]{};
+  };
+
+  bool DecodeSlot(const Slot& slot, LogEvent* out) const;
+
+  const size_t capacity_;
+  std::unique_ptr<Slot[]> slots_;
+  std::atomic<uint64_t> cursor_{0};
+  std::atomic<uint8_t> level_{static_cast<uint8_t>(LogLevel::kInfo)};
+
+  std::atomic<bool> sink_active_{false};  // fast Log() gate for the sink
+  mutable std::mutex sink_mu_;
+  std::FILE* sink_ = nullptr;
+};
+
+/// Process-wide log. Threshold comes from IFLEX_LOG (debug/info/warn/
+/// error/off, default info); IFLEX_LOG_JSONL=<path> opens the JSONL
+/// sink at startup.
+EventLog& DefaultEventLog();
+
+/// Resolution helper for the "null means the process default" convention
+/// used by ExecOptions / SessionOptions.
+inline EventLog* EventLogOrDefault(EventLog* log) {
+  return log != nullptr ? log : &DefaultEventLog();
+}
+
+}  // namespace obs
+}  // namespace iflex
+
+/// Compile-time-off debug sites: the call (including message-expression
+/// evaluation) vanishes entirely unless the build defines
+/// IFLEX_EVENT_LOG_DEBUG=1. Runtime-leveled debug logging additionally
+/// requires IFLEX_LOG=debug.
+#ifndef IFLEX_EVENT_LOG_DEBUG
+#define IFLEX_EVENT_LOG_DEBUG 0
+#endif
+#if IFLEX_EVENT_LOG_DEBUG
+#define IFLEX_ELOG_DEBUG(log, site, msg_expr)                             \
+  do {                                                                    \
+    ::iflex::obs::EventLog* iflex_elog_l = (log);                         \
+    if (iflex_elog_l != nullptr &&                                        \
+        iflex_elog_l->ShouldLog(::iflex::obs::LogLevel::kDebug)) {        \
+      iflex_elog_l->Log(::iflex::obs::LogLevel::kDebug, (site),           \
+                        (msg_expr));                                      \
+    }                                                                     \
+  } while (0)
+#else
+#define IFLEX_ELOG_DEBUG(log, site, msg_expr) ((void)0)
+#endif
+
+#endif  // IFLEX_OBS_EVENT_LOG_H_

@@ -37,6 +37,77 @@ Histogram* MetricRegistry::histogram(std::string_view name) {
                      [] { return std::make_unique<Histogram>(); });
 }
 
+void Histogram::MergeFrom(const Histogram& other) {
+  if (&other == this) return;
+  // Copy the source under its own lock first, then fold under ours:
+  // taking both locks at once would risk an ordering cycle.
+  std::vector<double> samples = other.Samples();
+  size_t count;
+  double sum, min, max;
+  {
+    std::lock_guard<std::mutex> lock(other.mu_);
+    count = other.count_;
+    sum = other.sum_;
+    min = other.min_;
+    max = other.max_;
+  }
+  MergeAggregates(count, sum, min, max, samples);
+}
+
+void Histogram::MergeAggregates(size_t count, double sum, double min,
+                                double max,
+                                const std::vector<double>& samples) {
+  if (count == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  min_ = count_ == 0 ? min : std::min(min_, min);
+  max_ = count_ == 0 ? max : std::max(max_, max);
+  count_ += count;
+  sum_ += sum;
+  for (double v : samples) {
+    if (samples_.size() >= max_samples_) break;
+    samples_.push_back(v);
+    sorted_ = false;
+  }
+}
+
+MetricRegistry::Snapshot MetricRegistry::Snap() const {
+  Snapshot snap;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, c] : counters_) snap.counters[name] = c->value();
+  for (const auto& [name, g] : gauges_) snap.gauges[name] = g->value();
+  for (const auto& [name, h] : histograms_) {
+    Snapshot::HistogramData& data = snap.histograms[name];
+    data.count = h->count();
+    data.sum = h->sum();
+    data.min = h->min();
+    data.max = h->max();
+    data.samples = h->Samples();
+  }
+  return snap;
+}
+
+void MetricRegistry::MergeInto(MetricRegistry* dst,
+                               std::string_view prefix) const {
+  if (dst == nullptr || dst == this) return;
+  // Snapshot first so the source lock is released before touching dst.
+  Snapshot snap = Snap();
+  std::string name;
+  for (const auto& [key, value] : snap.counters) {
+    name.assign(prefix).append(key);
+    dst->counter(name)->Add(value);
+  }
+  for (const auto& [key, value] : snap.gauges) {
+    name.assign(prefix).append(key);
+    dst->gauge(name)->Add(value);
+  }
+  for (const auto& [key, data] : snap.histograms) {
+    if (data.count == 0) continue;
+    name.assign(prefix).append(key);
+    dst->histogram(name)->MergeAggregates(data.count, data.sum, data.min,
+                                          data.max, data.samples);
+  }
+}
+
 void MetricRegistry::ResetAll() {
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& [name, c] : counters_) c->Reset();
@@ -93,10 +164,11 @@ std::string MetricRegistry::ToText() const {
     out += buf;
   }
   for (const auto& [name, h] : histograms_) {
-    std::snprintf(buf, sizeof(buf),
-                  "%-40s count=%zu mean=%.6g p50=%.6g p99=%.6g max=%.6g\n",
-                  name.c_str(), h->count(), h->mean(), h->Percentile(0.5),
-                  h->Percentile(0.99), h->max());
+    std::snprintf(
+        buf, sizeof(buf),
+        "%-40s count=%zu mean=%.6g p50=%.6g p90=%.6g p99=%.6g max=%.6g\n",
+        name.c_str(), h->count(), h->mean(), h->Percentile(0.5),
+        h->Percentile(0.9), h->Percentile(0.99), h->max());
     out += buf;
   }
   return out;

@@ -115,6 +115,21 @@ class Histogram {
     max_ = 0;
   }
 
+  /// Copy of the retained reservoir (unsorted order not guaranteed);
+  /// the OpenMetrics exporter derives bucket counts from it.
+  std::vector<double> Samples() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return samples_;
+  }
+
+  /// Folds another histogram in: exact count/sum/min/max aggregation,
+  /// retained samples appended up to this reservoir's capacity.
+  void MergeFrom(const Histogram& other);
+
+  /// Same fold from raw pieces (a Snapshot's HistogramData).
+  void MergeAggregates(size_t count, double sum, double min, double max,
+                       const std::vector<double>& samples);
+
  private:
   mutable std::mutex mu_;
   mutable std::vector<double> samples_;
@@ -145,6 +160,30 @@ class MetricRegistry {
 
   /// Human-readable "name value" lines, sorted by name.
   std::string ToText() const;
+
+  /// Point-in-time copy for exporters that need the raw values (the
+  /// OpenMetrics writer) without holding the registry lock while
+  /// formatting.
+  struct Snapshot {
+    struct HistogramData {
+      size_t count = 0;
+      double sum = 0;
+      double min = 0;
+      double max = 0;
+      std::vector<double> samples;  // retained reservoir
+    };
+    std::map<std::string, uint64_t> counters;
+    std::map<std::string, double> gauges;
+    std::map<std::string, HistogramData> histograms;
+  };
+  Snapshot Snap() const;
+
+  /// Folds every metric into `dst` under `<prefix><name>`: counters and
+  /// gauges add their values, histograms MergeFrom. Used to surface
+  /// simulation-private registries in the parent as "sim.*" after a
+  /// simulation ends. Safe for concurrent callers on `dst`; a no-op when
+  /// dst == this.
+  void MergeInto(MetricRegistry* dst, std::string_view prefix) const;
 
  private:
   mutable std::mutex mu_;

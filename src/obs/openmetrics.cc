@@ -1,0 +1,146 @@
+#include "obs/openmetrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+namespace iflex {
+namespace obs {
+
+namespace {
+
+// Fixed log-scale bounds: wide enough for both second-scale timings and
+// count-scale histograms; identical for every run so scrapes line up.
+constexpr double kBucketBounds[] = {1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1,
+                                    1.0,  1e1,  1e2,  1e3,  1e4,  1e5,
+                                    1e6};
+
+std::string SanitizeName(std::string_view name) {
+  std::string out = "iflex_";
+  for (char c : name) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+void AppendEscapedLabelValue(std::string_view v, std::string* out) {
+  for (char c : v) {
+    switch (c) {
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      default:
+        out->push_back(c);
+    }
+  }
+}
+
+// Renders {k="v",...}; empty when there are no labels. `extra` appends
+// one more pair (the histogram `le` label) without copying the map.
+std::string RenderLabels(const std::map<std::string, std::string>& labels,
+                         std::string_view extra_key = {},
+                         std::string_view extra_value = {}) {
+  if (labels.empty() && extra_key.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += k;
+    out += "=\"";
+    AppendEscapedLabelValue(v, &out);
+    out.push_back('"');
+  }
+  if (!extra_key.empty()) {
+    if (!first) out.push_back(',');
+    out += extra_key;
+    out += "=\"";
+    AppendEscapedLabelValue(extra_value, &out);
+    out.push_back('"');
+  }
+  out.push_back('}');
+  return out;
+}
+
+void AppendDouble(double v, std::string* out) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  *out += buf;
+}
+
+}  // namespace
+
+std::string ToOpenMetrics(const MetricRegistry& registry,
+                          const OpenMetricsOptions& options) {
+  MetricRegistry::Snapshot snap = registry.Snap();
+  const std::string labels = RenderLabels(options.labels);
+  std::string out;
+  char buf[64];
+
+  for (const auto& [name, value] : snap.counters) {
+    std::string family = SanitizeName(name);
+    out += "# TYPE " + family + " counter\n";
+    out += family + "_total" + labels + " ";
+    std::snprintf(buf, sizeof(buf), "%llu\n",
+                  static_cast<unsigned long long>(value));
+    out += buf;
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    std::string family = SanitizeName(name);
+    out += "# TYPE " + family + " gauge\n";
+    out += family + labels + " ";
+    AppendDouble(value, &out);
+    out.push_back('\n');
+  }
+  for (const auto& [name, data] : snap.histograms) {
+    std::string family = SanitizeName(name);
+    out += "# TYPE " + family + " histogram\n";
+    // Cumulative finite buckets come from the retained reservoir; the
+    // +Inf bucket is the exact count, so observations past the reservoir
+    // surface there (still monotone: retained <= exact count).
+    std::vector<double> samples = data.samples;
+    std::sort(samples.begin(), samples.end());
+    for (double bound : kBucketBounds) {
+      size_t cumulative =
+          std::upper_bound(samples.begin(), samples.end(), bound) -
+          samples.begin();
+      std::snprintf(buf, sizeof(buf), "%.0e", bound);
+      out += family + "_bucket" + RenderLabels(options.labels, "le", buf);
+      std::snprintf(buf, sizeof(buf), " %zu\n", cumulative);
+      out += buf;
+    }
+    out += family + "_bucket" + RenderLabels(options.labels, "le", "+Inf");
+    std::snprintf(buf, sizeof(buf), " %zu\n", data.count);
+    out += buf;
+    out += family + "_sum" + labels + " ";
+    AppendDouble(data.sum, &out);
+    out.push_back('\n');
+    out += family + "_count" + labels + " ";
+    std::snprintf(buf, sizeof(buf), "%zu\n", data.count);
+    out += buf;
+  }
+  out += "# EOF\n";
+  return out;
+}
+
+bool WriteOpenMetrics(const MetricRegistry& registry, const std::string& path,
+                      const OpenMetricsOptions& options) {
+  std::string body = ToOpenMetrics(registry, options);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  size_t written = std::fwrite(body.data(), 1, body.size(), f);
+  bool ok = (written == body.size());
+  ok = (std::fclose(f) == 0) && ok;
+  return ok;
+}
+
+}  // namespace obs
+}  // namespace iflex

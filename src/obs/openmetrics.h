@@ -1,0 +1,39 @@
+#ifndef IFLEX_OBS_OPENMETRICS_H_
+#define IFLEX_OBS_OPENMETRICS_H_
+
+#include <map>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace iflex {
+namespace obs {
+
+/// Shared labels attached to every exported sample. Keys must already be
+/// valid OpenMetrics label names ([a-zA-Z_][a-zA-Z0-9_]*); values are
+/// escaped. The bench harness fills run_id / threads / scenario.
+struct OpenMetricsOptions {
+  std::map<std::string, std::string> labels;
+};
+
+/// Renders the registry in the OpenMetrics / Prometheus text exposition
+/// format (docs/OBSERVABILITY.md):
+///   - metric names are sanitized ('.' and other non-name chars become
+///     '_') and prefixed "iflex_";
+///   - counters export as `<name>_total` with `# TYPE <name> counter`;
+///   - gauges export verbatim;
+///   - histograms export cumulative `_bucket{le=...}` series over fixed
+///     log-scale bounds (derived from the retained reservoir; the +Inf
+///     bucket always equals the exact count), plus `_sum` and `_count`;
+///   - the exposition ends with `# EOF`.
+std::string ToOpenMetrics(const MetricRegistry& registry,
+                          const OpenMetricsOptions& options = {});
+
+/// Writes ToOpenMetrics() to `path`; false on I/O failure.
+bool WriteOpenMetrics(const MetricRegistry& registry, const std::string& path,
+                      const OpenMetricsOptions& options = {});
+
+}  // namespace obs
+}  // namespace iflex
+
+#endif  // IFLEX_OBS_OPENMETRICS_H_

@@ -10,7 +10,9 @@
 #include <memory>
 #include <thread>
 
+#include "obs/event_log.h"
 #include "obs/json.h"
+#include "obs/metrics.h"
 
 namespace iflex {
 namespace obs {
@@ -27,16 +29,31 @@ Tracer::Tracer(size_t capacity) : capacity_(std::max<size_t>(1, capacity)) {
 }
 
 void Tracer::Record(TraceEvent ev) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (ring_.size() < capacity_) {
-    ring_.push_back(std::move(ev));
-    return;
+  bool first_wrap = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (ring_.size() < capacity_) {
+      ring_.push_back(std::move(ev));
+      return;
+    }
+    // Full: overwrite the oldest slot (the buffer becomes a proper ring).
+    ring_[next_] = std::move(ev);
+    next_ = (next_ + 1) % capacity_;
+    first_wrap = !wrapped_;
+    wrapped_ = true;
+    ++dropped_;
   }
-  // Full: overwrite the oldest slot (the buffer becomes a proper ring).
-  ring_[next_] = std::move(ev);
-  next_ = (next_ + 1) % capacity_;
-  wrapped_ = true;
-  ++dropped_;
+  // Overflow is also surfaced outside the Chrome export: a default-
+  // registry counter (every drop) and a single event-log warning per
+  // wrap episode (Clear() re-arms it). Both happen outside mu_ so the
+  // registry / event-log locks never nest inside the tracer's.
+  static Counter* drop_counter =
+      DefaultMetrics().counter("obs.trace_dropped");
+  drop_counter->Add();
+  if (first_wrap) {
+    DefaultEventLog().Warn("obs.trace",
+                           "trace ring wrapped; oldest spans dropped");
+  }
 }
 
 void Tracer::Clear() {

@@ -14,6 +14,10 @@ void ExecReport::Merge(const ExecReport& other) {
   truncations.insert(truncations.end(), other.truncations.begin(),
                      other.truncations.end());
   degraded = degraded || other.degraded;
+  flight_recorder.insert(flight_recorder.end(),
+                         other.flight_recorder.begin(),
+                         other.flight_recorder.end());
+  if (explain.empty()) explain = other.explain;
 }
 
 std::string ExecReport::ToString() const {

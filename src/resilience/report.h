@@ -31,6 +31,15 @@ struct ExecReport {
   /// True iff anything above is non-empty — the single flag callers
   /// should branch on.
   bool degraded = false;
+  /// Formatted tail of the structured event log (obs::EventLog), dumped
+  /// automatically when an execution ends degraded, exceeds its
+  /// deadline, is cancelled, or trips a fail point. Diagnostics only:
+  /// never counted by EventCount()/empty() and never sets `degraded`.
+  std::vector<std::string> flight_recorder;
+  /// Rendered attribution table (obs::ExplainReport::ToText) of the last
+  /// Execute, filled when the run's cost model was enabled. Diagnostics
+  /// only, like flight_recorder.
+  std::string explain;
 
   void Clear() { *this = ExecReport(); }
 

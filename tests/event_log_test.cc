@@ -1,0 +1,188 @@
+// Structured event log / flight recorder (src/obs/event_log.h): leveled
+// admission, bounded lock-free ring with drop accounting, truncation
+// budgets, concurrent writers without torn reads, and the JSONL / text
+// renderings.
+#include "obs/event_log.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace iflex {
+namespace obs {
+namespace {
+
+TEST(LogLevelTest, ParseAndName) {
+  EXPECT_EQ(ParseLogLevel("debug", LogLevel::kOff), LogLevel::kDebug);
+  EXPECT_EQ(ParseLogLevel("INFO", LogLevel::kOff), LogLevel::kInfo);
+  EXPECT_EQ(ParseLogLevel("Warn", LogLevel::kOff), LogLevel::kWarn);
+  EXPECT_EQ(ParseLogLevel("warning", LogLevel::kOff), LogLevel::kWarn);
+  EXPECT_EQ(ParseLogLevel("error", LogLevel::kOff), LogLevel::kError);
+  EXPECT_EQ(ParseLogLevel("off", LogLevel::kInfo), LogLevel::kOff);
+  EXPECT_EQ(ParseLogLevel("none", LogLevel::kInfo), LogLevel::kOff);
+  EXPECT_EQ(ParseLogLevel("bogus", LogLevel::kWarn), LogLevel::kWarn);
+  EXPECT_STREQ(LogLevelName(LogLevel::kDebug), "debug");
+  EXPECT_STREQ(LogLevelName(LogLevel::kError), "error");
+}
+
+TEST(EventLogTest, LevelThresholdGatesAdmission) {
+  EventLog log(16);
+  log.set_level(LogLevel::kWarn);
+  EXPECT_FALSE(log.ShouldLog(LogLevel::kDebug));
+  EXPECT_FALSE(log.ShouldLog(LogLevel::kInfo));
+  EXPECT_TRUE(log.ShouldLog(LogLevel::kWarn));
+  EXPECT_TRUE(log.ShouldLog(LogLevel::kError));
+  log.Debug("t", "dropped");
+  log.Info("t", "dropped");
+  log.Warn("t", "kept");
+  log.Error("t", "kept");
+  EXPECT_EQ(log.total(), 2u);
+  std::vector<LogEvent> events = log.Snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].level, LogLevel::kWarn);
+  EXPECT_EQ(events[1].level, LogLevel::kError);
+}
+
+TEST(EventLogTest, RingKeepsNewestAndCountsDrops) {
+  EventLog log(8);
+  for (int i = 0; i < 20; ++i) {
+    log.Info("ring", "event " + std::to_string(i));
+  }
+  EXPECT_EQ(log.total(), 20u);
+  EXPECT_EQ(log.dropped(), 12u);
+  std::vector<LogEvent> events = log.Snapshot();
+  ASSERT_EQ(events.size(), 8u);
+  // Newest 8, ticket-ordered oldest first.
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].ticket, 12 + i);
+    EXPECT_EQ(events[i].message, "event " + std::to_string(12 + i));
+  }
+}
+
+TEST(EventLogTest, SiteAndMessageTruncateToSlotBudget) {
+  EventLog log(4);
+  std::string long_site(100, 's');
+  std::string long_message(500, 'm');
+  log.Warn(long_site, long_message);
+  std::vector<LogEvent> events = log.Snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].site, std::string(EventLog::kSiteBytes, 's'));
+  EXPECT_EQ(events[0].message, std::string(EventLog::kMessageBytes, 'm'));
+}
+
+TEST(EventLogTest, ClearResetsEverything) {
+  EventLog log(4);
+  for (int i = 0; i < 10; ++i) log.Info("t", "x");
+  log.Clear();
+  EXPECT_EQ(log.total(), 0u);
+  EXPECT_EQ(log.dropped(), 0u);
+  EXPECT_TRUE(log.Snapshot().empty());
+  log.Error("t", "after clear");
+  ASSERT_EQ(log.Snapshot().size(), 1u);
+  EXPECT_EQ(log.Snapshot()[0].ticket, 0u);
+}
+
+TEST(EventLogTest, ConcurrentWritersProduceNoTornEvents) {
+  EventLog log(64);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 500;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&log, t] {
+      // Each thread writes a recognizable (site, message) pair; a torn
+      // slot would pair one thread's site with another's message.
+      std::string site = "writer" + std::to_string(t);
+      std::string message = "payload" + std::to_string(t);
+      for (int i = 0; i < kPerThread; ++i) log.Info(site, message);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(log.total(),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+  std::vector<LogEvent> events = log.Snapshot();
+  EXPECT_LE(events.size(), log.capacity());
+  EXPECT_FALSE(events.empty());
+  std::set<uint64_t> tickets;
+  for (const LogEvent& ev : events) {
+    ASSERT_EQ(ev.site.substr(0, 6), "writer");
+    std::string id = ev.site.substr(6);
+    EXPECT_EQ(ev.message, "payload" + id) << "torn slot";
+    EXPECT_TRUE(tickets.insert(ev.ticket).second) << "duplicate ticket";
+  }
+}
+
+TEST(EventLogTest, ToJsonlEmitsOneObjectPerEvent) {
+  EventLog log(8);
+  log.Info("a.site", "first");
+  log.Warn("b.site", "quote \" and backslash \\");
+  std::istringstream lines(log.ToJsonl());
+  std::string line;
+  size_t n = 0;
+  while (std::getline(lines, line)) {
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    EXPECT_NE(line.find("\"ticket\""), std::string::npos);
+    EXPECT_NE(line.find("\"level\""), std::string::npos);
+    EXPECT_NE(line.find("\"site\""), std::string::npos);
+    ++n;
+  }
+  EXPECT_EQ(n, 2u);
+  EXPECT_NE(log.ToJsonl().find("\\\""), std::string::npos);
+}
+
+TEST(EventLogTest, FormatRecentIsHumanReadableAndBounded) {
+  EventLog log(32);
+  for (int i = 0; i < 10; ++i) {
+    log.Warn("exec.test", "event " + std::to_string(i));
+  }
+  std::vector<std::string> lines = log.FormatRecent(4);
+  ASSERT_EQ(lines.size(), 4u);
+  // Newest 4 survive; each line carries level, relative time, and site.
+  EXPECT_NE(lines[0].find("[warn "), std::string::npos);
+  EXPECT_NE(lines[0].find("ms"), std::string::npos);
+  EXPECT_NE(lines[0].find("exec.test: event 6"), std::string::npos);
+  EXPECT_NE(lines[3].find("event 9"), std::string::npos);
+}
+
+TEST(EventLogTest, JsonlSinkStreamsAdmittedEvents) {
+  std::string path =
+      ::testing::TempDir() + "/event_log_sink_test.jsonl";
+  std::remove(path.c_str());
+  EventLog log(8);
+  ASSERT_TRUE(log.SetJsonlSink(path));
+  log.Info("sink", "one");
+  log.Warn("sink", "two");
+  ASSERT_TRUE(log.SetJsonlSink(""));  // close
+  log.Info("sink", "after close");
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  size_t n = 0;
+  while (std::getline(in, line)) {
+    EXPECT_NE(line.find("\"site\":\"sink\""), std::string::npos);
+    ++n;
+  }
+  EXPECT_EQ(n, 2u);
+  std::remove(path.c_str());
+}
+
+TEST(EventLogTest, DefaultEventLogIsSingleton) {
+  EventLog& a = DefaultEventLog();
+  EventLog& b = DefaultEventLog();
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(EventLogOrDefault(nullptr), &a);
+  EventLog own(4);
+  EXPECT_EQ(EventLogOrDefault(&own), &own);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace iflex

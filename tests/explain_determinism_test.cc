@@ -1,0 +1,121 @@
+// The explain profile must be a pure observation: for a fixed scenario
+// the stable columns (rows / verify / probes) are byte-identical at 1, 2,
+// or 8 threads, because document shards partition the binding rows
+// (docs/OBSERVABILITY.md). Timing-derived columns are excluded by
+// ToText(stable_only=true) — that view is the determinism contract.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/executor.h"
+#include "obs/cost_model.h"
+#include "runtime/task_pool.h"
+#include "text/markup_parser.h"
+
+namespace iflex {
+namespace {
+
+// The paper's running example (Figures 1-3), as in paper_example_test.
+constexpr char kProgram[] = R"(
+  houses(x, <p>, <a>, <h>) :- housePages(x), extractHouses(x, p, a, h).
+  schools(s)? :- schoolPages(y), extractSchools(y, s).
+  q(x, p, a, h) :- houses(x, p, a, h), schools(s), p > 500000, a > 4500,
+                   approx_match(h, s).
+  extractHouses(x, p, a, h) :- from(x, p), from(x, a), from(x, h),
+                               numeric(p) = yes, numeric(a) = yes.
+  extractSchools(y, s) :- from(y, s), bold_font(s) = yes.
+)";
+
+class ExplainDeterminismTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto x1 = ParseMarkup("x1",
+                          "Price: <b>$351,000</b>\n"
+                          "Cozy house on quiet street\n"
+                          "5146 Windsor Ave, Champaign\n"
+                          "Sqft: 2750\n"
+                          "High school: Vanhise High");
+    auto x2 = ParseMarkup("x2",
+                          "Price: <b>$619,000</b>\n"
+                          "Amazing house in great location\n"
+                          "3112 Stonecreek Blvd, Cherry Hills\n"
+                          "Sqft: 4700\n"
+                          "High school: Basktall HS");
+    auto y1 = ParseMarkup("y1",
+                          "Top High Schools and Location (page 1)\n"
+                          "<b>Basktall</b>, Cherry Hills\n"
+                          "<b>Franklin</b>, Robeson\n"
+                          "<b>Vanhise</b>, Champaign");
+    auto y2 = ParseMarkup("y2",
+                          "Top High Schools and Location (page 2)\n"
+                          "<b>Hoover</b>, Akron\n"
+                          "<b>Ossage</b>, Lynneville");
+    for (auto* d : {&x1, &x2, &y1, &y2}) ASSERT_TRUE(d->ok());
+    std::vector<DocId> houses_docs = {corpus_.Add(std::move(x1).value()),
+                                      corpus_.Add(std::move(x2).value())};
+    std::vector<DocId> school_docs = {corpus_.Add(std::move(y1).value()),
+                                      corpus_.Add(std::move(y2).value())};
+
+    catalog_ = std::make_unique<Catalog>(&corpus_);
+    CompactTable houses({"x"});
+    for (DocId d : houses_docs) {
+      CompactTuple t;
+      t.cells.push_back(Cell::Exact(Value::Doc(d)));
+      houses.Add(t);
+    }
+    ASSERT_TRUE(catalog_->AddTable("housePages", std::move(houses)).ok());
+    CompactTable schools({"y"});
+    for (DocId d : school_docs) {
+      CompactTuple t;
+      t.cells.push_back(Cell::Exact(Value::Doc(d)));
+      schools.Add(t);
+    }
+    ASSERT_TRUE(catalog_->AddTable("schoolPages", std::move(schools)).ok());
+    ASSERT_TRUE(catalog_->DeclareIEPredicate("extractHouses", 1, 3).ok());
+    ASSERT_TRUE(catalog_->DeclareIEPredicate("extractSchools", 1, 1).ok());
+    catalog_->RegisterBuiltinFunctions(/*similarity_threshold=*/0.4);
+  }
+
+  // Runs the paper query once with a fresh profiler and returns the
+  // stable explain view.
+  std::string StableExplain(runtime::TaskPool* pool) {
+    auto prog = ParseProgram(kProgram, *catalog_);
+    EXPECT_TRUE(prog.ok()) << prog.status();
+    prog->set_query("q");
+    obs::CostModel model;
+    model.set_enabled(true);
+    ExecOptions options;
+    options.pool = pool;
+    options.cost_model = &model;
+    Executor exec(*catalog_, options);
+    auto r = exec.Execute(*prog);
+    EXPECT_TRUE(r.ok()) << r.status();
+    return model.Report().ToText(/*stable_only=*/true);
+  }
+
+  Corpus corpus_;
+  std::unique_ptr<Catalog> catalog_;
+};
+
+TEST_F(ExplainDeterminismTest, StableColumnsAreIdenticalAtAnyThreadCount) {
+  const std::string expected = StableExplain(nullptr);
+  ASSERT_FALSE(expected.empty());
+  // The serial profile actually attributes work, rather than trivially
+  // matching on emptiness.
+  EXPECT_NE(expected.find("join"), std::string::npos) << expected;
+  EXPECT_NE(expected.find("from"), std::string::npos) << expected;
+  for (size_t threads : {1, 2, 8}) {
+    runtime::TaskPool pool(threads);
+    EXPECT_EQ(StableExplain(&pool), expected) << threads << " threads";
+  }
+}
+
+TEST_F(ExplainDeterminismTest, RepeatedSerialRunsAreIdentical) {
+  // Same-config idempotence: the stable view contains no timing residue.
+  EXPECT_EQ(StableExplain(nullptr), StableExplain(nullptr));
+}
+
+}  // namespace
+}  // namespace iflex

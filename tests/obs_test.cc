@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "gtest/gtest.h"
+#include "obs/event_log.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -314,6 +315,21 @@ TEST(MetricsTest, RegistryJsonIsWellFormed) {
   EXPECT_NE(text.find("a.count"), std::string::npos);
 }
 
+TEST(MetricsTest, ExportsCarryHistogramPercentiles) {
+  MetricRegistry reg;
+  Histogram* h = reg.histogram("iter.seconds");
+  for (int i = 1; i <= 100; ++i) h->Record(i);
+  std::string json = reg.ToJson();
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+  EXPECT_NE(json.find("\"p50\":50.5"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p90\":90.1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p99\":99.01"), std::string::npos) << json;
+  std::string text = reg.ToText();
+  EXPECT_NE(text.find("p50=50.5"), std::string::npos) << text;
+  EXPECT_NE(text.find("p90=90.1"), std::string::npos) << text;
+  EXPECT_NE(text.find("p99=99.01"), std::string::npos) << text;
+}
+
 // ---------------------------------------------------------------------------
 // Tracer + spans
 // ---------------------------------------------------------------------------
@@ -408,6 +424,42 @@ TEST(TracerTest, RingOverwritesOldestAndCountsDrops) {
   tracer.Clear();
   EXPECT_EQ(tracer.size(), 0u);
   EXPECT_EQ(tracer.dropped(), 0u);
+}
+
+TEST(TracerTest, OverflowSurfacesInDefaultRegistryAndEventLog) {
+  // Drop accounting outside the Chrome export (satellite wiring in
+  // Tracer::Record): every overwritten span bumps the default-registry
+  // "obs.trace_dropped" counter, and the first wrap of an episode warns
+  // once into the default event log; Clear() re-arms the warning.
+  Counter* drops = DefaultMetrics().counter("obs.trace_dropped");
+  EventLog& log = DefaultEventLog();
+  const uint64_t drops_before = drops->value();
+  const uint64_t events_before = log.total();
+
+  Tracer tracer(/*capacity=*/2);
+  tracer.set_enabled(true);
+  for (int i = 0; i < 7; ++i) {
+    TraceSpan span(&tracer, "test.overflow");
+  }
+  EXPECT_EQ(tracer.dropped(), 5u);
+  EXPECT_EQ(drops->value() - drops_before, 5u);
+  // Exactly one wrap warning for the whole episode.
+  uint64_t wrap_warnings = 0;
+  for (const LogEvent& ev : log.Snapshot()) {
+    if (ev.ticket >= events_before && ev.site == "obs.trace") ++wrap_warnings;
+  }
+  EXPECT_EQ(wrap_warnings, 1u);
+
+  // A cleared tracer warns again on its next wrap.
+  tracer.Clear();
+  for (int i = 0; i < 3; ++i) {
+    TraceSpan span(&tracer, "test.overflow");
+  }
+  wrap_warnings = 0;
+  for (const LogEvent& ev : log.Snapshot()) {
+    if (ev.ticket >= events_before && ev.site == "obs.trace") ++wrap_warnings;
+  }
+  EXPECT_EQ(wrap_warnings, 2u);
 }
 
 TEST(TracerTest, ChromeJsonIsWellFormed) {

@@ -1,0 +1,177 @@
+// OpenMetrics / Prometheus text exposition (src/obs/openmetrics.h):
+// naming, type lines, counter/gauge/histogram series shapes, label
+// escaping, and the `# EOF` terminator that bench/check_regression.py's
+// validator requires.
+#include "obs/openmetrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace iflex {
+namespace obs {
+namespace {
+
+std::vector<std::string> Lines(const std::string& text) {
+  std::vector<std::string> out;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) out.push_back(line);
+  return out;
+}
+
+TEST(OpenMetricsTest, CounterExportsAsSuffixedTotal) {
+  MetricRegistry reg;
+  reg.counter("exec.join_pairs")->Add(42);
+  std::string text = ToOpenMetrics(reg);
+  EXPECT_NE(text.find("# TYPE iflex_exec_join_pairs counter\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("iflex_exec_join_pairs_total 42\n"), std::string::npos)
+      << text;
+}
+
+TEST(OpenMetricsTest, GaugeExportsVerbatim) {
+  MetricRegistry reg;
+  reg.gauge("exec.result_size")->Set(12.5);
+  std::string text = ToOpenMetrics(reg);
+  EXPECT_NE(text.find("# TYPE iflex_exec_result_size gauge\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("iflex_exec_result_size 12.5\n"), std::string::npos)
+      << text;
+}
+
+TEST(OpenMetricsTest, SharedLabelsOnEverySample) {
+  MetricRegistry reg;
+  reg.counter("a.count")->Add(1);
+  reg.gauge("b.gauge")->Set(2);
+  OpenMetricsOptions options;
+  options.labels["run_id"] = "r1";
+  options.labels["threads"] = "4";
+  std::string text = ToOpenMetrics(reg, options);
+  EXPECT_NE(
+      text.find("iflex_a_count_total{run_id=\"r1\",threads=\"4\"} 1\n"),
+      std::string::npos)
+      << text;
+  EXPECT_NE(text.find("iflex_b_gauge{run_id=\"r1\",threads=\"4\"} 2\n"),
+            std::string::npos)
+      << text;
+}
+
+TEST(OpenMetricsTest, LabelValuesAreEscaped) {
+  MetricRegistry reg;
+  reg.counter("c")->Add(1);
+  OpenMetricsOptions options;
+  options.labels["scenario"] = "quote\" slash\\ line\nend";
+  std::string text = ToOpenMetrics(reg, options);
+  EXPECT_NE(text.find("scenario=\"quote\\\" slash\\\\ line\\nend\""),
+            std::string::npos)
+      << text;
+}
+
+TEST(OpenMetricsTest, HistogramBucketsAreCumulativeAndEndAtInf) {
+  MetricRegistry reg;
+  Histogram* h = reg.histogram("lat.seconds");
+  h->Record(5e-4);   // <= 1e-3
+  h->Record(5e-4);
+  h->Record(2.0);    // <= 1e1
+  h->Record(500.0);  // <= 1e3
+  std::string text = ToOpenMetrics(reg);
+  EXPECT_NE(text.find("# TYPE iflex_lat_seconds histogram\n"),
+            std::string::npos)
+      << text;
+  // Cumulative counts over the fixed log-scale bounds.
+  EXPECT_NE(text.find("iflex_lat_seconds_bucket{le=\"1e-04\"} 0\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("iflex_lat_seconds_bucket{le=\"1e-03\"} 2\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("iflex_lat_seconds_bucket{le=\"1e+01\"} 3\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("iflex_lat_seconds_bucket{le=\"1e+03\"} 4\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("iflex_lat_seconds_bucket{le=\"+Inf\"} 4\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("iflex_lat_seconds_count 4\n"), std::string::npos)
+      << text;
+  bool found_sum = false;
+  for (const std::string& line : Lines(text)) {
+    if (line.rfind("iflex_lat_seconds_sum ", 0) != 0) continue;
+    found_sum = true;
+    EXPECT_NEAR(std::stod(line.substr(line.rfind(' ') + 1)), 502.001, 1e-9)
+        << line;
+  }
+  EXPECT_TRUE(found_sum) << text;
+  // Monotonicity across every bucket line, scraped mechanically.
+  double last = 0;
+  for (const std::string& line : Lines(text)) {
+    if (line.rfind("iflex_lat_seconds_bucket", 0) != 0) continue;
+    double v = std::stod(line.substr(line.rfind(' ') + 1));
+    EXPECT_GE(v, last) << line;
+    last = v;
+  }
+}
+
+TEST(OpenMetricsTest, InfBucketCoversObservationsPastTheReservoir) {
+  // The finite buckets come from the retained reservoir; the +Inf bucket
+  // and _count are the exact count, so they stay authoritative when the
+  // reservoir saturates.
+  MetricRegistry reg;
+  Histogram* h = reg.histogram("x");
+  for (int i = 0; i < 10; ++i) h->Record(0.5);
+  std::string text = ToOpenMetrics(reg);
+  EXPECT_NE(text.find("iflex_x_bucket{le=\"+Inf\"} 10\n"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("iflex_x_count 10\n"), std::string::npos) << text;
+}
+
+TEST(OpenMetricsTest, ExpositionEndsWithEof) {
+  MetricRegistry reg;
+  reg.counter("a")->Add(1);
+  std::string text = ToOpenMetrics(reg);
+  ASSERT_GE(text.size(), 6u);
+  EXPECT_EQ(text.substr(text.size() - 6), "# EOF\n");
+  // Also on an empty registry.
+  MetricRegistry empty;
+  EXPECT_EQ(ToOpenMetrics(empty), "# EOF\n");
+}
+
+TEST(OpenMetricsTest, WriteRoundTripsThroughAFile) {
+  MetricRegistry reg;
+  reg.counter("exec.rules")->Add(7);
+  reg.histogram("iter.seconds")->Record(0.25);
+  OpenMetricsOptions options;
+  options.labels["scenario"] = "roundtrip";
+  std::string path = ::testing::TempDir() + "/openmetrics_test.om";
+  ASSERT_TRUE(WriteOpenMetrics(reg, path, options));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(buf.str(), ToOpenMetrics(reg, options));
+  std::remove(path.c_str());
+}
+
+TEST(OpenMetricsTest, DottedNamesSanitizeToUnderscores) {
+  MetricRegistry reg;
+  reg.counter("sim.exec.cache-hits")->Add(1);
+  std::string text = ToOpenMetrics(reg);
+  EXPECT_NE(text.find("iflex_sim_exec_cache_hits_total 1\n"),
+            std::string::npos)
+      << text;
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace iflex
