@@ -1,0 +1,307 @@
+// Serving load driver for iflexd (docs/SERVING.md): starts an in-process
+// serve::Server, replays a mixed develop/execute/refine workload from K
+// concurrent client connections (one session each) over real TCP, and
+// writes BENCH_SERVE.json with latency quantiles, throughput, and the
+// rejection rate — the machine-readable serving trajectory next to the
+// batch benches.
+//
+//   ./bench/bench_serve [--sessions N] [--loops N] [--threads N]
+//                       [--json-out <file>]
+//
+// Three rows:
+//   mixed    — S sessions in parallel, full gen/rule/run/constrain/run
+//              script; every response is byte-compared against a batch
+//              CommandInterpreter replay (`identical` must be 1).
+//   overload — admission sized to max_concurrent=1/max_queue=0, hammered
+//              by 4 connections; asserts typed Overloaded rejections.
+//   deadline — a long command occupies the single slot; deadline-bounded
+//              requests behind it must come back DeadlineExceeded both
+//              while queued and while executing.
+//
+// Exits nonzero on any byte mismatch, missing rejection, or missed
+// deadline, so the ctest under the `serve` label is a correctness gate,
+// not only a timer.
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/stopwatch.h"
+#include "serve/client.h"
+#include "serve/command_interpreter.h"
+#include "serve/server.h"
+
+using namespace iflex;
+using R = bench::BenchReporter;
+
+namespace {
+
+/// The per-session command script (same grammar as the iflex shell). The
+/// outputs carry no timestamps or timings, so byte-identity against a
+/// batch replay is well-defined.
+std::vector<std::string> SessionScript() {
+  return {
+      "gen movies",
+      "declare extractEbert 1 2",
+      "rule q(t) :- ebertPages(x), extractEbert(x, t, yr), yr < 1960.",
+      "rule extractEbert(x, t, yr) :- from(x, t), from(x, yr).",
+      "query q",
+      "run",
+      "constrain extractEbert 1 numeric yes",
+      "run",
+  };
+}
+
+struct Expected {
+  bool ok = false;
+  std::string output;
+};
+
+/// Batch reference: the same repeated script through one
+/// CommandInterpreter, no server in between.
+std::vector<Expected> BatchReference(size_t loops) {
+  serve::InterpreterOptions options;
+  serve::CommandInterpreter interp(options);
+  std::vector<Expected> expected;
+  for (size_t l = 0; l < loops; ++l) {
+    for (const std::string& command : SessionScript()) {
+      serve::CommandOutcome outcome = interp.Interpret(command);
+      expected.push_back({outcome.status.ok(), outcome.output});
+    }
+  }
+  return expected;
+}
+
+double Quantile(std::vector<double>* sorted, double q) {
+  if (sorted->empty()) return 0;
+  std::sort(sorted->begin(), sorted->end());
+  size_t idx = static_cast<size_t>(q * static_cast<double>(sorted->size() - 1));
+  return (*sorted)[idx];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  size_t sessions = 3;
+  size_t loops = 2;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--sessions") == 0 && i + 1 < argc) {
+      sessions = std::strtoul(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--loops") == 0 && i + 1 < argc) {
+      loops = std::strtoul(argv[++i], nullptr, 10);
+    }
+  }
+  if (sessions < 2) sessions = 2;  // the acceptance bar is >= 2 concurrent
+  if (loops < 1) loops = 1;
+
+  bench::BenchReporter reporter("SERVE", argc, argv);
+  bool failed = false;
+
+  // ---- mixed: S parallel sessions, byte-compared against batch ----
+  {
+    std::vector<Expected> expected = BatchReference(loops);
+
+    serve::ServerOptions so;
+    so.threads = reporter.threads();
+    so.max_concurrent = sessions;
+    so.max_queue = 2 * sessions + 2;
+    serve::Server server(so);
+    Status st = server.Start();
+    if (!st.ok()) {
+      std::fprintf(stderr, "server start failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+
+    std::atomic<size_t> mismatches{0};
+    std::atomic<size_t> rejected{0};
+    std::mutex lat_mu;
+    std::vector<double> latencies_ms;
+
+    Stopwatch wall;
+    std::vector<std::thread> clients;
+    for (size_t s = 0; s < sessions; ++s) {
+      clients.emplace_back([&, s] {
+        std::string sid = "s" + std::to_string(s);
+        serve::LineClient client;
+        if (!client.Connect(server.port()).ok() ||
+            !client.Call("open " + sid).ok()) {
+          mismatches.fetch_add(1);
+          return;
+        }
+        std::vector<double> local_ms;
+        size_t idx = 0;
+        for (size_t l = 0; l < loops; ++l) {
+          for (const std::string& command : SessionScript()) {
+            Stopwatch req_watch;
+            auto resp = client.Call("cmd " + sid + " " + command);
+            local_ms.push_back(req_watch.ElapsedSeconds() * 1e3);
+            const Expected& want = expected[idx++];
+            if (!resp.ok()) {
+              std::fprintf(stderr, "[%s] transport error: %s\n", sid.c_str(),
+                           resp.status().ToString().c_str());
+              mismatches.fetch_add(1);
+              continue;
+            }
+            if (resp->code == "Overloaded") rejected.fetch_add(1);
+            if (resp->ok != want.ok || resp->output != want.output) {
+              std::fprintf(stderr,
+                           "[%s] MISMATCH on %-30s (ok %d vs %d)\n  got:  "
+                           "%.120s\n  want: %.120s\n",
+                           sid.c_str(), command.c_str(), resp->ok ? 1 : 0,
+                           want.ok ? 1 : 0, resp->output.c_str(),
+                           want.output.c_str());
+              mismatches.fetch_add(1);
+            }
+          }
+        }
+        client.Call("close " + sid);
+        std::lock_guard<std::mutex> lock(lat_mu);
+        latencies_ms.insert(latencies_ms.end(), local_ms.begin(),
+                            local_ms.end());
+      });
+    }
+    for (auto& t : clients) t.join();
+    double wall_s = wall.ElapsedSeconds();
+    server.metrics().MergeInto(&obs::DefaultMetrics(), "");
+    server.Stop();
+
+    size_t requests = sessions * loops * SessionScript().size();
+    double qps = wall_s > 0 ? static_cast<double>(requests) / wall_s : 0;
+    double p50 = Quantile(&latencies_ms, 0.50);
+    double p99 = Quantile(&latencies_ms, 0.99);
+    double rejection_rate =
+        static_cast<double>(rejected.load()) / static_cast<double>(requests);
+    bool identical = mismatches.load() == 0;
+    if (!identical) failed = true;
+    std::printf(
+        "mixed:    %zu sessions x %zu loops -> %zu requests, %.0f req/s, "
+        "p50 %.2f ms, p99 %.2f ms, identical=%d\n",
+        sessions, loops, requests, qps, p50, p99, identical ? 1 : 0);
+    reporter.Row({R::S("case", "mixed"),
+                  R::N("sessions", static_cast<double>(sessions)),
+                  R::N("requests", static_cast<double>(requests)),
+                  R::N("qps", qps), R::N("p50_ms", p50), R::N("p99_ms", p99),
+                  R::N("rejection_rate", rejection_rate),
+                  R::N("identical", identical ? 1 : 0)});
+  }
+
+  // ---- overload: queue of zero, one slot, four hammering clients ----
+  {
+    serve::ServerOptions so;
+    so.max_concurrent = 1;
+    so.max_queue = 0;
+    serve::Server server(so);
+    if (!server.Start().ok()) return 1;
+
+    constexpr size_t kClients = 4;
+    constexpr size_t kPerClient = 8;
+    std::atomic<size_t> rejected{0};
+    std::atomic<size_t> accepted{0};
+    std::vector<std::thread> clients;
+    for (size_t c = 0; c < kClients; ++c) {
+      clients.emplace_back([&, c] {
+        std::string sid = "o" + std::to_string(c);
+        serve::LineClient client;
+        if (!client.Connect(server.port()).ok() ||
+            !client.Call("open " + sid).ok()) {
+          return;
+        }
+        for (size_t i = 0; i < kPerClient; ++i) {
+          auto resp = client.Call("cmd " + sid + " sleep 25");
+          if (!resp.ok()) continue;
+          if (resp->code == "Overloaded") {
+            rejected.fetch_add(1);
+          } else if (resp->ok) {
+            accepted.fetch_add(1);
+          }
+        }
+      });
+    }
+    for (auto& t : clients) t.join();
+    server.metrics().MergeInto(&obs::DefaultMetrics(), "");
+    server.Stop();
+
+    size_t requests = kClients * kPerClient;
+    double rejection_rate =
+        static_cast<double>(rejected.load()) / static_cast<double>(requests);
+    std::printf(
+        "overload: %zu requests at max_concurrent=1/max_queue=0 -> "
+        "%zu accepted, %zu rejected (rate %.2f)\n",
+        requests, accepted.load(), rejected.load(), rejection_rate);
+    if (rejected.load() == 0) {
+      std::fprintf(stderr,
+                   "FAIL: overload phase produced no typed rejections\n");
+      failed = true;
+    }
+    reporter.Row({R::S("case", "overload"),
+                  R::N("requests", static_cast<double>(requests)),
+                  R::N("rejected_any", rejected.load() > 0 ? 1 : 0),
+                  R::N("rejection_rate", rejection_rate)});
+  }
+
+  // ---- deadline: expiry both while queued and while executing ----
+  {
+    serve::ServerOptions so;
+    so.max_concurrent = 1;
+    so.max_queue = 8;
+    serve::Server server(so);
+    if (!server.Start().ok()) return 1;
+
+    serve::LineClient occupant;
+    occupant.Connect(server.port());
+    occupant.Call("open d0");
+    occupant.Send("cmd d0 sleep 300");  // occupies the single slot
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+    constexpr size_t kWaiters = 3;
+    std::atomic<size_t> honored{0};
+    std::vector<std::thread> waiters;
+    for (size_t c = 0; c < kWaiters; ++c) {
+      waiters.emplace_back([&, c] {
+        std::string sid = "d" + std::to_string(c + 1);
+        serve::LineClient client;
+        if (!client.Connect(server.port()).ok() ||
+            !client.Call("open " + sid).ok()) {
+          return;
+        }
+        // Queued behind the 300 ms occupant with a 25 ms budget: must
+        // come back DeadlineExceeded without the command ever starting.
+        auto resp = client.Call("cmd " + sid + " --deadline-ms 25 sleep 200");
+        if (resp.ok() && resp->code == "DeadlineExceeded") honored.fetch_add(1);
+      });
+    }
+    for (auto& t : waiters) t.join();
+    auto long_resp = occupant.ReadLine();  // drain the occupant's response
+
+    // Expiry while executing: slot is free now, the command itself
+    // overruns its budget and is stopped by the deadline poller.
+    auto exec_resp = occupant.Call("cmd d0 --deadline-ms 25 sleep 200");
+    bool exec_honored =
+        exec_resp.ok() && exec_resp->code == "DeadlineExceeded";
+    if (exec_honored) honored.fetch_add(1);
+
+    occupant.Close();
+    server.metrics().MergeInto(&obs::DefaultMetrics(), "");
+    server.Stop();
+
+    size_t requests = kWaiters + 1;
+    bool all_honored = honored.load() == requests && long_resp.ok();
+    std::printf("deadline: %zu/%zu bounded requests returned "
+                "DeadlineExceeded (queued + executing)\n",
+                honored.load(), requests);
+    if (!all_honored) {
+      std::fprintf(stderr, "FAIL: deadline phase missed a deadline\n");
+      failed = true;
+    }
+    reporter.Row({R::S("case", "deadline"),
+                  R::N("requests", static_cast<double>(requests)),
+                  R::N("deadline_honored", all_honored ? 1 : 0)});
+  }
+
+  reporter.Finish();
+  return failed ? 1 : 0;
+}

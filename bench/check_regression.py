@@ -12,11 +12,14 @@ e.g. "case" or "task"). Two classes of numeric fields are checked:
   * Deterministic counts (ops, join_pairs, distinct, entries, hits,
     converged, exact, ...) must match the baseline exactly — the
     workloads are seeded, so any drift is a behaviour change, not noise.
-  * Timings (seconds, ns_per_op, wall_seconds, *_minutes) may regress by
-    at most --tolerance (fraction over baseline; default 0.5 = 50%
-    slower) before the check fails. Improvements never fail. Derived
-    speedup ratios are reported but not gated (they move with both
-    numerator and denominator).
+  * Timings (seconds, ns_per_op, wall_seconds, *_minutes, *_ms) may
+    regress by at most --tolerance (fraction over baseline; default 0.5 =
+    50% slower) before the check fails. Improvements never fail. Derived
+    speedup ratios and *_rate fractions are reported but not gated (they
+    move with both numerator and denominator / with machine load).
+  * Throughputs (qps, *_per_second) are gated in the opposite direction:
+    the check fails when the fresh value drops below
+    baseline / (1 + tolerance); higher is always fine.
 
 The default baseline is bench/baselines/<basename of NEW>. Exit code 0
 on pass, 1 on regression/mismatch, 2 on usage or I/O errors. Stdlib
@@ -30,12 +33,23 @@ import re
 import sys
 
 TIMING_KEYS = ("seconds", "ns_per_op", "wall_seconds")
-TIMING_SUFFIXES = ("_seconds", "_minutes")
+TIMING_SUFFIXES = ("_seconds", "_minutes", "_ms")
+RATE_KEYS = ("qps",)
+RATE_SUFFIXES = ("_per_second",)
 UNGATED_KEYS = ("speedup",)
+UNGATED_SUFFIXES = ("_rate",)
 
 
 def is_timing(key):
     return key in TIMING_KEYS or key.endswith(TIMING_SUFFIXES)
+
+
+def is_rate(key):
+    return key in RATE_KEYS or key.endswith(RATE_SUFFIXES)
+
+
+def is_ungated(key):
+    return key in UNGATED_KEYS or key.endswith(UNGATED_SUFFIXES)
 
 
 def row_identity(row):
@@ -202,6 +216,20 @@ def main():
             )
         print(f"  {label}.{key}: {base_v:.6g} -> {new_v:.6g} ({ratio:.2f}x) {verdict}")
 
+    def check_rate(label, key, base_v, new_v, tolerance):
+        # Throughput: lower is worse, so the floor is baseline/(1+tol).
+        if base_v <= 0:
+            return
+        ratio = new_v / base_v
+        verdict = "ok"
+        if ratio < 1 / (1 + tolerance):
+            verdict = "REGRESSION"
+            failures.append(
+                f"{label}.{key}: {new_v:.6g} vs baseline {base_v:.6g} "
+                f"({ratio:.2f}x, floor {1 / (1 + tolerance):.2f}x)"
+            )
+        print(f"  {label}.{key}: {base_v:.6g} -> {new_v:.6g} ({ratio:.2f}x) {verdict}")
+
     print(f"baseline {baseline_path}")
     print(f"fresh    {args.fresh}")
     check_timing(
@@ -225,10 +253,12 @@ def main():
             if not isinstance(new_v, (int, float)):
                 failures.append(f"{label}.{key}: missing from fresh results")
                 continue
-            if key in UNGATED_KEYS:
+            if is_ungated(key):
                 print(f"  {label}.{key}: {base_v:.6g} -> {new_v:.6g} (ungated)")
             elif is_timing(key):
                 check_timing(label, key, float(base_v), float(new_v), args.tolerance)
+            elif is_rate(key):
+                check_rate(label, key, float(base_v), float(new_v), args.tolerance)
             elif new_v != base_v:
                 failures.append(
                     f"{label}.{key}: count {new_v:.6g} != baseline {base_v:.6g} "

@@ -14,357 +14,71 @@
 //   iflex> run
 //
 // Also scriptable: ./examples/iflex_shell < script.iflex
+//
+// The command grammar lives in serve::CommandInterpreter — the same core
+// iflexd hosts behind its wire protocol (docs/SERVING.md); this file is
+// only the stdin/stdout surface around it.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <fstream>
 #include <iostream>
 #include <memory>
-#include <sstream>
+#include <string>
+#include <thread>
 
-#include "common/strutil.h"
-#include "resilience/deadline.h"
-#include "resilience/failpoint.h"
-#include "datagen/books.h"
-#include "datagen/dblife.h"
-#include "datagen/dblp.h"
-#include "datagen/movies.h"
-#include "exec/executor.h"
-#include "obs/cost_model.h"
-#include "obs/metrics.h"
-#include "obs/openmetrics.h"
 #include "obs/trace.h"
+#include "resilience/failpoint.h"
 #include "runtime/task_pool.h"
-#include "text/markup_parser.h"
+#include "serve/command_interpreter.h"
 
 using namespace iflex;
 
 namespace {
 
-class Shell {
- public:
-  /// `threads == 0` sizes the pool to the hardware; 1 runs serial (no
-  /// pool at all). Executions are bit-identical at any setting.
-  Shell(size_t threads, int64_t deadline_ms) : catalog_(&corpus_) {
-    catalog_.RegisterBuiltinFunctions();
-    if (threads == 0) threads = std::thread::hardware_concurrency();
-    if (threads > 1) pool_ = std::make_unique<runtime::TaskPool>(threads);
-    deadline_ms_ = deadline_ms;
-  }
+const char kFlagsHelp[] =
+    "flags: --threads N  pool width for run (default: hardware\n"
+    "       concurrency; 1 = serial; results are identical)\n"
+    "       --trace-out <file>  write a chrome://tracing JSON on exit\n"
+    "       --deadline-ms N     time bound on each run command\n"
+    "       --fail <spec>       arm fail points (IFLEX_FAILPOINTS "
+    "syntax)\n";
 
-  /// Exits nonzero when any command failed, so scripted runs
-  /// (./iflex_shell < script.iflex) compose with `&&` and CI.
-  int Run() {
-    std::string line;
-    Prompt();
-    while (std::getline(std::cin, line)) {
-      Status st = Dispatch(line);
-      if (!st.ok()) {
-        std::printf("error: %s\n", st.ToString().c_str());
-        had_error_ = true;
-      }
-      if (done_) break;
-      Prompt();
+/// Exits nonzero when any command failed, so scripted runs
+/// (./iflex_shell < script.iflex) compose with `&&` and CI.
+int RunShell(size_t threads, int64_t deadline_ms) {
+  if (threads == 0) threads = std::thread::hardware_concurrency();
+  std::unique_ptr<runtime::TaskPool> pool;
+  if (threads > 1) pool = std::make_unique<runtime::TaskPool>(threads);
+
+  serve::InterpreterOptions options;
+  options.pool = pool.get();
+  options.default_deadline_ms = deadline_ms;
+  serve::CommandInterpreter interpreter(options);
+
+  bool had_error = false;
+  std::string line;
+  std::printf("iflex> ");
+  std::fflush(stdout);
+  while (std::getline(std::cin, line)) {
+    serve::CommandOutcome outcome = interpreter.Interpret(line);
+    if (line.substr(0, 4) == "help") outcome.output += kFlagsHelp;
+    std::fputs(outcome.output.c_str(), stdout);
+    if (!outcome.status.ok()) {
+      std::printf("error: %s\n", outcome.status.ToString().c_str());
+      had_error = true;
     }
-    return had_error_ ? 1 : 0;
-  }
-
- private:
-  void Prompt() {
+    if (outcome.quit) break;
     std::printf("iflex> ");
     std::fflush(stdout);
   }
-
-  Status Dispatch(const std::string& line) {
-    std::istringstream in(line);
-    std::string cmd;
-    in >> cmd;
-    if (cmd.empty() || cmd[0] == '#') return Status::OK();
-    if (cmd == "quit" || cmd == "exit") {
-      done_ = true;
-      return Status::OK();
-    }
-    if (cmd == "help") return Help();
-    if (cmd == "gen") return Gen(in);
-    if (cmd == "load") return Load(in);
-    if (cmd == "declare") return Declare(in);
-    if (cmd == "rule") return AddRule(line.substr(5));
-    if (cmd == "program") {
-      std::printf("%s", program_src_.c_str());
-      return Status::OK();
-    }
-    if (cmd == "clear") {
-      program_src_.clear();
-      return Status::OK();
-    }
-    if (cmd == "query") {
-      in >> query_;
-      return Status::OK();
-    }
-    if (cmd == "tables") return Tables();
-    if (cmd == "constrain") return Constrain(in);
-    if (cmd == "run") return Execute();
-    if (cmd == "trace") {
-      std::printf("%s", obs::DefaultTracer().SummaryTree().c_str());
-      return Status::OK();
-    }
-    if (cmd == "explain") return Explain();
-    if (cmd == "telemetry") return Telemetry(in);
-    return Status::InvalidArgument("unknown command '" + cmd +
-                                   "' (try: help)");
-  }
-
-  Status Help() {
-    std::printf(
-        "commands:\n"
-        "  gen movies|dblp|books|dblife    generate a synthetic domain\n"
-        "  load <table> <file> [...]       load markup files into a table\n"
-        "  declare <iepred> <nin> <nout>   declare an IE predicate\n"
-        "  rule <alog rule ending in '.'>  append a rule to the program\n"
-        "  program | clear                 show / reset the program text\n"
-        "  query <predicate>               set the query predicate\n"
-        "  constrain <iepred> <idx> <feature> [param] [value]\n"
-        "                                  add a domain constraint\n"
-        "  run                             execute and print the result\n"
-        "  trace                           print the recorded span tree\n"
-        "  explain                         enable the attribution profiler\n"
-        "                                  / print the (rule, operator)\n"
-        "                                  cost table of the runs so far\n"
-        "  telemetry [file]                print (or write) the metric\n"
-        "                                  registry as OpenMetrics text\n"
-        "  tables                          list extensional tables\n"
-        "  quit\n"
-        "flags: --threads N  pool width for run (default: hardware\n"
-        "       concurrency; 1 = serial; results are identical)\n"
-        "       --trace-out <file>  write a chrome://tracing JSON on exit\n"
-        "       --deadline-ms N     time bound on each run command\n"
-        "       --fail <spec>       arm fail points (IFLEX_FAILPOINTS "
-        "syntax)\n");
-    return Status::OK();
-  }
-
-  Status Gen(std::istringstream& in) {
-    std::string domain;
-    in >> domain;
-    auto add_table = [this](const char* name,
-                            const std::vector<DocId>& docs) -> Status {
-      CompactTable t({"x"});
-      for (DocId d : docs) {
-        CompactTuple tup;
-        tup.cells.push_back(Cell::Exact(Value::Doc(d)));
-        t.Add(std::move(tup));
-      }
-      return catalog_.AddTable(name, std::move(t));
-    };
-    if (domain == "movies") {
-      MoviesSpec spec;
-      spec.n_imdb = 50;
-      spec.n_ebert = 50;
-      spec.n_prasanna = 50;
-      spec.n_shared = 10;
-      MoviesData data = GenerateMovies(&corpus_, spec);
-      std::vector<DocId> imdb, ebert, prasanna;
-      for (const auto& m : data.imdb) imdb.push_back(m.doc);
-      for (const auto& m : data.ebert) ebert.push_back(m.doc);
-      for (const auto& m : data.prasanna) prasanna.push_back(m.doc);
-      IFLEX_RETURN_NOT_OK(add_table("imdbPages", imdb));
-      IFLEX_RETURN_NOT_OK(add_table("ebertPages", ebert));
-      return add_table("prasannaPages", prasanna);
-    }
-    if (domain == "dblp") {
-      DblpSpec spec;
-      spec.n_garcia = 40;
-      spec.n_vldb = 60;
-      spec.n_sigmod = 40;
-      spec.n_icde = 40;
-      spec.n_shared_teams = 8;
-      DblpData data = GenerateDblp(&corpus_, spec);
-      std::vector<DocId> garcia, vldb, sigmod, icde;
-      for (const auto& p : data.garcia) garcia.push_back(p.doc);
-      for (const auto& p : data.vldb) vldb.push_back(p.doc);
-      for (const auto& p : data.sigmod) sigmod.push_back(p.doc);
-      for (const auto& p : data.icde) icde.push_back(p.doc);
-      IFLEX_RETURN_NOT_OK(add_table("garciaPages", garcia));
-      IFLEX_RETURN_NOT_OK(add_table("vldbPages", vldb));
-      IFLEX_RETURN_NOT_OK(add_table("sigmodPages", sigmod));
-      return add_table("icdePages", icde);
-    }
-    if (domain == "books") {
-      BooksSpec spec;
-      spec.n_amazon = 60;
-      spec.n_barnes = 80;
-      spec.n_shared = 15;
-      BooksData data = GenerateBooks(&corpus_, spec);
-      std::vector<DocId> amazon, barnes;
-      for (const auto& b : data.amazon) amazon.push_back(b.doc);
-      for (const auto& b : data.barnes) barnes.push_back(b.doc);
-      IFLEX_RETURN_NOT_OK(add_table("amazonPages", amazon));
-      return add_table("barnesPages", barnes);
-    }
-    if (domain == "dblife") {
-      DblifeData data = GenerateDblife(&corpus_, DblifeSpec{});
-      return add_table("docs", data.all_docs);
-    }
-    return Status::InvalidArgument("unknown domain " + domain);
-  }
-
-  Status Load(std::istringstream& in) {
-    std::string table;
-    in >> table;
-    if (table.empty()) {
-      return Status::InvalidArgument("usage: load <table> <file> [...]");
-    }
-    CompactTable t({"x"});
-    std::string path;
-    while (in >> path) {
-      std::ifstream file(path);
-      if (!file) return Status::NotFound("cannot open " + path);
-      std::stringstream buf;
-      buf << file.rdbuf();
-      IFLEX_ASSIGN_OR_RETURN(Document doc, ParseMarkup(path, buf.str()));
-      DocId d = corpus_.Add(std::move(doc));
-      CompactTuple tup;
-      tup.cells.push_back(Cell::Exact(Value::Doc(d)));
-      t.Add(std::move(tup));
-    }
-    std::printf("loaded %zu document(s) into %s\n", t.size(), table.c_str());
-    return catalog_.AddTable(table, std::move(t));
-  }
-
-  Status Declare(std::istringstream& in) {
-    std::string name;
-    size_t nin = 0, nout = 0;
-    in >> name >> nin >> nout;
-    return catalog_.DeclareIEPredicate(name, nin, nout);
-  }
-
-  Status AddRule(const std::string& rule) {
-    program_src_ += rule;
-    program_src_ += "\n";
-    return Status::OK();
-  }
-
-  Status Tables() {
-    for (const std::string& name : catalog_.TableNames()) {
-      std::printf("  %s (%zu tuples)\n", name.c_str(),
-                  (*catalog_.Table(name))->size());
-    }
-    return Status::OK();
-  }
-
-  Status Constrain(std::istringstream& in) {
-    std::string pred, feature, token;
-    size_t idx = 0;
-    in >> pred >> idx >> feature;
-    if (feature.empty()) {
-      return Status::InvalidArgument(
-          "usage: constrain <iepred> <idx> <feature> [param] [value]");
-    }
-    FeatureParam param;
-    FeatureValue value = FeatureValue::kYes;
-    while (in >> token) {
-      auto fv = FeatureValueFromString(token);
-      if (fv.ok()) {
-        value = *fv;
-      } else if (auto n = ParseLooseNumber(token)) {
-        param = FeatureParam::Num(*n);
-      } else {
-        param = FeatureParam::Str(token);
-      }
-    }
-    IFLEX_ASSIGN_OR_RETURN(Program prog, CurrentProgram());
-    IFLEX_RETURN_NOT_OK(
-        prog.AddConstraint(catalog_, pred, idx, feature, param, value));
-    program_src_ = prog.ToString();
-    std::printf("program is now:\n%s", program_src_.c_str());
-    return Status::OK();
-  }
-
-  Result<Program> CurrentProgram() {
-    if (program_src_.empty()) {
-      return Status::InvalidArgument("no rules yet (use: rule ...)");
-    }
-    IFLEX_ASSIGN_OR_RETURN(Program prog,
-                           ParseProgram(program_src_, catalog_));
-    if (!query_.empty()) prog.set_query(query_);
-    return prog;
-  }
-
-  Status Explain() {
-    obs::CostModel& model = obs::DefaultCostModel();
-    if (!model.enabled()) {
-      model.set_enabled(true);
-      std::printf(
-          "attribution profiler enabled; 'run' then 'explain' again\n");
-      return Status::OK();
-    }
-    obs::ExplainReport report = model.Report();
-    if (report.empty()) {
-      std::printf("nothing charged yet (profiler is on; try 'run')\n");
-      return Status::OK();
-    }
-    std::printf("%s", report.ToText().c_str());
-    return Status::OK();
-  }
-
-  Status Telemetry(std::istringstream& in) {
-    obs::OpenMetricsOptions options;
-    options.labels["scenario"] = "iflex_shell";
-    options.labels["threads"] =
-        std::to_string(pool_ != nullptr ? pool_->thread_count() : 1);
-    std::string path;
-    in >> path;
-    if (path.empty()) {
-      std::printf("%s", obs::ToOpenMetrics(obs::DefaultMetrics(),
-                                           options).c_str());
-      return Status::OK();
-    }
-    if (!obs::WriteOpenMetrics(obs::DefaultMetrics(), path, options)) {
-      return Status::NotFound("cannot write " + path);
-    }
-    std::printf("wrote %s\n", path.c_str());
-    return Status::OK();
-  }
-
-  Status Execute() {
-    IFLEX_ASSIGN_OR_RETURN(Program prog, CurrentProgram());
-    ExecOptions options;
-    options.pool = pool_.get();
-    // Shared registry so the telemetry command sees the runs' counters.
-    options.metrics = &obs::DefaultMetrics();
-    if (deadline_ms_ > 0) {
-      options.deadline = resilience::Deadline::AfterMillis(deadline_ms_);
-    }
-    Executor exec(catalog_, options);
-    IFLEX_ASSIGN_OR_RETURN(CompactTable result, exec.Execute(prog));
-    std::printf("%zu compact tuple(s), ~%.0f candidate tuple(s)\n",
-                result.size(), result.ExpandedTupleCount(corpus_));
-    size_t shown = 0;
-    for (const CompactTuple& t : result.tuples()) {
-      if (shown++ >= 10) {
-        std::printf("  ... (%zu more)\n", result.size() - 10);
-        break;
-      }
-      std::printf("  %s\n", t.ToString(&corpus_).c_str());
-    }
-    return Status::OK();
-  }
-
-  Corpus corpus_;
-  Catalog catalog_;
-  std::unique_ptr<runtime::TaskPool> pool_;
-  std::string program_src_;
-  std::string query_;
-  int64_t deadline_ms_ = 0;
-  bool done_ = false;
-  bool had_error_ = false;
-};
+  return had_error ? 1 : 0;
+}
 
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string trace_out;
-  size_t threads = 0;  // 0 = hardware concurrency
+  size_t threads = 0;       // 0 = hardware concurrency
   int64_t deadline_ms = 0;  // 0 = no deadline
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
@@ -385,7 +99,7 @@ int main(int argc, char** argv) {
     }
   }
   if (!trace_out.empty()) iflex::obs::DefaultTracer().set_enabled(true);
-  int rc = Shell(threads, deadline_ms).Run();
+  int rc = RunShell(threads, deadline_ms);
   if (!trace_out.empty()) {
     if (iflex::obs::DefaultTracer().WriteChromeJson(trace_out)) {
       std::fprintf(stderr, "wrote trace %s (open in chrome://tracing)\n",

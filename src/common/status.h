@@ -23,12 +23,15 @@ enum class StatusCode {
   kDeadlineExceeded,
   /// The operation was cancelled through a CancellationToken.
   kCancelled,
+  /// The server's admission limit is reached and its bounded queue is
+  /// full; the request was rejected, not queued. Retry later.
+  kOverloaded,
 };
 
 /// Number of StatusCode values; keep in sync with the enum. Tests assert
 /// StatusCodeToString covers exactly this many codes.
 inline constexpr int kNumStatusCodes =
-    static_cast<int>(StatusCode::kCancelled) + 1;
+    static_cast<int>(StatusCode::kOverloaded) + 1;
 
 /// Returns a human-readable name for a status code (e.g. "ParseError").
 const char* StatusCodeToString(StatusCode code);
@@ -75,6 +78,9 @@ class Status {
   }
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status Overloaded(std::string msg) {
+    return Status(StatusCode::kOverloaded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

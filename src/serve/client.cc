@@ -1,0 +1,97 @@
+#include "serve/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace iflex {
+namespace serve {
+
+Status LineClient::Connect(uint16_t port) {
+  Close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) return Status::Internal("socket: " + std::string(strerror(errno)));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status st = Status::Internal("connect: " + std::string(strerror(errno)));
+    Close();
+    return st;
+  }
+  int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  buffer_.clear();
+  return Status::OK();
+}
+
+Status LineClient::Send(const std::string& line) {
+  return SendRaw(line + "\n");
+}
+
+Status LineClient::SendRaw(const std::string& bytes) {
+  if (fd_ < 0) return Status::Internal("not connected");
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+#ifdef MSG_NOSIGNAL
+    ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                       MSG_NOSIGNAL);
+#else
+    ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent, 0);
+#endif
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return Status::Internal("send: " + std::string(strerror(errno)));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Result<std::string> LineClient::ReadLine() {
+  if (fd_ < 0) return Status::Internal("not connected");
+  while (true) {
+    size_t nl = buffer_.find('\n');
+    if (nl != std::string::npos) {
+      std::string line = buffer_.substr(0, nl);
+      buffer_.erase(0, nl + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return line;
+    }
+    char chunk[4096];
+    ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n == 0) return Status::NotFound("connection closed by server");
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal("recv: " + std::string(strerror(errno)));
+    }
+    buffer_.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+Result<ParsedResponse> LineClient::Call(const std::string& line) {
+  IFLEX_RETURN_NOT_OK(Send(line));
+  IFLEX_ASSIGN_OR_RETURN(std::string raw, ReadLine());
+  return ParseResponse(raw);
+}
+
+void LineClient::ShutdownWrite() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+}
+
+void LineClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buffer_.clear();
+}
+
+}  // namespace serve
+}  // namespace iflex

@@ -1,0 +1,58 @@
+#ifndef IFLEX_SERVE_CLIENT_H_
+#define IFLEX_SERVE_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "serve/wire.h"
+
+namespace iflex {
+namespace serve {
+
+/// Minimal blocking client for the iflexd line protocol: one TCP
+/// connection, newline-delimited requests out, one-line JSON responses
+/// in. Used by the serving load driver (bench/bench_serve.cc), the serve
+/// tests, and any script-side tooling. Not thread-safe.
+class LineClient {
+ public:
+  LineClient() = default;
+  ~LineClient() { Close(); }
+
+  LineClient(const LineClient&) = delete;
+  LineClient& operator=(const LineClient&) = delete;
+
+  /// Connects to 127.0.0.1:port.
+  Status Connect(uint16_t port);
+
+  /// Sends `line` + '\n'.
+  Status Send(const std::string& line);
+
+  /// Sends bytes verbatim, no framing — the tests use this to leave a
+  /// partial (truncated) frame on the wire.
+  Status SendRaw(const std::string& bytes);
+
+  /// Blocks for the next response line (newline stripped). kNotFound on
+  /// clean EOF, kInternal on socket errors.
+  Result<std::string> ReadLine();
+
+  /// Send + ReadLine + ParseResponse in one step.
+  Result<ParsedResponse> Call(const std::string& line);
+
+  /// Half-closes the write side (the server sees EOF after any buffered
+  /// bytes) — the tests use this to produce truncated frames.
+  void ShutdownWrite();
+
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+}  // namespace serve
+}  // namespace iflex
+
+#endif  // IFLEX_SERVE_CLIENT_H_

@@ -1,0 +1,380 @@
+#include "serve/command_interpreter.h"
+
+#include <chrono>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "common/strutil.h"
+#include "datagen/books.h"
+#include "datagen/dblife.h"
+#include "datagen/dblp.h"
+#include "datagen/movies.h"
+#include "exec/executor.h"
+#include "obs/cost_model.h"
+#include "obs/openmetrics.h"
+#include "obs/trace.h"
+#include "runtime/task_pool.h"
+#include "text/markup_parser.h"
+
+namespace iflex {
+namespace serve {
+
+CommandInterpreter::CommandInterpreter(InterpreterOptions options)
+    : options_(std::move(options)), catalog_(&corpus_) {
+  catalog_.RegisterBuiltinFunctions();
+}
+
+obs::MetricRegistry& CommandInterpreter::metrics() const {
+  return options_.metrics != nullptr ? *options_.metrics
+                                     : obs::DefaultMetrics();
+}
+
+resilience::Deadline CommandInterpreter::EffectiveDeadline(
+    const resilience::Deadline& request) const {
+  if (!request.IsNever()) return request;
+  if (options_.default_deadline_ms > 0) {
+    return resilience::Deadline::AfterMillis(options_.default_deadline_ms);
+  }
+  return resilience::Deadline::Never();
+}
+
+CommandOutcome CommandInterpreter::Interpret(
+    const std::string& line, const resilience::Deadline& deadline) {
+  CommandOutcome outcome;
+  std::istringstream in(line);
+  std::string cmd;
+  in >> cmd;
+  if (cmd.empty() || cmd[0] == '#') return outcome;
+  if (cmd == "quit" || cmd == "exit") {
+    outcome.quit = true;
+    return outcome;
+  }
+  if (cmd == "help") {
+    outcome.output = HelpText();
+    return outcome;
+  }
+  if (cmd == "gen") {
+    outcome.status = Gen(in, &outcome.output);
+    return outcome;
+  }
+  if (cmd == "load") {
+    outcome.status = Load(in, &outcome.output);
+    return outcome;
+  }
+  if (cmd == "declare") {
+    outcome.status = Declare(in);
+    return outcome;
+  }
+  if (cmd == "rule") {
+    program_src_ += line.substr(5);
+    program_src_ += "\n";
+    return outcome;
+  }
+  if (cmd == "program") {
+    outcome.output = program_src_;
+    return outcome;
+  }
+  if (cmd == "clear") {
+    program_src_.clear();
+    return outcome;
+  }
+  if (cmd == "query") {
+    in >> query_;
+    return outcome;
+  }
+  if (cmd == "tables") {
+    outcome.status = Tables(&outcome.output);
+    return outcome;
+  }
+  if (cmd == "constrain") {
+    outcome.status = Constrain(in, &outcome.output);
+    return outcome;
+  }
+  if (cmd == "run") {
+    outcome.status = Execute(EffectiveDeadline(deadline), &outcome.output);
+    // The executor filled last_report_ even on the error path (deadline /
+    // cancel dumps the flight recorder); surface it either way.
+    outcome.degraded = last_report_.degraded;
+    outcome.flight_recorder = last_report_.flight_recorder;
+    return outcome;
+  }
+  if (cmd == "trace") {
+    outcome.output = obs::DefaultTracer().SummaryTree();
+    return outcome;
+  }
+  if (cmd == "explain") {
+    outcome.status = Explain(&outcome.output);
+    return outcome;
+  }
+  if (cmd == "telemetry") {
+    outcome.status = Telemetry(in, &outcome.output);
+    return outcome;
+  }
+  if (cmd == "sleep") {
+    outcome.status = Sleep(in, EffectiveDeadline(deadline));
+    return outcome;
+  }
+  outcome.status =
+      Status::InvalidArgument("unknown command '" + cmd + "' (try: help)");
+  return outcome;
+}
+
+std::string CommandInterpreter::HelpText() {
+  return
+      "commands:\n"
+      "  gen movies|dblp|books|dblife    generate a synthetic domain\n"
+      "  load <table> <file> [...]       load markup files into a table\n"
+      "  declare <iepred> <nin> <nout>   declare an IE predicate\n"
+      "  rule <alog rule ending in '.'>  append a rule to the program\n"
+      "  program | clear                 show / reset the program text\n"
+      "  query <predicate>               set the query predicate\n"
+      "  constrain <iepred> <idx> <feature> [param] [value]\n"
+      "                                  add a domain constraint\n"
+      "  run                             execute and print the result\n"
+      "  trace                           print the recorded span tree\n"
+      "  explain                         enable the attribution profiler\n"
+      "                                  / print the (rule, operator)\n"
+      "                                  cost table of the runs so far\n"
+      "  telemetry [file]                print (or write) the metric\n"
+      "                                  registry as OpenMetrics text\n"
+      "  tables                          list extensional tables\n"
+      "  sleep <ms>                      hold the session busy (deadline-\n"
+      "                                  aware; load tests / admission)\n"
+      "  quit\n";
+}
+
+Status CommandInterpreter::Gen(std::istringstream& in, std::string* out) {
+  std::string domain;
+  in >> domain;
+  auto add_table = [this](const char* name,
+                          const std::vector<DocId>& docs) -> Status {
+    CompactTable t({"x"});
+    for (DocId d : docs) {
+      CompactTuple tup;
+      tup.cells.push_back(Cell::Exact(Value::Doc(d)));
+      t.Add(std::move(tup));
+    }
+    return catalog_.AddTable(name, std::move(t));
+  };
+  if (domain == "movies") {
+    MoviesSpec spec;
+    spec.n_imdb = 50;
+    spec.n_ebert = 50;
+    spec.n_prasanna = 50;
+    spec.n_shared = 10;
+    MoviesData data = GenerateMovies(&corpus_, spec);
+    std::vector<DocId> imdb, ebert, prasanna;
+    for (const auto& m : data.imdb) imdb.push_back(m.doc);
+    for (const auto& m : data.ebert) ebert.push_back(m.doc);
+    for (const auto& m : data.prasanna) prasanna.push_back(m.doc);
+    IFLEX_RETURN_NOT_OK(add_table("imdbPages", imdb));
+    IFLEX_RETURN_NOT_OK(add_table("ebertPages", ebert));
+    IFLEX_RETURN_NOT_OK(add_table("prasannaPages", prasanna));
+  } else if (domain == "dblp") {
+    DblpSpec spec;
+    spec.n_garcia = 40;
+    spec.n_vldb = 60;
+    spec.n_sigmod = 40;
+    spec.n_icde = 40;
+    spec.n_shared_teams = 8;
+    DblpData data = GenerateDblp(&corpus_, spec);
+    std::vector<DocId> garcia, vldb, sigmod, icde;
+    for (const auto& p : data.garcia) garcia.push_back(p.doc);
+    for (const auto& p : data.vldb) vldb.push_back(p.doc);
+    for (const auto& p : data.sigmod) sigmod.push_back(p.doc);
+    for (const auto& p : data.icde) icde.push_back(p.doc);
+    IFLEX_RETURN_NOT_OK(add_table("garciaPages", garcia));
+    IFLEX_RETURN_NOT_OK(add_table("vldbPages", vldb));
+    IFLEX_RETURN_NOT_OK(add_table("sigmodPages", sigmod));
+    IFLEX_RETURN_NOT_OK(add_table("icdePages", icde));
+  } else if (domain == "books") {
+    BooksSpec spec;
+    spec.n_amazon = 60;
+    spec.n_barnes = 80;
+    spec.n_shared = 15;
+    BooksData data = GenerateBooks(&corpus_, spec);
+    std::vector<DocId> amazon, barnes;
+    for (const auto& b : data.amazon) amazon.push_back(b.doc);
+    for (const auto& b : data.barnes) barnes.push_back(b.doc);
+    IFLEX_RETURN_NOT_OK(add_table("amazonPages", amazon));
+    IFLEX_RETURN_NOT_OK(add_table("barnesPages", barnes));
+  } else if (domain == "dblife") {
+    DblifeData data = GenerateDblife(&corpus_, DblifeSpec{});
+    IFLEX_RETURN_NOT_OK(add_table("docs", data.all_docs));
+  } else {
+    return Status::InvalidArgument("unknown domain " + domain);
+  }
+  *out = StringPrintf("generated %s (%zu documents)\n", domain.c_str(),
+                      corpus_.size());
+  return Status::OK();
+}
+
+Status CommandInterpreter::Load(std::istringstream& in, std::string* out) {
+  std::string table;
+  in >> table;
+  if (table.empty()) {
+    return Status::InvalidArgument("usage: load <table> <file> [...]");
+  }
+  CompactTable t({"x"});
+  std::string path;
+  while (in >> path) {
+    std::ifstream file(path);
+    if (!file) return Status::NotFound("cannot open " + path);
+    std::stringstream buf;
+    buf << file.rdbuf();
+    IFLEX_ASSIGN_OR_RETURN(Document doc, ParseMarkup(path, buf.str()));
+    DocId d = corpus_.Add(std::move(doc));
+    CompactTuple tup;
+    tup.cells.push_back(Cell::Exact(Value::Doc(d)));
+    t.Add(std::move(tup));
+  }
+  *out = StringPrintf("loaded %zu document(s) into %s\n", t.size(),
+                      table.c_str());
+  return catalog_.AddTable(table, std::move(t));
+}
+
+Status CommandInterpreter::Declare(std::istringstream& in) {
+  std::string name;
+  size_t nin = 0, nout = 0;
+  in >> name >> nin >> nout;
+  return catalog_.DeclareIEPredicate(name, nin, nout);
+}
+
+Status CommandInterpreter::Tables(std::string* out) {
+  for (const std::string& name : catalog_.TableNames()) {
+    *out += StringPrintf("  %s (%zu tuples)\n", name.c_str(),
+                         (*catalog_.Table(name))->size());
+  }
+  return Status::OK();
+}
+
+Status CommandInterpreter::Constrain(std::istringstream& in,
+                                     std::string* out) {
+  std::string pred, feature, token;
+  size_t idx = 0;
+  in >> pred >> idx >> feature;
+  if (feature.empty()) {
+    return Status::InvalidArgument(
+        "usage: constrain <iepred> <idx> <feature> [param] [value]");
+  }
+  FeatureParam param;
+  FeatureValue value = FeatureValue::kYes;
+  while (in >> token) {
+    auto fv = FeatureValueFromString(token);
+    if (fv.ok()) {
+      value = *fv;
+    } else if (auto n = ParseLooseNumber(token)) {
+      param = FeatureParam::Num(*n);
+    } else {
+      param = FeatureParam::Str(token);
+    }
+  }
+  IFLEX_ASSIGN_OR_RETURN(Program prog, CurrentProgram());
+  IFLEX_RETURN_NOT_OK(
+      prog.AddConstraint(catalog_, pred, idx, feature, param, value));
+  program_src_ = prog.ToString();
+  *out = "program is now:\n" + program_src_;
+  return Status::OK();
+}
+
+Result<Program> CommandInterpreter::CurrentProgram() {
+  if (program_src_.empty()) {
+    return Status::InvalidArgument("no rules yet (use: rule ...)");
+  }
+  IFLEX_ASSIGN_OR_RETURN(Program prog, ParseProgram(program_src_, catalog_));
+  if (!query_.empty()) prog.set_query(query_);
+  return prog;
+}
+
+Status CommandInterpreter::Explain(std::string* out) {
+  obs::CostModel& model = obs::DefaultCostModel();
+  if (!model.enabled()) {
+    model.set_enabled(true);
+    *out = "attribution profiler enabled; 'run' then 'explain' again\n";
+    return Status::OK();
+  }
+  obs::ExplainReport report = model.Report();
+  if (report.empty()) {
+    *out = "nothing charged yet (profiler is on; try 'run')\n";
+    return Status::OK();
+  }
+  *out = report.ToText();
+  return Status::OK();
+}
+
+std::string CommandInterpreter::TelemetryText() const {
+  obs::OpenMetricsOptions options;
+  options.labels = options_.telemetry_labels;
+  options.labels["threads"] = std::to_string(
+      options_.pool != nullptr ? options_.pool->thread_count() : 1);
+  return obs::ToOpenMetrics(metrics(), options);
+}
+
+Status CommandInterpreter::Telemetry(std::istringstream& in,
+                                     std::string* out) {
+  std::string path;
+  in >> path;
+  if (path.empty()) {
+    *out = TelemetryText();
+    return Status::OK();
+  }
+  obs::OpenMetricsOptions options;
+  options.labels = options_.telemetry_labels;
+  options.labels["threads"] = std::to_string(
+      options_.pool != nullptr ? options_.pool->thread_count() : 1);
+  if (!obs::WriteOpenMetrics(metrics(), path, options)) {
+    return Status::NotFound("cannot write " + path);
+  }
+  *out = "wrote " + path + "\n";
+  return Status::OK();
+}
+
+Status CommandInterpreter::Sleep(std::istringstream& in,
+                                 const resilience::Deadline& deadline) {
+  int64_t ms = 0;
+  in >> ms;
+  if (ms <= 0) return Status::InvalidArgument("usage: sleep <ms>");
+  // Deadline-aware busy-hold: sleeps in small slices so a per-request
+  // deadline interrupts it promptly — the serving tests use this to pin
+  // admission-queue and in-flight deadline behaviour.
+  resilience::Deadline end = resilience::Deadline::AfterMillis(ms);
+  while (!end.Expired()) {
+    if (deadline.Expired()) {
+      return Status::DeadlineExceeded("sleep exceeded its deadline");
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return Status::OK();
+}
+
+Status CommandInterpreter::Execute(const resilience::Deadline& deadline,
+                                   std::string* out) {
+  IFLEX_ASSIGN_OR_RETURN(Program prog, CurrentProgram());
+  ExecOptions options;
+  options.pool = options_.pool;
+  // Shared registry so the telemetry command sees the runs' counters.
+  options.metrics = &metrics();
+  options.deadline = deadline;
+  options.best_effort = options_.best_effort;
+  options.report = &last_report_;
+  Executor exec(catalog_, options);
+  IFLEX_ASSIGN_OR_RETURN(CompactTable result, exec.Execute(prog));
+  *out += StringPrintf("%zu compact tuple(s), ~%.0f candidate tuple(s)\n",
+                       result.size(), result.ExpandedTupleCount(corpus_));
+  size_t shown = 0;
+  for (const CompactTuple& t : result.tuples()) {
+    if (shown++ >= 10) {
+      *out += StringPrintf("  ... (%zu more)\n", result.size() - 10);
+      break;
+    }
+    *out += StringPrintf("  %s\n", t.ToString(&corpus_).c_str());
+  }
+  if (last_report_.degraded) {
+    *out += StringPrintf("  [%s]\n", last_report_.ToString().c_str());
+  }
+  return Status::OK();
+}
+
+}  // namespace serve
+}  // namespace iflex

@@ -1,0 +1,81 @@
+// iflexd: the multi-session extraction daemon. Hosts N independent
+// corpora/refinement sessions behind the newline-delimited protocol in
+// serve/wire.h (docs/SERVING.md) over TCP on 127.0.0.1.
+//
+//   ./iflexd --port 7433 --threads 4 --max-concurrent 4 --max-queue 16
+//
+// Talk to it with anything that speaks lines, e.g.:
+//
+//   printf 'open s1\ncmd s1 gen movies\ncmd s1 rule q(t) :- ...\n' | nc ...
+//
+// Stops on SIGINT/SIGTERM or the `shutdown` protocol verb.
+#include <csignal>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+#include "serve/server.h"
+
+namespace {
+
+// Async-signal-safe: the handler only flips a flag; the main loop polls
+// it alongside the protocol's `shutdown` verb.
+volatile std::sig_atomic_t g_signalled = 0;
+
+void HandleSignal(int) { g_signalled = 1; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  iflex::serve::ServerOptions options;
+  options.threads = 0;  // daemon default: size the pool to the hardware
+  for (int i = 1; i < argc; ++i) {
+    auto next_num = [&](int64_t* out) {
+      if (i + 1 >= argc) return false;
+      *out = std::strtol(argv[++i], nullptr, 10);
+      return true;
+    };
+    int64_t v = 0;
+    if (std::strcmp(argv[i], "--port") == 0 && next_num(&v)) {
+      options.port = static_cast<uint16_t>(v);
+    } else if (std::strcmp(argv[i], "--threads") == 0 && next_num(&v)) {
+      options.threads = static_cast<size_t>(v);
+    } else if (std::strcmp(argv[i], "--max-sessions") == 0 && next_num(&v)) {
+      options.max_sessions = static_cast<size_t>(v);
+    } else if (std::strcmp(argv[i], "--max-concurrent") == 0 &&
+               next_num(&v)) {
+      options.max_concurrent = static_cast<size_t>(v);
+    } else if (std::strcmp(argv[i], "--max-queue") == 0 && next_num(&v)) {
+      options.max_queue = static_cast<size_t>(v);
+    } else if (std::strcmp(argv[i], "--deadline-ms") == 0 && next_num(&v)) {
+      options.default_deadline_ms = v;
+    } else if (std::strcmp(argv[i], "--no-best-effort") == 0) {
+      options.best_effort = false;
+    } else {
+      std::fprintf(
+          stderr,
+          "usage: iflexd [--port N] [--threads N] [--max-sessions N]\n"
+          "              [--max-concurrent N] [--max-queue N]\n"
+          "              [--deadline-ms N] [--no-best-effort]\n");
+      return 2;
+    }
+  }
+  iflex::serve::Server server(options);
+  iflex::Status st = server.Start();
+  if (!st.ok()) {
+    std::fprintf(stderr, "iflexd: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  std::printf("iflexd listening on 127.0.0.1:%u\n", server.port());
+  std::fflush(stdout);
+  while (g_signalled == 0 && !server.shutdown_requested()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  server.Stop();
+  std::printf("iflexd stopped\n");
+  return 0;
+}

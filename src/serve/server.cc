@@ -1,0 +1,459 @@
+#include "serve/server.h"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/stopwatch.h"
+#include "common/strutil.h"
+#include "obs/event_log.h"
+#include "obs/openmetrics.h"
+
+namespace iflex {
+namespace serve {
+
+// ------------------------------------------------------- admission
+
+Status AdmissionController::Acquire(const resilience::Deadline& deadline) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (running_ < max_concurrent_) {
+    ++running_;
+    return Status::OK();
+  }
+  if (queued_ >= max_queue_) {
+    return Status::Overloaded(StringPrintf(
+        "admission limit reached (%zu running, %zu queued)", running_,
+        queued_));
+  }
+  ++queued_;
+  auto admitted = [this] { return running_ < max_concurrent_; };
+  if (deadline.IsNever()) {
+    cv_.wait(lock, admitted);
+  } else if (!cv_.wait_until(lock, deadline.time(), admitted)) {
+    --queued_;
+    return Status::DeadlineExceeded(
+        "request deadline expired while queued for admission");
+  }
+  --queued_;
+  ++running_;
+  return Status::OK();
+}
+
+void AdmissionController::Release() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --running_;
+  }
+  cv_.notify_one();
+}
+
+size_t AdmissionController::running() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return running_;
+}
+
+size_t AdmissionController::queued() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queued_;
+}
+
+// ------------------------------------------------------- server core
+
+Server::Server(ServerOptions options)
+    : options_(std::move(options)),
+      admission_(options_.max_concurrent, options_.max_queue) {
+  if (options_.threads != 1) {
+    pool_ = std::make_unique<runtime::TaskPool>(options_.threads);
+  }
+  if (options_.run_id.empty()) {
+    options_.run_id = "iflexd." + std::to_string(::getpid());
+  }
+}
+
+Server::~Server() { Stop(); }
+
+std::shared_ptr<Server::Session> Server::FindSession(
+    const std::string& id) const {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  auto it = sessions_.find(id);
+  return it == sessions_.end() ? nullptr : it->second;
+}
+
+size_t Server::session_count() const {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  return sessions_.size();
+}
+
+bool Server::shutdown_requested() const {
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  return shutdown_requested_;
+}
+
+void Server::WaitForShutdown() {
+  std::unique_lock<std::mutex> lock(lifecycle_mu_);
+  shutdown_cv_.wait(lock, [this] { return shutdown_requested_; });
+}
+
+std::string Server::HandleLine(const std::string& line) {
+  metrics_.counter("serve.requests")->Add();
+  Result<Request> req = ParseRequest(line);
+  Response resp;
+  if (!req.ok()) {
+    metrics_.counter("serve.errors")->Add();
+    resp.status = req.status();
+    return resp.ToJson();
+  }
+  resp = Handle(*req);
+  if (!resp.status.ok()) metrics_.counter("serve.errors")->Add();
+  return resp.ToJson();
+}
+
+Response Server::Handle(const Request& req) {
+  Response resp;
+  resp.session = req.session;
+  if (req.verb == "ping") {
+    resp.output = "pong";
+    return resp;
+  }
+  if (req.verb == "shutdown") {
+    {
+      std::lock_guard<std::mutex> lock(lifecycle_mu_);
+      shutdown_requested_ = true;
+    }
+    shutdown_cv_.notify_all();
+    resp.output = "shutting down";
+    return resp;
+  }
+  if (req.verb == "open") return HandleOpen(req);
+  if (req.verb == "close") return HandleClose(req);
+  if (req.verb == "cmd") return HandleCmd(req);
+  if (req.verb == "telemetry") return HandleTelemetry(req);
+  if (req.verb == "explain") return HandleExplain(req);
+  if (req.verb == "sessions") return HandleSessions();
+  resp.status = Status::InvalidArgument("unknown verb '" + req.verb + "'");
+  return resp;
+}
+
+Response Server::HandleOpen(const Request& req) {
+  Response resp;
+  resp.session = req.session;
+  InterpreterOptions interp_options;
+  interp_options.pool = pool_.get();
+  interp_options.default_deadline_ms = options_.default_deadline_ms;
+  interp_options.best_effort = options_.best_effort;
+  interp_options.telemetry_labels = {{"scenario", "iflexd"},
+                                     {"session", req.session},
+                                     {"run_id", options_.run_id}};
+  auto session = std::make_shared<Session>(std::move(interp_options));
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    if (sessions_.size() >= options_.max_sessions) {
+      resp.status = Status::Overloaded(
+          StringPrintf("session table full (%zu sessions)",
+                       sessions_.size()));
+      return resp;
+    }
+    if (!sessions_.emplace(req.session, session).second) {
+      resp.status =
+          Status::AlreadyExists("session '" + req.session + "' is open");
+      return resp;
+    }
+  }
+  metrics_.counter("serve.sessions_opened")->Add();
+  metrics_.gauge("serve.sessions_active")
+      ->Set(static_cast<double>(session_count()));
+  obs::DefaultEventLog().Info(
+      "serve.session", StringPrintf("opened session %s", req.session.c_str()));
+  resp.output = "opened " + req.session;
+  return resp;
+}
+
+Response Server::HandleClose(const Request& req) {
+  Response resp;
+  resp.session = req.session;
+  std::shared_ptr<Session> session;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    auto it = sessions_.find(req.session);
+    if (it == sessions_.end()) {
+      resp.status = Status::NotFound("no session '" + req.session + "'");
+      return resp;
+    }
+    session = std::move(it->second);
+    sessions_.erase(it);
+  }
+  // A command still running in this session holds its own shared_ptr;
+  // the interpreter is destroyed when the last holder lets go.
+  metrics_.counter("serve.sessions_closed")->Add();
+  metrics_.gauge("serve.sessions_active")
+      ->Set(static_cast<double>(session_count()));
+  obs::DefaultEventLog().Info(
+      "serve.session", StringPrintf("closed session %s", req.session.c_str()));
+  resp.output = "closed " + req.session;
+  return resp;
+}
+
+Response Server::HandleCmd(const Request& req) {
+  Response resp;
+  resp.session = req.session;
+  std::shared_ptr<Session> session = FindSession(req.session);
+  if (session == nullptr) {
+    resp.status = Status::NotFound("no session '" + req.session + "'");
+    return resp;
+  }
+  // The request deadline starts here — admission-queue wait burns it.
+  int64_t deadline_ms = req.deadline_ms > 0 ? req.deadline_ms
+                                            : options_.default_deadline_ms;
+  resilience::Deadline deadline =
+      deadline_ms > 0 ? resilience::Deadline::AfterMillis(deadline_ms)
+                      : resilience::Deadline::Never();
+  Stopwatch queue_watch;
+  Status admitted = admission_.Acquire(deadline);
+  metrics_.histogram("serve.queue_ms")
+      ->Record(queue_watch.ElapsedSeconds() * 1e3);
+  if (!admitted.ok()) {
+    if (admitted.code() == StatusCode::kOverloaded) {
+      metrics_.counter("serve.rejected_overload")->Add();
+    } else {
+      metrics_.counter("serve.rejected_deadline")->Add();
+    }
+    resp.status = std::move(admitted);
+    return resp;
+  }
+  Stopwatch run_watch;
+  {
+    // Per-session serialization: concurrent clients of one session take
+    // turns here; distinct sessions proceed in parallel.
+    std::lock_guard<std::mutex> session_lock(session->mu);
+    CommandOutcome outcome = session->interp.Interpret(req.command, deadline);
+    resp.status = std::move(outcome.status);
+    resp.output = std::move(outcome.output);
+    resp.degraded = outcome.degraded;
+    resp.flight_recorder = std::move(outcome.flight_recorder);
+  }
+  admission_.Release();
+  metrics_.histogram("serve.request_ms")
+      ->Record(run_watch.ElapsedSeconds() * 1e3);
+  return resp;
+}
+
+Response Server::HandleTelemetry(const Request& req) {
+  Response resp;
+  resp.session = req.session;
+  if (req.session.empty()) {
+    // Server-wide registry under the server's own label set.
+    obs::OpenMetricsOptions om;
+    om.labels = {{"scenario", "iflexd"}, {"run_id", options_.run_id}};
+    om.labels["threads"] =
+        std::to_string(pool_ != nullptr ? pool_->thread_count() : 1);
+    resp.output = obs::ToOpenMetrics(metrics_, om);
+    return resp;
+  }
+  std::shared_ptr<Session> session = FindSession(req.session);
+  if (session == nullptr) {
+    resp.status = Status::NotFound("no session '" + req.session + "'");
+    return resp;
+  }
+  std::lock_guard<std::mutex> session_lock(session->mu);
+  resp.output = session->interp.TelemetryText();
+  return resp;
+}
+
+Response Server::HandleExplain(const Request& req) {
+  Response resp;
+  resp.session = req.session;
+  std::shared_ptr<Session> session = FindSession(req.session);
+  if (session == nullptr) {
+    resp.status = Status::NotFound("no session '" + req.session + "'");
+    return resp;
+  }
+  std::lock_guard<std::mutex> session_lock(session->mu);
+  CommandOutcome outcome = session->interp.Interpret("explain");
+  resp.status = std::move(outcome.status);
+  resp.output = std::move(outcome.output);
+  return resp;
+}
+
+Response Server::HandleSessions() {
+  Response resp;
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  for (const auto& [id, session] : sessions_) {
+    (void)session;
+    resp.output += id;
+    resp.output += "\n";
+  }
+  return resp;
+}
+
+// ------------------------------------------------------- TCP transport
+
+Status Server::Start() {
+  if (started_) return Status::AlreadyExists("server already started");
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::Internal(StringPrintf("socket: %s", std::strerror(errno)));
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(options_.port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    Status st =
+        Status::Internal(StringPrintf("bind: %s", std::strerror(errno)));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  if (::listen(listen_fd_, 64) < 0) {
+    Status st =
+        Status::Internal(StringPrintf("listen: %s", std::strerror(errno)));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  started_ = true;
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  obs::DefaultEventLog().Info(
+      "serve.listen", StringPrintf("iflexd listening on 127.0.0.1:%u", port_));
+  return Status::OK();
+}
+
+void Server::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (stopping_.load(std::memory_order_acquire)) break;
+      if (errno == EINTR) continue;
+      break;  // listener closed or broken
+    }
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    if (stopping_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      break;
+    }
+    conn_fds_.push_back(fd);
+    conn_threads_.emplace_back([this, fd] { ServeConnection(fd); });
+  }
+}
+
+void Server::ServeConnection(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  auto send_all = [fd](const std::string& data) {
+    size_t off = 0;
+    while (off < data.size()) {
+      ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+                         MSG_NOSIGNAL);
+      if (n <= 0) return false;  // client went away mid-response
+      off += static_cast<size_t>(n);
+    }
+    return true;
+  };
+  std::string buffer;
+  char chunk[4096];
+  bool open = true;
+  while (open) {
+    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) {
+      // EOF or error. A non-empty buffer is a truncated frame: the
+      // client vanished mid-request; there is nobody to answer, so the
+      // frame is dropped (and counted).
+      if (!buffer.empty()) {
+        metrics_.counter("serve.truncated_frames")->Add();
+      }
+      break;
+    }
+    buffer.append(chunk, static_cast<size_t>(n));
+    size_t start = 0;
+    for (size_t nl = buffer.find('\n', start); nl != std::string::npos;
+         nl = buffer.find('\n', start)) {
+      std::string line = buffer.substr(start, nl - start);
+      start = nl + 1;
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.size() > options_.max_frame_bytes) {
+        // A complete line over the bound is just as oversized as an
+        // unterminated one: typed error, then hang up.
+        metrics_.counter("serve.oversized_frames")->Add();
+        Response resp;
+        resp.status = Status::InvalidArgument(StringPrintf(
+            "frame exceeds %zu bytes", options_.max_frame_bytes));
+        send_all(resp.ToJson() + "\n");
+        open = false;
+        break;
+      }
+      std::string response = HandleLine(line);
+      response.push_back('\n');
+      if (!send_all(response)) {
+        // Mid-request disconnect: the work already ran; drop the
+        // response and close our side. The session itself survives.
+        metrics_.counter("serve.aborted_responses")->Add();
+        open = false;
+        break;
+      }
+    }
+    buffer.erase(0, start);
+    if (open && buffer.size() > options_.max_frame_bytes) {
+      // Oversized frame: answer with a typed error, then hang up — the
+      // stream is no longer in sync with the frame grammar.
+      metrics_.counter("serve.oversized_frames")->Add();
+      Response resp;
+      resp.status = Status::InvalidArgument(StringPrintf(
+          "frame exceeds %zu bytes", options_.max_frame_bytes));
+      send_all(resp.ToJson() + "\n");
+      open = false;
+    }
+  }
+  {
+    // Deregister before closing so Stop() never shuts down a recycled
+    // fd number that no longer belongs to this connection.
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (size_t i = 0; i < conn_fds_.size(); ++i) {
+      if (conn_fds_[i] == fd) {
+        conn_fds_.erase(conn_fds_.begin() + static_cast<ptrdiff_t>(i));
+        break;
+      }
+    }
+  }
+  ::shutdown(fd, SHUT_RDWR);
+  ::close(fd);
+}
+
+void Server::Stop() {
+  if (!started_) return;
+  bool expected = false;
+  if (!stopping_.compare_exchange_strong(expected, true)) {
+    // Second caller: threads are already being joined by the first.
+    return;
+  }
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  // conn_threads_ only grows under conns_mu_, and the accept loop is
+  // done, so the vector is stable now.
+  for (std::thread& t : conn_threads_) {
+    if (t.joinable()) t.join();
+  }
+  conn_threads_.clear();
+  conn_fds_.clear();
+  started_ = false;
+  stopping_.store(false, std::memory_order_release);
+}
+
+}  // namespace serve
+}  // namespace iflex

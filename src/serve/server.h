@@ -1,0 +1,183 @@
+#ifndef IFLEX_SERVE_SERVER_H_
+#define IFLEX_SERVE_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+#include "resilience/deadline.h"
+#include "runtime/task_pool.h"
+#include "serve/command_interpreter.h"
+#include "serve/wire.h"
+
+namespace iflex {
+namespace serve {
+
+/// Bounded admission in front of the shared TaskPool: at most
+/// `max_concurrent` cmd requests execute at once and at most `max_queue`
+/// wait; anything beyond is rejected with the typed kOverloaded status
+/// instead of queuing unboundedly. A queued request's deadline keeps
+/// burning — expiry while queued returns kDeadlineExceeded without ever
+/// starting the work. Admission is wake-order, not strictly FIFO.
+class AdmissionController {
+ public:
+  AdmissionController(size_t max_concurrent, size_t max_queue)
+      : max_concurrent_(max_concurrent < 1 ? 1 : max_concurrent),
+        max_queue_(max_queue) {}
+
+  /// OK (slot held; pair with Release), kOverloaded (queue full), or
+  /// kDeadlineExceeded (expired while queued).
+  Status Acquire(const resilience::Deadline& deadline);
+  void Release();
+
+  size_t running() const;
+  size_t queued() const;
+
+ private:
+  const size_t max_concurrent_;
+  const size_t max_queue_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  size_t running_ = 0;
+  size_t queued_ = 0;
+};
+
+/// iflexd configuration.
+struct ServerOptions {
+  /// TCP port; 0 binds an ephemeral port (read it back via port()).
+  /// The listener binds 127.0.0.1 only.
+  uint16_t port = 0;
+  /// Shared execution pool width: 0 = hardware concurrency, 1 = no pool
+  /// (serial execution inside each request). Sessions share the pool;
+  /// results are identical at any width.
+  size_t threads = 1;
+  /// Open-session cap; `open` beyond it is rejected kOverloaded.
+  size_t max_sessions = 16;
+  /// Admission control over cmd requests (see AdmissionController).
+  size_t max_concurrent = 2;
+  size_t max_queue = 8;
+  /// Default per-request deadline for cmd; 0 = unbounded. A request's
+  /// --deadline-ms overrides it.
+  int64_t default_deadline_ms = 0;
+  /// Longest accepted request line; longer frames close the connection.
+  size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// Best-effort execution inside sessions (degraded responses carry the
+  /// flight recorder). On by default: a server should answer, not abort.
+  bool best_effort = true;
+  /// run_id label on every telemetry exposition; default "iflexd.<pid>".
+  std::string run_id;
+};
+
+/// The iflexd extraction server: N independent corpora/refinement
+/// sessions (one CommandInterpreter each) behind the newline-delimited
+/// protocol in wire.h, served over TCP with thread-per-connection I/O.
+///
+/// Concurrency model (docs/SERVING.md):
+///   - per-session serialization: a session mutex makes concurrent
+///     clients of one session take turns, command by command;
+///   - distinct sessions execute in parallel on their connection
+///     threads, sharing one TaskPool for intra-query parallelism;
+///   - admission control bounds how many cmd requests are in flight
+///     across all sessions (typed kOverloaded beyond the bound);
+///   - per-request deadlines start at admission, so queue wait counts.
+///
+/// HandleLine() is the transport-free entry point: the TCP layer, the
+/// tests, and any future transport feed request lines through it.
+class Server {
+ public:
+  explicit Server(ServerOptions options = {});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens, and starts the accept loop.
+  Status Start();
+  /// Closes the listener and every connection, then joins all threads.
+  /// Idempotent. Must not be called from a connection thread — the
+  /// `shutdown` verb instead flags shutdown_requested() for the owner.
+  void Stop();
+
+  /// Port actually bound (after Start; resolves port 0).
+  uint16_t port() const { return port_; }
+
+  /// Handles one request line (no trailing newline) and returns the
+  /// one-line JSON response.
+  std::string HandleLine(const std::string& line);
+
+  /// Set by the `shutdown` verb; WaitForShutdown blocks until then (the
+  /// iflexd main loop sits in it).
+  bool shutdown_requested() const;
+  void WaitForShutdown();
+
+  /// Server-level registry ("serve.*": request counters, rejection
+  /// counters, queue/request latency histograms, session gauge). The
+  /// session-less `telemetry` verb renders this one.
+  obs::MetricRegistry& metrics() { return metrics_; }
+
+  size_t session_count() const;
+  const ServerOptions& options() const { return options_; }
+
+ private:
+  struct Session {
+    /// Serializes commands of this session; never held while another
+    /// session's mutex is held (no lock order to violate).
+    std::mutex mu;
+    /// Private registry — the session's telemetry never interleaves with
+    /// another session's (its exposition carries a session label).
+    obs::MetricRegistry registry;
+    CommandInterpreter interp;
+
+    /// `options.metrics` is pointed at this session's registry
+    /// (declaration order guarantees it is constructed first).
+    explicit Session(InterpreterOptions options)
+        : interp((options.metrics = &registry, std::move(options))) {}
+  };
+
+  Response Handle(const Request& req);
+  Response HandleOpen(const Request& req);
+  Response HandleClose(const Request& req);
+  Response HandleCmd(const Request& req);
+  Response HandleTelemetry(const Request& req);
+  Response HandleExplain(const Request& req);
+  Response HandleSessions();
+
+  std::shared_ptr<Session> FindSession(const std::string& id) const;
+
+  void AcceptLoop();
+  void ServeConnection(int fd);
+
+  ServerOptions options_;
+  std::unique_ptr<runtime::TaskPool> pool_;
+  obs::MetricRegistry metrics_;
+  AdmissionController admission_;
+
+  mutable std::mutex sessions_mu_;
+  std::map<std::string, std::shared_ptr<Session>> sessions_;
+
+  mutable std::mutex lifecycle_mu_;
+  std::condition_variable shutdown_cv_;
+  bool shutdown_requested_ = false;
+
+  std::atomic<bool> stopping_{false};
+  bool started_ = false;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::thread accept_thread_;
+  mutable std::mutex conns_mu_;
+  std::vector<int> conn_fds_;
+  std::vector<std::thread> conn_threads_;
+};
+
+}  // namespace serve
+}  // namespace iflex
+
+#endif  // IFLEX_SERVE_SERVER_H_

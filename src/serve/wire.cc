@@ -1,0 +1,278 @@
+#include "serve/wire.h"
+
+#include <cctype>
+#include <sstream>
+
+#include "obs/json.h"
+
+namespace iflex {
+namespace serve {
+
+bool IsValidSessionId(const std::string& id) {
+  if (id.empty() || id.size() > 64) return false;
+  for (char c : id) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_' &&
+        c != '.' && c != '-') {
+      return false;
+    }
+  }
+  return true;
+}
+
+namespace {
+
+Status TakeSessionId(std::istringstream* in, const char* verb,
+                     std::string* out) {
+  *in >> *out;
+  if (!IsValidSessionId(*out)) {
+    return Status::InvalidArgument(
+        std::string(verb) +
+        ": expected a session id ([A-Za-z0-9_.-]{1,64})");
+  }
+  return Status::OK();
+}
+
+Status RejectTrailing(std::istringstream* in, const char* verb) {
+  std::string extra;
+  if (*in >> extra) {
+    return Status::InvalidArgument(std::string(verb) +
+                                   ": unexpected trailing operand '" + extra +
+                                   "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<Request> ParseRequest(const std::string& line) {
+  Request req;
+  std::istringstream in(line);
+  in >> req.verb;
+  if (req.verb.empty()) {
+    return Status::InvalidArgument("empty request");
+  }
+  if (req.verb == "ping" || req.verb == "sessions" ||
+      req.verb == "shutdown") {
+    IFLEX_RETURN_NOT_OK(RejectTrailing(&in, req.verb.c_str()));
+    return req;
+  }
+  if (req.verb == "open" || req.verb == "close" || req.verb == "explain") {
+    IFLEX_RETURN_NOT_OK(TakeSessionId(&in, req.verb.c_str(), &req.session));
+    IFLEX_RETURN_NOT_OK(RejectTrailing(&in, req.verb.c_str()));
+    return req;
+  }
+  if (req.verb == "telemetry") {
+    in >> req.session;
+    if (!req.session.empty() && !IsValidSessionId(req.session)) {
+      return Status::InvalidArgument("telemetry: bad session id");
+    }
+    IFLEX_RETURN_NOT_OK(RejectTrailing(&in, "telemetry"));
+    return req;
+  }
+  if (req.verb == "cmd") {
+    IFLEX_RETURN_NOT_OK(TakeSessionId(&in, "cmd", &req.session));
+    std::string token;
+    if (!(in >> token)) {
+      return Status::InvalidArgument("cmd: missing command");
+    }
+    if (token == "--deadline-ms") {
+      if (!(in >> req.deadline_ms) || req.deadline_ms <= 0) {
+        return Status::InvalidArgument("cmd: --deadline-ms needs N > 0");
+      }
+      if (!(in >> token)) {
+        return Status::InvalidArgument("cmd: missing command");
+      }
+    }
+    // The command is the rest of the line from `token` on, verbatim
+    // (rule text is whitespace-sensitive enough to deserve it).
+    std::string rest;
+    std::getline(in, rest);
+    req.command = token + rest;
+    return req;
+  }
+  return Status::InvalidArgument("unknown verb '" + req.verb + "'");
+}
+
+std::string Response::ToJson() const {
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("status").String(status.ok() ? "ok" : "error");
+  w.Key("code").String(StatusCodeToString(status.code()));
+  if (!session.empty()) w.Key("session").String(session);
+  w.Key("output").String(output);
+  if (!status.ok()) w.Key("error").String(status.message());
+  if (degraded) {
+    w.Key("degraded").Bool(true);
+    w.Key("flight_recorder").BeginArray();
+    for (const std::string& line : flight_recorder) w.String(line);
+    w.EndArray();
+  }
+  w.EndObject();
+  return w.Release();
+}
+
+namespace {
+
+/// Pull-scanner over the one-line JSON object the server emits.
+class Scanner {
+ public:
+  explicit Scanner(const std::string& s) : s_(s) {}
+
+  void SkipWs() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Eat(char c) {
+    SkipWs();
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  char Peek() {
+    SkipWs();
+    return pos_ < s_.size() ? s_[pos_] : '\0';
+  }
+
+  Status String(std::string* out) {
+    SkipWs();
+    if (pos_ >= s_.size() || s_[pos_] != '"') {
+      return Status::ParseError("expected string");
+    }
+    ++pos_;
+    out->clear();
+    while (pos_ < s_.size()) {
+      char c = s_[pos_++];
+      if (c == '"') return Status::OK();
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= s_.size()) break;
+      char e = s_[pos_++];
+      switch (e) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > s_.size()) {
+            return Status::ParseError("truncated \\u escape");
+          }
+          unsigned v = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = s_[pos_++];
+            v <<= 4;
+            if (h >= '0' && h <= '9') {
+              v += static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              v += static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              v += static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return Status::ParseError("bad \\u escape");
+            }
+          }
+          // The writer only emits \u00XX for control bytes; decode the
+          // BMP point as UTF-8 for completeness.
+          if (v < 0x80) {
+            out->push_back(static_cast<char>(v));
+          } else if (v < 0x800) {
+            out->push_back(static_cast<char>(0xC0 | (v >> 6)));
+            out->push_back(static_cast<char>(0x80 | (v & 0x3F)));
+          } else {
+            out->push_back(static_cast<char>(0xE0 | (v >> 12)));
+            out->push_back(static_cast<char>(0x80 | ((v >> 6) & 0x3F)));
+            out->push_back(static_cast<char>(0x80 | (v & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return Status::ParseError("bad escape");
+      }
+    }
+    return Status::ParseError("unterminated string");
+  }
+
+  /// Skips one scalar value (number / true / false / null).
+  Status SkipScalar() {
+    SkipWs();
+    size_t start = pos_;
+    while (pos_ < s_.size() && s_[pos_] != ',' && s_[pos_] != '}' &&
+           s_[pos_] != ']') {
+      ++pos_;
+    }
+    if (pos_ == start) return Status::ParseError("expected value");
+    return Status::OK();
+  }
+
+ private:
+  const std::string& s_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<ParsedResponse> ParseResponse(const std::string& json_line) {
+  ParsedResponse out;
+  Scanner sc(json_line);
+  if (!sc.Eat('{')) return Status::ParseError("response: expected '{'");
+  if (!sc.Eat('}')) {
+    while (true) {
+      std::string key;
+      IFLEX_RETURN_NOT_OK(sc.String(&key));
+      if (!sc.Eat(':')) return Status::ParseError("response: expected ':'");
+      if (sc.Peek() == '"') {
+        std::string value;
+        IFLEX_RETURN_NOT_OK(sc.String(&value));
+        if (key == "status") {
+          out.ok = value == "ok";
+        } else if (key == "code") {
+          out.code = value;
+        } else if (key == "session") {
+          out.session = value;
+        } else if (key == "output") {
+          out.output = value;
+        } else if (key == "error") {
+          out.error = value;
+        }
+      } else if (sc.Peek() == '[') {
+        sc.Eat('[');
+        std::vector<std::string> items;
+        if (!sc.Eat(']')) {
+          while (true) {
+            std::string item;
+            IFLEX_RETURN_NOT_OK(sc.String(&item));
+            items.push_back(std::move(item));
+            if (sc.Eat(']')) break;
+            if (!sc.Eat(',')) {
+              return Status::ParseError("response: bad array");
+            }
+          }
+        }
+        if (key == "flight_recorder") out.flight_recorder = std::move(items);
+      } else if (sc.Peek() == '{') {
+        return Status::ParseError("response: nested objects unsupported");
+      } else {
+        // Scalars: the only one the writer emits is `degraded` (a bool).
+        if (key == "degraded" && sc.Peek() == 't') out.degraded = true;
+        IFLEX_RETURN_NOT_OK(sc.SkipScalar());
+      }
+      if (sc.Eat('}')) break;
+      if (!sc.Eat(',')) return Status::ParseError("response: expected ','");
+    }
+  }
+  return out;
+}
+
+}  // namespace serve
+}  // namespace iflex

@@ -1,0 +1,84 @@
+#ifndef IFLEX_SERVE_WIRE_H_
+#define IFLEX_SERVE_WIRE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace iflex {
+namespace serve {
+
+/// Frame bound: a request line longer than this (without a newline) is a
+/// protocol error and closes the connection (docs/SERVING.md).
+inline constexpr size_t kDefaultMaxFrameBytes = 64 * 1024;
+
+/// One parsed request line. Grammar (docs/SERVING.md):
+///
+///   request   := verb [operand...] '\n'
+///   open      := "open" SP session-id
+///   close     := "close" SP session-id
+///   cmd       := "cmd" SP session-id [SP "--deadline-ms" SP N] SP command
+///   telemetry := "telemetry" [SP session-id]
+///   explain   := "explain" SP session-id
+///   sessions  := "sessions"
+///   ping      := "ping"
+///   shutdown  := "shutdown"
+///
+/// `command` is the rest of the line, handed verbatim to the session's
+/// CommandInterpreter (same grammar as the iflex shell).
+struct Request {
+  std::string verb;
+  std::string session;
+  /// Per-request deadline in ms, counted from admission (so time spent
+  /// queued burns it); 0 = the server's default.
+  int64_t deadline_ms = 0;
+  std::string command;  // cmd only
+};
+
+/// True iff `id` is a valid session id: [A-Za-z0-9_.-]{1,64}. Ids are
+/// embedded in OpenMetrics label values, so the charset is restrictive.
+bool IsValidSessionId(const std::string& id);
+
+/// Parses one request line (no trailing newline). Unknown verbs, missing
+/// or malformed operands return kInvalidArgument.
+Result<Request> ParseRequest(const std::string& line);
+
+/// One response, serialized as a single JSON line:
+///   {"status":"ok"|"error","code":"<StatusCodeToString>",
+///    "output":"...",["session":"...",]["error":"...",]
+///    ["degraded":true,"flight_recorder":["...",...]]}
+struct Response {
+  Status status;
+  std::string session;
+  std::string output;
+  bool degraded = false;
+  std::vector<std::string> flight_recorder;
+
+  /// Single line, no trailing newline.
+  std::string ToJson() const;
+};
+
+/// Decoded response (the load-driver client and the tests read these).
+struct ParsedResponse {
+  bool ok = false;
+  std::string code;
+  std::string session;
+  std::string output;
+  std::string error;
+  bool degraded = false;
+  std::vector<std::string> flight_recorder;
+};
+
+/// Parses the flat JSON object ToJson() emits (string / bool /
+/// array-of-string values; full string-escape handling). Not a general
+/// JSON parser — unknown keys are skipped, nested objects rejected.
+Result<ParsedResponse> ParseResponse(const std::string& json_line);
+
+}  // namespace serve
+}  // namespace iflex
+
+#endif  // IFLEX_SERVE_WIRE_H_

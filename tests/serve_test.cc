@@ -1,0 +1,392 @@
+// Serving-layer tests (docs/SERVING.md): wire grammar, protocol edge
+// cases over real TCP (oversized / truncated frames, mid-request
+// disconnect), admission control (typed Overloaded), deadlines both
+// while queued and while executing, and multi-session isolation
+// (byte-identical results vs the batch interpreter, per-session
+// telemetry labels). Runs under the `serve` ctest label, including in
+// the tsan preset — the concurrency tests are the data-race probes.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/client.h"
+#include "serve/command_interpreter.h"
+#include "serve/server.h"
+#include "serve/wire.h"
+
+namespace iflex {
+namespace {
+
+using serve::CommandInterpreter;
+using serve::CommandOutcome;
+using serve::InterpreterOptions;
+using serve::LineClient;
+using serve::ParsedResponse;
+using serve::ParseRequest;
+using serve::ParseResponse;
+using serve::Request;
+using serve::Response;
+using serve::Server;
+using serve::ServerOptions;
+
+// ---------------------------------------------------------------- wire
+
+TEST(WireTest, ParsesEveryVerb) {
+  auto open = ParseRequest("open s1");
+  ASSERT_TRUE(open.ok());
+  EXPECT_EQ(open->verb, "open");
+  EXPECT_EQ(open->session, "s1");
+
+  auto cmd = ParseRequest("cmd s1 rule q(x) :- a(x), x < 3.");
+  ASSERT_TRUE(cmd.ok());
+  EXPECT_EQ(cmd->session, "s1");
+  EXPECT_EQ(cmd->deadline_ms, 0);
+  EXPECT_EQ(cmd->command, "rule q(x) :- a(x), x < 3.");
+
+  auto bounded = ParseRequest("cmd s1 --deadline-ms 250 run");
+  ASSERT_TRUE(bounded.ok());
+  EXPECT_EQ(bounded->deadline_ms, 250);
+  EXPECT_EQ(bounded->command, "run");
+
+  EXPECT_TRUE(ParseRequest("ping").ok());
+  EXPECT_TRUE(ParseRequest("sessions").ok());
+  EXPECT_TRUE(ParseRequest("shutdown").ok());
+  EXPECT_TRUE(ParseRequest("telemetry").ok());
+  auto scoped = ParseRequest("telemetry s1");
+  ASSERT_TRUE(scoped.ok());
+  EXPECT_EQ(scoped->session, "s1");
+  EXPECT_TRUE(ParseRequest("explain s1").ok());
+}
+
+TEST(WireTest, RejectsMalformedRequests) {
+  EXPECT_EQ(ParseRequest("").status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseRequest("frobnicate").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseRequest("open").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseRequest("open bad session id").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseRequest("open s{1}").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseRequest("cmd s1").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseRequest("cmd s1 --deadline-ms nope run").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseRequest("cmd s1 --deadline-ms -5 run").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(WireTest, SessionIdCharsetIsRestrictive) {
+  EXPECT_TRUE(serve::IsValidSessionId("a-Z.9_x"));
+  EXPECT_FALSE(serve::IsValidSessionId(""));
+  EXPECT_FALSE(serve::IsValidSessionId("has space"));
+  EXPECT_FALSE(serve::IsValidSessionId("quote\""));
+  EXPECT_FALSE(serve::IsValidSessionId(std::string(65, 'a')));
+}
+
+TEST(WireTest, ResponseJsonRoundTrips) {
+  Response resp;
+  resp.status = Status::DeadlineExceeded("over \"budget\"\n\ttab");
+  resp.session = "s1";
+  resp.output = "line1\nline2 \\ done";
+  resp.degraded = true;
+  resp.flight_recorder = {"ev one", "ev \"two\""};
+
+  auto parsed = ParseResponse(resp.ToJson());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_FALSE(parsed->ok);
+  EXPECT_EQ(parsed->code, "DeadlineExceeded");
+  EXPECT_EQ(parsed->session, "s1");
+  EXPECT_EQ(parsed->output, "line1\nline2 \\ done");
+  EXPECT_EQ(parsed->error, "over \"budget\"\n\ttab");
+  EXPECT_TRUE(parsed->degraded);
+  ASSERT_EQ(parsed->flight_recorder.size(), 2u);
+  EXPECT_EQ(parsed->flight_recorder[1], "ev \"two\"");
+}
+
+// ------------------------------------------------- HandleLine (no TCP)
+
+ParsedResponse Call(Server* server, const std::string& line) {
+  auto parsed = ParseResponse(server->HandleLine(line));
+  EXPECT_TRUE(parsed.ok()) << line;
+  return parsed.ok() ? *parsed : ParsedResponse{};
+}
+
+TEST(ServerTest, UnknownVerbIsTypedInvalidArgument) {
+  Server server;
+  ParsedResponse resp = Call(&server, "frobnicate s1");
+  EXPECT_FALSE(resp.ok);
+  EXPECT_EQ(resp.code, "InvalidArgument");
+}
+
+TEST(ServerTest, SessionLifecycle) {
+  Server server;
+  EXPECT_TRUE(Call(&server, "ping").ok);
+  EXPECT_TRUE(Call(&server, "open s1").ok);
+  EXPECT_EQ(Call(&server, "open s1").code, "AlreadyExists");
+  EXPECT_EQ(Call(&server, "cmd nosuch run").code, "NotFound");
+  EXPECT_TRUE(Call(&server, "cmd s1 gen movies").ok);
+  EXPECT_TRUE(Call(&server, "sessions").ok);
+  EXPECT_TRUE(Call(&server, "close s1").ok);
+  EXPECT_EQ(Call(&server, "close s1").code, "NotFound");
+  EXPECT_EQ(server.session_count(), 0u);
+}
+
+TEST(ServerTest, SessionCapIsTypedOverloaded) {
+  ServerOptions options;
+  options.max_sessions = 2;
+  Server server(options);
+  EXPECT_TRUE(Call(&server, "open a").ok);
+  EXPECT_TRUE(Call(&server, "open b").ok);
+  EXPECT_EQ(Call(&server, "open c").code, "Overloaded");
+  EXPECT_TRUE(Call(&server, "close a").ok);
+  EXPECT_TRUE(Call(&server, "open c").ok);
+}
+
+TEST(ServerTest, ShutdownVerbFlagsTheOwner) {
+  Server server;
+  EXPECT_FALSE(server.shutdown_requested());
+  EXPECT_TRUE(Call(&server, "shutdown").ok);
+  EXPECT_TRUE(server.shutdown_requested());
+}
+
+// ------------------------------------------------------ TCP edge cases
+
+TEST(ServerTcpTest, OversizedFrameGetsTypedErrorAndHangup) {
+  ServerOptions options;
+  options.max_frame_bytes = 256;
+  Server server(options);
+  ASSERT_TRUE(server.Start().ok());
+
+  LineClient client;
+  ASSERT_TRUE(client.Connect(server.port()).ok());
+  ASSERT_TRUE(client.Send(std::string(1024, 'x')).ok());
+  auto line = client.ReadLine();
+  ASSERT_TRUE(line.ok());
+  auto resp = ParseResponse(*line);
+  ASSERT_TRUE(resp.ok());
+  EXPECT_FALSE(resp->ok);
+  EXPECT_EQ(resp->code, "InvalidArgument");
+  // The connection is closed after the error.
+  EXPECT_EQ(client.ReadLine().status().code(), StatusCode::kNotFound);
+
+  // The server survives: a fresh connection still works.
+  LineClient again;
+  ASSERT_TRUE(again.Connect(server.port()).ok());
+  EXPECT_TRUE(again.Call("ping")->ok);
+  server.Stop();
+}
+
+TEST(ServerTcpTest, TruncatedFrameAndMidRequestDisconnectAreSurvived) {
+  Server server;
+  ASSERT_TRUE(server.Start().ok());
+
+  {
+    // Partial line, then clean EOF: a truncated frame, never answered.
+    LineClient client;
+    ASSERT_TRUE(client.Connect(server.port()).ok());
+    ASSERT_TRUE(client.Send("open t1").ok());
+    ASSERT_TRUE(client.ReadLine().ok());
+    ASSERT_TRUE(client.SendRaw("cmd t1 gen mov").ok());  // no newline
+    client.ShutdownWrite();
+    EXPECT_EQ(client.ReadLine().status().code(), StatusCode::kNotFound);
+  }
+  {
+    // Disconnect while a command is executing: the server must finish
+    // (or abort the send) without taking the process down.
+    LineClient client;
+    ASSERT_TRUE(client.Connect(server.port()).ok());
+    ASSERT_TRUE(client.Call("open t2")->ok);
+    ASSERT_TRUE(client.Send("cmd t2 sleep 60").ok());
+    client.Close();  // gone before the response exists
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(120));
+
+  LineClient again;
+  ASSERT_TRUE(again.Connect(server.port()).ok());
+  EXPECT_TRUE(again.Call("ping")->ok);
+  server.Stop();
+}
+
+// ------------------------------------------- admission and deadlines
+
+TEST(ServerTcpTest, RejectsBeyondAdmissionLimitWithOverloaded) {
+  ServerOptions options;
+  options.max_concurrent = 1;
+  options.max_queue = 0;
+  Server server(options);
+  ASSERT_TRUE(server.Start().ok());
+
+  LineClient occupant;
+  ASSERT_TRUE(occupant.Connect(server.port()).ok());
+  ASSERT_TRUE(occupant.Call("open a")->ok);
+  ASSERT_TRUE(occupant.Send("cmd a sleep 250").ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  LineClient second;
+  ASSERT_TRUE(second.Connect(server.port()).ok());
+  ASSERT_TRUE(second.Call("open b")->ok);
+  auto resp = second.Call("cmd b sleep 5");
+  ASSERT_TRUE(resp.ok());
+  EXPECT_FALSE(resp->ok);
+  EXPECT_EQ(resp->code, "Overloaded");
+
+  auto done = occupant.ReadLine();
+  ASSERT_TRUE(done.ok());
+  EXPECT_TRUE(ParseResponse(*done)->ok);
+  server.Stop();
+}
+
+TEST(ServerTcpTest, DeadlineExpiryWhileQueuedIsTyped) {
+  ServerOptions options;
+  options.max_concurrent = 1;
+  options.max_queue = 4;
+  Server server(options);
+  ASSERT_TRUE(server.Start().ok());
+
+  LineClient occupant;
+  ASSERT_TRUE(occupant.Connect(server.port()).ok());
+  ASSERT_TRUE(occupant.Call("open a")->ok);
+  ASSERT_TRUE(occupant.Send("cmd a sleep 300").ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  // Queued behind a 300 ms occupant with a 25 ms budget: must come back
+  // DeadlineExceeded (not hang, not Overloaded — the queue has room).
+  LineClient waiter;
+  ASSERT_TRUE(waiter.Connect(server.port()).ok());
+  ASSERT_TRUE(waiter.Call("open b")->ok);
+  auto resp = waiter.Call("cmd b --deadline-ms 25 sleep 100");
+  ASSERT_TRUE(resp.ok());
+  EXPECT_FALSE(resp->ok);
+  EXPECT_EQ(resp->code, "DeadlineExceeded");
+
+  EXPECT_TRUE(ParseResponse(*occupant.ReadLine())->ok);
+  server.Stop();
+}
+
+TEST(ServerTcpTest, DeadlineExpiryWhileExecutingIsTyped) {
+  Server server;
+  ASSERT_TRUE(server.Start().ok());
+  LineClient client;
+  ASSERT_TRUE(client.Connect(server.port()).ok());
+  ASSERT_TRUE(client.Call("open a")->ok);
+  auto resp = client.Call("cmd a --deadline-ms 25 sleep 250");
+  ASSERT_TRUE(resp.ok());
+  EXPECT_FALSE(resp->ok);
+  EXPECT_EQ(resp->code, "DeadlineExceeded");
+  // The slot was released: the next command runs normally.
+  EXPECT_TRUE(client.Call("cmd a sleep 1")->ok);
+  server.Stop();
+}
+
+// --------------------------------------------- multi-session isolation
+
+std::vector<std::string> Script() {
+  return {
+      "gen movies",
+      "declare extractEbert 1 2",
+      "rule q(t) :- ebertPages(x), extractEbert(x, t, yr), yr < 1960.",
+      "rule extractEbert(x, t, yr) :- from(x, t), from(x, yr).",
+      "query q",
+      "run",
+      "constrain extractEbert 1 numeric yes",
+      "run",
+  };
+}
+
+TEST(ServerTcpTest, ConcurrentSessionsMatchBatchInterpreterByteForByte) {
+  // Batch reference: the same script through a bare CommandInterpreter.
+  std::vector<std::string> expected;
+  {
+    CommandInterpreter interp{InterpreterOptions{}};
+    for (const std::string& command : Script()) {
+      CommandOutcome outcome = interp.Interpret(command);
+      ASSERT_TRUE(outcome.status.ok()) << command;
+      expected.push_back(outcome.output);
+    }
+  }
+
+  ServerOptions options;
+  options.max_concurrent = 4;
+  Server server(options);
+  ASSERT_TRUE(server.Start().ok());
+
+  constexpr size_t kSessions = 3;
+  std::atomic<size_t> mismatches{0};
+  std::vector<std::thread> clients;
+  for (size_t s = 0; s < kSessions; ++s) {
+    clients.emplace_back([&, s] {
+      std::string sid = "iso" + std::to_string(s);
+      LineClient client;
+      if (!client.Connect(server.port()).ok()) {
+        mismatches.fetch_add(1);
+        return;
+      }
+      auto open = client.Call("open " + sid);
+      if (!open.ok() || !open->ok) {
+        mismatches.fetch_add(1);
+        return;
+      }
+      size_t idx = 0;
+      for (const std::string& command : Script()) {
+        auto resp = client.Call("cmd " + sid + " " + command);
+        if (!resp.ok() || !resp->ok || resp->output != expected[idx]) {
+          mismatches.fetch_add(1);
+        }
+        ++idx;
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(mismatches.load(), 0u);
+
+  // Per-session telemetry: each exposition carries its own session label
+  // and no other session's.
+  for (size_t s = 0; s < kSessions; ++s) {
+    std::string sid = "iso" + std::to_string(s);
+    ParsedResponse tel = Call(&server, "telemetry " + sid);
+    ASSERT_TRUE(tel.ok);
+    EXPECT_NE(tel.output.find("session=\"" + sid + "\""), std::string::npos);
+    for (size_t other = 0; other < kSessions; ++other) {
+      if (other == s) continue;
+      EXPECT_EQ(tel.output.find("session=\"iso" + std::to_string(other)),
+                std::string::npos);
+    }
+  }
+  server.Stop();
+}
+
+TEST(ServerTcpTest, OneSessionSerializesConcurrentClients) {
+  // Two connections into the same session issuing commands concurrently:
+  // per-session serialization means every request still gets a coherent
+  // answer (tsan verifies the absence of races underneath).
+  Server server;
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_TRUE(Call(&server, "open shared").ok);
+
+  std::atomic<size_t> failures{0};
+  std::vector<std::thread> clients;
+  for (size_t c = 0; c < 2; ++c) {
+    clients.emplace_back([&] {
+      LineClient client;
+      if (!client.Connect(server.port()).ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      for (int i = 0; i < 6; ++i) {
+        auto resp = client.Call("cmd shared sleep 5");
+        if (!resp.ok() || !resp->ok) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0u);
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace iflex
