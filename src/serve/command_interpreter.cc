@@ -30,6 +30,14 @@ obs::MetricRegistry& CommandInterpreter::metrics() const {
                                      : obs::DefaultMetrics();
 }
 
+obs::CostModel& CommandInterpreter::cost_model() const {
+  return *obs::CostModelOrDefault(options_.cost_model);
+}
+
+obs::Tracer& CommandInterpreter::tracer() const {
+  return *obs::TracerOrDefault(options_.tracer);
+}
+
 resilience::Deadline CommandInterpreter::EffectiveDeadline(
     const resilience::Deadline& request) const {
   if (!request.IsNever()) return request;
@@ -67,7 +75,18 @@ CommandOutcome CommandInterpreter::Interpret(
     return outcome;
   }
   if (cmd == "rule") {
-    program_src_ += line.substr(5);
+    // Take the remainder of the line from the stream position (never
+    // substr on a fixed offset: a bare "rule" must be a typed error,
+    // not an out_of_range throw that can kill a server thread).
+    std::string rest;
+    std::getline(in, rest);
+    size_t body = rest.find_first_not_of(" \t");
+    if (body == std::string::npos) {
+      outcome.status =
+          Status::InvalidArgument("usage: rule <alog rule ending in '.'>");
+      return outcome;
+    }
+    program_src_ += rest.substr(body);
     program_src_ += "\n";
     return outcome;
   }
@@ -100,7 +119,13 @@ CommandOutcome CommandInterpreter::Interpret(
     return outcome;
   }
   if (cmd == "trace") {
-    outcome.output = obs::DefaultTracer().SummaryTree();
+    obs::Tracer& t = tracer();
+    if (!t.enabled()) {
+      t.set_enabled(true);
+      outcome.output = "tracing enabled; 'run' then 'trace' again\n";
+      return outcome;
+    }
+    outcome.output = t.SummaryTree();
     return outcome;
   }
   if (cmd == "explain") {
@@ -132,7 +157,9 @@ std::string CommandInterpreter::HelpText() {
       "  constrain <iepred> <idx> <feature> [param] [value]\n"
       "                                  add a domain constraint\n"
       "  run                             execute and print the result\n"
-      "  trace                           print the recorded span tree\n"
+      "  trace                           enable span tracing / print the\n"
+      "                                  recorded span tree of the runs\n"
+      "                                  so far\n"
       "  explain                         enable the attribution profiler\n"
       "                                  / print the (rule, operator)\n"
       "                                  cost table of the runs so far\n"
@@ -288,7 +315,7 @@ Result<Program> CommandInterpreter::CurrentProgram() {
 }
 
 Status CommandInterpreter::Explain(std::string* out) {
-  obs::CostModel& model = obs::DefaultCostModel();
+  obs::CostModel& model = cost_model();
   if (!model.enabled()) {
     model.set_enabled(true);
     *out = "attribution profiler enabled; 'run' then 'explain' again\n";
@@ -353,8 +380,12 @@ Status CommandInterpreter::Execute(const resilience::Deadline& deadline,
   IFLEX_ASSIGN_OR_RETURN(Program prog, CurrentProgram());
   ExecOptions options;
   options.pool = options_.pool;
-  // Shared registry so the telemetry command sees the runs' counters.
+  // Shared registry so the telemetry command sees the runs' counters;
+  // same for the profiler/tracer the explain and trace commands read
+  // (per-session in iflexd, the process defaults in the shell).
   options.metrics = &metrics();
+  options.cost_model = &cost_model();
+  options.tracer = &tracer();
   options.deadline = deadline;
   options.best_effort = options_.best_effort;
   options.report = &last_report_;

@@ -21,6 +21,11 @@ namespace runtime {
 class TaskPool;
 }  // namespace runtime
 
+namespace obs {
+class CostModel;
+class Tracer;
+}  // namespace obs
+
 namespace serve {
 
 /// Knobs shared by every surface that embeds an interpreter (the
@@ -38,6 +43,16 @@ struct InterpreterOptions {
   /// iflexd gives every session a private registry here so concurrent
   /// sessions' expositions never interleave.
   obs::MetricRegistry* metrics = nullptr;
+  /// Attribution profiler armed/read by `explain` and charged by `run`;
+  /// null means the process-wide obs::DefaultCostModel() (the shell's
+  /// behaviour). iflexd gives every session its own model so one
+  /// session's `explain` never flips profiling on, or mixes charges
+  /// into, another session.
+  obs::CostModel* cost_model = nullptr;
+  /// Span sink armed/read by `trace` and recorded by `run`; null means
+  /// the process-wide obs::DefaultTracer(). Per-session in iflexd for
+  /// the same isolation reason.
+  obs::Tracer* tracer = nullptr;
   /// Shared labels stamped on the `telemetry` exposition (the server
   /// adds session/run_id; `threads` is always derived from the pool).
   std::map<std::string, std::string> telemetry_labels = {
@@ -94,6 +109,14 @@ class CommandInterpreter {
   /// The registry `run` charges and `telemetry` renders (the injected one
   /// or obs::DefaultMetrics()).
   obs::MetricRegistry& metrics() const;
+
+  /// The profiler `explain` arms/reads (the injected one or
+  /// obs::DefaultCostModel()).
+  obs::CostModel& cost_model() const;
+
+  /// The span sink `trace` arms/reads (the injected one or
+  /// obs::DefaultTracer()).
+  obs::Tracer& tracer() const;
 
   /// Renders metrics() as an OpenMetrics exposition with the configured
   /// shared labels (what `telemetry` prints when given no file).

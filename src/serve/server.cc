@@ -7,7 +7,10 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <exception>
+#include <thread>
 
 #include "common/stopwatch.h"
 #include "common/strutil.h"
@@ -62,6 +65,25 @@ size_t AdmissionController::queued() const {
   return queued_;
 }
 
+namespace {
+
+/// Holds one admission slot; Release() runs on every exit path, so a
+/// throwing interpreter (or an early return) can never leak a slot and
+/// silently shrink max_concurrent.
+class AdmissionSlot {
+ public:
+  explicit AdmissionSlot(AdmissionController* admission)
+      : admission_(admission) {}
+  ~AdmissionSlot() { admission_->Release(); }
+  AdmissionSlot(const AdmissionSlot&) = delete;
+  AdmissionSlot& operator=(const AdmissionSlot&) = delete;
+
+ private:
+  AdmissionController* admission_;
+};
+
+}  // namespace
+
 // ------------------------------------------------------- server core
 
 Server::Server(ServerOptions options)
@@ -108,7 +130,21 @@ std::string Server::HandleLine(const std::string& line) {
     resp.status = req.status();
     return resp.ToJson();
   }
-  resp = Handle(*req);
+  // A handler bug (or std::bad_alloc under load) must answer as a typed
+  // Internal error, not unwind into the connection thread and
+  // std::terminate the whole daemon.
+  try {
+    resp = Handle(*req);
+  } catch (const std::exception& e) {
+    metrics_.counter("serve.internal_errors")->Add();
+    resp = Response{};
+    resp.status =
+        Status::Internal(std::string("unhandled exception: ") + e.what());
+  } catch (...) {
+    metrics_.counter("serve.internal_errors")->Add();
+    resp = Response{};
+    resp.status = Status::Internal("unhandled exception");
+  }
   if (!resp.status.ok()) metrics_.counter("serve.errors")->Add();
   return resp.ToJson();
 }
@@ -213,6 +249,27 @@ Response Server::HandleCmd(const Request& req) {
       deadline_ms > 0 ? resilience::Deadline::AfterMillis(deadline_ms)
                       : resilience::Deadline::Never();
   Stopwatch queue_watch;
+  // Per-session serialization: concurrent clients of one session take
+  // turns here; distinct sessions proceed in parallel. The session lock
+  // is taken BEFORE admission so a client queued behind a long command
+  // on one session never pins an admission slot other sessions could
+  // use — and the wait itself honors the request deadline.
+  std::unique_lock<std::mutex> session_lock(session->mu, std::defer_lock);
+  if (deadline.IsNever()) {
+    session_lock.lock();
+  } else {
+    while (!session_lock.try_lock()) {
+      if (deadline.Expired()) {
+        metrics_.histogram("serve.queue_ms")
+            ->Record(queue_watch.ElapsedSeconds() * 1e3);
+        metrics_.counter("serve.rejected_deadline")->Add();
+        resp.status = Status::DeadlineExceeded(
+            "request deadline expired while waiting for its session turn");
+        return resp;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
   Status admitted = admission_.Acquire(deadline);
   metrics_.histogram("serve.queue_ms")
       ->Record(queue_watch.ElapsedSeconds() * 1e3);
@@ -225,18 +282,13 @@ Response Server::HandleCmd(const Request& req) {
     resp.status = std::move(admitted);
     return resp;
   }
+  AdmissionSlot slot(&admission_);
   Stopwatch run_watch;
-  {
-    // Per-session serialization: concurrent clients of one session take
-    // turns here; distinct sessions proceed in parallel.
-    std::lock_guard<std::mutex> session_lock(session->mu);
-    CommandOutcome outcome = session->interp.Interpret(req.command, deadline);
-    resp.status = std::move(outcome.status);
-    resp.output = std::move(outcome.output);
-    resp.degraded = outcome.degraded;
-    resp.flight_recorder = std::move(outcome.flight_recorder);
-  }
-  admission_.Release();
+  CommandOutcome outcome = session->interp.Interpret(req.command, deadline);
+  resp.status = std::move(outcome.status);
+  resp.output = std::move(outcome.output);
+  resp.degraded = outcome.degraded;
+  resp.flight_recorder = std::move(outcome.flight_recorder);
   metrics_.histogram("serve.request_ms")
       ->Record(run_watch.ElapsedSeconds() * 1e3);
   return resp;
@@ -334,8 +386,16 @@ void Server::AcceptLoop() {
     int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) {
       if (stopping_.load(std::memory_order_acquire)) break;
-      if (errno == EINTR) continue;
-      break;  // listener closed or broken
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
+          errno == ENOMEM) {
+        // Transient resource exhaustion (fd table full under load):
+        // back off briefly and keep accepting instead of silently
+        // abandoning the listener while the server appears alive.
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        continue;
+      }
+      break;  // listener closed or truly dead
     }
     std::lock_guard<std::mutex> lock(conns_mu_);
     if (stopping_.load(std::memory_order_acquire)) {

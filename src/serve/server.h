@@ -12,7 +12,9 @@
 #include <vector>
 
 #include "common/status.h"
+#include "obs/cost_model.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "resilience/deadline.h"
 #include "runtime/task_pool.h"
 #include "serve/command_interpreter.h"
@@ -134,12 +136,20 @@ class Server {
     /// Private registry — the session's telemetry never interleaves with
     /// another session's (its exposition carries a session label).
     obs::MetricRegistry registry;
+    /// Private profiler/tracer — one session's `explain`/`trace` never
+    /// arms, or reads charges from, another session (or the process
+    /// globals the shell uses).
+    obs::CostModel cost_model;
+    obs::Tracer tracer;
     CommandInterpreter interp;
 
-    /// `options.metrics` is pointed at this session's registry
-    /// (declaration order guarantees it is constructed first).
+    /// `options.metrics`/`cost_model`/`tracer` are pointed at this
+    /// session's own instances (declaration order guarantees they are
+    /// constructed first).
     explicit Session(InterpreterOptions options)
-        : interp((options.metrics = &registry, std::move(options))) {}
+        : interp((options.metrics = &registry,
+                  options.cost_model = &cost_model,
+                  options.tracer = &tracer, std::move(options))) {}
   };
 
   Response Handle(const Request& req);

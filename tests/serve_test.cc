@@ -13,6 +13,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/cost_model.h"
 #include "serve/client.h"
 #include "serve/command_interpreter.h"
 #include "serve/server.h"
@@ -108,6 +109,35 @@ TEST(WireTest, ResponseJsonRoundTrips) {
   EXPECT_EQ(parsed->flight_recorder[1], "ev \"two\"");
 }
 
+// ------------------------------------------------------- interpreter
+
+TEST(InterpreterTest, BareRuleLineIsTypedInvalidArgument) {
+  CommandInterpreter interp;
+  // "rule" with no body must be a typed error, never an exception.
+  EXPECT_EQ(interp.Interpret("rule").status.code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(interp.Interpret("rule   ").status.code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_TRUE(interp.program_src().empty());
+  EXPECT_TRUE(interp.Interpret("rule q(x) :- a(x).").status.ok());
+  EXPECT_EQ(interp.program_src(), "q(x) :- a(x).\n");
+}
+
+// The develop/execute/refine script used by the isolation tests and
+// the per-session explain test; the serving bench replays the same one.
+std::vector<std::string> Script() {
+  return {
+      "gen movies",
+      "declare extractEbert 1 2",
+      "rule q(t) :- ebertPages(x), extractEbert(x, t, yr), yr < 1960.",
+      "rule extractEbert(x, t, yr) :- from(x, t), from(x, yr).",
+      "query q",
+      "run",
+      "constrain extractEbert 1 numeric yes",
+      "run",
+  };
+}
+
 // ------------------------------------------------- HandleLine (no TCP)
 
 ParsedResponse Call(Server* server, const std::string& line) {
@@ -145,6 +175,48 @@ TEST(ServerTest, SessionCapIsTypedOverloaded) {
   EXPECT_EQ(Call(&server, "open c").code, "Overloaded");
   EXPECT_TRUE(Call(&server, "close a").ok);
   EXPECT_TRUE(Call(&server, "open c").ok);
+}
+
+TEST(ServerTest, BareRuleCmdIsTypedAndLeaksNoAdmissionSlot) {
+  ServerOptions options;
+  options.max_concurrent = 1;
+  options.max_queue = 0;
+  Server server(options);
+  EXPECT_TRUE(Call(&server, "open s1").ok);
+  for (int i = 0; i < 3; ++i) {
+    ParsedResponse resp = Call(&server, "cmd s1 rule");
+    EXPECT_FALSE(resp.ok);
+    EXPECT_EQ(resp.code, "InvalidArgument");
+  }
+  // With one slot and no queue, a leaked admission slot would surface
+  // here as Overloaded.
+  EXPECT_TRUE(Call(&server, "cmd s1 sleep 1").ok);
+}
+
+TEST(ServerTest, ExplainIsPerSessionAndLeavesProcessGlobalsAlone) {
+  Server server;
+  EXPECT_TRUE(Call(&server, "open a").ok);
+  EXPECT_TRUE(Call(&server, "open b").ok);
+
+  // First explain arms session a's private profiler.
+  ParsedResponse armed = Call(&server, "explain a");
+  ASSERT_TRUE(armed.ok);
+  EXPECT_NE(armed.output.find("profiler enabled"), std::string::npos);
+
+  for (const std::string& command : Script()) {
+    EXPECT_TRUE(Call(&server, "cmd a " + command).ok) << command;
+  }
+  ParsedResponse table = Call(&server, "explain a");
+  ASSERT_TRUE(table.ok);
+  EXPECT_EQ(table.output.find("profiler enabled"), std::string::npos);
+  EXPECT_EQ(table.output.find("nothing charged"), std::string::npos);
+
+  // Session b's profiler was never armed by a's explain, and the
+  // process-wide model (the shell's) stays untouched.
+  ParsedResponse other = Call(&server, "explain b");
+  ASSERT_TRUE(other.ok);
+  EXPECT_NE(other.output.find("profiler enabled"), std::string::npos);
+  EXPECT_FALSE(obs::DefaultCostModel().enabled());
 }
 
 TEST(ServerTest, ShutdownVerbFlagsTheOwner) {
@@ -268,6 +340,63 @@ TEST(ServerTcpTest, DeadlineExpiryWhileQueuedIsTyped) {
   server.Stop();
 }
 
+TEST(ServerTcpTest, SessionLockWaitersDoNotPinAdmissionSlots) {
+  ServerOptions options;
+  options.max_concurrent = 2;
+  options.max_queue = 0;
+  Server server(options);
+  ASSERT_TRUE(server.Start().ok());
+
+  LineClient occupant;
+  ASSERT_TRUE(occupant.Connect(server.port()).ok());
+  ASSERT_TRUE(occupant.Call("open a")->ok);
+  ASSERT_TRUE(occupant.Send("cmd a sleep 300").ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  // A second client of the SAME session waits for its session turn
+  // without occupying the second admission slot...
+  LineClient waiter;
+  ASSERT_TRUE(waiter.Connect(server.port()).ok());
+  ASSERT_TRUE(waiter.Send("cmd a sleep 5").ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  // ...so a different session still gets that slot instead of a typed
+  // rejection (max_queue=0: a pinned slot would mean Overloaded here).
+  LineClient other;
+  ASSERT_TRUE(other.Connect(server.port()).ok());
+  ASSERT_TRUE(other.Call("open b")->ok);
+  auto resp = other.Call("cmd b sleep 5");
+  ASSERT_TRUE(resp.ok());
+  EXPECT_TRUE(resp->ok) << resp->error;
+
+  EXPECT_TRUE(ParseResponse(*occupant.ReadLine())->ok);
+  EXPECT_TRUE(ParseResponse(*waiter.ReadLine())->ok);
+  server.Stop();
+}
+
+TEST(ServerTcpTest, DeadlineExpiryWhileWaitingForSessionTurnIsTyped) {
+  // Default admission (2 slots) is not the bottleneck here: the waiter
+  // is blocked purely on its session turn, and its deadline must still
+  // fire as a typed error.
+  Server server;
+  ASSERT_TRUE(server.Start().ok());
+  LineClient occupant;
+  ASSERT_TRUE(occupant.Connect(server.port()).ok());
+  ASSERT_TRUE(occupant.Call("open a")->ok);
+  ASSERT_TRUE(occupant.Send("cmd a sleep 300").ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  LineClient waiter;
+  ASSERT_TRUE(waiter.Connect(server.port()).ok());
+  auto resp = waiter.Call("cmd a --deadline-ms 25 sleep 100");
+  ASSERT_TRUE(resp.ok());
+  EXPECT_FALSE(resp->ok);
+  EXPECT_EQ(resp->code, "DeadlineExceeded");
+
+  EXPECT_TRUE(ParseResponse(*occupant.ReadLine())->ok);
+  server.Stop();
+}
+
 TEST(ServerTcpTest, DeadlineExpiryWhileExecutingIsTyped) {
   Server server;
   ASSERT_TRUE(server.Start().ok());
@@ -284,19 +413,6 @@ TEST(ServerTcpTest, DeadlineExpiryWhileExecutingIsTyped) {
 }
 
 // --------------------------------------------- multi-session isolation
-
-std::vector<std::string> Script() {
-  return {
-      "gen movies",
-      "declare extractEbert 1 2",
-      "rule q(t) :- ebertPages(x), extractEbert(x, t, yr), yr < 1960.",
-      "rule extractEbert(x, t, yr) :- from(x, t), from(x, yr).",
-      "query q",
-      "run",
-      "constrain extractEbert 1 numeric yes",
-      "run",
-  };
-}
 
 TEST(ServerTcpTest, ConcurrentSessionsMatchBatchInterpreterByteForByte) {
   // Batch reference: the same script through a bare CommandInterpreter.
