@@ -1,0 +1,210 @@
+// Durability benchmark (docs/ROBUSTNESS.md): the serving cost of crash
+// safety, measured on the real server stack.
+//
+//   1. REPLAY rows — recovery (RecoverAll) time as a function of journal
+//      length, with snapshots off (replay everything) and on (replay the
+//      compacted snapshot prefix + journal suffix). `replay_ms` is gated
+//      by check_regression.py; the replayed-command counts are
+//      deterministic and must match the baseline exactly.
+//   2. OVERHEAD rows — journaling overhead on command throughput per
+//      fsync policy (off / interval:25 / every), as a slowdown factor
+//      against an ephemeral server on the same workload. `overhead_rate`
+//      is reported but ungated: it moves with both numerator and
+//      denominator under machine load.
+//
+// Exits nonzero if a recovered session's program/table state diverges
+// from the server that wrote the journal — the benchmark doubles as an
+// end-to-end replay-fidelity check.
+//
+// Writes BENCH_RECOVERY.json (+ .om) via the bench harness.
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/stopwatch.h"
+#include "common/strutil.h"
+#include "durability/session_log.h"
+#include "serve/server.h"
+#include "serve/wire.h"
+
+namespace {
+
+using iflex::Stopwatch;
+using iflex::StringPrintf;
+using iflex::serve::ParsedResponse;
+using iflex::serve::ParseResponse;
+using iflex::serve::Server;
+using iflex::serve::ServerOptions;
+
+ParsedResponse MustCall(Server* server, const std::string& line) {
+  auto parsed = ParseResponse(server->HandleLine(line));
+  if (!parsed.ok() || !parsed->ok) {
+    std::fprintf(stderr, "bench_recovery: request failed: %s\n  -> %s\n",
+                 line.c_str(),
+                 parsed.ok() ? parsed->error.c_str()
+                             : parsed.status().ToString().c_str());
+    std::exit(1);
+  }
+  return *parsed;
+}
+
+/// A refinement-session-shaped churn workload: one corpus gen, then
+/// rule/query edit cycles punctuated by `clear` (so compaction has dead
+/// history to drop). Every command is accepted and journaled.
+std::vector<std::string> Workload(size_t n) {
+  std::vector<std::string> commands;
+  commands.push_back("gen movies");
+  for (size_t i = 0; commands.size() < n; ++i) {
+    switch (i % 4) {
+      case 0:
+        commands.push_back(
+            StringPrintf("rule q%zu(t) :- ebertPages(t).", i));
+        break;
+      case 1:
+        commands.push_back(StringPrintf("query q%zu", i - 1));
+        break;
+      case 2:
+        commands.push_back(
+            StringPrintf("rule p%zu(t) :- imdbPages(t).", i));
+        break;
+      default:
+        commands.push_back("clear");
+        break;
+    }
+  }
+  return commands;
+}
+
+/// What replay must reproduce exactly: program text + table inventory.
+std::string StateOf(Server* server) {
+  return MustCall(server, "cmd s1 program").output + "\n==\n" +
+         MustCall(server, "cmd s1 tables").output;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  iflex::bench::BenchReporter reporter("RECOVERY", argc, argv);
+  using R = iflex::bench::BenchReporter;
+  namespace fs = std::filesystem;
+  const fs::path root =
+      fs::temp_directory_path() /
+      ("bench_recovery_" + std::to_string(static_cast<long>(::getpid())));
+  fs::create_directories(root);
+  int failures = 0;
+
+  // ------------------------------------------- replay time vs length
+  std::printf("%-8s %-9s %10s %10s %12s\n", "task", "mode", "commands",
+              "replayed", "replay_ms");
+  const size_t kLengths[] = {500, 2000, 8000};
+  for (size_t n : kLengths) {
+    for (bool snapshots : {false, true}) {
+      const char* mode = snapshots ? "snapshot" : "journal";
+      ServerOptions options;
+      options.run_id = "bench_recovery";
+      options.data_dir =
+          (root / StringPrintf("replay_%s_%zu", mode, n)).string();
+      options.durability.snapshot_every = snapshots ? 256 : 0;
+      std::string expected;
+      {
+        Server writer(options);
+        MustCall(&writer, "open s1");
+        for (const std::string& command : Workload(n)) {
+          MustCall(&writer, "cmd s1 " + command);
+        }
+        expected = StateOf(&writer);
+      }
+      // Replay is idempotent, so recover repeatedly and keep the best
+      // time — minimum over repeats is the standard noise floor for a
+      // deterministic workload under a gated timing.
+      double replay_ms = 0;
+      double replayed = 0;
+      for (int rep = 0; rep < 3; ++rep) {
+        Server reader(options);
+        Stopwatch watch;
+        iflex::Status st = reader.RecoverAll();
+        double ms = watch.ElapsedSeconds() * 1e3;
+        if (!st.ok()) {
+          std::fprintf(stderr, "bench_recovery: RecoverAll: %s\n",
+                       st.ToString().c_str());
+          return 1;
+        }
+        if (StateOf(&reader) != expected) {
+          std::fprintf(stderr,
+                       "bench_recovery: FIDELITY FAILURE: recovered state "
+                       "diverges (mode=%s n=%zu)\n",
+                       mode, n);
+          ++failures;
+          break;
+        }
+        if (rep == 0 || ms < replay_ms) replay_ms = ms;
+        replayed = static_cast<double>(
+            reader.metrics().counter("serve.replayed_commands")->value());
+      }
+      std::printf("%-8s %-9s %10zu %10.0f %12.2f\n", "REPLAY", mode, n,
+                  replayed, replay_ms);
+      reporter.Row({R::S("task", "REPLAY"), R::S("mode", mode),
+                    R::N("commands", static_cast<double>(n)),
+                    R::N("replayed", replayed),
+                    R::N("replay_ms", replay_ms)});
+    }
+  }
+
+  // ------------------------------------- journal overhead per policy
+  struct Policy {
+    const char* name;
+    bool durable;
+    iflex::durability::FsyncPolicy fsync;
+  };
+  const Policy kPolicies[] = {
+      {"ephemeral", false, iflex::durability::FsyncPolicy::kOff},
+      {"off", true, iflex::durability::FsyncPolicy::kOff},
+      {"interval", true, iflex::durability::FsyncPolicy::kInterval},
+      {"every", true, iflex::durability::FsyncPolicy::kEveryRecord},
+  };
+  const size_t kCommands = 600;
+  std::printf("\n%-8s %-9s %10s %14s\n", "task", "policy", "commands",
+              "overhead_rate");
+  double ephemeral_qps = 0;
+  for (const Policy& policy : kPolicies) {
+    ServerOptions options;
+    options.run_id = "bench_recovery";
+    if (policy.durable) {
+      options.data_dir = (root / StringPrintf("overhead_%s", policy.name))
+                             .string();
+      options.durability.fsync = policy.fsync;
+      options.durability.fsync_interval_ms = 25;
+      options.durability.snapshot_every = 0;  // isolate the journal cost
+    }
+    Server server(options);
+    MustCall(&server, "open s1");
+    std::vector<std::string> lines;
+    lines.reserve(kCommands);
+    for (size_t i = 0; i < kCommands; ++i) {
+      lines.push_back(StringPrintf("cmd s1 query q%zu", i));
+    }
+    Stopwatch watch;
+    for (const std::string& line : lines) MustCall(&server, line);
+    double qps = static_cast<double>(kCommands) / watch.ElapsedSeconds();
+    if (!policy.durable) ephemeral_qps = qps;
+    double overhead_rate = ephemeral_qps > 0 ? ephemeral_qps / qps : 0;
+    std::printf("%-8s %-9s %10zu %13.2fx   (%.0f cmd/s)\n", "OVERHEAD",
+                policy.name, kCommands, overhead_rate, qps);
+    reporter.Row({R::S("task", "OVERHEAD"), R::S("policy", policy.name),
+                  R::N("commands", static_cast<double>(kCommands)),
+                  R::N("overhead_rate", overhead_rate)});
+  }
+
+  std::error_code ec;
+  fs::remove_all(root, ec);
+  if (failures > 0) {
+    std::fprintf(stderr, "bench_recovery: %d fidelity failure(s)\n",
+                 failures);
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,37 @@
+#ifndef IFLEX_DURABILITY_CRC32C_H_
+#define IFLEX_DURABILITY_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace iflex {
+namespace durability {
+
+/// CRC-32C (Castagnoli, polynomial 0x1EDC6F41, reflected 0x82F63B78) —
+/// the checksum used by the journal's record frames (the same polynomial
+/// RocksDB/LevelDB logs and iSCSI use; better error-detection spread than
+/// the zlib CRC-32). Software slicing-by-one table implementation: journal
+/// records are command lines, far from any hot path.
+uint32_t Crc32c(const void* data, size_t n, uint32_t seed = 0);
+
+inline uint32_t Crc32c(std::string_view s, uint32_t seed = 0) {
+  return Crc32c(s.data(), s.size(), seed);
+}
+
+/// Masked form stored in the frame (RocksDB idiom): a rotation + offset
+/// so that a frame whose payload happens to itself contain framed records
+/// (e.g. a journal journaled into a journal) cannot produce the same
+/// stored checksum at a misaligned scan position.
+inline uint32_t MaskCrc(uint32_t crc) {
+  return ((crc >> 15) | (crc << 17)) + 0xa282ead8u;
+}
+inline uint32_t UnmaskCrc(uint32_t masked) {
+  uint32_t rot = masked - 0xa282ead8u;
+  return (rot >> 17) | (rot << 15);
+}
+
+}  // namespace durability
+}  // namespace iflex
+
+#endif  // IFLEX_DURABILITY_CRC32C_H_

@@ -1,0 +1,319 @@
+#include "durability/journal.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "common/strutil.h"
+#include "durability/crc32c.h"
+#include "resilience/failpoint.h"
+
+namespace iflex {
+namespace durability {
+
+namespace {
+
+constexpr std::string_view kAppendSite = "serve.journal.append";
+constexpr std::string_view kFsyncSite = "serve.journal.fsync";
+
+void PutU32(std::string* out, uint32_t v) {
+  out->push_back(static_cast<char>(v & 0xFF));
+  out->push_back(static_cast<char>((v >> 8) & 0xFF));
+  out->push_back(static_cast<char>((v >> 16) & 0xFF));
+  out->push_back(static_cast<char>((v >> 24) & 0xFF));
+}
+
+uint32_t GetU32(const char* p) {
+  const auto* u = reinterpret_cast<const unsigned char*>(p);
+  return static_cast<uint32_t>(u[0]) | (static_cast<uint32_t>(u[1]) << 8) |
+         (static_cast<uint32_t>(u[2]) << 16) |
+         (static_cast<uint32_t>(u[3]) << 24);
+}
+
+Status Errno(const char* op, const std::string& path) {
+  return Status::Internal(
+      StringPrintf("%s %s: %s", op, path.c_str(), std::strerror(errno)));
+}
+
+Status SyncFd(int fd) {
+  if (::fdatasync(fd) != 0) {
+    return Status::Internal(
+        StringPrintf("fdatasync: %s", std::strerror(errno)));
+  }
+  return Status::OK();
+}
+
+/// fsync of the directory holding `path`, making a rename/create durable.
+Status SyncParentDir(const std::string& path) {
+  std::string dir = path;
+  size_t slash = dir.find_last_of('/');
+  dir = slash == std::string::npos ? "." : dir.substr(0, slash);
+  if (dir.empty()) dir = "/";
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return Errno("open dir", dir);
+  Status st = ::fsync(fd) == 0 ? Status::OK() : Errno("fsync dir", dir);
+  ::close(fd);
+  return st;
+}
+
+}  // namespace
+
+const char* FsyncPolicyName(FsyncPolicy policy) {
+  switch (policy) {
+    case FsyncPolicy::kEveryRecord: return "every";
+    case FsyncPolicy::kInterval: return "interval";
+    case FsyncPolicy::kOff: return "off";
+  }
+  return "unknown";
+}
+
+void EncodeRecord(std::string* out, std::string_view payload) {
+  PutU32(out, static_cast<uint32_t>(payload.size()));
+  PutU32(out, MaskCrc(Crc32c(payload)));
+  out->append(payload);
+}
+
+JournalScan ScanBuffer(std::string_view data) {
+  JournalScan scan;
+  size_t off = 0;
+  while (off < data.size()) {
+    size_t remaining = data.size() - off;
+    if (remaining < kRecordHeaderBytes) {
+      scan.torn_tail = true;
+      scan.detail = StringPrintf("torn record header at offset %zu (%zu byte tail)",
+                                 off, remaining);
+      break;
+    }
+    uint32_t len = GetU32(data.data() + off);
+    uint32_t stored = GetU32(data.data() + off + 4);
+    if (len == 0 || len > kMaxRecordBytes) {
+      // A zeroed header is a preallocation/torn artifact when nothing but
+      // zeros follows; any other bad length is corruption.
+      bool all_zero = len == 0 && stored == 0;
+      for (size_t i = off; all_zero && i < data.size(); ++i) {
+        all_zero = data[i] == '\0';
+      }
+      if (all_zero) {
+        scan.torn_tail = true;
+        scan.detail = StringPrintf("zeroed tail at offset %zu", off);
+      } else {
+        scan.corrupt = true;
+        scan.detail = StringPrintf(
+            "record %zu at offset %zu: implausible length %u",
+            scan.records.size(), off, len);
+      }
+      break;
+    }
+    if (remaining - kRecordHeaderBytes < len) {
+      scan.torn_tail = true;
+      scan.detail = StringPrintf(
+          "torn record %zu at offset %zu (%u byte payload, %zu on disk)",
+          scan.records.size(), off, len, remaining - kRecordHeaderBytes);
+      break;
+    }
+    std::string_view payload = data.substr(off + kRecordHeaderBytes, len);
+    if (MaskCrc(Crc32c(payload)) != stored) {
+      scan.corrupt = true;
+      scan.detail = StringPrintf("record %zu at offset %zu: CRC mismatch",
+                                 scan.records.size(), off);
+      break;
+    }
+    scan.records.emplace_back(payload);
+    off += kRecordHeaderBytes + len;
+    scan.valid_bytes = off;
+  }
+  return scan;
+}
+
+JournalScan ScanFile(const std::string& path) {
+  JournalScan scan;
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    if (errno == ENOENT) {
+      scan.missing = true;
+    } else {
+      scan.corrupt = true;
+      scan.detail =
+          StringPrintf("cannot open %s: %s", path.c_str(), std::strerror(errno));
+    }
+    return scan;
+  }
+  std::string data;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) data.append(buf, n);
+  bool read_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_error) {
+    scan.corrupt = true;
+    scan.detail = StringPrintf("read error on %s", path.c_str());
+    return scan;
+  }
+  return ScanBuffer(data);
+}
+
+Result<std::unique_ptr<JournalWriter>> JournalWriter::Open(
+    const std::string& path, uint64_t valid_bytes, std::string_view header,
+    Options options) {
+  int fd = ::open(path.c_str(), O_CREAT | O_RDWR, 0644);
+  if (fd < 0) return Errno("open", path);
+  // Drop any torn/corrupt tail so the next append lands right after the
+  // last valid record, never behind garbage the scanner would stop at.
+  if (::ftruncate(fd, static_cast<off_t>(valid_bytes)) != 0) {
+    Status st = Errno("ftruncate", path);
+    ::close(fd);
+    return st;
+  }
+  if (::lseek(fd, static_cast<off_t>(valid_bytes), SEEK_SET) < 0) {
+    Status st = Errno("lseek", path);
+    ::close(fd);
+    return st;
+  }
+  auto writer = std::unique_ptr<JournalWriter>(
+      new JournalWriter(fd, valid_bytes, options));
+  if (valid_bytes == 0 && !header.empty()) {
+    std::string frame;
+    EncodeRecord(&frame, header);
+    IFLEX_RETURN_NOT_OK(writer->WriteFully(frame.data(), frame.size()));
+    writer->offset_ = frame.size();
+    // The header is metadata, not a client command: sync it regardless of
+    // policy so a recovered file is never headerless.
+    IFLEX_RETURN_NOT_OK(writer->Sync());
+  }
+  return writer;
+}
+
+JournalWriter::~JournalWriter() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status JournalWriter::WriteFully(const char* data, size_t n) {
+  size_t off = 0;
+  while (off < n) {
+    ssize_t w = ::write(fd_, data + off, n - off);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(
+          StringPrintf("journal write: %s", std::strerror(errno)));
+    }
+    off += static_cast<size_t>(w);
+  }
+  return Status::OK();
+}
+
+Status JournalWriter::MaybeSync(bool force) {
+  bool due = force;
+  switch (options_.fsync) {
+    case FsyncPolicy::kEveryRecord:
+      due = true;
+      break;
+    case FsyncPolicy::kInterval: {
+      auto now = std::chrono::steady_clock::now();
+      if (std::chrono::duration_cast<std::chrono::milliseconds>(
+              now - last_sync_).count() >= options_.fsync_interval_ms) {
+        due = true;
+      }
+      break;
+    }
+    case FsyncPolicy::kOff:
+      break;
+  }
+  if (!due) return Status::OK();
+  if (resilience::FailPointFired(kFsyncSite)) {
+    broken_ = true;
+    return Status::ExecutionError(
+        "fail point 'serve.journal.fsync' fired: journal sync failed; "
+        "record durability unknown");
+  }
+  IFLEX_RETURN_NOT_OK(SyncFd(fd_));
+  last_sync_ = std::chrono::steady_clock::now();
+  return Status::OK();
+}
+
+Status JournalWriter::Sync() { return MaybeSync(/*force=*/true); }
+
+Status JournalWriter::Append(std::string_view payload) {
+  if (broken_) {
+    return Status::Internal(
+        "journal is failed (a previous append or sync did not complete); "
+        "mutating commands are rejected until the session log is repaired "
+        "by a snapshot (`persist`) or a restart");
+  }
+  std::string frame;
+  EncodeRecord(&frame, payload);
+  if (resilience::FailPointFired(kAppendSite)) {
+    // Injected torn write: half the frame reaches the file and stays
+    // there, exactly like a crash mid-write. No rollback — recovery must
+    // discard the tail; meanwhile this writer is broken.
+    (void)WriteFully(frame.data(), frame.size() / 2);
+    broken_ = true;
+    return Status::ExecutionError(
+        "fail point 'serve.journal.append' fired (torn journal write)");
+  }
+  Status st = WriteFully(frame.data(), frame.size());
+  if (!st.ok()) {
+    // Best-effort rollback of a short write; whatever happens the writer
+    // is broken — the bytes-on-disk vs accepted-commands accounting can
+    // no longer be trusted without a rescan.
+    (void)::ftruncate(fd_, static_cast<off_t>(offset_));
+    broken_ = true;
+    return st;
+  }
+  offset_ += frame.size();
+  return MaybeSync(/*force=*/false);
+}
+
+Status WriteFileDurably(const std::string& path, std::string_view contents,
+                        std::string_view failpoint_site) {
+  std::string tmp = path + ".tmp";
+  int fd = ::open(tmp.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+  if (fd < 0) return Errno("open", tmp);
+  auto write_all = [fd](const char* data, size_t n) {
+    size_t off = 0;
+    while (off < n) {
+      ssize_t w = ::write(fd, data + off, n - off);
+      if (w < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      off += static_cast<size_t>(w);
+    }
+    return true;
+  };
+  if (!failpoint_site.empty() && resilience::FailPointFired(failpoint_site)) {
+    // Injected torn snapshot: half the bytes land in the .tmp file and
+    // the rename never happens — recovery ignores .tmp files, so the
+    // previous snapshot (or none) stays authoritative.
+    (void)write_all(contents.data(), contents.size() / 2);
+    ::close(fd);
+    return Status::ExecutionError("fail point '" +
+                                  std::string(failpoint_site) +
+                                  "' fired (torn snapshot write)");
+  }
+  if (!write_all(contents.data(), contents.size())) {
+    Status st = Errno("write", tmp);
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return st;
+  }
+  Status st = SyncFd(fd);
+  ::close(fd);
+  if (!st.ok()) {
+    ::unlink(tmp.c_str());
+    return st;
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    Status rst = Errno("rename", tmp);
+    ::unlink(tmp.c_str());
+    return rst;
+  }
+  return SyncParentDir(path);
+}
+
+}  // namespace durability
+}  // namespace iflex

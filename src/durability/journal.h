@@ -1,0 +1,135 @@
+#ifndef IFLEX_DURABILITY_JOURNAL_H_
+#define IFLEX_DURABILITY_JOURNAL_H_
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace iflex {
+namespace durability {
+
+/// When the journal forces bytes to stable storage (docs/ROBUSTNESS.md):
+///   kEveryRecord — fdatasync after every append; an accepted command is
+///                  durable before the client sees its response.
+///   kInterval    — fdatasync at most once per fsync_interval_ms; a crash
+///                  can lose the commands accepted inside the last window.
+///   kOff         — never explicitly synced; durability is whatever the
+///                  OS page cache got around to.
+enum class FsyncPolicy { kEveryRecord, kInterval, kOff };
+
+/// "every" / "interval" / "off".
+const char* FsyncPolicyName(FsyncPolicy policy);
+
+/// Largest payload a frame may carry. Commands are bounded by the wire
+/// frame limit (64 KiB), so anything near this is corruption, not data.
+inline constexpr uint32_t kMaxRecordBytes = 1u << 20;
+
+/// Bytes of framing per record: u32 payload length + u32 masked CRC32C,
+/// both little-endian, followed by the payload.
+inline constexpr size_t kRecordHeaderBytes = 8;
+
+/// Appends one framed record to `out`.
+void EncodeRecord(std::string* out, std::string_view payload);
+
+/// Outcome of scanning a journal (or snapshot) file front to back.
+struct JournalScan {
+  std::vector<std::string> records;  // valid payloads, in file order
+  uint64_t valid_bytes = 0;  // offset one past the last valid record
+  bool missing = false;      // file does not exist (empty journal, not damage)
+  /// The final record ran past EOF (a write the crash cut short). Normal
+  /// after SIGKILL; the tail is discarded and appends resume at
+  /// valid_bytes.
+  bool torn_tail = false;
+  /// A structurally complete record failed its CRC (or carried an absurd
+  /// length) before EOF — real corruption, not a torn write. Everything
+  /// from it on is discarded; callers surface a warning.
+  bool corrupt = false;
+  std::string detail;  // one-line damage description for the event log
+};
+
+/// Scans framed records in `data` (e.g. a journal file read into memory).
+JournalScan ScanBuffer(std::string_view data);
+
+/// Reads and scans `path`. A missing file is an empty, healthy journal.
+/// An unreadable file reports corrupt with zero records.
+JournalScan ScanFile(const std::string& path);
+
+/// Append-only writer over one framed-record file, with the configurable
+/// fsync policy above and the serve.journal.* fail-point sites wired in:
+///
+///   serve.journal.append — an armed `error` clause makes the append a
+///     torn write: roughly half the frame reaches the file, the append
+///     reports a typed error, and the writer goes into the broken state
+///     (every later append is rejected kUnavailable until the file is
+///     re-opened or compacted). This models a crash mid-write whose
+///     partial bytes survive — exactly what recovery must tolerate.
+///   serve.journal.fsync — the post-write sync fails; the bytes are in
+///     the page cache but not known durable, so the writer also breaks.
+///
+/// Not thread-safe: the owner serializes appends (iflexd holds the
+/// session mutex).
+class JournalWriter {
+ public:
+  struct Options {
+    FsyncPolicy fsync = FsyncPolicy::kEveryRecord;
+    int64_t fsync_interval_ms = 25;
+  };
+
+  /// Opens `path` for appending at `valid_bytes` (from a prior scan),
+  /// truncating any torn/corrupt tail beyond it. A file that ends up
+  /// empty gets `header` written (and synced) as its first record —
+  /// journal files always start with their self-describing header.
+  static Result<std::unique_ptr<JournalWriter>> Open(
+      const std::string& path, uint64_t valid_bytes,
+      std::string_view header, Options options);
+
+  ~JournalWriter();
+  JournalWriter(const JournalWriter&) = delete;
+  JournalWriter& operator=(const JournalWriter&) = delete;
+
+  /// Appends one record and applies the fsync policy. On any failure the
+  /// writer breaks (see class comment) and the command must be reported
+  /// rejected — accepted means durable, per policy.
+  Status Append(std::string_view payload);
+
+  /// Forces an fdatasync now (snapshot barriers use this).
+  Status Sync();
+
+  /// File offset past the last durable-accepted record.
+  uint64_t offset() const { return offset_; }
+  /// True after any append/sync failure; appends are rejected until the
+  /// session's log is re-opened or compacted onto a fresh file.
+  bool broken() const { return broken_; }
+
+ private:
+  JournalWriter(int fd, uint64_t offset, Options options)
+      : fd_(fd), offset_(offset), options_(options),
+        last_sync_(std::chrono::steady_clock::now()) {}
+
+  Status WriteFully(const char* data, size_t n);
+  Status MaybeSync(bool force);
+
+  int fd_ = -1;
+  uint64_t offset_ = 0;
+  bool broken_ = false;
+  Options options_;
+  std::chrono::steady_clock::time_point last_sync_;
+};
+
+/// Writes `contents` to `path` atomically: <path>.tmp + fdatasync, then
+/// rename over `path`, then fsync of the containing directory. The
+/// serve.snapshot.write fail point turns this into a torn .tmp write
+/// (typed error, no rename — the old file, if any, stays authoritative).
+Status WriteFileDurably(const std::string& path, std::string_view contents,
+                        std::string_view failpoint_site = {});
+
+}  // namespace durability
+}  // namespace iflex
+
+#endif  // IFLEX_DURABILITY_JOURNAL_H_

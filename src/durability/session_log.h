@@ -1,0 +1,143 @@
+#ifndef IFLEX_DURABILITY_SESSION_LOG_H_
+#define IFLEX_DURABILITY_SESSION_LOG_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "durability/journal.h"
+
+namespace iflex {
+namespace durability {
+
+/// Durability knobs shared by iflexd and the recovery bench.
+struct DurabilityOptions {
+  FsyncPolicy fsync = FsyncPolicy::kEveryRecord;
+  int64_t fsync_interval_ms = 25;
+  /// Auto-snapshot (and compact the journal) after this many journal
+  /// records since the last snapshot; 0 disables auto-snapshots (the
+  /// `persist` verb still works).
+  size_t snapshot_every = 64;
+};
+
+/// What SessionLog::Open found on disk — the caller (iflexd recovery)
+/// turns this into event-log entries and serve.* counters.
+struct RecoveryReport {
+  size_t commands = 0;       // effective recovered command count
+  size_t from_snapshot = 0;  // of which came from the snapshot prefix
+  bool torn_tail = false;    // journal tail cut short by a crash (normal)
+  bool corrupt = false;      // mid-file damage; degraded to the valid prefix
+  /// snapshot.dat existed but was unusable. With an uncompacted journal
+  /// this costs nothing (the journal has everything); with a compacted
+  /// one the pre-watermark prefix is gone and the session degrades to
+  /// empty (prefix_lost).
+  bool snapshot_ignored = false;
+  bool prefix_lost = false;
+  std::string detail;  // one-line damage description
+};
+
+/// The durable state of one iflexd session: an append-only write-ahead
+/// journal of accepted state-mutating command lines plus a periodic
+/// snapshot that rewrites the replayable prefix compactly and compacts
+/// the journal behind a watermark.
+///
+/// Layout under the per-session directory:
+///   journal.log   framed records; record 0 is "iflexjournal v1 base=<B>"
+///                 where B is the absolute index of the first data record
+///                 (0 for a fresh journal, the snapshot watermark after a
+///                 compaction)
+///   snapshot.dat  framed records; record 0 is "iflexsnap v1
+///                 watermark=<W>", then the compacted command prefix that
+///                 reproduces the state of the first W journaled commands
+///   *.tmp         in-flight atomic writes; ignored by recovery
+///
+/// Recovery is deterministic replay: snapshot commands, then journal
+/// records with absolute index >= W, fed through the session's
+/// CommandInterpreter. Torn tails are truncated on open; mid-file
+/// corruption degrades the session to the last valid prefix (the caller
+/// logs a warning and bumps serve.journal_truncated).
+///
+/// Not thread-safe; iflexd serializes access under the session mutex.
+class SessionLog {
+ public:
+  /// Opens (creating if needed) the session directory and scans its
+  /// durable state. `report` (optional) receives what was found.
+  static Result<std::unique_ptr<SessionLog>> Open(const std::string& dir,
+                                                  const DurabilityOptions& options,
+                                                  RecoveryReport* report);
+
+  /// The effective command history: recovered commands followed by every
+  /// command accepted through Append() since. Replaying these through a
+  /// fresh CommandInterpreter reproduces the session byte-identically.
+  const std::vector<std::string>& history() const { return history_; }
+
+  /// Journals one accepted command (write-ahead: call before executing
+  /// it). Non-OK means the command must be rejected — it is not durable.
+  Status Append(const std::string& command);
+
+  /// True when snapshot_every is configured and that many records have
+  /// accumulated since the last snapshot.
+  bool ShouldSnapshot() const;
+
+  /// Writes a snapshot of the full history (compacted) and compacts the
+  /// journal behind the new watermark. Also the repair path: a broken
+  /// journal writer (failed append/sync) is replaced by a fresh clean
+  /// journal, re-enabling mutations. Failure leaves the previous
+  /// snapshot/journal authoritative.
+  Status WriteSnapshot();
+
+  /// Absolute journal record count (the index the next append gets).
+  uint64_t records() const { return records_; }
+  /// Watermark of the last successful snapshot (0 = none).
+  uint64_t watermark() const { return watermark_; }
+  /// Commands the last snapshot kept after compaction.
+  size_t last_snapshot_commands() const { return last_snapshot_commands_; }
+  /// True when the journal writer is in the broken state (appends are
+  /// rejected until WriteSnapshot or a re-open repairs it).
+  bool broken() const {
+    return journal_ == nullptr || journal_->broken();
+  }
+  const std::string& dir() const { return dir_; }
+
+  /// Rewrites `history` into the shortest command list that replays to
+  /// the same session state:
+  ///   - corpus/catalog mutations (gen, load, declare) are kept in order;
+  ///   - program-text commands (rule, constrain) before the last `clear`
+  ///     are dead, as is every `clear` itself (replay starts empty);
+  ///   - only the last `query` survives (last one wins).
+  /// Relative order of survivors is preserved, so commands whose effect
+  /// depends on earlier state (constrain parses against the catalog and
+  /// current program) replay identically.
+  static std::vector<std::string> Compact(
+      const std::vector<std::string>& history);
+
+ private:
+  SessionLog(std::string dir, DurabilityOptions options)
+      : dir_(std::move(dir)), options_(options) {}
+
+  std::string JournalPath() const { return dir_ + "/journal.log"; }
+  std::string SnapshotPath() const { return dir_ + "/snapshot.dat"; }
+
+  std::string dir_;
+  DurabilityOptions options_;
+  std::unique_ptr<JournalWriter> journal_;
+  std::vector<std::string> history_;
+  uint64_t records_ = 0;    // absolute: base + data records written
+  uint64_t watermark_ = 0;  // absolute index covered by snapshot.dat
+  size_t last_snapshot_commands_ = 0;
+};
+
+/// First-token classifier shared by journaling and compaction.
+/// Mutating commands (journaled): gen, load, declare, rule, clear,
+/// query, constrain. Everything else (run, tables, program, telemetry,
+/// explain, trace, sleep, help, quit) is observational or reproducible
+/// and is not journaled.
+bool IsMutatingCommand(const std::string& command);
+
+}  // namespace durability
+}  // namespace iflex
+
+#endif  // IFLEX_DURABILITY_SESSION_LOG_H_

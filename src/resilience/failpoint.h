@@ -30,6 +30,13 @@ namespace resilience {
 ///
 /// Hit counting is per-site and atomic, so `every:K` is deterministic for
 /// a serial execution and exact-in-aggregate for parallel ones.
+///
+/// Durability sites (docs/ROBUSTNESS.md, src/durability/):
+///   serve.journal.append   torn journal write — half the frame persists,
+///                          the append is rejected, the writer breaks
+///   serve.journal.fsync    journal fdatasync fails; the writer breaks
+///   serve.snapshot.write   torn snapshot .tmp write; no rename, the
+///                          previous snapshot stays authoritative
 class FailPoints {
  public:
   /// Process-wide registry (sites are global names).

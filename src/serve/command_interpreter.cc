@@ -49,6 +49,22 @@ resilience::Deadline CommandInterpreter::EffectiveDeadline(
 
 CommandOutcome CommandInterpreter::Interpret(
     const std::string& line, const resilience::Deadline& deadline) {
+  CommandOutcome outcome = Dispatch(line, deadline);
+  // Deterministic session-state gauges: functions of the corpus, catalog,
+  // and program text only — never of timing or execution order. Recovery
+  // tests compare the iflex_session_* telemetry families of a replayed
+  // session byte-for-byte against an uninterrupted one.
+  obs::MetricRegistry& reg = metrics();
+  reg.gauge("session.documents")->Set(static_cast<double>(corpus_.size()));
+  reg.gauge("session.tables")
+      ->Set(static_cast<double>(catalog_.TableNames().size()));
+  reg.gauge("session.program_bytes")
+      ->Set(static_cast<double>(program_src_.size()));
+  return outcome;
+}
+
+CommandOutcome CommandInterpreter::Dispatch(
+    const std::string& line, const resilience::Deadline& deadline) {
   CommandOutcome outcome;
   std::istringstream in(line);
   std::string cmd;

@@ -127,6 +127,8 @@ class CommandInterpreter {
   const std::string& program_src() const { return program_src_; }
 
  private:
+  CommandOutcome Dispatch(const std::string& line,
+                          const resilience::Deadline& deadline);
   Status Gen(std::istringstream& in, std::string* out);
   Status Load(std::istringstream& in, std::string* out);
   Status Declare(std::istringstream& in);

@@ -3,6 +3,7 @@
 // serve/wire.h (docs/SERVING.md) over TCP on 127.0.0.1.
 //
 //   ./iflexd --port 7433 --threads 4 --max-concurrent 4 --max-queue 16
+//   ./iflexd --port 7433 --data-dir /var/lib/iflexd --fsync every
 //
 // Talk to it with anything that speaks lines, e.g.:
 //
@@ -29,15 +30,27 @@ void HandleSignal(int) { g_signalled = 1; }
 }  // namespace
 
 int main(int argc, char** argv) {
+  // A client that hangs up mid-response must cost us one send() error,
+  // not the process: every send already passes MSG_NOSIGNAL, and this
+  // covers any other fd that might turn into a pipe/socket write (e.g.
+  // stdout redirected into a closed pipe under a supervisor).
+  std::signal(SIGPIPE, SIG_IGN);
   iflex::serve::ServerOptions options;
   options.threads = 0;  // daemon default: size the pool to the hardware
-  for (int i = 1; i < argc; ++i) {
+  bool flags_ok = true;
+  for (int i = 1; i < argc && flags_ok; ++i) {
     auto next_num = [&](int64_t* out) {
       if (i + 1 >= argc) return false;
       *out = std::strtol(argv[++i], nullptr, 10);
       return true;
     };
+    auto next_str = [&](std::string* out) {
+      if (i + 1 >= argc) return false;
+      *out = argv[++i];
+      return true;
+    };
     int64_t v = 0;
+    std::string s;
     if (std::strcmp(argv[i], "--port") == 0 && next_num(&v)) {
       options.port = static_cast<uint16_t>(v);
     } else if (std::strcmp(argv[i], "--threads") == 0 && next_num(&v)) {
@@ -53,14 +66,44 @@ int main(int argc, char** argv) {
       options.default_deadline_ms = v;
     } else if (std::strcmp(argv[i], "--no-best-effort") == 0) {
       options.best_effort = false;
+    } else if (std::strcmp(argv[i], "--data-dir") == 0 && next_str(&s)) {
+      options.data_dir = s;
+    } else if (std::strcmp(argv[i], "--snapshot-every") == 0 &&
+               next_num(&v)) {
+      options.durability.snapshot_every = static_cast<size_t>(v < 0 ? 0 : v);
+    } else if (std::strcmp(argv[i], "--fsync") == 0 && next_str(&s)) {
+      if (s == "every") {
+        options.durability.fsync = iflex::durability::FsyncPolicy::kEveryRecord;
+      } else if (s == "off") {
+        options.durability.fsync = iflex::durability::FsyncPolicy::kOff;
+      } else if (s.rfind("interval", 0) == 0) {
+        options.durability.fsync = iflex::durability::FsyncPolicy::kInterval;
+        if (s.size() > 9 && s[8] == ':') {
+          options.durability.fsync_interval_ms =
+              std::strtol(s.c_str() + 9, nullptr, 10);
+        }
+        if (options.durability.fsync_interval_ms <= 0) {
+          std::fprintf(stderr, "iflexd: --fsync interval:<ms> needs ms > 0\n");
+          return 2;
+        }
+      } else {
+        std::fprintf(stderr,
+                     "iflexd: --fsync takes every | interval:<ms> | off\n");
+        return 2;
+      }
     } else {
-      std::fprintf(
-          stderr,
-          "usage: iflexd [--port N] [--threads N] [--max-sessions N]\n"
-          "              [--max-concurrent N] [--max-queue N]\n"
-          "              [--deadline-ms N] [--no-best-effort]\n");
-      return 2;
+      flags_ok = false;
     }
+  }
+  if (!flags_ok) {
+    std::fprintf(
+        stderr,
+        "usage: iflexd [--port N] [--threads N] [--max-sessions N]\n"
+        "              [--max-concurrent N] [--max-queue N]\n"
+        "              [--deadline-ms N] [--no-best-effort]\n"
+        "              [--data-dir DIR] [--fsync every|interval:<ms>|off]\n"
+        "              [--snapshot-every N]\n");
+    return 2;
   }
   iflex::serve::Server server(options);
   iflex::Status st = server.Start();

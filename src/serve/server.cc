@@ -10,6 +10,7 @@
 #include <chrono>
 #include <cstring>
 #include <exception>
+#include <filesystem>
 #include <thread>
 
 #include "common/stopwatch.h"
@@ -171,21 +172,53 @@ Response Server::Handle(const Request& req) {
   if (req.verb == "telemetry") return HandleTelemetry(req);
   if (req.verb == "explain") return HandleExplain(req);
   if (req.verb == "sessions") return HandleSessions();
+  if (req.verb == "recover") return HandleRecover(req);
+  if (req.verb == "persist") return HandlePersist(req);
   resp.status = Status::InvalidArgument("unknown verb '" + req.verb + "'");
   return resp;
 }
 
-Response Server::HandleOpen(const Request& req) {
-  Response resp;
-  resp.session = req.session;
+std::shared_ptr<Server::Session> Server::MakeSession(
+    const std::string& id) const {
   InterpreterOptions interp_options;
   interp_options.pool = pool_.get();
   interp_options.default_deadline_ms = options_.default_deadline_ms;
   interp_options.best_effort = options_.best_effort;
   interp_options.telemetry_labels = {{"scenario", "iflexd"},
-                                     {"session", req.session},
+                                     {"session", id},
                                      {"run_id", options_.run_id}};
-  auto session = std::make_shared<Session>(std::move(interp_options));
+  return std::make_shared<Session>(std::move(interp_options));
+}
+
+std::string Server::SessionDir(const std::string& id) const {
+  return options_.data_dir + "/" + id;
+}
+
+Response Server::HandleOpen(const Request& req) {
+  Response resp;
+  resp.session = req.session;
+  auto session = MakeSession(req.session);
+  if (!options_.data_dir.empty()) {
+    // `open` means a NEW durable session. Leftover state on disk (from a
+    // crash or an earlier `close`) must not be silently shadowed by an
+    // empty session — that is what `recover` is for.
+    durability::RecoveryReport report;
+    Result<std::unique_ptr<durability::SessionLog>> log =
+        durability::SessionLog::Open(SessionDir(req.session),
+                                     options_.durability, &report);
+    if (!log.ok()) {
+      resp.status = log.status();
+      return resp;
+    }
+    if ((*log)->records() > 0 || report.commands > 0) {
+      resp.status = Status::AlreadyExists(
+          "session '" + req.session +
+          "' has durable state on disk; `recover` it (or remove its "
+          "directory) instead of re-opening");
+      return resp;
+    }
+    session->log = std::move(*log);
+  }
   {
     std::lock_guard<std::mutex> lock(sessions_mu_);
     if (sessions_.size() >= options_.max_sessions) {
@@ -284,14 +317,61 @@ Response Server::HandleCmd(const Request& req) {
   }
   AdmissionSlot slot(&admission_);
   Stopwatch run_watch;
+  // Write-ahead journaling: a state-mutating command is made durable
+  // (per the fsync policy) BEFORE it executes, so every command a client
+  // saw accepted is replayable after a crash. Journal failure is a typed
+  // rejection — the command never runs, keeping "accepted iff durable".
+  // Commands are journaled regardless of their eventual outcome: the
+  // interpreter is not transactional (a failing `gen` still grows the
+  // corpus), so replay must reproduce failures too.
+  if (session->log != nullptr &&
+      durability::IsMutatingCommand(req.command)) {
+    Status journaled = session->log->Append(req.command);
+    if (!journaled.ok()) {
+      metrics_.counter("serve.journal_failures")->Add();
+      obs::DefaultEventLog().Warn(
+          "serve.journal",
+          StringPrintf("session %s: append failed: %s", req.session.c_str(),
+                       journaled.message().c_str()));
+      resp.status = std::move(journaled);
+      return resp;
+    }
+    metrics_.counter("serve.journal_appends")->Add();
+  }
   CommandOutcome outcome = session->interp.Interpret(req.command, deadline);
   resp.status = std::move(outcome.status);
   resp.output = std::move(outcome.output);
   resp.degraded = outcome.degraded;
   resp.flight_recorder = std::move(outcome.flight_recorder);
+  if (session->log != nullptr && session->log->ShouldSnapshot()) {
+    MaybeSnapshot(req.session, session.get());
+  }
   metrics_.histogram("serve.request_ms")
       ->Record(run_watch.ElapsedSeconds() * 1e3);
   return resp;
+}
+
+void Server::MaybeSnapshot(const std::string& id, Session* session) {
+  Status st = session->log->WriteSnapshot();
+  if (st.ok()) {
+    metrics_.counter("serve.snapshots")->Add();
+    obs::DefaultEventLog().Info(
+        "serve.snapshot",
+        StringPrintf("session %s: snapshot at record %llu (%zu commands "
+                     "after compaction)",
+                     id.c_str(),
+                     static_cast<unsigned long long>(session->log->watermark()),
+                     session->log->last_snapshot_commands()));
+  } else {
+    // Snapshotting is housekeeping: the journal (or the previous
+    // snapshot) is still authoritative, so the client's command is not
+    // failed over this. Count and warn; the next boundary retries.
+    metrics_.counter("serve.snapshot_failures")->Add();
+    obs::DefaultEventLog().Warn(
+        "serve.snapshot",
+        StringPrintf("session %s: snapshot failed: %s", id.c_str(),
+                     st.message().c_str()));
+  }
 }
 
 Response Server::HandleTelemetry(const Request& req) {
@@ -342,10 +422,184 @@ Response Server::HandleSessions() {
   return resp;
 }
 
+// ------------------------------------------------------- durability
+
+Result<std::shared_ptr<Server::Session>> Server::RecoverSession(
+    const std::string& id, durability::RecoveryReport* report) {
+  auto session = MakeSession(id);
+  IFLEX_ASSIGN_OR_RETURN(
+      session->log, durability::SessionLog::Open(SessionDir(id),
+                                                 options_.durability, report));
+  // Deterministic replay: the journaled command lines run through a
+  // fresh interpreter exactly as they originally did, failures included.
+  // Replay does not re-journal (the records are already on disk), so it
+  // is idempotent — a crash mid-replay just replays again.
+  for (const std::string& command : session->log->history()) {
+    (void)session->interp.Interpret(command);
+    metrics_.counter("serve.replayed_commands")->Add();
+  }
+  if (report->corrupt) {
+    metrics_.counter("serve.journal_truncated")->Add();
+    obs::DefaultEventLog().Warn(
+        "serve.recovery",
+        StringPrintf("session %s: journal damaged, degraded to %zu-command "
+                     "prefix (%s)",
+                     id.c_str(), report->commands, report->detail.c_str()));
+  } else if (report->torn_tail || report->snapshot_ignored ||
+             report->prefix_lost) {
+    obs::DefaultEventLog().Info(
+        "serve.recovery",
+        StringPrintf("session %s: %s", id.c_str(), report->detail.c_str()));
+  }
+  // Housekeeping at the recovery boundary: an overdue (or broken)
+  // journal compacts before the session takes new traffic.
+  if (session->log->ShouldSnapshot()) MaybeSnapshot(id, session.get());
+  metrics_.counter("serve.sessions_recovered")->Add();
+  obs::DefaultEventLog().Info(
+      "serve.recovery",
+      StringPrintf("recovered session %s: %zu command(s) replayed (%zu from "
+                   "the snapshot)",
+                   id.c_str(), report->commands, report->from_snapshot));
+  return session;
+}
+
+Status Server::RecoverAll() {
+  if (options_.data_dir.empty()) return Status::OK();
+  std::error_code ec;
+  std::filesystem::create_directories(options_.data_dir, ec);
+  if (ec) {
+    return Status::Internal(StringPrintf("create data dir %s: %s",
+                                         options_.data_dir.c_str(),
+                                         ec.message().c_str()));
+  }
+  for (const auto& entry :
+       std::filesystem::directory_iterator(options_.data_dir, ec)) {
+    if (!entry.is_directory()) continue;
+    const std::string id = entry.path().filename().string();
+    if (!IsValidSessionId(id)) {
+      obs::DefaultEventLog().Warn(
+          "serve.recovery",
+          StringPrintf("ignoring %s: not a session id",
+                       entry.path().c_str()));
+      continue;
+    }
+    if (FindSession(id) != nullptr) continue;
+    durability::RecoveryReport report;
+    Result<std::shared_ptr<Session>> session = RecoverSession(id, &report);
+    if (!session.ok()) {
+      // One unrecoverable session must not keep the daemon (and every
+      // other session) down; it stays on disk for offline inspection.
+      obs::DefaultEventLog().Warn(
+          "serve.recovery",
+          StringPrintf("session %s: recovery failed: %s", id.c_str(),
+                       session.status().message().c_str()));
+      continue;
+    }
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    if (sessions_.size() >= options_.max_sessions) {
+      obs::DefaultEventLog().Warn(
+          "serve.recovery",
+          StringPrintf("session %s: not restored, session table full "
+                       "(%zu); `recover` it after closing another",
+                       id.c_str(), sessions_.size()));
+      continue;
+    }
+    sessions_.emplace(id, std::move(*session));
+  }
+  if (ec) {
+    return Status::Internal(StringPrintf("scan data dir %s: %s",
+                                         options_.data_dir.c_str(),
+                                         ec.message().c_str()));
+  }
+  metrics_.gauge("serve.sessions_active")
+      ->Set(static_cast<double>(session_count()));
+  return Status::OK();
+}
+
+Response Server::HandleRecover(const Request& req) {
+  Response resp;
+  resp.session = req.session;
+  if (options_.data_dir.empty()) {
+    resp.status = Status::InvalidArgument(
+        "this server is ephemeral (no --data-dir); nothing to recover");
+    return resp;
+  }
+  if (FindSession(req.session) != nullptr) {
+    resp.status = Status::AlreadyExists(
+        "session '" + req.session + "' is already open");
+    return resp;
+  }
+  std::error_code ec;
+  if (!std::filesystem::is_directory(SessionDir(req.session), ec)) {
+    resp.status = Status::NotFound(
+        "no durable state for session '" + req.session + "'");
+    return resp;
+  }
+  durability::RecoveryReport report;
+  Result<std::shared_ptr<Session>> session =
+      RecoverSession(req.session, &report);
+  if (!session.ok()) {
+    resp.status = session.status();
+    return resp;
+  }
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    if (sessions_.size() >= options_.max_sessions) {
+      resp.status = Status::Overloaded(StringPrintf(
+          "session table full (%zu sessions)", sessions_.size()));
+      return resp;
+    }
+    if (!sessions_.emplace(req.session, std::move(*session)).second) {
+      resp.status =
+          Status::AlreadyExists("session '" + req.session + "' is open");
+      return resp;
+    }
+  }
+  metrics_.gauge("serve.sessions_active")
+      ->Set(static_cast<double>(session_count()));
+  resp.output = StringPrintf(
+      "recovered %s: %zu command(s) replayed (%zu from the snapshot)%s",
+      req.session.c_str(), report.commands, report.from_snapshot,
+      report.detail.empty() ? "" : (" [" + report.detail + "]").c_str());
+  return resp;
+}
+
+Response Server::HandlePersist(const Request& req) {
+  Response resp;
+  resp.session = req.session;
+  std::shared_ptr<Session> session = FindSession(req.session);
+  if (session == nullptr) {
+    resp.status = Status::NotFound("no session '" + req.session + "'");
+    return resp;
+  }
+  std::lock_guard<std::mutex> session_lock(session->mu);
+  if (session->log == nullptr) {
+    resp.status = Status::InvalidArgument(
+        "session '" + req.session + "' is ephemeral (no --data-dir)");
+    return resp;
+  }
+  Status st = session->log->WriteSnapshot();
+  if (!st.ok()) {
+    metrics_.counter("serve.snapshot_failures")->Add();
+    resp.status = std::move(st);
+    return resp;
+  }
+  metrics_.counter("serve.snapshots")->Add();
+  resp.output = StringPrintf(
+      "snapshot of %s at record %llu (%zu command(s) after compaction)",
+      req.session.c_str(),
+      static_cast<unsigned long long>(session->log->watermark()),
+      session->log->last_snapshot_commands());
+  return resp;
+}
+
 // ------------------------------------------------------- TCP transport
 
 Status Server::Start() {
   if (started_) return Status::AlreadyExists("server already started");
+  // Recover before listening: by the time a client can connect, every
+  // durable session answers exactly as it did before the crash.
+  IFLEX_RETURN_NOT_OK(RecoverAll());
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) {
     return Status::Internal(StringPrintf("socket: %s", std::strerror(errno)));

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "durability/session_log.h"
 #include "obs/cost_model.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -76,6 +77,13 @@ struct ServerOptions {
   bool best_effort = true;
   /// run_id label on every telemetry exposition; default "iflexd.<pid>".
   std::string run_id;
+  /// Durable-session root (docs/ROBUSTNESS.md). Empty = ephemeral
+  /// sessions (pre-durability behaviour). Non-empty: every session gets
+  /// <data_dir>/<session-id>/ with a write-ahead command journal and
+  /// periodic snapshots; Start()/RecoverAll() replays whatever is there.
+  std::string data_dir;
+  /// Journal fsync policy and snapshot cadence (used when data_dir set).
+  durability::DurabilityOptions durability;
 };
 
 /// The iflexd extraction server: N independent corpora/refinement
@@ -101,8 +109,20 @@ class Server {
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  /// Binds, listens, and starts the accept loop.
+  /// Binds, listens, and starts the accept loop. With a data_dir this
+  /// first runs RecoverAll(), so recovered sessions answer before the
+  /// first connection is accepted.
   Status Start();
+
+  /// Scans data_dir and re-opens every session directory found there,
+  /// replaying its journal (snapshot prefix first) through a fresh
+  /// interpreter. Deterministic replay makes the recovered session
+  /// byte-identical to one that never crashed. Damage degrades rather
+  /// than aborts: torn tails are truncated silently (a crash artifact),
+  /// mid-file corruption keeps the valid prefix and bumps
+  /// serve.journal_truncated with a warn event. No-op without data_dir.
+  /// Called by Start(); public for transport-free embedding (tests).
+  Status RecoverAll();
   /// Closes the listener and every connection, then joins all threads.
   /// Idempotent. Must not be called from a connection thread — the
   /// `shutdown` verb instead flags shutdown_requested() for the owner.
@@ -142,6 +162,9 @@ class Server {
     obs::CostModel cost_model;
     obs::Tracer tracer;
     CommandInterpreter interp;
+    /// Write-ahead command journal + snapshots; null when the server has
+    /// no data_dir. Guarded by `mu`, like the interpreter it shadows.
+    std::unique_ptr<durability::SessionLog> log;
 
     /// `options.metrics`/`cost_model`/`tracer` are pointed at this
     /// session's own instances (declaration order guarantees they are
@@ -159,8 +182,18 @@ class Server {
   Response HandleTelemetry(const Request& req);
   Response HandleExplain(const Request& req);
   Response HandleSessions();
+  Response HandleRecover(const Request& req);
+  Response HandlePersist(const Request& req);
 
   std::shared_ptr<Session> FindSession(const std::string& id) const;
+  std::shared_ptr<Session> MakeSession(const std::string& id) const;
+  std::string SessionDir(const std::string& id) const;
+  /// Opens <data_dir>/<id> and replays its history into a fresh session.
+  Result<std::shared_ptr<Session>> RecoverSession(
+      const std::string& id, durability::RecoveryReport* report);
+  /// Best-effort snapshot+compaction; counts and logs, never fails the
+  /// surrounding request.
+  void MaybeSnapshot(const std::string& id, Session* session);
 
   void AcceptLoop();
   void ServeConnection(int fd);

@@ -56,7 +56,8 @@ Result<Request> ParseRequest(const std::string& line) {
     IFLEX_RETURN_NOT_OK(RejectTrailing(&in, req.verb.c_str()));
     return req;
   }
-  if (req.verb == "open" || req.verb == "close" || req.verb == "explain") {
+  if (req.verb == "open" || req.verb == "close" || req.verb == "explain" ||
+      req.verb == "recover" || req.verb == "persist") {
     IFLEX_RETURN_NOT_OK(TakeSessionId(&in, req.verb.c_str(), &req.session));
     IFLEX_RETURN_NOT_OK(RejectTrailing(&in, req.verb.c_str()));
     return req;

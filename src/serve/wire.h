@@ -21,6 +21,8 @@ inline constexpr size_t kDefaultMaxFrameBytes = 64 * 1024;
 ///   request   := verb [operand...] '\n'
 ///   open      := "open" SP session-id
 ///   close     := "close" SP session-id
+///   recover   := "recover" SP session-id
+///   persist   := "persist" SP session-id
 ///   cmd       := "cmd" SP session-id [SP "--deadline-ms" SP N] SP command
 ///   telemetry := "telemetry" [SP session-id]
 ///   explain   := "explain" SP session-id

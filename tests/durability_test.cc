@@ -1,0 +1,560 @@
+// Unit tests for src/durability/: CRC32C, record framing, journal
+// scanning (torn vs corrupt classification), the journal writer and its
+// fail-point sites, atomic snapshot writes, command compaction, and the
+// SessionLog open/append/snapshot/reopen lifecycle.
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "durability/crc32c.h"
+#include "durability/journal.h"
+#include "durability/session_log.h"
+#include "gtest/gtest.h"
+#include "resilience/failpoint.h"
+
+namespace iflex {
+namespace durability {
+namespace {
+
+using resilience::FailPoints;
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  return data;
+}
+
+void WriteFile(const std::string& path, const std::string& data) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(data.data(), static_cast<std::streamsize>(data.size()));
+}
+
+class DurabilityTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    FailPoints::Instance().Clear();
+    dir_ = ::testing::TempDir() + "durability_test_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override {
+    FailPoints::Instance().Clear();
+    std::filesystem::remove_all(dir_);
+  }
+
+  std::string Path(const std::string& name) const { return dir_ + "/" + name; }
+
+  std::string dir_;
+};
+
+// ------------------------------------------------------------- CRC32C
+
+TEST_F(DurabilityTest, Crc32cMatchesKnownVectors) {
+  // The standard CRC-32C check value ("123456789" -> 0xE3069283), plus
+  // the empty string and an iSCSI test vector (32 zero bytes).
+  EXPECT_EQ(Crc32c("123456789"), 0xE3069283u);
+  EXPECT_EQ(Crc32c(""), 0u);
+  std::string zeros(32, '\0');
+  EXPECT_EQ(Crc32c(zeros), 0x8A9136AAu);
+}
+
+TEST_F(DurabilityTest, CrcMaskRoundTripsAndDisplacesValue) {
+  for (uint32_t crc : {0u, 1u, 0xDEADBEEFu, 0xFFFFFFFFu}) {
+    EXPECT_EQ(UnmaskCrc(MaskCrc(crc)), crc);
+    EXPECT_NE(MaskCrc(crc), crc);
+  }
+}
+
+// ------------------------------------------------- framing and scanning
+
+TEST_F(DurabilityTest, EncodeScanRoundTrip) {
+  std::string buf;
+  EncodeRecord(&buf, "gen movies");
+  EncodeRecord(&buf, "rule q(t) :- imdbPages(d).");
+  EncodeRecord(&buf, "query q");
+  JournalScan scan = ScanBuffer(buf);
+  EXPECT_FALSE(scan.torn_tail);
+  EXPECT_FALSE(scan.corrupt);
+  EXPECT_EQ(scan.valid_bytes, buf.size());
+  ASSERT_EQ(scan.records.size(), 3u);
+  EXPECT_EQ(scan.records[0], "gen movies");
+  EXPECT_EQ(scan.records[1], "rule q(t) :- imdbPages(d).");
+  EXPECT_EQ(scan.records[2], "query q");
+}
+
+TEST_F(DurabilityTest, TornPayloadIsTailNotCorruption) {
+  std::string buf;
+  EncodeRecord(&buf, "gen movies");
+  size_t first = buf.size();
+  EncodeRecord(&buf, "declare extractTitle 1 1");
+  // Cut mid-payload of the second record: a crash artifact.
+  JournalScan scan = ScanBuffer(std::string_view(buf).substr(0, buf.size() - 3));
+  EXPECT_TRUE(scan.torn_tail);
+  EXPECT_FALSE(scan.corrupt);
+  EXPECT_EQ(scan.valid_bytes, first);
+  ASSERT_EQ(scan.records.size(), 1u);
+  EXPECT_EQ(scan.records[0], "gen movies");
+}
+
+TEST_F(DurabilityTest, TornHeaderIsTailNotCorruption) {
+  std::string buf;
+  EncodeRecord(&buf, "gen movies");
+  size_t first = buf.size();
+  buf.append("\x05\x00\x00", 3);  // 3 of the 8 header bytes
+  JournalScan scan = ScanBuffer(buf);
+  EXPECT_TRUE(scan.torn_tail);
+  EXPECT_FALSE(scan.corrupt);
+  EXPECT_EQ(scan.valid_bytes, first);
+  EXPECT_EQ(scan.records.size(), 1u);
+}
+
+TEST_F(DurabilityTest, ZeroedTailIsTornNotCorrupt) {
+  // Filesystems can preallocate zeros past the last write; that must read
+  // as a clean end-of-journal, not as damage worth warning about.
+  std::string buf;
+  EncodeRecord(&buf, "gen movies");
+  size_t first = buf.size();
+  buf.append(64, '\0');
+  JournalScan scan = ScanBuffer(buf);
+  EXPECT_TRUE(scan.torn_tail);
+  EXPECT_FALSE(scan.corrupt);
+  EXPECT_EQ(scan.valid_bytes, first);
+}
+
+TEST_F(DurabilityTest, CrcMismatchMidFileIsCorruption) {
+  std::string buf;
+  EncodeRecord(&buf, "gen movies");
+  size_t first = buf.size();
+  EncodeRecord(&buf, "declare extractTitle 1 1");
+  EncodeRecord(&buf, "query q");
+  buf[first + kRecordHeaderBytes] ^= 0x40;  // flip a payload bit mid-file
+  JournalScan scan = ScanBuffer(buf);
+  EXPECT_TRUE(scan.corrupt);
+  EXPECT_FALSE(scan.torn_tail);
+  EXPECT_EQ(scan.valid_bytes, first);
+  ASSERT_EQ(scan.records.size(), 1u);
+  EXPECT_EQ(scan.records[0], "gen movies");
+  EXPECT_NE(scan.detail.find("CRC"), std::string::npos);
+}
+
+TEST_F(DurabilityTest, ImplausibleLengthIsCorruption) {
+  std::string buf;
+  EncodeRecord(&buf, "gen movies");
+  size_t first = buf.size();
+  buf.append("\xFF\xFF\xFF\x7F" "abcd", 8);  // 2 GiB "record"
+  JournalScan scan = ScanBuffer(buf);
+  EXPECT_TRUE(scan.corrupt);
+  EXPECT_EQ(scan.valid_bytes, first);
+}
+
+TEST_F(DurabilityTest, ScanFileMissingIsHealthyEmpty) {
+  JournalScan scan = ScanFile(Path("nope.log"));
+  EXPECT_TRUE(scan.missing);
+  EXPECT_FALSE(scan.corrupt);
+  EXPECT_TRUE(scan.records.empty());
+}
+
+// ------------------------------------------------------- JournalWriter
+
+TEST_F(DurabilityTest, WriterAppendsAndReopensAfterTornTail) {
+  const std::string path = Path("journal.log");
+  JournalWriter::Options opts;
+  {
+    Result<std::unique_ptr<JournalWriter>> w =
+        JournalWriter::Open(path, 0, "hdr v1", opts);
+    ASSERT_TRUE(w.ok()) << w.status();
+    ASSERT_TRUE((*w)->Append("one").ok());
+    ASSERT_TRUE((*w)->Append("two").ok());
+  }
+  // Simulate a crash mid-append: garbage half-frame at the tail.
+  std::string data = ReadFile(path);
+  WriteFile(path, data + "\x09\x00");
+  JournalScan scan = ScanFile(path);
+  EXPECT_TRUE(scan.torn_tail);
+  ASSERT_EQ(scan.records.size(), 3u);  // header + 2
+  {
+    Result<std::unique_ptr<JournalWriter>> w =
+        JournalWriter::Open(path, scan.valid_bytes, "hdr v1", opts);
+    ASSERT_TRUE(w.ok()) << w.status();
+    ASSERT_TRUE((*w)->Append("three").ok());
+  }
+  JournalScan again = ScanFile(path);
+  EXPECT_FALSE(again.torn_tail);
+  ASSERT_EQ(again.records.size(), 4u);
+  EXPECT_EQ(again.records[0], "hdr v1");
+  EXPECT_EQ(again.records[3], "three");
+}
+
+TEST_F(DurabilityTest, WriterWorksUnderAllFsyncPolicies) {
+  for (FsyncPolicy policy : {FsyncPolicy::kEveryRecord, FsyncPolicy::kInterval,
+                             FsyncPolicy::kOff}) {
+    const std::string path =
+        Path(std::string("j_") + FsyncPolicyName(policy) + ".log");
+    JournalWriter::Options opts;
+    opts.fsync = policy;
+    opts.fsync_interval_ms = 1;
+    Result<std::unique_ptr<JournalWriter>> w =
+        JournalWriter::Open(path, 0, "hdr v1", opts);
+    ASSERT_TRUE(w.ok()) << w.status();
+    for (int i = 0; i < 10; ++i) {
+      ASSERT_TRUE((*w)->Append("cmd " + std::to_string(i)).ok());
+    }
+    EXPECT_EQ(ScanFile(path).records.size(), 11u);
+  }
+}
+
+TEST_F(DurabilityTest, AppendFailPointTearsWriteAndBreaksWriter) {
+  const std::string path = Path("journal.log");
+  Result<std::unique_ptr<JournalWriter>> w =
+      JournalWriter::Open(path, 0, "hdr v1", JournalWriter::Options{});
+  ASSERT_TRUE(w.ok()) << w.status();
+  ASSERT_TRUE((*w)->Append("one").ok());
+  ASSERT_TRUE(
+      FailPoints::Instance().Configure("serve.journal.append=error").ok());
+  Status st = (*w)->Append("two");
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE((*w)->broken());
+  FailPoints::Instance().Clear();
+  // Broken is sticky: even with the fail point disarmed, later appends
+  // are rejected (bytes on disk no longer match accepted commands).
+  Status rejected = (*w)->Append("three");
+  EXPECT_EQ(rejected.code(), StatusCode::kInternal);
+  // The torn half-frame persisted — exactly what recovery must discard.
+  JournalScan scan = ScanFile(path);
+  EXPECT_TRUE(scan.torn_tail);
+  ASSERT_EQ(scan.records.size(), 2u);
+  EXPECT_EQ(scan.records[1], "one");
+}
+
+TEST_F(DurabilityTest, FsyncFailPointBreaksWriter) {
+  const std::string path = Path("journal.log");
+  JournalWriter::Options opts;  // kEveryRecord: every append syncs
+  Result<std::unique_ptr<JournalWriter>> w =
+      JournalWriter::Open(path, 0, "hdr v1", opts);
+  ASSERT_TRUE(w.ok()) << w.status();
+  ASSERT_TRUE(
+      FailPoints::Instance().Configure("serve.journal.fsync=error").ok());
+  Status st = (*w)->Append("one");
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE((*w)->broken());
+}
+
+TEST_F(DurabilityTest, WriteFileDurablyIsAtomicUnderFailPoint) {
+  const std::string path = Path("snapshot.dat");
+  ASSERT_TRUE(WriteFileDurably(path, "generation 1").ok());
+  ASSERT_TRUE(
+      FailPoints::Instance().Configure("serve.snapshot.write=error").ok());
+  Status st = WriteFileDurably(path, "generation 2", "serve.snapshot.write");
+  EXPECT_FALSE(st.ok());
+  // No rename happened: the previous contents stay authoritative.
+  EXPECT_EQ(ReadFile(path), "generation 1");
+  FailPoints::Instance().Clear();
+  ASSERT_TRUE(
+      WriteFileDurably(path, "generation 2", "serve.snapshot.write").ok());
+  EXPECT_EQ(ReadFile(path), "generation 2");
+}
+
+// ----------------------------------------------------------- compaction
+
+TEST_F(DurabilityTest, CompactDropsDeadProgramTextAndClears) {
+  std::vector<std::string> history = {
+      "gen movies",
+      "rule dead(t) :- imdbPages(d).",
+      "constrain extractTitle 1 isTitle",
+      "clear",
+      "rule live(t) :- imdbPages(d).",
+      "declare extractTitle 1 1",
+  };
+  std::vector<std::string> compact = SessionLog::Compact(history);
+  ASSERT_EQ(compact.size(), 3u);
+  EXPECT_EQ(compact[0], "gen movies");
+  EXPECT_EQ(compact[1], "rule live(t) :- imdbPages(d).");
+  EXPECT_EQ(compact[2], "declare extractTitle 1 1");
+}
+
+TEST_F(DurabilityTest, CompactKeepsLastQueryOnly) {
+  std::vector<std::string> history = {"query a", "query b", "query c"};
+  std::vector<std::string> compact = SessionLog::Compact(history);
+  ASSERT_EQ(compact.size(), 1u);
+  EXPECT_EQ(compact[0], "query c");
+}
+
+TEST_F(DurabilityTest, CompactKeepsSupersededQueryThatAConstrainBakedIn) {
+  // `constrain` rewrites the program text with the query in force at that
+  // moment, so dropping "query a" here would change what replay builds.
+  std::vector<std::string> history = {
+      "rule q(t) :- imdbPages(d).",
+      "query a",
+      "constrain extractTitle 1 isTitle",
+      "query b",
+  };
+  std::vector<std::string> compact = SessionLog::Compact(history);
+  ASSERT_EQ(compact.size(), 4u);
+  EXPECT_EQ(compact[1], "query a");
+  EXPECT_EQ(compact[3], "query b");
+}
+
+TEST_F(DurabilityTest, CompactDropsArgumentlessQuery) {
+  // A bare `query` is a no-op (the predicate keeps its old value); the
+  // last *effective* query must win, not the last query token.
+  std::vector<std::string> history = {"query a", "query"};
+  std::vector<std::string> compact = SessionLog::Compact(history);
+  ASSERT_EQ(compact.size(), 1u);
+  EXPECT_EQ(compact[0], "query a");
+}
+
+TEST_F(DurabilityTest, IsMutatingCommandClassifiesVerbs) {
+  for (const char* cmd :
+       {"gen movies", "load t f.xml", "declare p 1 1", "rule q(t) :- b(t).",
+        "clear", "query q", "constrain p 1 isTitle", "  gen movies"}) {
+    EXPECT_TRUE(IsMutatingCommand(cmd)) << cmd;
+  }
+  for (const char* cmd : {"run", "tables", "program", "telemetry", "explain",
+                          "trace", "sleep 5", "help", "quit", ""}) {
+    EXPECT_FALSE(IsMutatingCommand(cmd)) << cmd;
+  }
+}
+
+// ----------------------------------------------------------- SessionLog
+
+TEST_F(DurabilityTest, SessionLogRoundTripsHistoryAcrossReopen) {
+  DurabilityOptions opts;
+  opts.snapshot_every = 0;  // journal only
+  {
+    RecoveryReport rep;
+    Result<std::unique_ptr<SessionLog>> log =
+        SessionLog::Open(Path("s1"), opts, &rep);
+    ASSERT_TRUE(log.ok()) << log.status();
+    EXPECT_EQ(rep.commands, 0u);
+    ASSERT_TRUE((*log)->Append("gen movies").ok());
+    ASSERT_TRUE((*log)->Append("declare extractTitle 1 1").ok());
+    EXPECT_EQ((*log)->records(), 2u);
+  }
+  RecoveryReport rep;
+  Result<std::unique_ptr<SessionLog>> log =
+      SessionLog::Open(Path("s1"), opts, &rep);
+  ASSERT_TRUE(log.ok()) << log.status();
+  EXPECT_EQ(rep.commands, 2u);
+  EXPECT_EQ(rep.from_snapshot, 0u);
+  EXPECT_FALSE(rep.torn_tail);
+  EXPECT_FALSE(rep.corrupt);
+  ASSERT_EQ((*log)->history().size(), 2u);
+  EXPECT_EQ((*log)->history()[0], "gen movies");
+  EXPECT_EQ((*log)->history()[1], "declare extractTitle 1 1");
+}
+
+TEST_F(DurabilityTest, SessionLogSnapshotCompactsJournal) {
+  DurabilityOptions opts;
+  opts.snapshot_every = 4;
+  {
+    RecoveryReport rep;
+    Result<std::unique_ptr<SessionLog>> log =
+        SessionLog::Open(Path("s1"), opts, &rep);
+    ASSERT_TRUE(log.ok()) << log.status();
+    ASSERT_TRUE((*log)->Append("gen movies").ok());
+    ASSERT_TRUE((*log)->Append("query a").ok());
+    ASSERT_TRUE((*log)->Append("query b").ok());
+    EXPECT_FALSE((*log)->ShouldSnapshot());
+    ASSERT_TRUE((*log)->Append("query c").ok());
+    EXPECT_TRUE((*log)->ShouldSnapshot());
+    ASSERT_TRUE((*log)->WriteSnapshot().ok());
+    EXPECT_EQ((*log)->watermark(), 4u);
+    // gen + the last query survive compaction.
+    EXPECT_EQ((*log)->last_snapshot_commands(), 2u);
+    // Post-snapshot appends land in the compacted journal.
+    ASSERT_TRUE((*log)->Append("declare extractTitle 1 1").ok());
+    EXPECT_EQ((*log)->records(), 5u);
+  }
+  // The journal file itself now holds only the header and the suffix.
+  JournalScan scan = ScanFile(Path("s1") + "/journal.log");
+  ASSERT_EQ(scan.records.size(), 2u);
+  EXPECT_EQ(scan.records[0], "iflexjournal v1 base=4");
+  EXPECT_EQ(scan.records[1], "declare extractTitle 1 1");
+  RecoveryReport rep;
+  Result<std::unique_ptr<SessionLog>> log =
+      SessionLog::Open(Path("s1"), opts, &rep);
+  ASSERT_TRUE(log.ok()) << log.status();
+  EXPECT_EQ(rep.from_snapshot, 2u);
+  EXPECT_EQ(rep.commands, 3u);
+  ASSERT_EQ((*log)->history().size(), 3u);
+  EXPECT_EQ((*log)->history()[0], "gen movies");
+  EXPECT_EQ((*log)->history()[1], "query c");
+  EXPECT_EQ((*log)->history()[2], "declare extractTitle 1 1");
+  EXPECT_EQ((*log)->records(), 5u);
+  EXPECT_EQ((*log)->watermark(), 4u);
+}
+
+TEST_F(DurabilityTest, SessionLogSkipsJournalOverlapAfterSnapshotOnlyCrash) {
+  // A crash between the snapshot write and the journal compaction leaves
+  // a new snapshot alongside the full old journal; replay must not see
+  // the overlapping records twice.
+  DurabilityOptions opts;
+  opts.snapshot_every = 0;
+  {
+    RecoveryReport rep;
+    Result<std::unique_ptr<SessionLog>> log =
+        SessionLog::Open(Path("s1"), opts, &rep);
+    ASSERT_TRUE(log.ok()) << log.status();
+    ASSERT_TRUE((*log)->Append("gen movies").ok());
+    ASSERT_TRUE((*log)->Append("query a").ok());
+  }
+  // Hand-write the snapshot the crashed compaction would have left.
+  std::string snap;
+  EncodeRecord(&snap, "iflexsnap v1 watermark=2");
+  EncodeRecord(&snap, "gen movies");
+  EncodeRecord(&snap, "query a");
+  ASSERT_TRUE(WriteFileDurably(Path("s1") + "/snapshot.dat", snap).ok());
+  RecoveryReport rep;
+  Result<std::unique_ptr<SessionLog>> log =
+      SessionLog::Open(Path("s1"), opts, &rep);
+  ASSERT_TRUE(log.ok()) << log.status();
+  EXPECT_EQ(rep.commands, 2u);
+  EXPECT_EQ(rep.from_snapshot, 2u);
+  EXPECT_EQ((*log)->records(), 2u);
+}
+
+TEST_F(DurabilityTest, SessionLogDegradesToValidPrefixOnMidFileCorruption) {
+  DurabilityOptions opts;
+  opts.snapshot_every = 0;
+  {
+    RecoveryReport rep;
+    Result<std::unique_ptr<SessionLog>> log =
+        SessionLog::Open(Path("s1"), opts, &rep);
+    ASSERT_TRUE(log.ok()) << log.status();
+    ASSERT_TRUE((*log)->Append("gen movies").ok());
+    ASSERT_TRUE((*log)->Append("declare extractTitle 1 1").ok());
+    ASSERT_TRUE((*log)->Append("query q").ok());
+  }
+  // Flip a bit inside the second data record's payload.
+  const std::string path = Path("s1") + "/journal.log";
+  std::string data = ReadFile(path);
+  JournalScan before = ScanFile(path);
+  ASSERT_EQ(before.records.size(), 4u);
+  size_t second_data_off = 0;
+  for (int i = 0; i < 2; ++i) {
+    second_data_off += kRecordHeaderBytes + before.records[i].size();
+  }
+  data[second_data_off + kRecordHeaderBytes] ^= 0x01;
+  WriteFile(path, data);
+
+  RecoveryReport rep;
+  Result<std::unique_ptr<SessionLog>> log =
+      SessionLog::Open(Path("s1"), opts, &rep);
+  ASSERT_TRUE(log.ok()) << log.status();
+  EXPECT_TRUE(rep.corrupt);
+  ASSERT_EQ(rep.commands, 1u);
+  EXPECT_EQ((*log)->history()[0], "gen movies");
+  // The damaged tail was truncated; the log accepts new appends.
+  ASSERT_TRUE((*log)->Append("query other").ok());
+  JournalScan after = ScanFile(path);
+  EXPECT_FALSE(after.corrupt);
+  ASSERT_EQ(after.records.size(), 3u);
+  EXPECT_EQ(after.records[2], "query other");
+}
+
+TEST_F(DurabilityTest, SessionLogIgnoresCorruptSnapshotWhenJournalIsWhole) {
+  DurabilityOptions opts;
+  opts.snapshot_every = 0;
+  {
+    RecoveryReport rep;
+    Result<std::unique_ptr<SessionLog>> log =
+        SessionLog::Open(Path("s1"), opts, &rep);
+    ASSERT_TRUE(log.ok()) << log.status();
+    ASSERT_TRUE((*log)->Append("gen movies").ok());
+  }
+  WriteFile(Path("s1") + "/snapshot.dat", "not a snapshot at all");
+  RecoveryReport rep;
+  Result<std::unique_ptr<SessionLog>> log =
+      SessionLog::Open(Path("s1"), opts, &rep);
+  ASSERT_TRUE(log.ok()) << log.status();
+  EXPECT_TRUE(rep.snapshot_ignored);
+  EXPECT_FALSE(rep.prefix_lost);
+  // base=0 journal still holds everything: nothing was lost.
+  EXPECT_EQ(rep.commands, 1u);
+}
+
+TEST_F(DurabilityTest, SessionLogResetsWhenCompactedPrefixIsLost) {
+  DurabilityOptions opts;
+  opts.snapshot_every = 0;
+  {
+    RecoveryReport rep;
+    Result<std::unique_ptr<SessionLog>> log =
+        SessionLog::Open(Path("s1"), opts, &rep);
+    ASSERT_TRUE(log.ok()) << log.status();
+    ASSERT_TRUE((*log)->Append("gen movies").ok());
+    ASSERT_TRUE((*log)->Append("query a").ok());
+    ASSERT_TRUE((*log)->WriteSnapshot().ok());  // journal now base=2
+    ASSERT_TRUE((*log)->Append("query b").ok());
+  }
+  WriteFile(Path("s1") + "/snapshot.dat", "garbage");
+  RecoveryReport rep;
+  Result<std::unique_ptr<SessionLog>> log =
+      SessionLog::Open(Path("s1"), opts, &rep);
+  ASSERT_TRUE(log.ok()) << log.status();
+  EXPECT_TRUE(rep.snapshot_ignored);
+  EXPECT_TRUE(rep.prefix_lost);
+  // Replaying "query b" against the wrong starting state would be worse
+  // than honesty: the session comes back empty.
+  EXPECT_EQ(rep.commands, 0u);
+  EXPECT_EQ((*log)->records(), 0u);
+  ASSERT_TRUE((*log)->Append("gen movies").ok());
+}
+
+TEST_F(DurabilityTest, SessionLogSnapshotRepairsBrokenWriter) {
+  DurabilityOptions opts;
+  opts.snapshot_every = 0;
+  RecoveryReport rep;
+  Result<std::unique_ptr<SessionLog>> log =
+      SessionLog::Open(Path("s1"), opts, &rep);
+  ASSERT_TRUE(log.ok()) << log.status();
+  ASSERT_TRUE((*log)->Append("gen movies").ok());
+  ASSERT_TRUE(
+      FailPoints::Instance().Configure("serve.journal.append=error").ok());
+  EXPECT_FALSE((*log)->Append("query a").ok());
+  EXPECT_TRUE((*log)->broken());
+  EXPECT_FALSE((*log)->Append("query b").ok());  // rejected while broken
+  FailPoints::Instance().Clear();
+  ASSERT_TRUE((*log)->WriteSnapshot().ok());
+  EXPECT_FALSE((*log)->broken());
+  // Only the accepted command survived; the log accepts appends again.
+  EXPECT_EQ((*log)->records(), 1u);
+  ASSERT_TRUE((*log)->Append("query c").ok());
+  RecoveryReport rep2;
+  Result<std::unique_ptr<SessionLog>> reopened =
+      SessionLog::Open(Path("s1"), opts, &rep2);
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  ASSERT_EQ(rep2.commands, 2u);
+  EXPECT_EQ((*reopened)->history()[0], "gen movies");
+  EXPECT_EQ((*reopened)->history()[1], "query c");
+}
+
+TEST_F(DurabilityTest, SessionLogSnapshotFailureLeavesOldStateAuthoritative) {
+  DurabilityOptions opts;
+  opts.snapshot_every = 0;
+  RecoveryReport rep;
+  Result<std::unique_ptr<SessionLog>> log =
+      SessionLog::Open(Path("s1"), opts, &rep);
+  ASSERT_TRUE(log.ok()) << log.status();
+  ASSERT_TRUE((*log)->Append("gen movies").ok());
+  ASSERT_TRUE((*log)->WriteSnapshot().ok());
+  ASSERT_TRUE((*log)->Append("query a").ok());
+  ASSERT_TRUE(
+      FailPoints::Instance().Configure("serve.snapshot.write=error").ok());
+  EXPECT_FALSE((*log)->WriteSnapshot().ok());
+  FailPoints::Instance().Clear();
+  // The old snapshot + journal still reproduce the full history.
+  RecoveryReport rep2;
+  Result<std::unique_ptr<SessionLog>> reopened =
+      SessionLog::Open(Path("s1"), opts, &rep2);
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  EXPECT_EQ(rep2.commands, 2u);
+  EXPECT_EQ((*reopened)->history()[1], "query a");
+}
+
+}  // namespace
+}  // namespace durability
+}  // namespace iflex

@@ -1,0 +1,615 @@
+// Crash-recovery harness (docs/ROBUSTNESS.md): durable sessions must
+// come back byte-identical after a crash. In-process tests drive the
+// write-ahead journal / snapshot machinery through Server::HandleLine
+// and RecoverAll; the end-to-end tests fork the real iflexd binary
+// (IFLEXD_PATH), SIGKILL it at chosen points of a live workload —
+// including with a command in flight — restart it on the same data
+// directory, and assert the recovered session answers exactly like a
+// server that replayed the acknowledged command prefix uninterrupted.
+// Runs under the `recovery` ctest label.
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "durability/journal.h"
+#include "obs/event_log.h"
+#include "resilience/failpoint.h"
+#include "serve/client.h"
+#include "serve/server.h"
+#include "serve/wire.h"
+
+namespace iflex {
+namespace {
+
+using resilience::FailPoints;
+using serve::LineClient;
+using serve::ParsedResponse;
+using serve::ParseResponse;
+using serve::Server;
+using serve::ServerOptions;
+
+ParsedResponse Call(Server* server, const std::string& line) {
+  auto parsed = ParseResponse(server->HandleLine(line));
+  EXPECT_TRUE(parsed.ok()) << line;
+  return parsed.ok() ? *parsed : ParsedResponse{};
+}
+
+// The develop/execute/refine workload (same one the serving tests and
+// bench replay). Mutating commands interleave with `run`s, which are
+// deliberately not journaled — execution is reproducible from state.
+std::vector<std::string> Script() {
+  return {
+      "gen movies",
+      "declare extractEbert 1 2",
+      "rule q(t) :- ebertPages(x), extractEbert(x, t, yr), yr < 1960.",
+      "rule extractEbert(x, t, yr) :- from(x, t), from(x, yr).",
+      "query q",
+      "run",
+      "constrain extractEbert 1 numeric yes",
+      "run",
+  };
+}
+
+/// Telemetry reduced to the deterministic session-state families
+/// (iflex_session_*), with the per-process run_id label erased so
+/// expositions from different daemon incarnations are comparable. The
+/// exec.* counters legitimately differ after recovery (runs are not
+/// replayed); the session gauges must not.
+std::string SessionStateFamilies(const std::string& telemetry) {
+  std::string out;
+  std::istringstream in(telemetry);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("iflex_session_", 0) != 0 &&
+        line.rfind("# TYPE iflex_session_", 0) != 0) {
+      continue;
+    }
+    size_t rid = line.find("run_id=\"");
+    size_t end = rid == std::string::npos ? rid : line.find('"', rid + 8);
+    if (rid != std::string::npos && end != std::string::npos) {
+      if (end + 1 < line.size() && line[end + 1] == ',') {
+        line.erase(rid, end + 2 - rid);
+      } else {
+        line.erase(rid, end + 1 - rid);
+      }
+    }
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+/// One string that captures everything a client can observe about the
+/// session's extraction state: program text, table inventory, a full
+/// run's result, and the session-state telemetry families.
+std::string Fingerprint(Server* server, const std::string& sid) {
+  std::string fp;
+  for (const char* probe : {"program", "tables", "run"}) {
+    ParsedResponse resp =
+        Call(server, "cmd " + sid + " " + std::string(probe));
+    fp += std::string(probe) + ":" + (resp.ok ? "ok" : resp.code) + "\n";
+    fp += resp.output;
+    fp += "\n--\n";
+  }
+  fp += SessionStateFamilies(Call(server, "telemetry " + sid).output);
+  return fp;
+}
+
+class RecoveryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    FailPoints::Instance().Clear();
+    dir_ = ::testing::TempDir() + "recovery_test_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override {
+    FailPoints::Instance().Clear();
+    std::filesystem::remove_all(dir_);
+  }
+
+  ServerOptions Durable() const {
+    ServerOptions options;
+    options.data_dir = dir_;
+    options.run_id = "recovery-test";
+    return options;
+  }
+
+  ServerOptions Ephemeral() const {
+    ServerOptions options;
+    options.run_id = "recovery-test";
+    return options;
+  }
+
+  std::string dir_;
+};
+
+// ------------------------------------------------- in-process recovery
+
+TEST_F(RecoveryTest, RecoveredServerAnswersByteIdentically) {
+  std::string before;
+  {
+    Server a(Durable());
+    ASSERT_TRUE(Call(&a, "open s1").ok);
+    for (const std::string& command : Script()) {
+      EXPECT_TRUE(Call(&a, "cmd s1 " + command).ok) << command;
+    }
+    before = Fingerprint(&a, "s1");
+  }
+  // An uninterrupted ephemeral server over the same script agrees with
+  // the durable one (journaling changed nothing observable)...
+  {
+    Server c(Ephemeral());
+    ASSERT_TRUE(Call(&c, "open s1").ok);
+    for (const std::string& command : Script()) {
+      Call(&c, "cmd s1 " + command);
+    }
+    EXPECT_EQ(Fingerprint(&c, "s1"), before);
+  }
+  // ...and so does a fresh server recovered from the journal alone.
+  Server b(Durable());
+  ASSERT_TRUE(b.RecoverAll().ok());
+  ASSERT_EQ(b.session_count(), 1u);
+  EXPECT_EQ(Fingerprint(&b, "s1"), before);
+  EXPECT_GT(b.metrics().counter("serve.sessions_recovered")->value(), 0u);
+  // Recovered sessions accept new work immediately.
+  EXPECT_TRUE(Call(&b, "cmd s1 run").ok);
+}
+
+TEST_F(RecoveryTest, OpenRejectsStaleStateAndRecoverRestoresIt) {
+  {
+    Server a(Durable());
+    ASSERT_TRUE(Call(&a, "open s1").ok);
+    ASSERT_TRUE(Call(&a, "cmd s1 gen movies").ok);
+  }
+  Server b(Durable());
+  // No RecoverAll: the session is on disk but not in memory. `open` must
+  // not shadow it with an empty session.
+  ParsedResponse open = Call(&b, "open s1");
+  EXPECT_FALSE(open.ok);
+  EXPECT_EQ(open.code, "AlreadyExists");
+  ParsedResponse recover = Call(&b, "recover s1");
+  EXPECT_TRUE(recover.ok);
+  EXPECT_NE(recover.output.find("recovered s1"), std::string::npos);
+  EXPECT_NE(Call(&b, "cmd s1 tables").output.find("imdbPages"),
+            std::string::npos);
+  // Second recover: it is already open.
+  EXPECT_EQ(Call(&b, "recover s1").code, "AlreadyExists");
+}
+
+TEST_F(RecoveryTest, RecoverAndPersistValidateTheirPreconditions) {
+  Server ephemeral(Ephemeral());
+  EXPECT_EQ(Call(&ephemeral, "recover s1").code, "InvalidArgument");
+  EXPECT_EQ(Call(&ephemeral, "persist s1").code, "NotFound");
+  ASSERT_TRUE(Call(&ephemeral, "open s1").ok);
+  EXPECT_EQ(Call(&ephemeral, "persist s1").code, "InvalidArgument");
+
+  Server durable(Durable());
+  EXPECT_EQ(Call(&durable, "recover nope").code, "NotFound");
+  ASSERT_TRUE(Call(&durable, "open s1").ok);
+  ASSERT_TRUE(Call(&durable, "cmd s1 gen movies").ok);
+  ASSERT_TRUE(Call(&durable, "cmd s1 query a").ok);
+  ASSERT_TRUE(Call(&durable, "cmd s1 query b").ok);
+  ParsedResponse persist = Call(&durable, "persist s1");
+  EXPECT_TRUE(persist.ok);
+  EXPECT_NE(persist.output.find("snapshot of s1 at record 3"),
+            std::string::npos);
+  // The journal was compacted behind the snapshot: header only.
+  durability::JournalScan scan =
+      durability::ScanFile(dir_ + "/s1/journal.log");
+  ASSERT_EQ(scan.records.size(), 1u);
+  EXPECT_EQ(scan.records[0], "iflexjournal v1 base=3");
+}
+
+TEST_F(RecoveryTest, TornJournalWriteLosesNoAcceptedCommand) {
+  std::string accepted_fp;
+  {
+    Server a(Durable());  // fsync policy defaults to every-record
+    ASSERT_TRUE(Call(&a, "open s1").ok);
+    ASSERT_TRUE(Call(&a, "cmd s1 gen movies").ok);
+    ASSERT_TRUE(Call(&a, "cmd s1 declare extractEbert 1 2").ok);
+    // The third mutating command hits a torn journal write: the client
+    // sees a typed rejection and the command does NOT execute.
+    ASSERT_TRUE(FailPoints::Instance()
+                    .Configure("serve.journal.append=error")
+                    .ok());
+    ParsedResponse torn = Call(&a, "cmd s1 query q");
+    EXPECT_FALSE(torn.ok);
+    EXPECT_GT(a.metrics().counter("serve.journal_failures")->value(), 0u);
+    FailPoints::Instance().Clear();
+    // The journal is failed: further mutations are rejected (fail-stop
+    // beats silently diverging from disk)...
+    EXPECT_FALSE(Call(&a, "cmd s1 query q").ok);
+    // ...while reads and the torn-free prefix still serve.
+    EXPECT_TRUE(Call(&a, "cmd s1 tables").ok);
+    accepted_fp = Fingerprint(&a, "s1");
+  }
+  // Crash. Recovery discards the torn frame and lands exactly on the
+  // accepted prefix: zero accepted-command loss, zero ghost commands.
+  Server b(Durable());
+  ASSERT_TRUE(b.RecoverAll().ok());
+  EXPECT_EQ(b.metrics().counter("serve.replayed_commands")->value(), 2u);
+  EXPECT_EQ(Fingerprint(&b, "s1"), accepted_fp);
+}
+
+TEST_F(RecoveryTest, PersistRepairsABrokenJournal) {
+  Server a(Durable());
+  ASSERT_TRUE(Call(&a, "open s1").ok);
+  ASSERT_TRUE(Call(&a, "cmd s1 gen movies").ok);
+  ASSERT_TRUE(
+      FailPoints::Instance().Configure("serve.journal.append=error").ok());
+  EXPECT_FALSE(Call(&a, "cmd s1 query q").ok);
+  FailPoints::Instance().Clear();
+  EXPECT_FALSE(Call(&a, "cmd s1 query q").ok);  // still failed
+  ASSERT_TRUE(Call(&a, "persist s1").ok);       // snapshot = repair
+  EXPECT_TRUE(Call(&a, "cmd s1 query q").ok);   // accepting again
+  EXPECT_GT(a.metrics().counter("serve.snapshots")->value(), 0u);
+}
+
+TEST_F(RecoveryTest, CorruptMidJournalDegradesToValidPrefix) {
+  {
+    Server a(Durable());
+    ASSERT_TRUE(Call(&a, "open s1").ok);
+    ASSERT_TRUE(Call(&a, "cmd s1 gen movies").ok);
+    ASSERT_TRUE(Call(&a, "cmd s1 declare extractEbert 1 2").ok);
+    ASSERT_TRUE(Call(&a, "cmd s1 query q").ok);
+  }
+  // Bit rot in the middle of the journal (record 2 of header+3).
+  const std::string path = dir_ + "/s1/journal.log";
+  durability::JournalScan before = durability::ScanFile(path);
+  ASSERT_EQ(before.records.size(), 4u);
+  std::string data;
+  {
+    std::ifstream in(path, std::ios::binary);
+    data.assign((std::istreambuf_iterator<char>(in)),
+                std::istreambuf_iterator<char>());
+  }
+  size_t offset = 0;
+  for (int i = 0; i < 2; ++i) {
+    offset += durability::kRecordHeaderBytes + before.records[i].size();
+  }
+  data[offset + durability::kRecordHeaderBytes] ^= 0x01;
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(data.data(), static_cast<std::streamsize>(data.size()));
+  }
+  // Startup must degrade the session to the last valid prefix — with a
+  // warning and a counter — not refuse to boot.
+  Server b(Durable());
+  ASSERT_TRUE(b.RecoverAll().ok());
+  ASSERT_EQ(b.session_count(), 1u);
+  EXPECT_EQ(b.metrics().counter("serve.journal_truncated")->value(), 1u);
+  EXPECT_EQ(b.metrics().counter("serve.replayed_commands")->value(), 1u);
+  EXPECT_NE(Call(&b, "cmd s1 tables").output.find("imdbPages"),
+            std::string::npos);
+  bool warned = false;
+  for (const std::string& line : obs::DefaultEventLog().FormatRecent(64)) {
+    if (line.find("journal damaged") != std::string::npos) warned = true;
+  }
+  EXPECT_TRUE(warned);
+  // The degraded session is live: new mutations extend the kept prefix.
+  EXPECT_TRUE(Call(&b, "cmd s1 declare extractEbert 1 2").ok);
+}
+
+TEST_F(RecoveryTest, CrashDuringRecoveryHousekeepingIsIdempotent) {
+  {
+    Server a(Durable());
+    ASSERT_TRUE(Call(&a, "open s1").ok);
+    for (const std::string& command : Script()) {
+      Call(&a, "cmd s1 " + command);
+    }
+  }
+  // First recovery runs with the snapshot fail point armed: the overdue
+  // compaction fails (torn .tmp), which must neither fail recovery nor
+  // disturb the journal.
+  ServerOptions opts = Durable();
+  opts.durability.snapshot_every = 2;
+  std::string fp_during;
+  {
+    ASSERT_TRUE(FailPoints::Instance()
+                    .Configure("serve.snapshot.write=error")
+                    .ok());
+    Server b(opts);
+    ASSERT_TRUE(b.RecoverAll().ok());
+    EXPECT_GT(b.metrics().counter("serve.snapshot_failures")->value(), 0u);
+    fp_during = Fingerprint(&b, "s1");
+    FailPoints::Instance().Clear();
+    // Server b "crashes" here (destroyed without snapshotting).
+  }
+  // Second recovery from the untouched journal converges to the same
+  // state, and this time the housekeeping snapshot lands.
+  Server c(opts);
+  ASSERT_TRUE(c.RecoverAll().ok());
+  EXPECT_EQ(Fingerprint(&c, "s1"), fp_during);
+  EXPECT_GT(c.metrics().counter("serve.snapshots")->value(), 0u);
+  // And a third recovery now replays mostly from the snapshot.
+  Server d(opts);
+  ASSERT_TRUE(d.RecoverAll().ok());
+  EXPECT_EQ(Fingerprint(&d, "s1"), fp_during);
+}
+
+TEST_F(RecoveryTest, AutoSnapshotKeepsRestartIdentical) {
+  ServerOptions opts = Durable();
+  opts.durability.snapshot_every = 3;
+  std::string before;
+  {
+    Server a(opts);
+    ASSERT_TRUE(Call(&a, "open s1").ok);
+    for (const std::string& command : Script()) {
+      Call(&a, "cmd s1 " + command);
+    }
+    // query churn to give compaction something to drop
+    ASSERT_TRUE(Call(&a, "cmd s1 query q").ok);
+    ASSERT_TRUE(Call(&a, "cmd s1 query q").ok);
+    EXPECT_GT(a.metrics().counter("serve.snapshots")->value(), 0u);
+    before = Fingerprint(&a, "s1");
+  }
+  ASSERT_TRUE(std::filesystem::exists(dir_ + "/s1/snapshot.dat"));
+  Server b(opts);
+  ASSERT_TRUE(b.RecoverAll().ok());
+  EXPECT_EQ(Fingerprint(&b, "s1"), before);
+}
+
+// --------------------------------------------- end-to-end (SIGKILL)
+
+/// A real iflexd child process on an ephemeral port.
+class Daemon {
+ public:
+  ~Daemon() { KillNow(); }
+
+  /// Starts IFLEXD_PATH with `args`; parses the bound port from its
+  /// stdout banner. `env_extra` entries are "KEY=VALUE".
+  bool Start(std::vector<std::string> args,
+             const std::vector<std::string>& env_extra = {}) {
+    int fds[2];
+    if (::pipe(fds) != 0) return false;
+    pid_ = ::fork();
+    if (pid_ < 0) return false;
+    if (pid_ == 0) {
+      ::dup2(fds[1], STDOUT_FILENO);
+      ::close(fds[0]);
+      ::close(fds[1]);
+      for (const std::string& kv : env_extra) {
+        std::string key = kv.substr(0, kv.find('='));
+        ::setenv(key.c_str(), kv.c_str() + key.size() + 1, 1);
+      }
+      std::vector<char*> argv;
+      static const std::string kPath = IFLEXD_PATH;
+      argv.push_back(const_cast<char*>(kPath.c_str()));
+      for (std::string& a : args) argv.push_back(a.data());
+      argv.push_back(nullptr);
+      ::execv(kPath.c_str(), argv.data());
+      std::_Exit(127);
+    }
+    ::close(fds[1]);
+    // Read the "iflexd listening on 127.0.0.1:<port>" banner.
+    std::FILE* out = ::fdopen(fds[0], "r");
+    if (out == nullptr) return false;
+    char line[256];
+    bool got = false;
+    while (std::fgets(line, sizeof(line), out) != nullptr) {
+      unsigned port = 0;
+      if (std::sscanf(line, "iflexd listening on 127.0.0.1:%u", &port) == 1) {
+        port_ = static_cast<uint16_t>(port);
+        got = true;
+        break;
+      }
+    }
+    std::fclose(out);  // the daemon keeps running; we just drop its stdout
+    return got;
+  }
+
+  /// SIGKILL — the crash under test. No flush, no destructors.
+  void KillNow() {
+    if (pid_ <= 0) return;
+    ::kill(pid_, SIGKILL);
+    ::waitpid(pid_, nullptr, 0);
+    pid_ = -1;
+  }
+
+  /// Graceful stop via the protocol, for the uninterrupted control runs.
+  void Shutdown() {
+    if (pid_ <= 0) return;
+    LineClient client;
+    if (client.Connect(port_).ok()) (void)client.Call("shutdown");
+    ::waitpid(pid_, nullptr, 0);
+    pid_ = -1;
+  }
+
+  uint16_t port() const { return port_; }
+
+ private:
+  pid_t pid_ = -1;
+  uint16_t port_ = 0;
+};
+
+std::vector<std::string> DaemonArgs(const std::string& data_dir) {
+  return {"--port", "0",     "--threads",  "2",
+          "--data-dir", data_dir, "--fsync", "every"};
+}
+
+/// Client-side fingerprint of a daemon session (mirrors Fingerprint()).
+std::string RemoteFingerprint(uint16_t port, const std::string& sid) {
+  LineClient client;
+  EXPECT_TRUE(client.Connect(port).ok());
+  std::string fp;
+  for (const char* probe : {"program", "tables", "run"}) {
+    auto resp = client.Call("cmd " + sid + " " + std::string(probe));
+    EXPECT_TRUE(resp.ok()) << probe;
+    if (!resp.ok()) return fp;
+    fp += std::string(probe) + ":" + (resp->ok ? "ok" : resp->code) + "\n";
+    fp += resp->output;
+    fp += "\n--\n";
+  }
+  auto telemetry = client.Call("telemetry " + sid);
+  EXPECT_TRUE(telemetry.ok());
+  if (telemetry.ok()) fp += SessionStateFamilies(telemetry->output);
+  return fp;
+}
+
+TEST_F(RecoveryTest, SigkilledDaemonRecoversTheAckedPrefix) {
+  // Kill after the k-th acknowledged command, at several points of the
+  // workload including mid-script; every acked mutating command must
+  // survive, and nothing else.
+  for (size_t kill_after : {2u, 5u, 7u}) {
+    const std::string data_dir =
+        dir_ + "/kill_after_" + std::to_string(kill_after);
+    std::filesystem::create_directories(data_dir);
+    std::vector<std::string> acked_mutating;
+    {
+      Daemon daemon;
+      ASSERT_TRUE(daemon.Start(DaemonArgs(data_dir)));
+      LineClient client;
+      ASSERT_TRUE(client.Connect(daemon.port()).ok());
+      ASSERT_TRUE(client.Call("open s1").ok());
+      size_t sent = 0;
+      for (const std::string& command : Script()) {
+        auto resp = client.Call("cmd s1 " + command);
+        ASSERT_TRUE(resp.ok()) << command;
+        if (durability::IsMutatingCommand(command)) {
+          acked_mutating.push_back(command);
+        }
+        if (++sent >= kill_after) break;
+      }
+      daemon.KillNow();  // SIGKILL: no flush, no graceful anything
+    }
+    // Restart on the same data dir; recovery runs before the listener.
+    Daemon restarted;
+    ASSERT_TRUE(restarted.Start(DaemonArgs(data_dir)));
+    std::string recovered = RemoteFingerprint(restarted.port(), "s1");
+
+    // Control: an uninterrupted daemon fed exactly the acked commands.
+    const std::string control_dir = data_dir + "_control";
+    std::filesystem::create_directories(control_dir);
+    Daemon control;
+    ASSERT_TRUE(control.Start(DaemonArgs(control_dir)));
+    {
+      LineClient client;
+      ASSERT_TRUE(client.Connect(control.port()).ok());
+      ASSERT_TRUE(client.Call("open s1").ok());
+      for (const std::string& command : acked_mutating) {
+        ASSERT_TRUE(client.Call("cmd s1 " + command).ok());
+      }
+    }
+    EXPECT_EQ(recovered, RemoteFingerprint(control.port(), "s1"))
+        << "kill_after=" << kill_after;
+    restarted.Shutdown();
+    control.Shutdown();
+  }
+}
+
+TEST_F(RecoveryTest, SigkillWithACommandInFlightRecoversAPrefix) {
+  std::vector<std::string> base = {"gen movies", "declare extractEbert 1 2"};
+  {
+    Daemon daemon;
+    ASSERT_TRUE(daemon.Start(DaemonArgs(dir_)));
+    LineClient client;
+    ASSERT_TRUE(client.Connect(daemon.port()).ok());
+    ASSERT_TRUE(client.Call("open s1").ok());
+    for (const std::string& command : base) {
+      ASSERT_TRUE(client.Call("cmd s1 " + command).ok());
+    }
+    // Fire one more mutating command and kill without waiting for the
+    // response: the crash races the append, so the journal may or may
+    // not contain it (possibly as a torn tail).
+    ASSERT_TRUE(client.Send("cmd s1 query q").ok());
+    daemon.KillNow();
+  }
+  Daemon restarted;
+  ASSERT_TRUE(restarted.Start(DaemonArgs(dir_)));
+  std::string recovered = RemoteFingerprint(restarted.port(), "s1");
+  restarted.Shutdown();
+
+  // The recovered state must be exactly one of the two valid prefixes:
+  // with or without the in-flight command. Anything else — a torn tail
+  // surfacing as state, a lost acked command — is a bug.
+  std::vector<std::string> with = base;
+  with.push_back("query q");
+  // References run in-process but must carry the daemon's telemetry
+  // labels, so match its --threads 2.
+  ServerOptions ref_opts = Ephemeral();
+  ref_opts.threads = 2;
+  std::string fp_without, fp_with;
+  {
+    Server ref(ref_opts);
+    ASSERT_TRUE(Call(&ref, "open s1").ok);
+    for (const std::string& command : base) Call(&ref, "cmd s1 " + command);
+    fp_without = Fingerprint(&ref, "s1");
+  }
+  {
+    Server ref(ref_opts);
+    ASSERT_TRUE(Call(&ref, "open s1").ok);
+    for (const std::string& command : with) Call(&ref, "cmd s1 " + command);
+    fp_with = Fingerprint(&ref, "s1");
+  }
+  EXPECT_TRUE(recovered == fp_without || recovered == fp_with)
+      << "recovered state matches neither valid prefix:\n"
+      << recovered;
+}
+
+TEST_F(RecoveryTest, DaemonCrashDuringReplayConverges) {
+  {
+    Daemon daemon;
+    ASSERT_TRUE(daemon.Start(DaemonArgs(dir_)));
+    LineClient client;
+    ASSERT_TRUE(client.Connect(daemon.port()).ok());
+    ASSERT_TRUE(client.Call("open s1").ok());
+    for (const std::string& command : Script()) {
+      ASSERT_TRUE(client.Call("cmd s1 " + command).ok());
+    }
+    daemon.KillNow();
+  }
+  // First restart recovers with durability fail points armed via the
+  // environment (the recovery-time compaction tears), then is killed —
+  // a crash during/after replay.
+  {
+    std::vector<std::string> args = DaemonArgs(dir_);
+    args.push_back("--snapshot-every");
+    args.push_back("2");
+    Daemon wounded;
+    ASSERT_TRUE(wounded.Start(
+        args, {"IFLEX_FAILPOINTS=serve.snapshot.write=error"}));
+    // It still serves its recovered session despite the failing snapshot.
+    LineClient client;
+    ASSERT_TRUE(client.Connect(wounded.port()).ok());
+    auto tables = client.Call("cmd s1 tables");
+    ASSERT_TRUE(tables.ok());
+    EXPECT_NE(tables->output.find("imdbPages"), std::string::npos);
+    wounded.KillNow();
+  }
+  // Replay never rewrites the journal, so the second recovery converges
+  // on the same state as an uninterrupted control daemon.
+  Daemon healed;
+  ASSERT_TRUE(healed.Start(DaemonArgs(dir_)));
+  std::string recovered = RemoteFingerprint(healed.port(), "s1");
+  healed.Shutdown();
+
+  const std::string control_dir = dir_ + "/control";
+  std::filesystem::create_directories(control_dir);
+  Daemon control;
+  ASSERT_TRUE(control.Start(DaemonArgs(control_dir)));
+  {
+    LineClient client;
+    ASSERT_TRUE(client.Connect(control.port()).ok());
+    ASSERT_TRUE(client.Call("open s1").ok());
+    for (const std::string& command : Script()) {
+      if (durability::IsMutatingCommand(command)) {
+        ASSERT_TRUE(client.Call("cmd s1 " + command).ok());
+      }
+    }
+  }
+  EXPECT_EQ(recovered, RemoteFingerprint(control.port(), "s1"));
+  control.Shutdown();
+}
+
+}  // namespace
+}  // namespace iflex
