@@ -230,7 +230,11 @@ Status JournalWriter::MaybeSync(bool force) {
         "fail point 'serve.journal.fsync' fired: journal sync failed; "
         "record durability unknown");
   }
-  IFLEX_RETURN_NOT_OK(SyncFd(fd_));
+  Status st = SyncFd(fd_);
+  if (!st.ok()) {
+    broken_ = true;
+    return st;
+  }
   last_sync_ = std::chrono::steady_clock::now();
   return Status::OK();
 }
@@ -264,8 +268,17 @@ Status JournalWriter::Append(std::string_view payload) {
     broken_ = true;
     return st;
   }
+  Status synced = MaybeSync(/*force=*/false);
+  if (!synced.ok()) {
+    // The frame is complete on disk but the client is told the command
+    // was rejected; left in place, a post-crash scan would replay it as
+    // a ghost command. Roll the file back to the pre-append offset
+    // (best effort, mirroring the short-write path) before failing.
+    (void)::ftruncate(fd_, static_cast<off_t>(offset_));
+    return synced;
+  }
   offset_ += frame.size();
-  return MaybeSync(/*force=*/false);
+  return Status::OK();
 }
 
 Status WriteFileDurably(const std::string& path, std::string_view contents,

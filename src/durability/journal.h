@@ -69,8 +69,10 @@ JournalScan ScanFile(const std::string& path);
 ///     (every later append is rejected kUnavailable until the file is
 ///     re-opened or compacted). This models a crash mid-write whose
 ///     partial bytes survive — exactly what recovery must tolerate.
-///   serve.journal.fsync — the post-write sync fails; the bytes are in
-///     the page cache but not known durable, so the writer also breaks.
+///   serve.journal.fsync — the post-write sync fails; the completed
+///     frame is rolled back with a best-effort ftruncate (a rejected
+///     command must not resurface as a ghost after a crash) and the
+///     writer also breaks.
 ///
 /// Not thread-safe: the owner serializes appends (iflexd holds the
 /// session mutex).

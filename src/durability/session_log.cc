@@ -142,11 +142,14 @@ Result<std::unique_ptr<SessionLog>> SessionLog::Open(
   }
 
   // With a compacted journal (base > 0) the pre-base prefix only exists
-  // in the snapshot; if that was unusable, or the watermark somehow fell
-  // behind the base, the replayable prefix is gone. Best effort: the
-  // session comes back empty rather than replaying a suffix against the
-  // wrong starting state.
-  if ((rep->snapshot_ignored && base > 0) || (snap_usable && base > watermark)) {
+  // in the snapshot; if that was missing or unusable, or the watermark
+  // somehow fell behind the base, the replayable prefix is gone. Best
+  // effort: the session comes back empty rather than replaying a suffix
+  // against the wrong starting state.
+  if (snap.missing && base > 0) {
+    AppendDetail(&rep->detail, "snapshot missing despite compacted journal");
+  }
+  if ((!snap_usable && base > 0) || (snap_usable && base > watermark)) {
     rep->prefix_lost = true;
     AppendDetail(&rep->detail,
                  "replay prefix lost; session reset to empty");

@@ -76,16 +76,17 @@ int main(int argc, char** argv) {
         options.durability.fsync = iflex::durability::FsyncPolicy::kEveryRecord;
       } else if (s == "off") {
         options.durability.fsync = iflex::durability::FsyncPolicy::kOff;
-      } else if (s.rfind("interval", 0) == 0) {
+      } else if (s == "interval") {
         options.durability.fsync = iflex::durability::FsyncPolicy::kInterval;
-        if (s.size() > 9 && s[8] == ':') {
-          options.durability.fsync_interval_ms =
-              std::strtol(s.c_str() + 9, nullptr, 10);
-        }
-        if (options.durability.fsync_interval_ms <= 0) {
+      } else if (s.rfind("interval:", 0) == 0) {
+        options.durability.fsync = iflex::durability::FsyncPolicy::kInterval;
+        char* end = nullptr;
+        long ms = std::strtol(s.c_str() + 9, &end, 10);
+        if (s.size() == 9 || *end != '\0' || ms <= 0) {
           std::fprintf(stderr, "iflexd: --fsync interval:<ms> needs ms > 0\n");
           return 2;
         }
+        options.durability.fsync_interval_ms = ms;
       } else {
         std::fprintf(stderr,
                      "iflexd: --fsync takes every | interval:<ms> | off\n");

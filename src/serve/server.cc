@@ -107,6 +107,26 @@ std::shared_ptr<Server::Session> Server::FindSession(
   return it == sessions_.end() ? nullptr : it->second;
 }
 
+Status Server::ReserveSession(const std::string& id,
+                              const std::shared_ptr<Session>& session) {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  if (sessions_.size() >= options_.max_sessions) {
+    return Status::Overloaded(
+        StringPrintf("session table full (%zu sessions)", sessions_.size()));
+  }
+  if (!sessions_.emplace(id, session).second) {
+    return Status::AlreadyExists("session '" + id + "' is already open");
+  }
+  return Status::OK();
+}
+
+void Server::DropReservation(const std::string& id,
+                             const std::shared_ptr<Session>& session) {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  auto it = sessions_.find(id);
+  if (it != sessions_.end() && it->second == session) sessions_.erase(it);
+}
+
 size_t Server::session_count() const {
   std::lock_guard<std::mutex> lock(sessions_mu_);
   return sessions_.size();
@@ -198,19 +218,39 @@ Response Server::HandleOpen(const Request& req) {
   Response resp;
   resp.session = req.session;
   auto session = MakeSession(req.session);
+  // Reserve the id BEFORE touching disk: a duplicate `open` against a
+  // live durable session must never construct a second JournalWriter on
+  // the live journal — the open-time tail truncation would race the live
+  // writer's appends and silently drop durably-accepted commands. The
+  // session mutex is held across reservation and log attach, so a
+  // request that finds the reserved entry waits until the log is wired
+  // (or the reservation is rolled back as defunct) instead of slipping
+  // past journaling.
+  std::unique_lock<std::mutex> session_lock(session->mu);
+  Status reserved = ReserveSession(req.session, session);
+  if (!reserved.ok()) {
+    resp.status = std::move(reserved);
+    return resp;
+  }
   if (!options_.data_dir.empty()) {
     // `open` means a NEW durable session. Leftover state on disk (from a
     // crash or an earlier `close`) must not be silently shadowed by an
-    // empty session — that is what `recover` is for.
+    // empty session — that is what `recover` is for. The reservation
+    // guarantees no live writer exists for this directory, so probing it
+    // here is safe.
     durability::RecoveryReport report;
     Result<std::unique_ptr<durability::SessionLog>> log =
         durability::SessionLog::Open(SessionDir(req.session),
                                      options_.durability, &report);
     if (!log.ok()) {
+      session->defunct = true;
+      DropReservation(req.session, session);
       resp.status = log.status();
       return resp;
     }
     if ((*log)->records() > 0 || report.commands > 0) {
+      session->defunct = true;
+      DropReservation(req.session, session);
       resp.status = Status::AlreadyExists(
           "session '" + req.session +
           "' has durable state on disk; `recover` it (or remove its "
@@ -218,20 +258,6 @@ Response Server::HandleOpen(const Request& req) {
       return resp;
     }
     session->log = std::move(*log);
-  }
-  {
-    std::lock_guard<std::mutex> lock(sessions_mu_);
-    if (sessions_.size() >= options_.max_sessions) {
-      resp.status = Status::Overloaded(
-          StringPrintf("session table full (%zu sessions)",
-                       sessions_.size()));
-      return resp;
-    }
-    if (!sessions_.emplace(req.session, session).second) {
-      resp.status =
-          Status::AlreadyExists("session '" + req.session + "' is open");
-      return resp;
-    }
   }
   metrics_.counter("serve.sessions_opened")->Add();
   metrics_.gauge("serve.sessions_active")
@@ -302,6 +328,12 @@ Response Server::HandleCmd(const Request& req) {
       }
       std::this_thread::sleep_for(std::chrono::milliseconds(1));
     }
+  }
+  if (session->defunct) {
+    // Found while reserved by an open/recover that then failed and
+    // rolled back: to the client this session never existed.
+    resp.status = Status::NotFound("no session '" + req.session + "'");
+    return resp;
   }
   Status admitted = admission_.Acquire(deadline);
   metrics_.histogram("serve.queue_ms")
@@ -392,6 +424,10 @@ Response Server::HandleTelemetry(const Request& req) {
     return resp;
   }
   std::lock_guard<std::mutex> session_lock(session->mu);
+  if (session->defunct) {
+    resp.status = Status::NotFound("no session '" + req.session + "'");
+    return resp;
+  }
   resp.output = session->interp.TelemetryText();
   return resp;
 }
@@ -405,6 +441,10 @@ Response Server::HandleExplain(const Request& req) {
     return resp;
   }
   std::lock_guard<std::mutex> session_lock(session->mu);
+  if (session->defunct) {
+    resp.status = Status::NotFound("no session '" + req.session + "'");
+    return resp;
+  }
   CommandOutcome outcome = session->interp.Interpret("explain");
   resp.status = std::move(outcome.status);
   resp.output = std::move(outcome.output);
@@ -424,9 +464,8 @@ Response Server::HandleSessions() {
 
 // ------------------------------------------------------- durability
 
-Result<std::shared_ptr<Server::Session>> Server::RecoverSession(
-    const std::string& id, durability::RecoveryReport* report) {
-  auto session = MakeSession(id);
+Status Server::ReplaySession(const std::string& id, Session* session,
+                             durability::RecoveryReport* report) {
   IFLEX_ASSIGN_OR_RETURN(
       session->log, durability::SessionLog::Open(SessionDir(id),
                                                  options_.durability, report));
@@ -445,21 +484,31 @@ Result<std::shared_ptr<Server::Session>> Server::RecoverSession(
         StringPrintf("session %s: journal damaged, degraded to %zu-command "
                      "prefix (%s)",
                      id.c_str(), report->commands, report->detail.c_str()));
-  } else if (report->torn_tail || report->snapshot_ignored ||
-             report->prefix_lost) {
+  } else if (report->prefix_lost) {
+    obs::DefaultEventLog().Warn(
+        "serve.recovery",
+        StringPrintf("session %s: %s", id.c_str(), report->detail.c_str()));
+  } else if (report->torn_tail || report->snapshot_ignored) {
     obs::DefaultEventLog().Info(
         "serve.recovery",
         StringPrintf("session %s: %s", id.c_str(), report->detail.c_str()));
   }
   // Housekeeping at the recovery boundary: an overdue (or broken)
   // journal compacts before the session takes new traffic.
-  if (session->log->ShouldSnapshot()) MaybeSnapshot(id, session.get());
+  if (session->log->ShouldSnapshot()) MaybeSnapshot(id, session);
   metrics_.counter("serve.sessions_recovered")->Add();
   obs::DefaultEventLog().Info(
       "serve.recovery",
       StringPrintf("recovered session %s: %zu command(s) replayed (%zu from "
                    "the snapshot)",
                    id.c_str(), report->commands, report->from_snapshot));
+  return Status::OK();
+}
+
+Result<std::shared_ptr<Server::Session>> Server::RecoverSession(
+    const std::string& id, durability::RecoveryReport* report) {
+  auto session = MakeSession(id);
+  IFLEX_RETURN_NOT_OK(ReplaySession(id, session.get(), report));
   return session;
 }
 
@@ -524,36 +573,33 @@ Response Server::HandleRecover(const Request& req) {
         "this server is ephemeral (no --data-dir); nothing to recover");
     return resp;
   }
-  if (FindSession(req.session) != nullptr) {
-    resp.status = Status::AlreadyExists(
-        "session '" + req.session + "' is already open");
+  auto session = MakeSession(req.session);
+  // Reserve the id before recovery starts: two concurrent `recover S`
+  // must not both replay (and compact) the same directory — the second
+  // JournalWriter/snapshot writer would race the first on journal.log
+  // and snapshot.dat. The loser of the reservation answers AlreadyExists
+  // before any disk work happens.
+  std::unique_lock<std::mutex> session_lock(session->mu);
+  Status reserved = ReserveSession(req.session, session);
+  if (!reserved.ok()) {
+    resp.status = std::move(reserved);
     return resp;
   }
   std::error_code ec;
   if (!std::filesystem::is_directory(SessionDir(req.session), ec)) {
+    session->defunct = true;
+    DropReservation(req.session, session);
     resp.status = Status::NotFound(
         "no durable state for session '" + req.session + "'");
     return resp;
   }
   durability::RecoveryReport report;
-  Result<std::shared_ptr<Session>> session =
-      RecoverSession(req.session, &report);
-  if (!session.ok()) {
-    resp.status = session.status();
+  Status recovered = ReplaySession(req.session, session.get(), &report);
+  if (!recovered.ok()) {
+    session->defunct = true;
+    DropReservation(req.session, session);
+    resp.status = std::move(recovered);
     return resp;
-  }
-  {
-    std::lock_guard<std::mutex> lock(sessions_mu_);
-    if (sessions_.size() >= options_.max_sessions) {
-      resp.status = Status::Overloaded(StringPrintf(
-          "session table full (%zu sessions)", sessions_.size()));
-      return resp;
-    }
-    if (!sessions_.emplace(req.session, std::move(*session)).second) {
-      resp.status =
-          Status::AlreadyExists("session '" + req.session + "' is open");
-      return resp;
-    }
   }
   metrics_.gauge("serve.sessions_active")
       ->Set(static_cast<double>(session_count()));
@@ -573,6 +619,10 @@ Response Server::HandlePersist(const Request& req) {
     return resp;
   }
   std::lock_guard<std::mutex> session_lock(session->mu);
+  if (session->defunct) {
+    resp.status = Status::NotFound("no session '" + req.session + "'");
+    return resp;
+  }
   if (session->log == nullptr) {
     resp.status = Status::InvalidArgument(
         "session '" + req.session + "' is ephemeral (no --data-dir)");

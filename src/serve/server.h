@@ -165,6 +165,11 @@ class Server {
     /// Write-ahead command journal + snapshots; null when the server has
     /// no data_dir. Guarded by `mu`, like the interpreter it shadows.
     std::unique_ptr<durability::SessionLog> log;
+    /// Guarded by `mu`. Set when a failed `open`/`recover` rolls its
+    /// table reservation back: a request that found the session while it
+    /// was reserved must answer NotFound after taking the mutex, not run
+    /// against a session that was never fully created.
+    bool defunct = false;
 
     /// `options.metrics`/`cost_model`/`tracer` are pointed at this
     /// session's own instances (declaration order guarantees they are
@@ -188,6 +193,20 @@ class Server {
   std::shared_ptr<Session> FindSession(const std::string& id) const;
   std::shared_ptr<Session> MakeSession(const std::string& id) const;
   std::string SessionDir(const std::string& id) const;
+  /// Inserts `session` into the table under `id` before any disk work
+  /// happens for it, so at most one open/recover owns an id (and its
+  /// on-disk directory) at a time. AlreadyExists if the id is taken,
+  /// Overloaded if the table is full.
+  Status ReserveSession(const std::string& id,
+                        const std::shared_ptr<Session>& session);
+  /// Rolls a reservation back; removes the entry only if it still maps
+  /// to `session` (never a successor that reused the id).
+  void DropReservation(const std::string& id,
+                       const std::shared_ptr<Session>& session);
+  /// Opens <data_dir>/<id> and replays its durable history into
+  /// `session` (attaching the session log). Caller holds session->mu.
+  Status ReplaySession(const std::string& id, Session* session,
+                       durability::RecoveryReport* report);
   /// Opens <data_dir>/<id> and replays its history into a fresh session.
   Result<std::shared_ptr<Session>> RecoverSession(
       const std::string& id, durability::RecoveryReport* report);

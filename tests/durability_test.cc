@@ -243,6 +243,27 @@ TEST_F(DurabilityTest, FsyncFailPointBreaksWriter) {
   EXPECT_TRUE((*w)->broken());
 }
 
+TEST_F(DurabilityTest, FsyncFailureRollsBackTheRejectedFrame) {
+  // The write lands whole but the sync fails: the client is told the
+  // command was rejected, so the completed frame must not survive to be
+  // replayed as a ghost after a restart.
+  const std::string path = Path("journal.log");
+  Result<std::unique_ptr<JournalWriter>> w =
+      JournalWriter::Open(path, 0, "hdr v1", JournalWriter::Options{});
+  ASSERT_TRUE(w.ok()) << w.status();
+  ASSERT_TRUE((*w)->Append("one").ok());
+  ASSERT_TRUE(
+      FailPoints::Instance().Configure("serve.journal.fsync=error").ok());
+  EXPECT_FALSE((*w)->Append("two").ok());
+  EXPECT_TRUE((*w)->broken());
+  FailPoints::Instance().Clear();
+  JournalScan scan = ScanFile(path);
+  EXPECT_FALSE(scan.torn_tail);
+  EXPECT_FALSE(scan.corrupt);
+  ASSERT_EQ(scan.records.size(), 2u);  // header + "one"; "two" rolled back
+  EXPECT_EQ(scan.records[1], "one");
+}
+
 TEST_F(DurabilityTest, WriteFileDurablyIsAtomicUnderFailPoint) {
   const std::string path = Path("snapshot.dat");
   ASSERT_TRUE(WriteFileDurably(path, "generation 1").ok());
@@ -499,6 +520,34 @@ TEST_F(DurabilityTest, SessionLogResetsWhenCompactedPrefixIsLost) {
   EXPECT_TRUE(rep.prefix_lost);
   // Replaying "query b" against the wrong starting state would be worse
   // than honesty: the session comes back empty.
+  EXPECT_EQ(rep.commands, 0u);
+  EXPECT_EQ((*log)->records(), 0u);
+  ASSERT_TRUE((*log)->Append("gen movies").ok());
+}
+
+TEST_F(DurabilityTest, SessionLogResetsWhenSnapshotIsMissingButJournalCompacted) {
+  // A deleted (not merely damaged) snapshot with a compacted journal is
+  // the same prefix loss: silently replaying the post-compaction suffix
+  // against an empty starting state would fabricate a wrong session.
+  DurabilityOptions opts;
+  opts.snapshot_every = 0;
+  {
+    RecoveryReport rep;
+    Result<std::unique_ptr<SessionLog>> log =
+        SessionLog::Open(Path("s1"), opts, &rep);
+    ASSERT_TRUE(log.ok()) << log.status();
+    ASSERT_TRUE((*log)->Append("gen movies").ok());
+    ASSERT_TRUE((*log)->Append("query a").ok());
+    ASSERT_TRUE((*log)->WriteSnapshot().ok());  // journal now base=2
+    ASSERT_TRUE((*log)->Append("query b").ok());
+  }
+  std::filesystem::remove(Path("s1") + "/snapshot.dat");
+  RecoveryReport rep;
+  Result<std::unique_ptr<SessionLog>> log =
+      SessionLog::Open(Path("s1"), opts, &rep);
+  ASSERT_TRUE(log.ok()) << log.status();
+  EXPECT_TRUE(rep.prefix_lost);
+  EXPECT_NE(rep.detail.find("snapshot missing"), std::string::npos);
   EXPECT_EQ(rep.commands, 0u);
   EXPECT_EQ((*log)->records(), 0u);
   ASSERT_TRUE((*log)->Append("gen movies").ok());

@@ -9,11 +9,13 @@
 // Runs under the `recovery` ctest label.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <csignal>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <sys/wait.h>
@@ -184,6 +186,53 @@ TEST_F(RecoveryTest, OpenRejectsStaleStateAndRecoverRestoresIt) {
             std::string::npos);
   // Second recover: it is already open.
   EXPECT_EQ(Call(&b, "recover s1").code, "AlreadyExists");
+}
+
+TEST_F(RecoveryTest, DuplicateOpenNeverTouchesTheLiveJournal) {
+  // A second `open` on a live durable session must be rejected from the
+  // in-memory table alone, without ever opening (and tail-truncating) the
+  // journal a live writer is appending to.
+  Server a(Durable());
+  ASSERT_TRUE(Call(&a, "open s1").ok);
+  ASSERT_TRUE(Call(&a, "cmd s1 gen movies").ok);
+  const std::string path = dir_ + "/s1/journal.log";
+  durability::JournalScan before = durability::ScanFile(path);
+  ParsedResponse dup = Call(&a, "open s1");
+  EXPECT_EQ(dup.code, "AlreadyExists");
+  // Rejected from memory, not from the durable-state probe.
+  EXPECT_NE(dup.error.find("already open"), std::string::npos);
+  durability::JournalScan after = durability::ScanFile(path);
+  EXPECT_EQ(after.records.size(), before.records.size());
+  // The live session still journals and serves.
+  EXPECT_TRUE(Call(&a, "cmd s1 query q").ok);
+  EXPECT_EQ(durability::ScanFile(path).records.size(),
+            before.records.size() + 1);
+}
+
+TEST_F(RecoveryTest, ConcurrentRecoversAdmitExactlyOne) {
+  {
+    Server a(Durable());
+    ASSERT_TRUE(Call(&a, "open s1").ok);
+    ASSERT_TRUE(Call(&a, "cmd s1 gen movies").ok);
+  }
+  // Both threads race `recover s1`; the table reservation must let
+  // exactly one of them replay the directory.
+  Server b(Durable());
+  std::vector<std::string> codes(2);
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 2; ++i) {
+    threads.emplace_back([&b, &codes, i] {
+      auto parsed = ParseResponse(b.HandleLine("recover s1"));
+      codes[i] = parsed.ok() ? (parsed->ok ? "ok" : parsed->code) : "bad";
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  std::sort(codes.begin(), codes.end());
+  EXPECT_EQ(codes[0], "AlreadyExists");
+  EXPECT_EQ(codes[1], "ok");
+  EXPECT_EQ(b.session_count(), 1u);
+  EXPECT_NE(Call(&b, "cmd s1 tables").output.find("imdbPages"),
+            std::string::npos);
 }
 
 TEST_F(RecoveryTest, RecoverAndPersistValidateTheirPreconditions) {
