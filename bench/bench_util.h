@@ -107,6 +107,12 @@ class BenchReporter {
 
   /// `--threads N` value; 1 (serial) when the flag was absent or 0.
   size_t threads() const { return threads_ == 0 ? 1 : threads_; }
+  /// Physical concurrency of the host running the bench. Recorded into
+  /// every artifact so downstream tooling can tell a 2x-on-8-cores row
+  /// from a 2x-on-2-cores row.
+  static size_t hardware_cores() {
+    return std::max<size_t>(1, std::thread::hardware_concurrency());
+  }
   /// Shared pool for the bench run: null in serial mode, created lazily
   /// for --threads > 1. Execution results are identical either way.
   runtime::TaskPool* pool() {
@@ -127,6 +133,12 @@ class BenchReporter {
     w.BeginObject();
     w.Key("bench").String(name_);
     w.Key("wall_seconds").Number(wall);
+    // Host shape for the run: scaling/speedup numbers are only comparable
+    // between artifacts produced on hosts with the same core count, and
+    // check_regression.py refuses speedup comparisons when these differ.
+    w.Key("hardware_cores")
+        .Number(static_cast<double>(hardware_cores()));
+    w.Key("threads").Number(static_cast<double>(threads()));
     w.Key("rows").BeginArray();
     for (const auto& row : rows_) {
       w.BeginObject();
@@ -317,12 +329,13 @@ inline void EmitScalingRow(BenchReporter* reporter, const std::string& task_id,
       task_id.c_str(), scale, serial_seconds, parallel_seconds, threads,
       speedup);
   using R = BenchReporter;
-  reporter->Row({R::S("task", "SCALING"), R::S("scenario", task_id),
-                 R::N("tuples", static_cast<double>(scale)),
-                 R::N("threads", static_cast<double>(threads)),
-                 R::N("serial_seconds", serial_seconds),
-                 R::N("parallel_seconds", parallel_seconds),
-                 R::N("speedup", speedup)});
+  reporter->Row(
+      {R::S("task", "SCALING"), R::S("scenario", task_id),
+       R::N("tuples", static_cast<double>(scale)),
+       R::N("threads", static_cast<double>(threads)),
+       R::N("hardware_cores", static_cast<double>(R::hardware_cores())),
+       R::N("serial_seconds", serial_seconds),
+       R::N("parallel_seconds", parallel_seconds), R::N("speedup", speedup)});
 }
 
 inline std::string FmtMinutes(double minutes) {

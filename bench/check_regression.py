@@ -33,10 +33,16 @@ import re
 import sys
 
 TIMING_KEYS = ("seconds", "ns_per_op", "wall_seconds")
-TIMING_SUFFIXES = ("_seconds", "_minutes", "_ms")
+# *_overhead_x: ratio of a new code path over the old one measured on the
+# same host in the same process — host-independent, so it is gated like a
+# timing (may grow by at most --tolerance over baseline).
+TIMING_SUFFIXES = ("_seconds", "_minutes", "_ms", "_overhead_x")
 RATE_KEYS = ("qps",)
 RATE_SUFFIXES = ("_per_second",)
-UNGATED_KEYS = ("speedup",)
+# hardware_cores/threads describe the host, not the workload; they gate
+# *whether* rows are comparable (see the mismatch skip below), never fail
+# a comparison themselves.
+UNGATED_KEYS = ("speedup", "hardware_cores", "threads")
 UNGATED_SUFFIXES = ("_rate",)
 
 
@@ -246,6 +252,23 @@ def main():
         if fresh_row is None:
             failures.append(f"{label}: row missing from fresh results")
             continue
+        base_cores = base_row.get("hardware_cores")
+        fresh_cores = fresh_row.get("hardware_cores")
+        if (
+            isinstance(base_cores, (int, float))
+            and isinstance(fresh_cores, (int, float))
+            and base_cores != fresh_cores
+        ):
+            # Scaling rows measured on differently-shaped hosts are not
+            # comparable: refuse the comparison rather than producing a
+            # bogus pass or fail.
+            print(
+                f"  {label}: SKIPPED — baseline ran on "
+                f"{base_cores:.0f} cores, fresh on {fresh_cores:.0f}; "
+                "speedup-class rows are only compared between matching "
+                "hosts (re-seed the baseline on this machine)"
+            )
+            continue
         for key, base_v in base_row.items():
             if not isinstance(base_v, (int, float)) or isinstance(base_v, bool):
                 continue
@@ -267,6 +290,48 @@ def main():
     for ident in fresh_rows.keys() - base_rows.keys():
         label = ",".join(v for _, v in ident) or "<row>"
         print(f"  {label}: new row (not in baseline; add it on the next rebase)")
+
+    # Absolute speedup gate: a row that authors a `speedup_floor` promises
+    # at least that speedup at its `threads` — but only on hosts that can
+    # actually run that many threads in parallel. Judged purely on the
+    # fresh artifact (no baseline involved), so it holds on any machine
+    # with enough cores and is loudly skipped on smaller ones.
+    for ident, fresh_row in fresh_rows.items():
+        label = ",".join(v for _, v in ident) or "<row>"
+        floor = fresh_row.get("speedup_floor")
+        if not isinstance(floor, (int, float)) or isinstance(floor, bool):
+            continue
+        threads = fresh_row.get("threads")
+        cores = fresh_row.get("hardware_cores")
+        speedup = fresh_row.get("speedup")
+        if not isinstance(threads, (int, float)) or not isinstance(
+            cores, (int, float)
+        ):
+            failures.append(
+                f"{label}: speedup_floor row lacks threads/hardware_cores"
+            )
+            continue
+        if cores < threads:
+            print(
+                f"  {label}: speedup_floor {floor:.2f} SKIPPED — host has "
+                f"{cores:.0f} cores, row needs {threads:.0f} "
+                "(gate is armed only on big-enough hosts)"
+            )
+            continue
+        if not isinstance(speedup, (int, float)):
+            failures.append(f"{label}: speedup_floor row lacks a speedup")
+            continue
+        if speedup < floor:
+            failures.append(
+                f"{label}.speedup: {speedup:.2f} below floor {floor:.2f} "
+                f"at {threads:.0f} threads on {cores:.0f} cores"
+            )
+            print(
+                f"  {label}.speedup: {speedup:.2f} vs floor {floor:.2f} "
+                "REGRESSION"
+            )
+        else:
+            print(f"  {label}.speedup: {speedup:.2f} vs floor {floor:.2f} ok")
 
     if args.openmetrics:
         failures.extend(check_openmetrics(args.openmetrics))

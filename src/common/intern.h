@@ -65,9 +65,14 @@ class StringInterner {
   std::atomic<bool> frozen_{false};
   std::deque<std::string> arena_;
   std::unordered_map<std::string_view, ValueId> ids_;  // keys view arena_
-  mutable std::atomic<uint64_t> hits_{0};
-  mutable std::atomic<uint64_t> misses_{0};
-  std::atomic<uint64_t> arena_bytes_{0};
+  // Every frozen-interner lookup still bumps a stat counter, so these
+  // atomics are the hottest shared writes in the whole pipeline. Each one
+  // gets its own cache line: packed next to mu_/ids_ they false-share with
+  // the lock words and with each other, and 8 readers ping-pong the line
+  // on every Find (measured by bench_scaling's intern contention rows).
+  alignas(64) mutable std::atomic<uint64_t> hits_{0};
+  alignas(64) mutable std::atomic<uint64_t> misses_{0};
+  alignas(64) std::atomic<uint64_t> arena_bytes_{0};
 };
 
 /// Memoized tokenizer over an interner: text -> sorted unique ids of its
@@ -92,8 +97,10 @@ class TokenCache {
   std::deque<std::string> keys_;  // owns the map's key storage
   std::unordered_map<std::string_view, std::unique_ptr<std::vector<ValueId>>>
       tokens_;
-  std::atomic<uint64_t> hits_{0};
-  std::atomic<uint64_t> misses_{0};
+  // Cache-line-isolated for the same reason as StringInterner's counters:
+  // cache hits bump these under the shared lock from every worker.
+  alignas(64) std::atomic<uint64_t> hits_{0};
+  alignas(64) std::atomic<uint64_t> misses_{0};
 };
 
 /// Jaccard similarity of two token-id sets (sorted unique), matching

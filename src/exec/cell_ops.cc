@@ -16,7 +16,7 @@ struct MemoKeyBase {
 };
 
 MemoKeyBase MakeMemoBase(const Corpus& corpus, const Feature& fe,
-                         const ConstraintLit& k, VerifyMemo* memo) {
+                         const ConstraintLit& k, VerifyMemoL1* memo) {
   MemoKeyBase base;
   if (memo == nullptr) return base;
   base.usable = true;
@@ -40,7 +40,7 @@ MemoKeyBase MakeMemoBase(const Corpus& corpus, const Feature& fe,
 // Memoized f(span) = v; Verify is a pure function of the key over the
 // frozen corpus, so a cached verdict is exact.
 bool VerifySpan(const Corpus& corpus, const Feature& fe,
-                const ConstraintLit& k, const Span& span, VerifyMemo* memo,
+                const ConstraintLit& k, const Span& span, VerifyMemoL1* memo,
                 const MemoKeyBase& base) {
   if (!base.usable) {
     return fe.Verify(corpus.Get(span.doc), span, k.param, k.value);
@@ -60,7 +60,7 @@ bool VerifySpan(const Corpus& corpus, const Feature& fe,
 // document context) is keyed by the interned scalar text.
 std::optional<bool> VerifyScalar(const Corpus& corpus, const Feature& fe,
                                  const ConstraintLit& k, std::string_view text,
-                                 VerifyMemo* memo, const MemoKeyBase& base) {
+                                 VerifyMemoL1* memo, const MemoKeyBase& base) {
   if (!base.usable) return fe.VerifyText(text, k.param, k.value);
   VerifyMemo::Key key = base.key;
   key.target_kind = 1;
@@ -82,7 +82,7 @@ std::optional<bool> VerifyScalar(const Corpus& corpus, const Feature& fe,
 // constraint `k` (via feature fe) to one assignment.
 std::vector<Assignment> ApplyOne(const Corpus& corpus, const Feature& fe,
                                  const ConstraintLit& k, const Assignment& a,
-                                 VerifyMemo* memo, const MemoKeyBase& base) {
+                                 VerifyMemoL1* memo, const MemoKeyBase& base) {
   std::vector<Assignment> out;
   if (a.is_exact()) {
     const Value& v = a.value;
@@ -140,7 +140,7 @@ Result<Cell> ApplyConstraintToCell(const Corpus& corpus,
                                    const FeatureRegistry& features,
                                    const Cell& cell, const ConstraintLit& k,
                                    const std::vector<ConstraintLit>& history,
-                                   VerifyMemo* memo) {
+                                   VerifyMemoL1* memo) {
   IFLEX_ASSIGN_OR_RETURN(const Feature* fe, features.Get(k.feature));
   const MemoKeyBase base = MakeMemoBase(corpus, *fe, k, memo);
   std::vector<const Feature*> prior_features(history.size());

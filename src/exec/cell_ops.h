@@ -35,13 +35,14 @@ struct CellOpLimits {
 /// assignments go through Verify, contain assignments through Refine, and
 /// every refined assignment is re-checked against the previously applied
 /// constraints `history` for this attribute. Preserves the expansion flag.
-/// With `memo` non-null, Verify/VerifyText verdicts are served from (and
-/// recorded into) the memo instead of re-running the feature procedures.
+/// With `memo` non-null (a worker's VerifyMemoL1 bound to the session
+/// memo), Verify/VerifyText verdicts are served from (and recorded into)
+/// the memo tiers instead of re-running the feature procedures.
 Result<Cell> ApplyConstraintToCell(const Corpus& corpus,
                                    const FeatureRegistry& features,
                                    const Cell& cell, const ConstraintLit& k,
                                    const std::vector<ConstraintLit>& history,
-                                   VerifyMemo* memo = nullptr);
+                                   VerifyMemoL1* memo = nullptr);
 
 /// Evaluates `lhs op (rhs + rhs_offset)` over all possible value pairs of
 /// two cells (either may be a 1-value "constant cell"). Overflowing the

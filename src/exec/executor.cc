@@ -112,18 +112,36 @@ class RuleEvaluator {
   RuleEvaluator(const Catalog& catalog, const ExecOptions& options,
                 const std::unordered_map<std::string, CompactTable>* idb,
                 const ExecCounters* stats, obs::Tracer* tracer,
-                resilience::ExecReport* report)
+                resilience::ExecReport* report,
+                WorkerContextPool* contexts = nullptr)
       : catalog_(catalog),
         options_(options),
         idb_(idb),
         stats_(stats),
         tracer_(tracer),
         report_(report),
+        contexts_(contexts),
         cost_model_(obs::CostModelOrDefault(options.cost_model)),
         event_log_(obs::EventLogOrDefault(options.event_log)),
         stop_(options.deadline, options.cancel) {}
 
   Result<CompactTable> Evaluate(const Rule& rule) {
+    // Top-level evaluation leases its own worker context for the whole
+    // rule (morsel sub-evaluators run with the context of the worker
+    // executing the morsel instead — see TryMorselBody). The release at
+    // return is the rule-level flush barrier for the memo L1.
+    if (ctx_ != nullptr || contexts_ == nullptr) {
+      return EvaluateWithContext(rule);
+    }
+    WorkerContextLease lease(contexts_);
+    ctx_ = lease.get();
+    Result<CompactTable> out = EvaluateWithContext(rule);
+    ctx_ = nullptr;
+    return out;
+  }
+
+ private:
+  Result<CompactTable> EvaluateWithContext(const Rule& rule) {
     obs::TraceSpan span(tracer_, "exec.rule", rule.head.predicate);
     scope_ = rule.head.predicate;
     stats_->rules_evaluated->Add();
@@ -136,7 +154,7 @@ class RuleEvaluator {
     std::vector<Literal> pending;
     for (const Literal& lit : rule.body) pending.push_back(lit);
 
-    IFLEX_ASSIGN_OR_RETURN(bool sharded, TryShardedBody(rule, &pending));
+    IFLEX_ASSIGN_OR_RETURN(bool sharded, TryMorselBody(rule, &pending));
     if (!sharded) {
       IFLEX_RETURN_NOT_OK(RunPipeline(rule, &pending));
     }
@@ -221,22 +239,32 @@ class RuleEvaluator {
     return Status::OK();
   }
 
-  // Document-sharded body evaluation (docs/RUNTIME.md). When a pool is
+  // Morsel-driven body evaluation (docs/RUNTIME.md). When a pool is
   // available and the first literal the planner would pick is a
-  // stored/intensional join seeding the empty binding, slice that table
-  // into contiguous shards, run "seed join + remaining pipeline" per
-  // shard, and concatenate the shard bindings in slice order. Every later
-  // operator is per-tuple and literal selection depends only on the
-  // bound-column set (identical across shards), so the concatenation
-  // equals the serial binding table tuple for tuple; Project and ψ then
-  // run once on the merged table, because cross-tuple deduplication must
-  // see all tuples. Slice boundaries depend only on table size and the
-  // shard-count cap — never on timing — so any thread count produces a
-  // bit-identical result. Returns false when the body is not shardable
-  // (pending is left untouched and the serial pipeline runs).
-  Result<bool> TryShardedBody(const Rule& rule, std::vector<Literal>* pending) {
+  // stored/intensional join seeding the empty binding, carve that table
+  // into small fixed-size morsels (ExecOptions::morsel_docs seed tuples
+  // each) and let TaskPool participants pull them one at a time from the
+  // shared batch cursor: a straggler morsel (huge document, irregular
+  // cells) delays only itself, never a coarse shard's worth of siblings.
+  // Each morsel runs "seed join + remaining pipeline" with a leased
+  // WorkerContext (warm scratch buffers + memo L1, flushed at the morsel
+  // boundary), and the morsel bindings are concatenated in morsel order.
+  // Every later operator is per-tuple and literal selection depends only
+  // on the bound-column set (identical across morsels), so the
+  // concatenation equals the serial binding table tuple for tuple;
+  // Project and ψ then run once on the merged table, because cross-tuple
+  // deduplication must see all tuples. Morsel boundaries depend only on
+  // table size and morsel_docs — never on timing or thread count — so any
+  // thread count and any morsel size produce a bit-identical result.
+  // Returns false when the body is not morsel-able (pending is left
+  // untouched and the serial pipeline runs).
+  Result<bool> TryMorselBody(const Rule& rule, std::vector<Literal>* pending) {
     runtime::TaskPool* pool = options_.pool;
-    if (pool == nullptr || pool->thread_count() <= 1) return false;
+    // Engage whenever a pool exists — even a 1-thread pool — so the
+    // morsel path's overhead vs the pool-less serial pipeline is directly
+    // measurable (bench_scaling's morsel_overhead_x row) and a 1-thread
+    // pool exercises the exact code path production runs at N threads.
+    if (pool == nullptr) return false;
     if (!columns_.empty() || pending->size() < 2) return false;
     size_t best = SelectBest(*pending);
     if (best == SIZE_MAX) return false;  // serial path reports the error
@@ -259,10 +287,11 @@ class RuleEvaluator {
     Atom seed = lit.atom;
     pending->erase(pending->begin() + static_cast<ptrdiff_t>(best));
     size_t n = table->size();
-    size_t shards = std::min(n, pool->thread_count() * 4);
-    obs::TraceSpan span(tracer_, "exec.sharded_body", rule.head.predicate);
+    const size_t morsel_docs = std::max<size_t>(1, options_.morsel_docs);
+    const size_t morsels = (n + morsel_docs - 1) / morsel_docs;
+    obs::TraceSpan span(tracer_, "exec.morsel_body", rule.head.predicate);
 
-    struct ShardOut {
+    struct MorselOut {
       Status status = Status::OK();
       // False when fault isolation salvaged nothing from the range, so
       // the columns/binding below carry no schema to merge from.
@@ -272,16 +301,18 @@ class RuleEvaluator {
       resilience::ExecReport report;
     };
 
-    // Seed-join + remaining pipeline over the seed tuples in [lo, hi).
-    auto eval_range = [&](size_t lo, size_t hi) {
-      ShardOut out;
+    // Seed-join + remaining pipeline over the seed tuples in [lo, hi),
+    // running with the worker's leased context (warm scratch + memo L1).
+    auto eval_range = [&](size_t lo, size_t hi, WorkerContext* ctx) {
+      MorselOut out;
       out.status = resilience::FailPointStatus("exec.shard");
       if (!out.status.ok()) return out;
       CompactTable slice(table->schema());
       for (size_t j = lo; j < hi; ++j) slice.Add(table->tuples()[j]);
       RuleEvaluator sub(catalog_, options_, idb_, stats_, tracer_,
-                        &out.report);
-      sub.scope_ = scope_;  // shards charge the same rule
+                        &out.report, contexts_);
+      sub.scope_ = scope_;  // morsels charge the same rule
+      sub.ctx_ = ctx;
       sub.binding_ = CompactTable(std::vector<std::string>{});
       sub.binding_.Add(CompactTuple{});
       std::vector<Literal> sub_pending = *pending;
@@ -293,20 +324,22 @@ class RuleEvaluator {
       return out;
     };
 
-    // One shard; under best-effort a failing shard is retried seed tuple
-    // by seed tuple, so a single poisoned document drops only itself
-    // (recorded in the report) instead of its whole shard.
-    auto eval_shard = [&](size_t si) {
-      size_t lo = si * n / shards;
-      size_t hi = (si + 1) * n / shards;
-      ShardOut out = eval_range(lo, hi);
+    // One morsel; under best-effort a failing morsel is retried seed
+    // tuple by seed tuple, so a single poisoned document drops only
+    // itself (recorded in the report) instead of its whole morsel. The
+    // lease's release is the morsel-boundary flush of the memo L1.
+    auto eval_morsel = [&](size_t mi) {
+      WorkerContextLease lease(contexts_);
+      size_t lo = mi * morsel_docs;
+      size_t hi = std::min(n, lo + morsel_docs);
+      MorselOut out = eval_range(lo, hi, lease.get());
       if (out.status.ok() || !options_.best_effort || out.status.IsStop()) {
         return out;
       }
-      ShardOut iso;
+      MorselOut iso;
       iso.status = Status::OK();
       for (size_t j = lo; j < hi; ++j) {
-        ShardOut one = eval_range(j, j + 1);
+        MorselOut one = eval_range(j, j + 1, lease.get());
         iso.report.Merge(one.report);
         if (one.status.IsStop()) {
           iso.status = one.status;
@@ -334,28 +367,31 @@ class RuleEvaluator {
       return iso;
     };
 
-    std::vector<std::optional<ShardOut>> slots(shards);
+    std::vector<std::optional<MorselOut>> slots(morsels);
     auto stop = [this] { return StopRequested(options_); };
     try {
+      // grain = 1: each morsel is claimed individually from the shared
+      // cursor — the chunking that balances skew already happened when
+      // the table was carved into morsels.
       runtime::ParallelFor(
-          pool, shards, [&](size_t si) { slots[si].emplace(eval_shard(si)); },
-          stop);
+          pool, morsels, [&](size_t mi) { slots[mi].emplace(eval_morsel(mi)); },
+          stop, /*grain=*/1);
     } catch (const std::exception& e) {
       return Status::Internal(
-          std::string("worker exception in sharded evaluation: ") + e.what());
+          std::string("worker exception in morsel evaluation: ") + e.what());
     }
     for (const auto& slot : slots) {
       // Unfilled slots mean the pool skipped work on a stop request.
       if (!slot.has_value()) return StopStatus(options_);
     }
-    // Errors and degradation records surface in slice order, so a failing
-    // program fails on the same shard regardless of thread count.
+    // Errors and degradation records surface in morsel order, so a
+    // failing program fails on the same morsel regardless of thread count.
     size_t first = SIZE_MAX;
-    for (size_t si = 0; si < shards; ++si) {
-      ShardOut& o = *slots[si];
+    for (size_t mi = 0; mi < morsels; ++mi) {
+      MorselOut& o = *slots[mi];
       report_->Merge(o.report);
       IFLEX_RETURN_NOT_OK(o.status);
-      if (first == SIZE_MAX && o.valid) first = si;
+      if (first == SIZE_MAX && o.valid) first = mi;
     }
     if (first == SIZE_MAX) {
       // Best-effort isolation salvaged no seed tuple at all; the rule has
@@ -366,8 +402,8 @@ class RuleEvaluator {
     }
     columns_ = std::move(slots[first]->columns);
     binding_ = std::move(slots[first]->binding);
-    for (size_t si = first + 1; si < shards; ++si) {
-      for (CompactTuple& t : slots[si]->binding.tuples()) {
+    for (size_t mi = first + 1; mi < morsels; ++mi) {
+      for (CompactTuple& t : slots[mi]->binding.tuples()) {
         binding_.Add(std::move(t));
       }
     }
@@ -501,9 +537,15 @@ class RuleEvaluator {
     const Atom& atom = lit.atom;
     IFLEX_ASSIGN_OR_RETURN(const PFunctionFn* fn,
                            catalog_.PFunction(atom.predicate));
-    std::vector<std::vector<Value>> arg_values(atom.args.size());
+    const size_t n_args = atom.args.size();
+    // Enumeration buffers come from the worker context when one is leased
+    // (warm across every tuple of a morsel); local_scratch_ otherwise.
+    // Only the first n_args entries of arg_values are live this call.
+    EvalScratch* scratch = ctx_ != nullptr ? &ctx_->scratch : &local_scratch_;
+    scratch->Prepare(n_args);
+    std::vector<std::vector<Value>>& arg_values = scratch->arg_values;
     bool complete = true;
-    for (size_t i = 0; i < atom.args.size(); ++i) {
+    for (size_t i = 0; i < n_args; ++i) {
       Cell c = cell_for(atom.args[i]);
       complete = c.EnumerateValues(corpus, options_.limits.max_cell_enum,
                                    &arg_values[i]) &&
@@ -511,18 +553,17 @@ class RuleEvaluator {
       if (arg_values[i].empty()) return SatResult::kNone;
     }
     size_t combos = 1;
-    for (const auto& vs : arg_values) combos *= vs.size();
+    for (size_t i = 0; i < n_args; ++i) combos *= arg_values[i].size();
     if (combos > options_.limits.max_filter_combos || !complete) {
       return SatResult::kSome;  // sound: keep as maybe
     }
     bool any = false;
     bool all = true;
-    std::vector<size_t> idx(atom.args.size(), 0);
-    std::vector<Value> args;
-    args.reserve(atom.args.size());
+    std::vector<size_t>& idx = scratch->idx;
+    std::vector<Value>& args = scratch->args;
     while (true) {
       args.clear();
-      for (size_t i = 0; i < atom.args.size(); ++i) {
+      for (size_t i = 0; i < n_args; ++i) {
         args.push_back(arg_values[i][idx[i]]);
       }
       Result<Value> r = (*fn)(corpus, args);
@@ -534,11 +575,11 @@ class RuleEvaluator {
       }
       if (any && !all) return SatResult::kSome;
       size_t k = 0;
-      for (; k < atom.args.size(); ++k) {
+      for (; k < n_args; ++k) {
         if (++idx[k] < arg_values[k].size()) break;
         idx[k] = 0;
       }
-      if (k == atom.args.size()) break;
+      if (k == n_args) break;
     }
     if (!any) return SatResult::kNone;
     return all ? SatResult::kAll : SatResult::kSome;
@@ -965,9 +1006,10 @@ class RuleEvaluator {
       if (cost.active()) ++cost.cost()->verify_calls;
       IFLEX_RETURN_NOT_OK(stop_.Poll("Execute"));
       IFLEX_ASSIGN_OR_RETURN(
-          Cell cell, ApplyConstraintToCell(corpus, catalog_.features(),
-                                           b.cells[col], k, hist,
-                                           options_.verify_memo));
+          Cell cell,
+          ApplyConstraintToCell(corpus, catalog_.features(), b.cells[col], k,
+                                hist,
+                                ctx_ != nullptr ? ctx_->memo() : nullptr));
       if (cell.assignments.empty()) continue;  // no value can satisfy k
       CompactTuple merged = b;
       merged.cells[col] = std::move(cell);
@@ -1269,6 +1311,13 @@ class RuleEvaluator {
   const ExecCounters* stats_;
   obs::Tracer* tracer_;
   resilience::ExecReport* report_;
+  // Shared freelist of per-worker state (owned by the Executor) and the
+  // context this evaluation runs with: leased by Evaluate for a whole
+  // top-level rule, or assigned by TryMorselBody per morsel. Null context
+  // falls back to local_scratch_ and the no-memo path.
+  WorkerContextPool* contexts_ = nullptr;
+  WorkerContext* ctx_ = nullptr;
+  EvalScratch local_scratch_;
   obs::CostModel* cost_model_;
   obs::EventLog* event_log_;
   // Attribution scope: the head predicate of the rule being evaluated.
@@ -1612,6 +1661,15 @@ Result<CompactTable> Executor::ExecuteInternal(const Program& program,
                                                ReuseCache* cache) {
   obs::TraceSpan exec_span(tracer_, "exec.execute", program.query());
 
+  // New execution epoch: worker contexts acquired during this Execute bind
+  // their memo L1s to the session memo and drop any state cached from a
+  // previous Execute (the memo may have been cleared in between).
+  contexts_.BeginEpoch(options_.verify_memo);
+  // Write-back front for the shared reuse cache: lookups check the
+  // pending batch then the striped cache; inserts buffer locally and
+  // publish once at the end of this Execute (one lock pass per stripe).
+  ReuseCacheL1 cache_l1(cache);
+
   IFLEX_ASSIGN_OR_RETURN(Program unfolded, program.Unfold(catalog_));
   std::unordered_map<std::string, std::vector<const Rule*>> by_head;
   for (const Rule& r : unfolded.rules()) {
@@ -1637,7 +1695,7 @@ Result<CompactTable> Executor::ExecuteInternal(const Program& program,
     IFLEX_RETURN_NOT_OK(stop.Check("Execute"));
     uint64_t fp = PredicateFingerprint(pred, by_head, &fp_memo);
     if (cache != nullptr) {
-      const CompactTable* hit = cache->Lookup(fp);
+      const CompactTable* hit = cache_l1.Lookup(fp);
       if (hit != nullptr) {
         counters_.cache_hits->Add();
         idb.emplace(pred, *hit);
@@ -1691,7 +1749,7 @@ Result<CompactTable> Executor::ExecuteInternal(const Program& program,
           runtime::ParallelMap<Result<CompactTable>>(
               options_.pool, rules.size(), [&](size_t i) {
                 RuleEvaluator eval(catalog_, options_, &idb, &counters_,
-                                   tracer_, &reports[i]);
+                                   tracer_, &reports[i], &contexts_);
                 return eval.Evaluate(*rules[i]);
               });
       for (size_t i = 0; i < rules.size(); ++i) {
@@ -1701,7 +1759,7 @@ Result<CompactTable> Executor::ExecuteInternal(const Program& program,
     } else {
       for (const Rule* r : rules) {
         RuleEvaluator eval(catalog_, options_, &idb, &counters_, tracer_,
-                           report_);
+                           report_, &contexts_);
         IFLEX_RETURN_NOT_OK(merge_rule(*r, eval.Evaluate(*r)));
       }
     }
@@ -1715,7 +1773,7 @@ Result<CompactTable> Executor::ExecuteInternal(const Program& program,
     // only — caching it would silently degrade future fault-free
     // iterations, so degraded predicates never enter the cache.
     const bool clean = report_->EventCount() == report_events_before;
-    if (cache != nullptr && clean) cache->Insert(fp, result);
+    if (cache != nullptr && clean) cache_l1.Insert(fp, result);
     idb.emplace(pred, std::move(result));
   }
   gauges.Finalize();

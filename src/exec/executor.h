@@ -12,6 +12,7 @@
 #include "ctable/compact_table.h"
 #include "exec/cell_ops.h"
 #include "exec/verify_memo.h"
+#include "exec/worker_context.h"
 #include "obs/cost_model.h"
 #include "obs/event_log.h"
 #include "obs/metrics.h"
@@ -46,10 +47,17 @@ struct ExecOptions {
   obs::MetricRegistry* metrics = nullptr;
   /// Execution pool; null (the default) runs fully serial. With a pool,
   /// rule bodies seeded by a stored/intensional join are evaluated in
-  /// document shards and multi-rule predicates fan out rule-per-task —
-  /// results are merged in stable doc-id / rule order, so the output is
-  /// bit-identical to serial at any thread count (docs/RUNTIME.md).
+  /// document *morsels* pulled dynamically from a shared cursor and
+  /// multi-rule predicates fan out rule-per-task — results are merged in
+  /// stable seed-tuple / rule order, so the output is bit-identical to
+  /// serial at any thread count and any morsel size (docs/RUNTIME.md).
   runtime::TaskPool* pool = nullptr;
+  /// Morsel size of the morsel-driven scheduler: how many seed tuples
+  /// (≈ documents) one dynamically claimed work unit covers. Small enough
+  /// that a straggler document delays only its own morsel, large enough
+  /// to amortize the per-morsel claim + context acquire + L1 flush.
+  /// Clamped to ≥ 1. Changing it never changes results, only scheduling.
+  size_t morsel_docs = 128;
   /// Time bound on Execute (docs/ROBUSTNESS.md); checked cooperatively in
   /// every per-tuple loop, so expiry surfaces as kDeadlineExceeded
   /// promptly at any thread count. Never expires by default.
@@ -200,16 +208,66 @@ class ReuseCache {
   }
 
  private:
-  struct Stripe {
+  // Cache-line-padded stripes, 64 of them: adjacent unpadded mutexes
+  // false-share, and 16 stripes collide too often once 8+ simulation
+  // executors hammer the cache concurrently (same reasoning as
+  // VerifyMemo's stripes; docs/PERFORMANCE.md).
+  struct alignas(64) Stripe {
     mutable std::mutex mu;
     std::unordered_map<uint64_t, CompactTable> map;
   };
-  static constexpr size_t kStripes = 16;
+  static constexpr size_t kStripes = 64;
 
   Stripe& stripe(uint64_t key) { return stripes_[key % kStripes]; }
   const Stripe& stripe(uint64_t key) const { return stripes_[key % kStripes]; }
 
   std::array<Stripe, kStripes> stripes_;
+};
+
+/// Write-back front for one Execute over a shared ReuseCache: lookups
+/// check the local pending set first (then the striped cache), and
+/// inserts buffer locally, flushing to the striped cache in one pass when
+/// the L1 is destroyed at the end of the Execute. Concurrent simulation
+/// executors thus take stripe locks O(predicates) times per Execute for
+/// reads and once per flush for writes, instead of locking per insert.
+/// Delaying publication never changes results — a peer that misses a
+/// not-yet-flushed entry recomputes the identical table (execution is
+/// deterministic) — it only trades a little duplicated work for less
+/// contention; cross-iteration reuse, the case that matters, always sees
+/// flushed entries.
+class ReuseCacheL1 {
+ public:
+  /// Null `shared` makes every operation a no-op (the uncached path).
+  explicit ReuseCacheL1(ReuseCache* shared) : shared_(shared) {}
+  ~ReuseCacheL1() { Flush(); }
+  ReuseCacheL1(const ReuseCacheL1&) = delete;
+  ReuseCacheL1& operator=(const ReuseCacheL1&) = delete;
+
+  const CompactTable* Lookup(uint64_t key) const {
+    auto it = pending_.find(key);
+    if (it != pending_.end()) return it->second.get();
+    return shared_ != nullptr ? shared_->Lookup(key) : nullptr;
+  }
+  /// Buffers an insert; unique_ptr storage keeps the pointer returned by
+  /// Lookup stable across further inserts.
+  void Insert(uint64_t key, CompactTable table) {
+    if (shared_ == nullptr) return;
+    pending_.emplace(key,
+                     std::make_unique<CompactTable>(std::move(table)));
+  }
+  /// Publishes buffered entries to the shared cache; idempotent.
+  void Flush() {
+    if (shared_ == nullptr) return;
+    for (auto& [key, table] : pending_) {
+      shared_->Insert(key, std::move(*table));
+    }
+    pending_.clear();
+  }
+  size_t pending() const { return pending_.size(); }
+
+ private:
+  ReuseCache* shared_;
+  std::unordered_map<uint64_t, std::unique_ptr<CompactTable>> pending_;
 };
 
 /// Evaluates Alog programs over compact tables with superset semantics
@@ -255,6 +313,9 @@ class Executor {
   obs::Tracer* tracer_;
   obs::CostModel* cost_model_;
   obs::EventLog* event_log_;
+  /// Per-worker execution state (scratch buffers + memo L1), recycled
+  /// across morsels/rules via a freelist (docs/RUNTIME.md).
+  WorkerContextPool contexts_;
   std::unique_ptr<VerifyMemo> owned_verify_memo_;
   std::unique_ptr<obs::MetricRegistry> owned_metrics_;
   obs::MetricRegistry* metrics_;

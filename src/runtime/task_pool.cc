@@ -143,9 +143,15 @@ void TaskPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn,
   ParallelForImpl(n, fn, &stop);
 }
 
+void TaskPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn,
+                           const std::function<bool()>& stop, size_t grain) {
+  ParallelForImpl(n, fn, &stop, grain);
+}
+
 void TaskPool::ParallelForImpl(size_t n,
                                const std::function<void(size_t)>& fn,
-                               const std::function<bool()>* stop) {
+                               const std::function<bool()>* stop,
+                               size_t grain) {
   struct Batch {
     std::atomic<size_t> next{0};       // work cursor
     std::atomic<size_t> finished{0};   // indices completed or skipped
@@ -156,7 +162,7 @@ void TaskPool::ParallelForImpl(size_t n,
   };
   auto batch = std::make_shared<Batch>();
   const size_t chunk =
-      std::max<size_t>(1, n / (thread_count() * 4));
+      grain > 0 ? grain : std::max<size_t>(1, n / (thread_count() * 4));
 
   auto participate = [batch, n, chunk, &fn, stop] {
     while (true) {

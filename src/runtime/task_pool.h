@@ -81,9 +81,17 @@ class TaskPool {
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn,
                    const std::function<bool()>& stop);
 
+  /// Same, with an explicit pull granularity: each cursor claim takes
+  /// `grain` consecutive indices (0 = the automatic n/(threads*4) chunk).
+  /// Morsel-driven callers pass grain = 1 so every index — already a
+  /// batch of work in the caller's units — is handed out individually and
+  /// stragglers never serialize a contiguous run of siblings.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn,
+                   const std::function<bool()>& stop, size_t grain);
+
  private:
   void ParallelForImpl(size_t n, const std::function<void(size_t)>& fn,
-                       const std::function<bool()>* stop);
+                       const std::function<bool()>* stop, size_t grain = 0);
   struct Worker {
     std::mutex mu;
     std::deque<std::function<void()>> tasks;
@@ -210,6 +218,23 @@ inline void ParallelFor(TaskPool* pool, size_t n,
     return;
   }
   pool->ParallelFor(n, fn, stop);
+}
+
+/// Stop-aware variant with an explicit pull granularity (see the member
+/// overload). A null or single-threaded pool degrades to the same serial
+/// loop — grain only affects how a real pool hands out indices, never
+/// what they compute.
+inline void ParallelFor(TaskPool* pool, size_t n,
+                        const std::function<void(size_t)>& fn,
+                        const std::function<bool()>& stop, size_t grain) {
+  if (pool == nullptr || pool->thread_count() == 1 || n <= 1) {
+    for (size_t i = 0; i < n; ++i) {
+      if (stop()) return;
+      fn(i);
+    }
+    return;
+  }
+  pool->ParallelFor(n, fn, stop, grain);
 }
 
 /// out[i] = fn(i) for i in [0, n), in index order regardless of execution

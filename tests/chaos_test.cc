@@ -171,6 +171,10 @@ TEST_F(ChaosTest, ShardFaultAbortsByDefault) {
   runtime::TaskPool pool(8);
   ExecOptions options;
   options.pool = &pool;
+  // One document per morsel: the two-document corpus yields two morsels,
+  // so the batch really fans out over the pool (a single morsel would
+  // degrade to the inline loop and skip the pool's injection sites).
+  options.morsel_docs = 1;
   Executor exec(*catalog_, options);
   auto result = exec.Execute(*prog);
   ASSERT_FALSE(result.ok());
@@ -188,6 +192,7 @@ TEST_F(ChaosTest, PersistentShardFaultDegradesToEmptyWithFailedDocs) {
   ExecOptions options;
   options.pool = &pool;
   options.best_effort = true;
+  options.morsel_docs = 1;  // one morsel per document
   Executor exec(*catalog_, options);
   auto result = exec.Execute(*prog);
   ASSERT_TRUE(result.ok()) << result.status();
@@ -203,7 +208,7 @@ TEST_F(ChaosTest, TransientShardFaultRecoversExactly) {
   ASSERT_TRUE(prog.ok());
   auto base = Baseline(*prog);
   ASSERT_TRUE(base.ok());
-  // Two shards (one per document): exactly one of the two initial shard
+  // Two morsels (one per document): exactly one of the two initial morsel
   // evaluations draws hit #2 and fails; its seed-by-seed retry draws a
   // non-firing hit and succeeds. The recovered answer must be complete
   // and byte-identical to the fault-free serial one.
@@ -213,6 +218,7 @@ TEST_F(ChaosTest, TransientShardFaultRecoversExactly) {
   ExecOptions options;
   options.pool = &pool;
   options.best_effort = true;
+  options.morsel_docs = 1;  // one morsel per document
   Executor exec(*catalog_, options);
   auto result = exec.Execute(*prog);
   ASSERT_TRUE(result.ok()) << result.status();
@@ -229,6 +235,7 @@ TEST_F(ChaosTest, TaskFaultSurfacesAsCleanInternalError) {
   runtime::TaskPool pool(8);
   ExecOptions options;
   options.pool = &pool;
+  options.morsel_docs = 1;  // two morsels, so the batch reaches the pool
   Executor exec(*catalog_, options);
   auto result = exec.Execute(*prog);
   ASSERT_FALSE(result.ok());
@@ -245,6 +252,7 @@ TEST_F(ChaosTest, TaskFaultSkipsRuleUnderBestEffort) {
   ExecOptions options;
   options.pool = &pool;
   options.best_effort = true;
+  options.morsel_docs = 1;  // two morsels, so the batch reaches the pool
   Executor exec(*catalog_, options);
   auto result = exec.Execute(*prog);
   ASSERT_TRUE(result.ok()) << result.status();
@@ -258,12 +266,13 @@ TEST_F(ChaosTest, TaskFaultSkipsRuleUnderBestEffort) {
 TEST_F(ChaosTest, DeadlineBoundHoldsUnderInjectedDelays) {
   auto prog = Parse();
   ASSERT_TRUE(prog.ok());
-  // Each shard evaluation sleeps 300ms; the 200ms deadline expires during
+  // Each morsel evaluation sleeps 300ms; the 200ms deadline expires during
   // the sleep and the first cooperative check after it stops the run.
   ASSERT_TRUE(FailPoints::Instance().Configure("exec.shard=delay:300").ok());
   runtime::TaskPool pool(8);
   ExecOptions options;
   options.pool = &pool;
+  options.morsel_docs = 1;  // one morsel per document
   constexpr int kDeadlineMs = 200;
   options.deadline = Deadline::AfterMillis(kDeadlineMs);
   Executor exec(*catalog_, options);

@@ -1,9 +1,9 @@
 // Parallel execution must be a pure scheduling change: at 1, 2, or 8
-// threads the executor (document-sharded extraction) and the assistant
-// (concurrent simulation) must produce byte-identical results to the
-// serial run. These tests oversubscribe a small machine happily — the
-// determinism contract is thread-count independent by construction
-// (docs/RUNTIME.md).
+// threads — and at any morsel size — the executor (morsel-driven
+// extraction) and the assistant (concurrent simulation) must produce
+// byte-identical results to the serial run. These tests oversubscribe a
+// small machine happily — the determinism contract is thread-count and
+// morsel-size independent by construction (docs/RUNTIME.md).
 #include <gtest/gtest.h>
 
 #include <string>
@@ -124,8 +124,49 @@ TEST_F(PaperExampleDeterminismTest, ExecutionIsIdenticalAtAnyThreadCount) {
   }
 }
 
+// Morsel-size sweep: the morsel is a scheduling unit, never a semantic
+// one. From one-document morsels (maximum scheduling freedom) to morsels
+// larger than any table (the whole body is a single work unit), every
+// thread count must reproduce the serial bytes — including every
+// intermediate table.
+TEST_F(PaperExampleDeterminismTest, MorselSizeNeverChangesTheResult) {
+  auto prog = ParseProgram(kProgram, *catalog_);
+  ASSERT_TRUE(prog.ok()) << prog.status();
+  prog->set_query("q");
+
+  Executor serial(*catalog_);
+  auto base = serial.Execute(*prog);
+  ASSERT_TRUE(base.ok()) << base.status();
+  const std::string expected = base->ToString(&corpus_);
+  const size_t expected_assignments = serial.stats().process_assignments;
+
+  for (size_t threads : {1, 2, 8}) {
+    runtime::TaskPool pool(threads);
+    for (size_t morsel_docs : {1, 64, 4096}) {
+      ExecOptions options;
+      options.pool = &pool;
+      options.morsel_docs = morsel_docs;
+      Executor exec(*catalog_, options);
+      auto r = exec.Execute(*prog);
+      ASSERT_TRUE(r.ok()) << r.status();
+      EXPECT_EQ(r->ToString(&corpus_), expected)
+          << threads << " threads, morsel_docs " << morsel_docs;
+      EXPECT_EQ(exec.stats().process_assignments, expected_assignments)
+          << threads << " threads, morsel_docs " << morsel_docs;
+      ASSERT_EQ(exec.last_idb().size(), serial.last_idb().size());
+      for (const auto& [pred, table] : serial.last_idb()) {
+        auto it = exec.last_idb().find(pred);
+        ASSERT_NE(it, exec.last_idb().end()) << pred;
+        EXPECT_EQ(it->second.ToString(&corpus_), table.ToString(&corpus_))
+            << pred << " at " << threads << " threads, morsel_docs "
+            << morsel_docs;
+      }
+    }
+  }
+}
+
 // A DBLife-style program (Table 6 "Panel" task) over a generated corpus:
-// document-sharded extraction over the docs table must be byte-identical
+// morsel-driven extraction over the docs table must be byte-identical
 // to serial at every thread count.
 TEST(DblifeDeterminismTest, PanelExtractionIsIdenticalAtAnyThreadCount) {
   auto serial_task = MakeTask("Panel", 40);
@@ -139,20 +180,24 @@ TEST(DblifeDeterminismTest, PanelExtractionIsIdenticalAtAnyThreadCount) {
   const size_t expected_assignments = serial.stats().process_assignments;
 
   for (size_t threads : {1, 2, 8}) {
-    // Fresh task instance per run: generation is seeded, so the corpora
-    // are identical; what varies is only the thread count.
+    // Fresh task instance per thread count: generation is seeded, so the
+    // corpora are identical; what varies is only the scheduling shape.
     auto task = MakeTask("Panel", 40);
     ASSERT_TRUE(task.ok()) << task.status();
     runtime::TaskPool pool(threads);
-    ExecOptions options;
-    options.pool = &pool;
-    Executor exec(*(*task)->catalog, options);
-    auto r = exec.Execute((*task)->initial_program);
-    ASSERT_TRUE(r.ok()) << r.status();
-    EXPECT_EQ(r->ToString((*task)->corpus.get()), expected)
-        << threads << " threads";
-    EXPECT_EQ(exec.stats().process_assignments, expected_assignments)
-        << threads << " threads";
+    // The 40-document seed table carves into 40 / 1 / 1 morsels.
+    for (size_t morsel_docs : {1, 64, 4096}) {
+      ExecOptions options;
+      options.pool = &pool;
+      options.morsel_docs = morsel_docs;
+      Executor exec(*(*task)->catalog, options);
+      auto r = exec.Execute((*task)->initial_program);
+      ASSERT_TRUE(r.ok()) << r.status();
+      EXPECT_EQ(r->ToString((*task)->corpus.get()), expected)
+          << threads << " threads, morsel_docs " << morsel_docs;
+      EXPECT_EQ(exec.stats().process_assignments, expected_assignments)
+          << threads << " threads, morsel_docs " << morsel_docs;
+    }
   }
 }
 
