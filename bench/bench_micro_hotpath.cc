@@ -1,17 +1,21 @@
 // Hot-path micro-benchmarks for the interned fast paths
 // (docs/PERFORMANCE.md): string interning, cached token similarity, the
-// JoinAtom hash equi-join vs the legacy tri-state scan, and the Verify
-// memo. Writes BENCH_MICRO.json; bench/check_regression.py diffs it
-// against the committed baseline. Every workload is seeded/synthetic, so
-// the op counts are exactly reproducible — only the timings move.
+// JoinAtom hash equi-join vs the legacy tri-state scan, the Verify
+// memo, and the compiled operator core (rule lowering cost plus the
+// fused verify chain vs the per-literal interpreter). Writes
+// BENCH_MICRO.json; bench/check_regression.py diffs it against the
+// committed baseline. Every workload is seeded/synthetic, so the op
+// counts are exactly reproducible — only the timings move.
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "bench_util.h"
 #include "common/intern.h"
+#include "exec/compile.h"
 #include "exec/executor.h"
 #include "exec/verify_memo.h"
+#include "text/markup_parser.h"
 
 using namespace iflex;
 using namespace iflex::bench;
@@ -78,6 +82,46 @@ double JoinSeconds(const Catalog& catalog, const Program& prog, bool fast,
   }
   *join_pairs = exec.stats().join_pairs;
   return seconds;
+}
+
+// Markup corpus where every token is a bold number, plus a cands(p)
+// table holding one exact token span per row: the driving rule's body is
+// a verify chain (bold_font, numeric) followed by two comparisons — the
+// exact literal sequence rule compilation fuses into a constraint chain
+// and a columnar filter block. Every row survives every literal, so the
+// interpreter pays its full per-literal cost (a table rebuild and a
+// feature re-resolution per constraint, a cell enumeration per
+// comparison) on every tuple.
+std::unique_ptr<Catalog> VerifyCatalog(Corpus* corpus, size_t docs,
+                                       size_t tokens_per_doc, size_t* rows) {
+  std::vector<DocId> ids;
+  for (size_t d = 0; d < docs; ++d) {
+    std::string markup;
+    for (size_t t = 0; t < tokens_per_doc; ++t) {
+      if (!markup.empty()) markup += ' ';
+      markup +=
+          "<b>" + std::to_string(101 + (d * tokens_per_doc + t) % 899779) +
+          "</b>";
+    }
+    auto doc = ParseMarkup("verify/" + std::to_string(d), markup);
+    if (!doc.ok()) return nullptr;
+    ids.push_back(corpus->Add(std::move(doc).value()));
+  }
+  auto catalog = std::make_unique<Catalog>(corpus);
+  CompactTable cands({"p"});
+  for (DocId id : ids) {
+    const Document& doc = corpus->Get(id);
+    for (const Token& tok : doc.tokens()) {
+      CompactTuple t;
+      t.cells.push_back(
+          Cell::Exact(Value::OfSpan(*corpus, Span(id, tok.begin, tok.end))));
+      cands.Add(std::move(t));
+    }
+  }
+  *rows = cands.size();
+  if (!catalog->AddTable("cands", std::move(cands)).ok()) return nullptr;
+  catalog->RegisterBuiltinFunctions();
+  return catalog;
 }
 
 }  // namespace
@@ -164,6 +208,105 @@ int main(int argc, char** argv) {
                   R::N("join_pairs", static_cast<double>(hash_pairs)),
                   R::N("seconds", hash_seconds),
                   R::N("speedup", scan_seconds / hash_seconds)});
+  }
+
+  // ------------------- rule compilation + fused verify chain throughput
+  {
+    Corpus corpus;
+    size_t rows = 0;
+    auto catalog = VerifyCatalog(&corpus, 200, 200, &rows);
+    if (catalog == nullptr) return 1;
+    auto prog = ParseProgram(
+        "q(p) :- cands(p), bold_font(p) = yes, numeric(p) = yes, "
+        "p > 100, p < 1000000000, p != 0, p >= 101.",
+        *catalog);
+    if (!prog.ok()) return 1;
+    prog->set_query("q");
+
+    // Lowering cost: how long CompileRule takes to turn the program into
+    // plans. rules/plans are deterministic; compile_ms is gated with
+    // generous slack (it is microseconds of work, so one scheduler blip
+    // moves it a lot).
+    constexpr size_t kCompileIters = 1000;
+    size_t plans = 0;
+    Stopwatch compile_watch;
+    for (size_t i = 0; i < kCompileIters; ++i) {
+      plans = 0;
+      for (const Rule& rule : prog->rules()) {
+        if (CompileRule(*catalog, rule).has_value()) ++plans;
+      }
+    }
+    double compile_ms = 1e3 * compile_watch.ElapsedSeconds() / kCompileIters;
+    std::printf("rule compile      %8zu rules %6.1f us/program  (%zu plans)\n",
+                prog->rules().size(), 1e3 * compile_ms, plans);
+    reporter.Row({R::S("case", "rule_compile"),
+                  R::N("rules", static_cast<double>(prog->rules().size())),
+                  R::N("plans", static_cast<double>(plans)),
+                  R::N("compile_ms", compile_ms)});
+
+    // Fused pass vs interpreter, single thread, best of three. The two
+    // paths must produce identical bytes and identical constraint-cell
+    // counts — the bench exits nonzero on any divergence, so the speedup
+    // row can never be bought with a behaviour change.
+    auto measure = [&](bool enable, std::string* bytes,
+                       size_t* cells) -> double {
+      double best = -1;
+      for (int rep = 0; rep < 3; ++rep) {
+        ExecOptions options;
+        options.enable_rule_compile = enable;
+        Executor exec(*catalog, options);
+        Stopwatch watch;
+        auto result = exec.Execute(*prog);
+        double seconds = watch.ElapsedSeconds();
+        if (!result.ok()) {
+          std::fprintf(stderr, "fused verify bench: %s\n",
+                       result.status().ToString().c_str());
+          return -1;
+        }
+        if (enable && exec.stats().rules_compiled == 0) {
+          std::fprintf(stderr, "fused verify bench: rule did not compile\n");
+          return -1;
+        }
+        std::string got = result->ToString(&corpus);
+        if (bytes->empty()) {
+          *bytes = std::move(got);
+        } else if (got != *bytes) {
+          std::fprintf(stderr, "fused verify bench: bytes diverged\n");
+          return -1;
+        }
+        *cells = exec.stats().constraint_cells;
+        if (best < 0 || seconds < best) best = seconds;
+      }
+      return best;
+    };
+    std::string interp_bytes, fused_bytes;
+    size_t interp_cells = 0, fused_cells = 0;
+    double interp_seconds = measure(false, &interp_bytes, &interp_cells);
+    double fused_seconds = measure(true, &fused_bytes, &fused_cells);
+    if (interp_seconds < 0 || fused_seconds < 0) return 1;
+    if (interp_bytes != fused_bytes || interp_cells != fused_cells) {
+      std::fprintf(stderr,
+                   "fused verify bench: compiled path diverged from the "
+                   "interpreter\n");
+      return 1;
+    }
+    std::printf("verify interp     %8zu cells %6.3f s\n", interp_cells,
+                interp_seconds);
+    std::printf("verify fused      %8zu cells %6.3f s  (%.1fx)\n", fused_cells,
+                fused_seconds, interp_seconds / fused_seconds);
+    // speedup_floor arms the absolute >= 1.3x gate in check_regression.py
+    // (threads = 1, so it is armed on every host); cells_per_second is the
+    // lower-is-regression throughput gate.
+    reporter.Row({R::S("case", "fused_verify"),
+                  R::N("tuples", static_cast<double>(rows)),
+                  R::N("constraint_cells", static_cast<double>(fused_cells)),
+                  R::N("interp_seconds", interp_seconds),
+                  R::N("seconds", fused_seconds),
+                  R::N("speedup", interp_seconds / fused_seconds),
+                  R::N("speedup_floor", 1.3), R::N("threads", 1),
+                  R::N("hardware_cores",
+                       static_cast<double>(R::hardware_cores())),
+                  R::N("cells_per_second", fused_cells / fused_seconds)});
   }
 
   // ------------------------------------------------- verify memo lookups

@@ -8,99 +8,75 @@ namespace iflex {
 
 namespace {
 
-// Constraint-invariant part of a VerifyMemo key (feature, value, param),
-// computed once per (feature, constraint) pair instead of per assignment.
-struct MemoKeyBase {
-  VerifyMemo::Key key;
-  bool usable = false;  // false when no memo is in play
-};
-
-MemoKeyBase MakeMemoBase(const Corpus& corpus, const Feature& fe,
-                         const ConstraintLit& k, VerifyMemoL1* memo) {
-  MemoKeyBase base;
-  if (memo == nullptr) return base;
-  base.usable = true;
-  base.key.feature = corpus.interner().Intern(fe.name());
-  if (base.key.feature == kInvalidValueId) base.usable = false;
-  base.key.value = static_cast<uint8_t>(k.value);
-  if (k.param.str.has_value()) {
-    base.key.param_kind = 1;
-    base.key.param_str = corpus.interner().Intern(*k.param.str);
-    // A frozen interner can refuse new strings; keys must never collide,
-    // so such constraints just go unmemoized.
-    if (base.key.param_str == kInvalidValueId) base.usable = false;
-  } else if (k.param.num.has_value()) {
-    base.key.param_kind = 2;
-    double d = *k.param.num;
-    __builtin_memcpy(&base.key.param_num, &d, sizeof(d));
-  }
-  return base;
-}
-
 // Memoized f(span) = v; Verify is a pure function of the key over the
 // frozen corpus, so a cached verdict is exact.
-bool VerifySpan(const Corpus& corpus, const Feature& fe,
-                const ConstraintLit& k, const Span& span, VerifyMemoL1* memo,
-                const MemoKeyBase& base) {
-  if (!base.usable) {
-    return fe.Verify(corpus.Get(span.doc), span, k.param, k.value);
+bool VerifySpan(const Corpus& corpus, const PreparedConstraint& k,
+                const Span& span, VerifyMemoL1* memo) {
+  if (memo == nullptr || !k.base_usable) {
+    return k.feature->Verify(corpus.Get(span.doc), span, k.lit.param,
+                             k.lit.value);
   }
-  VerifyMemo::Key key = base.key;
+  VerifyMemo::Key key = k.base_key;
   key.target_kind = 0;
   key.doc = span.doc;
   key.begin = span.begin;
   key.end = span.end;
   if (auto cached = memo->Lookup(key)) return *cached != 0;
-  bool holds = fe.Verify(corpus.Get(span.doc), span, k.param, k.value);
+  bool holds =
+      k.feature->Verify(corpus.Get(span.doc), span, k.lit.param, k.lit.value);
   memo->Insert(key, holds ? 1 : 0);
   return holds;
 }
 
 // Memoized VerifyText; the tri-state verdict (holds / fails / needs
 // document context) is keyed by the interned scalar text.
-std::optional<bool> VerifyScalar(const Corpus& corpus, const Feature& fe,
-                                 const ConstraintLit& k, std::string_view text,
-                                 VerifyMemoL1* memo, const MemoKeyBase& base) {
-  if (!base.usable) return fe.VerifyText(text, k.param, k.value);
-  VerifyMemo::Key key = base.key;
+std::optional<bool> VerifyScalar(const Corpus& corpus,
+                                 const PreparedConstraint& k,
+                                 std::string_view text, VerifyMemoL1* memo) {
+  if (memo == nullptr || !k.base_usable) {
+    return k.feature->VerifyText(text, k.lit.param, k.lit.value);
+  }
+  VerifyMemo::Key key = k.base_key;
   key.target_kind = 1;
   key.text = corpus.interner().Intern(text);
   if (key.text == kInvalidValueId) {  // frozen interner refused the text
-    return fe.VerifyText(text, k.param, k.value);
+    return k.feature->VerifyText(text, k.lit.param, k.lit.value);
   }
   if (auto cached = memo->Lookup(key)) {
     if (*cached < 0) return std::nullopt;
     return *cached != 0;
   }
-  std::optional<bool> verdict = fe.VerifyText(text, k.param, k.value);
+  std::optional<bool> verdict =
+      k.feature->VerifyText(text, k.lit.param, k.lit.value);
   memo->Insert(key, !verdict.has_value() ? int8_t{-1}
                                          : (*verdict ? int8_t{1} : int8_t{0}));
   return verdict;
 }
 
 // A(k, m(s)) of paper §4.2: the assignments resulting from applying
-// constraint `k` (via feature fe) to one assignment.
-std::vector<Assignment> ApplyOne(const Corpus& corpus, const Feature& fe,
-                                 const ConstraintLit& k, const Assignment& a,
-                                 VerifyMemoL1* memo, const MemoKeyBase& base) {
+// constraint `k` to one assignment.
+std::vector<Assignment> ApplyOne(const Corpus& corpus,
+                                 const PreparedConstraint& k,
+                                 const Assignment& a, VerifyMemoL1* memo) {
   std::vector<Assignment> out;
   if (a.is_exact()) {
     const Value& v = a.value;
     if (v.has_span()) {
-      if (VerifySpan(corpus, fe, k, v.span(), memo, base)) {
+      if (VerifySpan(corpus, k, v.span(), memo)) {
         out.push_back(a);
       }
     } else {
       // Scalar value: fall back to text-only verification; features that
       // need document context keep the value (no narrowing, still sound).
-      auto verdict = VerifyScalar(corpus, fe, k, v.AsText(), memo, base);
+      auto verdict = VerifyScalar(corpus, k, v.AsText(), memo);
       if (!verdict.has_value() || *verdict) out.push_back(a);
     }
     return out;
   }
   // Contain assignment: refine into maximal satisfying regions.
   const Document& doc = corpus.Get(a.span.doc);
-  for (const RefinedRegion& r : fe.Refine(doc, a.span, k.param, k.value)) {
+  for (const RefinedRegion& r :
+       k.feature->Refine(doc, a.span, k.lit.param, k.lit.value)) {
     if (r.span.empty()) continue;
     if (r.exact) {
       out.push_back(Assignment::Exact(Value::OfSpan(corpus, r.span)));
@@ -136,31 +112,47 @@ void DedupAssignments(std::vector<Assignment>* as) {
 
 }  // namespace
 
-Result<Cell> ApplyConstraintToCell(const Corpus& corpus,
-                                   const FeatureRegistry& features,
-                                   const Cell& cell, const ConstraintLit& k,
-                                   const std::vector<ConstraintLit>& history,
-                                   VerifyMemoL1* memo) {
-  IFLEX_ASSIGN_OR_RETURN(const Feature* fe, features.Get(k.feature));
-  const MemoKeyBase base = MakeMemoBase(corpus, *fe, k, memo);
-  std::vector<const Feature*> prior_features(history.size());
-  std::vector<MemoKeyBase> prior_bases(history.size());
-  for (size_t i = 0; i < history.size(); ++i) {
-    IFLEX_ASSIGN_OR_RETURN(prior_features[i], features.Get(history[i].feature));
-    prior_bases[i] = MakeMemoBase(corpus, *prior_features[i], history[i], memo);
+Result<PreparedConstraint> PrepareConstraint(const Corpus& corpus,
+                                             const FeatureRegistry& features,
+                                             const ConstraintLit& k,
+                                             bool want_memo) {
+  PreparedConstraint pk;
+  pk.lit = k;
+  IFLEX_ASSIGN_OR_RETURN(pk.feature, features.Get(k.feature));
+  if (!want_memo) return pk;
+  pk.base_usable = true;
+  pk.base_key.feature = corpus.interner().Intern(pk.feature->name());
+  if (pk.base_key.feature == kInvalidValueId) pk.base_usable = false;
+  pk.base_key.value = static_cast<uint8_t>(k.value);
+  if (k.param.str.has_value()) {
+    pk.base_key.param_kind = 1;
+    pk.base_key.param_str = corpus.interner().Intern(*k.param.str);
+    // A frozen interner can refuse new strings; keys must never collide,
+    // so such constraints just go unmemoized.
+    if (pk.base_key.param_str == kInvalidValueId) pk.base_usable = false;
+  } else if (k.param.num.has_value()) {
+    pk.base_key.param_kind = 2;
+    double d = *k.param.num;
+    __builtin_memcpy(&pk.base_key.param_num, &d, sizeof(d));
   }
+  return pk;
+}
+
+Cell ApplyPreparedConstraintToCell(
+    const Corpus& corpus, const PreparedConstraint& k,
+    const std::vector<PreparedConstraint>& history, const Cell& cell,
+    VerifyMemoL1* memo) {
   Cell out;
   out.is_expansion = cell.is_expansion;
   for (const Assignment& a : cell.assignments) {
-    std::vector<Assignment> current = ApplyOne(corpus, *fe, k, a, memo, base);
+    std::vector<Assignment> current = ApplyOne(corpus, k, a, memo);
     // Re-check newly created assignments against the constraints applied
     // earlier for this attribute (paper §4.2: sub-spans created with k_j
     // are checked for violation of k_1..k_{j-1}).
-    for (size_t i = 0; i < history.size(); ++i) {
+    for (const PreparedConstraint& prior : history) {
       std::vector<Assignment> next;
       for (const Assignment& cur : current) {
-        std::vector<Assignment> rechecked = ApplyOne(
-            corpus, *prior_features[i], history[i], cur, memo, prior_bases[i]);
+        std::vector<Assignment> rechecked = ApplyOne(corpus, prior, cur, memo);
         next.insert(next.end(), rechecked.begin(), rechecked.end());
       }
       current = std::move(next);
@@ -170,6 +162,25 @@ Result<Cell> ApplyConstraintToCell(const Corpus& corpus,
   }
   DedupAssignments(&out.assignments);
   return out;
+}
+
+Result<Cell> ApplyConstraintToCell(const Corpus& corpus,
+                                   const FeatureRegistry& features,
+                                   const Cell& cell, const ConstraintLit& k,
+                                   const std::vector<ConstraintLit>& history,
+                                   VerifyMemoL1* memo) {
+  const bool want_memo = memo != nullptr;
+  IFLEX_ASSIGN_OR_RETURN(PreparedConstraint pk,
+                         PrepareConstraint(corpus, features, k, want_memo));
+  std::vector<PreparedConstraint> prior;
+  prior.reserve(history.size());
+  for (const ConstraintLit& h : history) {
+    IFLEX_ASSIGN_OR_RETURN(
+        PreparedConstraint ph,
+        PrepareConstraint(corpus, features, h, want_memo));
+    prior.push_back(std::move(ph));
+  }
+  return ApplyPreparedConstraintToCell(corpus, pk, prior, cell, memo);
 }
 
 bool CompareValues(const Value& lhs, CmpOp op, const Value& rhs) {

@@ -31,6 +31,40 @@ struct CellOpLimits {
   size_t max_filter_combos = 1024;
 };
 
+/// A constraint with its feature procedure resolved and its memo key base
+/// interned up front, so applying it to a cell pays no registry or
+/// interner lookups. The interpreter prepares per call (same work it
+/// always did); the rule compiler prepares once per (program, corpus)
+/// epoch and reuses the prepared form for every tuple
+/// (docs/PERFORMANCE.md, "Rule compilation").
+struct PreparedConstraint {
+  ConstraintLit lit;
+  const Feature* feature = nullptr;
+  /// Constraint-invariant part of the VerifyMemo key (feature, value,
+  /// param); only meaningful when base_usable.
+  VerifyMemo::Key base_key;
+  /// False when memoization was not requested or the interner refused a
+  /// component (keys must never collide, so such constraints simply go
+  /// unmemoized).
+  bool base_usable = false;
+};
+
+/// Resolves `k` against the registry and (when `want_memo`) interns its
+/// memo key base. NotFound when the feature does not exist.
+Result<PreparedConstraint> PrepareConstraint(const Corpus& corpus,
+                                             const FeatureRegistry& features,
+                                             const ConstraintLit& k,
+                                             bool want_memo);
+
+/// ApplyConstraintToCell over pre-resolved state: identical narrowing,
+/// identical memo lookups, no per-call feature/interner work. `history`
+/// holds the previously applied constraints for the same attribute in
+/// application order (paper §4.2 re-check).
+Cell ApplyPreparedConstraintToCell(
+    const Corpus& corpus, const PreparedConstraint& k,
+    const std::vector<PreparedConstraint>& history, const Cell& cell,
+    VerifyMemoL1* memo);
+
 /// Applies the domain constraint `k` to `cell` (paper §4.2): exact
 /// assignments go through Verify, contain assignments through Refine, and
 /// every refined assignment is re-checked against the previously applied

@@ -1,0 +1,185 @@
+#include "exec/compile.h"
+
+#include <climits>
+#include <cstddef>
+#include <cstdint>
+#include <unordered_set>
+#include <utility>
+
+#include "common/strutil.h"
+
+namespace iflex {
+
+namespace {
+
+// Appends a filter to the plan's trailing filter block, opening a new
+// block when the previous op is not one.
+void AppendFilter(CompiledRule* plan, CompiledFilter f) {
+  if (plan->ops.empty() ||
+      plan->ops.back().kind != CompiledOp::Kind::kFilterBlock) {
+    CompiledOp op;
+    op.kind = CompiledOp::Kind::kFilterBlock;
+    plan->ops.push_back(std::move(op));
+  }
+  plan->ops.back().filters.push_back(std::move(f));
+}
+
+}  // namespace
+
+std::optional<CompiledRule> CompileRule(const Catalog& catalog,
+                                        const Rule& rule) {
+  std::unordered_set<std::string> bound;
+  auto is_bound = [&](const std::string& v) { return bound.count(v) > 0; };
+
+  std::vector<Literal> pending = rule.body;
+  // Per-variable constraint history in application order, mirroring the
+  // interpreter's history_ map (paper §4.2 re-check).
+  std::unordered_map<std::string, std::vector<PreparedConstraint>> history;
+  CompiledRule plan;
+
+  while (!pending.empty()) {
+    size_t best = SIZE_MAX;
+    int best_prio = INT_MAX;
+    for (size_t i = 0; i < pending.size(); ++i) {
+      int prio =
+          LiteralPriority(catalog, pending[i], !bound.empty(), is_bound);
+      if (prio >= 0 && prio < best_prio) {
+        best_prio = prio;
+        best = i;
+      }
+    }
+    // No evaluable literal left (the interpreter reports the canonical
+    // error) or an unconnected join (filter pushdown and similarity
+    // indexing are interpreter machinery): fall back.
+    if (best == SIZE_MAX || best_prio == 6) return std::nullopt;
+    Literal lit = std::move(pending[best]);
+    pending.erase(pending.begin() + static_cast<ptrdiff_t>(best));
+
+    switch (lit.kind) {
+      case Literal::Kind::kConstraint: {
+        Result<PreparedConstraint> pk =
+            PrepareConstraint(catalog.corpus(), catalog.features(),
+                              lit.constraint, /*want_memo=*/true);
+        if (!pk.ok()) return std::nullopt;  // unknown feature
+        CompiledConstraintStep step;
+        step.k = std::move(*pk);
+        step.history = history[lit.constraint.var];
+        history[lit.constraint.var].push_back(step.k);
+        if (plan.ops.empty() ||
+            plan.ops.back().kind != CompiledOp::Kind::kConstraintChain) {
+          CompiledOp op;
+          op.kind = CompiledOp::Kind::kConstraintChain;
+          plan.ops.push_back(std::move(op));
+        }
+        plan.ops.back().chain.push_back(std::move(step));
+        break;
+      }
+      case Literal::Kind::kComparison: {
+        CompiledFilter f;
+        f.kind = CompiledFilter::Kind::kComparison;
+        f.const_cells.resize(2);
+        if (!lit.cmp.lhs.is_var()) {
+          f.const_cells[0] = ConstantCell(lit.cmp.lhs);
+        }
+        if (!lit.cmp.rhs.is_var()) {
+          f.const_cells[1] = ConstantCell(lit.cmp.rhs);
+        }
+        f.lit = std::move(lit);
+        AppendFilter(&plan, std::move(f));
+        break;
+      }
+      case Literal::Kind::kAtom: {
+        const Atom& a = lit.atom;
+        auto kind = catalog.KindOf(a.predicate);
+        PredicateKind k = kind.ok() ? *kind : PredicateKind::kIntensional;
+        switch (k) {
+          case PredicateKind::kExtensional:
+          case PredicateKind::kIntensional: {
+            CompiledOp op;
+            op.kind = CompiledOp::Kind::kJoin;
+            op.atom = a;
+            for (const Term& t : a.args) {
+              if (t.is_var()) bound.insert(t.var);
+            }
+            plan.ops.push_back(std::move(op));
+            break;
+          }
+          case PredicateKind::kBuiltinFrom: {
+            // Malformed from() literals stay on the interpreter, which
+            // raises the canonical ApplyFrom error.
+            if (a.args.size() != 2 || !a.args[0].is_var() ||
+                !a.args[1].is_var() || is_bound(a.args[1].var)) {
+              return std::nullopt;
+            }
+            CompiledOp op;
+            op.kind = CompiledOp::Kind::kFrom;
+            op.atom = a;
+            bound.insert(a.args[1].var);
+            plan.ops.push_back(std::move(op));
+            break;
+          }
+          case PredicateKind::kPPredicate: {
+            CompiledOp op;
+            op.kind = CompiledOp::Kind::kPPredicate;
+            op.atom = a;
+            size_t n_inputs = *catalog.InputArityOf(a.predicate);
+            for (size_t i = n_inputs; i < a.args.size(); ++i) {
+              if (a.args[i].is_var()) bound.insert(a.args[i].var);
+            }
+            plan.ops.push_back(std::move(op));
+            break;
+          }
+          case PredicateKind::kPFunction: {
+            Result<const PFunctionFn*> fn = catalog.PFunction(a.predicate);
+            if (!fn.ok()) return std::nullopt;
+            CompiledFilter f;
+            f.kind = CompiledFilter::Kind::kPFunction;
+            f.fn = *fn;
+            f.const_cells.resize(a.args.size());
+            for (size_t i = 0; i < a.args.size(); ++i) {
+              if (!a.args[i].is_var()) {
+                f.const_cells[i] = ConstantCell(a.args[i]);
+              }
+            }
+            f.lit = std::move(lit);
+            AppendFilter(&plan, std::move(f));
+            break;
+          }
+          default:
+            return std::nullopt;  // IE predicate: interpreter reports it
+        }
+        break;
+      }
+    }
+  }
+  if (plan.ops.empty()) return std::nullopt;  // empty body: interpreter
+  plan.seed_join = plan.ops.front().kind == CompiledOp::Kind::kJoin;
+  return plan;
+}
+
+const CompiledRule* RuleCompileCache::Get(const Catalog& catalog,
+                                          const Rule& rule) {
+  const uint64_t key = Fingerprint64(rule.ToString());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = plans_.find(key);
+    if (it != plans_.end()) return it->second.get();
+  }
+  // Lower outside the lock: compilation touches only immutable state (the
+  // catalog plus the thread-safe interner), and a racing duplicate insert
+  // keeps the first of two identical plans.
+  std::optional<CompiledRule> plan = CompileRule(catalog, rule);
+  std::unique_ptr<CompiledRule> owned =
+      plan.has_value() ? std::make_unique<CompiledRule>(std::move(*plan))
+                       : nullptr;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = plans_.emplace(key, std::move(owned));
+  return it->second.get();
+}
+
+size_t RuleCompileCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return plans_.size();
+}
+
+}  // namespace iflex

@@ -57,6 +57,19 @@ bool FastPathDisabledByEnv() {
   return disabled;
 }
 
+// Kill switch for the rule-compilation layer alone: any non-empty
+// IFLEX_DISABLE_RULE_COMPILE routes every rule through the interpreter
+// while keeping the other fast paths on — the escape hatch when a compiled
+// plan is suspected, and the differential baseline for the compile
+// determinism suite.
+bool RuleCompileDisabledByEnv() {
+  static const bool disabled = [] {
+    const char* v = std::getenv("IFLEX_DISABLE_RULE_COMPILE");
+    return v != nullptr && *v != '\0';
+  }();
+  return disabled;
+}
+
 // Appends the equi-join key of a singleton-exact cell to `out`, tagged so
 // two keys collide exactly when CompareValues(kEq) holds for the values:
 // NULL matches only NULL, two numeric-castable values match on the number
@@ -125,6 +138,11 @@ class RuleEvaluator {
         event_log_(obs::EventLogOrDefault(options.event_log)),
         stop_(options.deadline, options.cancel) {}
 
+  /// Attaches a compiled plan for the next Evaluate; null (the default)
+  /// runs the interpreter. The plan must outlive the evaluation — the
+  /// executor's RuleCompileCache guarantees it.
+  void set_plan(const CompiledRule* plan) { plan_ = plan; }
+
   Result<CompactTable> Evaluate(const Rule& rule) {
     // Top-level evaluation leases its own worker context for the whole
     // rule (morsel sub-evaluators run with the context of the worker
@@ -151,12 +169,24 @@ class RuleEvaluator {
     history_.clear();
     budget_exhausted_ = false;
 
-    std::vector<Literal> pending;
-    for (const Literal& lit : rule.body) pending.push_back(lit);
+    if (plan_ != nullptr) {
+      // Compiled fast path (docs/PERFORMANCE.md, "Rule compilation"): the
+      // plan replays the interpreter's exact operator sequence with name
+      // resolution hoisted out of the per-tuple loops, constraints fused
+      // into chains, and filters run columnar.
+      stats_->rules_compiled->Add();
+      IFLEX_ASSIGN_OR_RETURN(bool sharded, TryMorselPlan(rule));
+      if (!sharded) {
+        IFLEX_RETURN_NOT_OK(RunPlan(0));
+      }
+    } else {
+      std::vector<Literal> pending;
+      for (const Literal& lit : rule.body) pending.push_back(lit);
 
-    IFLEX_ASSIGN_OR_RETURN(bool sharded, TryMorselBody(rule, &pending));
-    if (!sharded) {
-      IFLEX_RETURN_NOT_OK(RunPipeline(rule, &pending));
+      IFLEX_ASSIGN_OR_RETURN(bool sharded, TryMorselBody(rule, &pending));
+      if (!sharded) {
+        IFLEX_RETURN_NOT_OK(RunPipeline(rule, &pending));
+      }
     }
 
     IFLEX_ASSIGN_OR_RETURN(CompactTable projected, Project(rule.head));
@@ -286,7 +316,51 @@ class RuleEvaluator {
 
     Atom seed = lit.atom;
     pending->erase(pending->begin() + static_cast<ptrdiff_t>(best));
-    size_t n = table->size();
+    IFLEX_RETURN_NOT_OK(RunMorsels(rule, seed, *table, pending));
+    pending->clear();
+    return true;
+  }
+
+  // Morsel eligibility for the compiled path, mirroring TryMorselBody
+  // condition for condition: a pool exists, the plan has a seed join over
+  // a stored/intensional table of 2+ tuples, and at least one more op
+  // follows it. The morsel machinery itself is shared (RunMorsels), so
+  // compiled and interpreted runs carve identical morsels and merge in
+  // identical order at any thread count.
+  Result<bool> TryMorselPlan(const Rule& rule) {
+    if (options_.pool == nullptr) return false;
+    if (!columns_.empty() || plan_->ops.size() < 2 || !plan_->seed_join) {
+      return false;
+    }
+    const Atom& seed = plan_->ops.front().atom;
+    auto kind = catalog_.KindOf(seed.predicate);
+    PredicateKind k = kind.ok() ? *kind : PredicateKind::kIntensional;
+    const CompactTable* table = nullptr;
+    if (k == PredicateKind::kExtensional) {
+      IFLEX_ASSIGN_OR_RETURN(table, catalog_.Table(seed.predicate));
+    } else if (k == PredicateKind::kIntensional) {
+      auto it = idb_->find(seed.predicate);
+      if (it == idb_->end()) return false;  // serial path reports the error
+      table = &it->second;
+    } else {
+      return false;  // unreachable: seed_join implies a stored join
+    }
+    if (table->size() < 2) return false;
+    IFLEX_RETURN_NOT_OK(RunMorsels(rule, seed, *table, nullptr));
+    return true;
+  }
+
+  // The morsel loop proper, shared by the interpreted and compiled paths:
+  // carves `table` into morsels, evaluates "seed join + rest of the body"
+  // per morsel, and merges bindings in morsel order. "Rest" is the
+  // remaining `pending` literals for the interpreter, or the plan's ops
+  // after the seed when this evaluator carries a compiled plan (`pending`
+  // is null then — connected joins never consume pending filters).
+  Status RunMorsels(const Rule& rule, const Atom& seed,
+                    const CompactTable& table,
+                    const std::vector<Literal>* pending) {
+    runtime::TaskPool* pool = options_.pool;
+    size_t n = table.size();
     const size_t morsel_docs = std::max<size_t>(1, options_.morsel_docs);
     const size_t morsels = (n + morsel_docs - 1) / morsel_docs;
     obs::TraceSpan span(tracer_, "exec.morsel_body", rule.head.predicate);
@@ -301,23 +375,29 @@ class RuleEvaluator {
       resilience::ExecReport report;
     };
 
-    // Seed-join + remaining pipeline over the seed tuples in [lo, hi),
-    // running with the worker's leased context (warm scratch + memo L1).
+    // Seed-join + remaining pipeline (or plan suffix) over the seed
+    // tuples in [lo, hi), running with the worker's leased context (warm
+    // scratch + memo L1).
     auto eval_range = [&](size_t lo, size_t hi, WorkerContext* ctx) {
       MorselOut out;
       out.status = resilience::FailPointStatus("exec.shard");
       if (!out.status.ok()) return out;
-      CompactTable slice(table->schema());
-      for (size_t j = lo; j < hi; ++j) slice.Add(table->tuples()[j]);
+      CompactTable slice(table.schema());
+      for (size_t j = lo; j < hi; ++j) slice.Add(table.tuples()[j]);
       RuleEvaluator sub(catalog_, options_, idb_, stats_, tracer_,
                         &out.report, contexts_);
       sub.scope_ = scope_;  // morsels charge the same rule
       sub.ctx_ = ctx;
+      sub.plan_ = plan_;
       sub.binding_ = CompactTable(std::vector<std::string>{});
       sub.binding_.Add(CompactTuple{});
-      std::vector<Literal> sub_pending = *pending;
+      std::vector<Literal> sub_pending;
+      if (pending != nullptr) sub_pending = *pending;
       out.status = sub.JoinAtom(seed, slice, &sub_pending);
-      if (out.status.ok()) out.status = sub.RunPipeline(rule, &sub_pending);
+      if (out.status.ok()) {
+        out.status = plan_ != nullptr ? sub.RunPlan(1)
+                                      : sub.RunPipeline(rule, &sub_pending);
+      }
       out.valid = out.status.ok();
       out.binding = std::move(sub.binding_);
       out.columns = std::move(sub.columns_);
@@ -346,7 +426,7 @@ class RuleEvaluator {
           break;
         }
         if (!one.status.ok()) {
-          DocId doc = TupleDocId(table->tuples()[j]);
+          DocId doc = TupleDocId(table.tuples()[j]);
           if (doc != kInvalidDocId) {
             iso.report.AddFailedDoc(doc);
           } else {
@@ -410,8 +490,7 @@ class RuleEvaluator {
     if (binding_.size() > options_.max_table_tuples) {
       IFLEX_RETURN_NOT_OK(OverBudget(&binding_, "intermediate table"));
     }
-    pending->clear();
-    return true;
+    return Status::OK();
   }
 
   bool Bound(const std::string& var) const { return columns_.count(var) > 0; }
@@ -425,45 +504,11 @@ class RuleEvaluator {
   }
 
   // Evaluation priority; -1 when not yet evaluable. Lower runs earlier.
+  // The policy itself lives in LiteralPriority (compile.h), shared with
+  // the rule compiler so compiled plans replay exactly these choices.
   int Priority(const Literal& lit) const {
-    switch (lit.kind) {
-      case Literal::Kind::kConstraint:
-        return Bound(lit.constraint.var) ? 0 : -1;
-      case Literal::Kind::kComparison: {
-        bool ok = (!lit.cmp.lhs.is_var() || Bound(lit.cmp.lhs.var)) &&
-                  (!lit.cmp.rhs.is_var() || Bound(lit.cmp.rhs.var));
-        return ok ? 4 : -1;
-      }
-      case Literal::Kind::kAtom: {
-        const Atom& a = lit.atom;
-        auto kind = catalog_.KindOf(a.predicate);
-        PredicateKind k = kind.ok() ? *kind : PredicateKind::kIntensional;
-        size_t n_inputs = 0;
-        if (k == PredicateKind::kPPredicate ||
-            k == PredicateKind::kBuiltinFrom) {
-          n_inputs = *catalog_.InputArityOf(a.predicate);
-        } else if (k == PredicateKind::kPFunction) {
-          n_inputs = a.args.size();
-        }
-        for (size_t i = 0; i < n_inputs; ++i) {
-          if (a.args[i].is_var() && !Bound(a.args[i].var)) return -1;
-        }
-        switch (k) {
-          case PredicateKind::kExtensional:
-          case PredicateKind::kIntensional:
-            return AtomIsConnected(a) ? 1 : 6;
-          case PredicateKind::kBuiltinFrom:
-            return 2;
-          case PredicateKind::kPPredicate:
-            return 3;
-          case PredicateKind::kPFunction:
-            return 5;
-          default:
-            return -1;  // IE predicates must have been unfolded away
-        }
-      }
-    }
-    return -1;
+    return LiteralPriority(catalog_, lit, !columns_.empty(),
+                           [this](const std::string& v) { return Bound(v); });
   }
 
   Status Apply(const Literal& lit, std::vector<Literal>* pending) {
@@ -515,6 +560,292 @@ class RuleEvaluator {
       }
     }
     return Status::Internal("bad literal");
+  }
+
+  // ---- Compiled-plan execution (docs/PERFORMANCE.md, "Rule compilation").
+
+  // Runs plan_->ops[start..): the exact operator sequence RunPipeline
+  // would choose (the compiler replayed the selection policy), with
+  // consecutive constraints fused into one pass and filters run columnar.
+  // `start` is 1 on the morsel path, where the seed join already ran.
+  Status RunPlan(size_t start) {
+    for (size_t oi = start; oi < plan_->ops.size(); ++oi) {
+      IFLEX_RETURN_NOT_OK(stop_.Check("Execute"));
+      const CompiledOp& op = plan_->ops[oi];
+      switch (op.kind) {
+        case CompiledOp::Kind::kJoin: {
+          obs::TraceSpan span(tracer_, "exec.join", op.atom.predicate);
+          IFLEX_ASSIGN_OR_RETURN(const CompactTable* t,
+                                 ResolveJoinTable(op.atom.predicate));
+          // Compiled plans carry connected joins only, and connected
+          // joins never consume pending filters (pushdown is for
+          // unconnected joins, which stay on the interpreter).
+          std::vector<Literal> no_pending;
+          IFLEX_RETURN_NOT_OK(JoinAtom(op.atom, *t, &no_pending));
+          break;
+        }
+        case CompiledOp::Kind::kFrom: {
+          obs::TraceSpan span(tracer_, "exec.from");
+          IFLEX_RETURN_NOT_OK(ApplyFrom(op.atom));
+          break;
+        }
+        case CompiledOp::Kind::kPPredicate: {
+          obs::TraceSpan span(tracer_, "exec.ppred", op.atom.predicate);
+          IFLEX_RETURN_NOT_OK(ApplyPPredicate(op.atom));
+          break;
+        }
+        case CompiledOp::Kind::kConstraintChain:
+          IFLEX_RETURN_NOT_OK(RunConstraintChain(op));
+          break;
+        case CompiledOp::Kind::kFilterBlock:
+          IFLEX_RETURN_NOT_OK(RunFilterBlock(op));
+          break;
+      }
+      // Same budget point RunPipeline applies after each literal. Chains
+      // and blocks only shrink the table, so checking once per op is
+      // equivalent to the interpreter's once per pass.
+      if (binding_.size() > options_.max_table_tuples) {
+        IFLEX_RETURN_NOT_OK(OverBudget(&binding_, "intermediate table"));
+      }
+    }
+    return Status::OK();
+  }
+
+  Result<const CompactTable*> ResolveJoinTable(const std::string& pred) {
+    auto kind = catalog_.KindOf(pred);
+    PredicateKind k = kind.ok() ? *kind : PredicateKind::kIntensional;
+    if (k == PredicateKind::kExtensional) return catalog_.Table(pred);
+    auto it = idb_->find(pred);
+    if (it == idb_->end()) {
+      return Status::Internal("intensional table not yet computed: " + pred);
+    }
+    return &it->second;
+  }
+
+  // Fused verify pass: one traversal of the binding table applies a whole
+  // run of consecutive constraints to each tuple, dropping dead tuples at
+  // the first failing step — the interpreter's per-constraint table
+  // materializations collapse into one. Constraint application is
+  // per-tuple independent and the chain order equals the interpreter's
+  // pass order, so surviving tuples, their narrowed cells, and the memo
+  // hit/miss totals are byte-identical; per-step charges reconstruct the
+  // interpreter's explain rows (rows = step survivors, verify_calls =
+  // step entrants), keeping the stable explain columns exact.
+  Status RunConstraintChain(const CompiledOp& op) {
+    obs::TraceSpan span(tracer_, "exec.constraint_chain");
+    const Corpus& corpus = catalog_.corpus();
+    VerifyMemoL1* memo = ctx_ != nullptr ? ctx_->memo() : nullptr;
+    const size_t n = op.chain.size();
+    std::vector<size_t> cols(n);
+    for (size_t i = 0; i < n; ++i) {
+      cols[i] = columns_.at(op.chain[i].k.lit.var);
+    }
+    const bool profiling = cost_model_->enabled();
+    const uint64_t t0 = profiling ? obs::Tracer::NowNs() : 0;
+    std::vector<uint64_t> entered(n, 0);
+    std::vector<uint64_t> survived(n, 0);
+    std::vector<std::unordered_set<DocId>> docs(profiling ? n : 0);
+    CompactTable out(binding_.schema());
+    for (const CompactTuple& b : binding_.tuples()) {
+      CompactTuple merged = b;
+      bool dead = false;
+      for (size_t i = 0; i < n; ++i) {
+        stats_->constraint_cells->Add();
+        ++entered[i];
+        if (profiling) {
+          DocId d = TupleDocId(merged);
+          if (d != kInvalidDocId) docs[i].insert(d);
+        }
+        IFLEX_RETURN_NOT_OK(stop_.Poll("Execute"));
+        Cell cell = ApplyPreparedConstraintToCell(
+            corpus, op.chain[i].k, op.chain[i].history, merged.cells[cols[i]],
+            memo);
+        if (cell.assignments.empty()) {
+          dead = true;  // no value can satisfy this constraint
+          break;
+        }
+        merged.cells[cols[i]] = std::move(cell);
+        ++survived[i];
+      }
+      if (!dead) out.Add(std::move(merged));
+    }
+    binding_ = std::move(out);
+    if (profiling) {
+      // One charge per fused step, mirroring the interpreter's one
+      // CostScope per constraint pass; the chain's wall time is split
+      // evenly with the remainder on the first step.
+      const uint64_t wall = obs::Tracer::NowNs() - t0;
+      for (size_t i = 0; i < n; ++i) {
+        obs::Cost c;
+        c.count = 1;
+        c.wall_ns = wall / n + (i == 0 ? wall % n : 0);
+        c.rows = survived[i];
+        c.verify_calls = entered[i];
+        c.docs = docs[i].size();
+        cost_model_->Charge(
+            obs::CostKey{scope_, "constraint", options_.cost_iteration}, c);
+      }
+    }
+    return Status::OK();
+  }
+
+  // A cell a columnar filter can read as one scalar: a single exact
+  // assignment (constant cells and refined attribute cells qualify).
+  static bool SimpleCell(const Cell& c) {
+    return !c.is_expansion && c.assignments.size() == 1 &&
+           c.assignments[0].is_exact();
+  }
+
+  // CompareValues under the comparison's rhs offset, matching
+  // NarrowCellByComparison / CompareCells: a non-numeric shifted value
+  // becomes NULL (which satisfies only NULL = NULL).
+  static bool CompareValuesOffset(const Value& lhs, CmpOp op, const Value& rhs,
+                                  double off) {
+    if (off == 0) return CompareValues(lhs, op, rhs);
+    auto n = rhs.AsNumber();
+    return CompareValues(lhs, op,
+                         n.has_value() ? Value::Number(*n + off)
+                                       : Value::Null());
+  }
+
+  // Columnar filter pass: batches the binding table into fixed-width
+  // blocks, runs each filter over a block with an early-out selection
+  // vector, and reads singleton-exact cells as flat scalar columns —
+  // one CompareValues (or one p-function call) per surviving row instead
+  // of the interpreter's per-tuple cell machinery. Irregular rows
+  // (expansion / multi-value / contain cells) take the interpreter's
+  // exact per-tuple evaluation, so the pass is byte-identical: same
+  // survivors in the same order, same narrowed cells, same maybe flags.
+  Status RunFilterBlock(const CompiledOp& op) {
+    obs::TraceSpan span(tracer_, "exec.filter_block");
+    const Corpus& corpus = catalog_.corpus();
+    const size_t nf = op.filters.size();
+    // Column indices per filter: comparison lhs/rhs or p-function args;
+    // SIZE_MAX marks a constant term (cell pre-built at compile time).
+    std::vector<std::vector<size_t>> fcols(nf);
+    for (size_t fi = 0; fi < nf; ++fi) {
+      const CompiledFilter& f = op.filters[fi];
+      if (f.kind == CompiledFilter::Kind::kComparison) {
+        const Comparison& cmp = f.lit.cmp;
+        fcols[fi] = {
+            cmp.lhs.is_var() ? columns_.at(cmp.lhs.var) : SIZE_MAX,
+            cmp.rhs.is_var() ? columns_.at(cmp.rhs.var) : SIZE_MAX};
+      } else {
+        for (const Term& t : f.lit.atom.args) {
+          fcols[fi].push_back(t.is_var() ? columns_.at(t.var) : SIZE_MAX);
+        }
+      }
+    }
+    const bool profiling = cost_model_->enabled();
+    const uint64_t t0 = profiling ? obs::Tracer::NowNs() : 0;
+    std::vector<uint64_t> survivors(nf, 0);
+
+    constexpr size_t kBlockRows = 256;
+    std::vector<CompactTuple>& tuples = binding_.tuples();
+    CompactTable out(binding_.schema());
+    std::vector<size_t> sel(kBlockRows);
+    std::vector<const Value*> lcol(kBlockRows);
+    std::vector<const Value*> rcol(kBlockRows);
+    std::vector<Value> args;
+    for (size_t base = 0; base < tuples.size(); base += kBlockRows) {
+      const size_t rows = std::min(kBlockRows, tuples.size() - base);
+      size_t live = rows;
+      for (size_t i = 0; i < rows; ++i) sel[i] = base + i;
+      for (size_t fi = 0; fi < nf && live > 0; ++fi) {
+        const CompiledFilter& f = op.filters[fi];
+        size_t kept = 0;
+        if (f.kind == CompiledFilter::Kind::kComparison) {
+          const Comparison& cmp = f.lit.cmp;
+          const size_t lhs_col = fcols[fi][0];
+          const size_t rhs_col = fcols[fi][1];
+          // Gather scalar views; nullptr marks an irregular row.
+          for (size_t i = 0; i < live; ++i) {
+            const CompactTuple& t = tuples[sel[i]];
+            const Cell& lc =
+                lhs_col != SIZE_MAX ? t.cells[lhs_col] : f.const_cells[0];
+            const Cell& rc =
+                rhs_col != SIZE_MAX ? t.cells[rhs_col] : f.const_cells[1];
+            const bool simple = SimpleCell(lc) && SimpleCell(rc);
+            lcol[i] = simple ? &lc.assignments[0].value : nullptr;
+            rcol[i] = simple ? &rc.assignments[0].value : nullptr;
+          }
+          for (size_t i = 0; i < live; ++i) {
+            IFLEX_RETURN_NOT_OK(stop_.Poll("Execute"));
+            bool keep;
+            if (lcol[i] != nullptr) {
+              // Singleton-exact fast path: narrowing keeps the assignment
+              // unchanged and never sets maybe, so the pass reduces to
+              // the forward check plus the flipped rhs check (the latter
+              // can differ when the offset lands on a non-numeric value).
+              keep = CompareValuesOffset(*lcol[i], cmp.op, *rcol[i],
+                                         cmp.rhs_offset) &&
+                     (!cmp.rhs.is_var() ||
+                      CompareValuesOffset(*rcol[i], FlipOp(cmp.op), *lcol[i],
+                                          -cmp.rhs_offset));
+            } else {
+              keep = ComparisonOnTuple(cmp, lhs_col, rhs_col, &tuples[sel[i]]);
+            }
+            if (keep) sel[kept++] = sel[i];
+          }
+        } else {
+          for (size_t i = 0; i < live; ++i) {
+            IFLEX_RETURN_NOT_OK(stop_.Poll("Execute"));
+            CompactTuple& t = tuples[sel[i]];
+            bool simple = true;
+            for (size_t ai = 0; ai < fcols[fi].size() && simple; ++ai) {
+              if (fcols[fi][ai] != SIZE_MAX) {
+                simple = SimpleCell(t.cells[fcols[fi][ai]]);
+              }
+            }
+            bool keep;
+            if (simple) {
+              // All-singleton rows have exactly one input combination, so
+              // EvalFilter would make exactly this one call and return
+              // kAll or kNone — never a maybe change.
+              args.clear();
+              for (size_t ai = 0; ai < fcols[fi].size(); ++ai) {
+                const Cell& c = fcols[fi][ai] != SIZE_MAX
+                                    ? t.cells[fcols[fi][ai]]
+                                    : f.const_cells[ai];
+                args.push_back(c.assignments[0].value);
+              }
+              Result<Value> r = (*f.fn)(corpus, args);
+              if (!r.ok()) return r.status();
+              keep = r->AsBool();
+            } else {
+              IFLEX_ASSIGN_OR_RETURN(SatResult r,
+                                     EvalFilter(f.lit, t, columns_));
+              keep = r != SatResult::kNone;
+              if (keep) t.maybe = t.maybe || r == SatResult::kSome;
+            }
+            if (keep) sel[kept++] = sel[i];
+          }
+        }
+        live = kept;
+        survivors[fi] += live;
+      }
+      for (size_t i = 0; i < live; ++i) {
+        out.Add(std::move(tuples[sel[i]]));
+      }
+    }
+    binding_ = std::move(out);
+    if (profiling) {
+      const uint64_t wall = obs::Tracer::NowNs() - t0;
+      for (size_t fi = 0; fi < nf; ++fi) {
+        obs::Cost c;
+        c.count = 1;
+        c.wall_ns = wall / nf + (fi == 0 ? wall % nf : 0);
+        c.rows = survivors[fi];
+        cost_model_->Charge(
+            obs::CostKey{scope_,
+                         op.filters[fi].kind == CompiledFilter::Kind::kComparison
+                             ? "comparison"
+                             : "pfunction",
+                         options_.cost_iteration},
+            c);
+      }
+    }
+    return Status::OK();
   }
 
   // Tri-state evaluation of a filter literal against a tuple whose columns
@@ -1024,52 +1355,69 @@ class RuleEvaluator {
   Status ApplyComparison(const Comparison& cmp) {
     obs::CostScope cost(cost_model_, scope_, "comparison",
                         options_.cost_iteration);
-    const Corpus& corpus = catalog_.corpus();
+    size_t lhs_col = cmp.lhs.is_var() ? columns_.at(cmp.lhs.var) : SIZE_MAX;
+    size_t rhs_col = cmp.rhs.is_var() ? columns_.at(cmp.rhs.var) : SIZE_MAX;
     CompactTable out(binding_.schema());
     for (const CompactTuple& b : binding_.tuples()) {
       IFLEX_RETURN_NOT_OK(stop_.Poll("Execute"));
-      Cell lhs = CellForTerm(cmp.lhs, b);
-      Cell rhs = CellForTerm(cmp.rhs, b);
-      bool maybe = b.maybe;
       CompactTuple merged = b;
-      bool keep;
-      if (cmp.lhs.is_var()) {
-        bool partial = false;
-        Cell narrowed =
-            NarrowCellByComparison(corpus, lhs, cmp.op, rhs, options_.limits,
-                                   &partial, cmp.rhs_offset);
-        keep = !narrowed.assignments.empty();
-        if (keep) {
-          merged.cells[columns_.at(cmp.lhs.var)] = narrowed;
-          maybe = maybe || partial;
-        }
-      } else {
-        SatResult r = CompareCells(corpus, lhs, cmp.op, rhs, options_.limits,
-                                   cmp.rhs_offset);
-        keep = r != SatResult::kNone;
-        maybe = maybe || r == SatResult::kSome;
+      if (ComparisonOnTuple(cmp, lhs_col, rhs_col, &merged)) {
+        out.Add(std::move(merged));
       }
-      if (!keep) continue;
-      // Also narrow the right side when it is a variable (correlation with
-      // the narrowed left side is lost, but the result stays a superset).
-      if (cmp.rhs.is_var()) {
-        // lhs op rhs+off  <=>  rhs flip(op) lhs-off.
-        bool partial = false;
-        CmpOp flipped = FlipOp(cmp.op);
-        Cell narrowed = NarrowCellByComparison(
-            corpus, merged.cells[columns_.at(cmp.rhs.var)], flipped,
-            cmp.lhs.is_var() ? merged.cells[columns_.at(cmp.lhs.var)] : lhs,
-            options_.limits, &partial, -cmp.rhs_offset);
-        if (narrowed.assignments.empty()) continue;
-        merged.cells[columns_.at(cmp.rhs.var)] = narrowed;
-        maybe = maybe || partial;
-      }
-      merged.maybe = maybe;
-      out.Add(std::move(merged));
     }
     binding_ = std::move(out);
     if (cost.active()) cost.cost()->rows = binding_.size();
     return Status::OK();
+  }
+
+  // One tuple of ApplyComparison, shared between the interpreter pass and
+  // the compiled filter block's irregular rows: narrow the lhs cell (or
+  // tri-state compare when the lhs is a constant), then narrow the rhs
+  // cell against the narrowed lhs. Column indices are SIZE_MAX for
+  // constant sides. On true, *merged holds the narrowed tuple with its
+  // maybe flag updated; false drops the tuple (a partially narrowed
+  // *merged is then discarded by the caller).
+  bool ComparisonOnTuple(const Comparison& cmp, size_t lhs_col,
+                         size_t rhs_col, CompactTuple* merged) {
+    const Corpus& corpus = catalog_.corpus();
+    Cell lhs =
+        lhs_col != SIZE_MAX ? merged->cells[lhs_col] : ConstantCell(cmp.lhs);
+    Cell rhs =
+        rhs_col != SIZE_MAX ? merged->cells[rhs_col] : ConstantCell(cmp.rhs);
+    bool maybe = merged->maybe;
+    bool keep;
+    if (cmp.lhs.is_var()) {
+      bool partial = false;
+      Cell narrowed = NarrowCellByComparison(
+          corpus, lhs, cmp.op, rhs, options_.limits, &partial, cmp.rhs_offset);
+      keep = !narrowed.assignments.empty();
+      if (keep) {
+        merged->cells[lhs_col] = narrowed;
+        maybe = maybe || partial;
+      }
+    } else {
+      SatResult r = CompareCells(corpus, lhs, cmp.op, rhs, options_.limits,
+                                 cmp.rhs_offset);
+      keep = r != SatResult::kNone;
+      maybe = maybe || r == SatResult::kSome;
+    }
+    if (!keep) return false;
+    // Also narrow the right side when it is a variable (correlation with
+    // the narrowed left side is lost, but the result stays a superset).
+    if (cmp.rhs.is_var()) {
+      // lhs op rhs+off  <=>  rhs flip(op) lhs-off.
+      bool partial = false;
+      CmpOp flipped = FlipOp(cmp.op);
+      Cell narrowed = NarrowCellByComparison(
+          corpus, merged->cells[rhs_col], flipped,
+          cmp.lhs.is_var() ? merged->cells[lhs_col] : lhs, options_.limits,
+          &partial, -cmp.rhs_offset);
+      if (narrowed.assignments.empty()) return false;
+      merged->cells[rhs_col] = narrowed;
+      maybe = maybe || partial;
+    }
+    merged->maybe = maybe;
+    return true;
   }
 
   static CmpOp FlipOp(CmpOp op) {
@@ -1331,6 +1679,10 @@ class RuleEvaluator {
   // Latched by OverBudget in best-effort mode: once an output table hit
   // the cap, enumeration loops stop adding to it.
   bool budget_exhausted_ = false;
+  // Compiled plan for the rule under evaluation (owned by the Executor's
+  // RuleCompileCache), or null to interpret. Morsel sub-evaluators inherit
+  // it so every shard runs the same path as the whole-table run.
+  const CompiledRule* plan_ = nullptr;
 };
 
 // Dependency-ordered list of intensional predicates needed for the query.
@@ -1412,6 +1764,7 @@ uint64_t PredicateFingerprint(
 
 void ExecCounters::BindTo(obs::MetricRegistry* registry) {
   rules_evaluated = registry->counter("exec.rules_evaluated");
+  rules_compiled = registry->counter("exec.rules_compiled");
   tuples_emitted = registry->counter("exec.tuples_emitted");
   join_pairs = registry->counter("exec.join_pairs");
   join_probes = registry->counter("exec.join_probes");
@@ -1435,6 +1788,12 @@ Executor::Executor(const Catalog& catalog, ExecOptions options)
       cost_model_(obs::CostModelOrDefault(options.cost_model)),
       event_log_(obs::EventLogOrDefault(options.event_log)) {
   if (FastPathDisabledByEnv()) options_.enable_fast_path = false;
+  // Rule compilation is part of the fast path: disabling the fast path
+  // (option or IFLEX_DISABLE_FASTPATH) must also disable the compiled
+  // path, and IFLEX_DISABLE_RULE_COMPILE is the targeted escape hatch.
+  if (!options_.enable_fast_path || RuleCompileDisabledByEnv()) {
+    options_.enable_rule_compile = false;
+  }
   if (!options_.enable_fast_path) {
     options_.verify_memo = nullptr;
   } else if (options_.verify_memo == nullptr) {
@@ -1456,6 +1815,7 @@ Executor::Executor(const Catalog& catalog, ExecOptions options)
 
 const ExecStats& Executor::stats() const {
   stats_.rules_evaluated = counters_.rules_evaluated->value();
+  stats_.rules_compiled = counters_.rules_compiled->value();
   stats_.tuples_emitted = counters_.tuples_emitted->value();
   stats_.join_pairs = counters_.join_pairs->value();
   stats_.join_probes = counters_.join_probes->value();
@@ -1473,6 +1833,7 @@ const ExecStats& Executor::stats() const {
 
 void Executor::ClearStats() {
   counters_.rules_evaluated->Reset();
+  counters_.rules_compiled->Reset();
   counters_.tuples_emitted->Reset();
   counters_.join_pairs->Reset();
   counters_.join_probes->Reset();
@@ -1739,6 +2100,18 @@ Result<CompactTable> Executor::ExecuteInternal(const Program& program,
       }
       return Status::OK();
     };
+    // Compiled plans, looked up (and lowered on first sight) before the
+    // rule fan-out so plan pointers are fixed while workers run. A null
+    // plan interprets the rule. Fail-point site "exec.compile": an
+    // injected fault degrades that rule to the interpreter — slower,
+    // never wrong.
+    std::vector<const CompiledRule*> plans(rules.size(), nullptr);
+    if (options_.enable_rule_compile) {
+      for (size_t i = 0; i < rules.size(); ++i) {
+        if (resilience::FailPointFired("exec.compile")) continue;
+        plans[i] = compile_cache_.Get(catalog_, *rules[i]);
+      }
+    }
     if (options_.pool != nullptr && rules.size() > 1) {
       // Rule-per-task fan-out; merging in rule order reproduces the
       // serial append exactly, and a failing rule reports the same error
@@ -1750,6 +2123,7 @@ Result<CompactTable> Executor::ExecuteInternal(const Program& program,
               options_.pool, rules.size(), [&](size_t i) {
                 RuleEvaluator eval(catalog_, options_, &idb, &counters_,
                                    tracer_, &reports[i], &contexts_);
+                eval.set_plan(plans[i]);
                 return eval.Evaluate(*rules[i]);
               });
       for (size_t i = 0; i < rules.size(); ++i) {
@@ -1757,10 +2131,11 @@ Result<CompactTable> Executor::ExecuteInternal(const Program& program,
         IFLEX_RETURN_NOT_OK(merge_rule(*rules[i], std::move(parts[i])));
       }
     } else {
-      for (const Rule* r : rules) {
+      for (size_t i = 0; i < rules.size(); ++i) {
         RuleEvaluator eval(catalog_, options_, &idb, &counters_, tracer_,
                            report_, &contexts_);
-        IFLEX_RETURN_NOT_OK(merge_rule(*r, eval.Evaluate(*r)));
+        eval.set_plan(plans[i]);
+        IFLEX_RETURN_NOT_OK(merge_rule(*rules[i], eval.Evaluate(*rules[i])));
       }
     }
     if (first) {

@@ -11,6 +11,7 @@
 #include "common/result.h"
 #include "ctable/compact_table.h"
 #include "exec/cell_ops.h"
+#include "exec/compile.h"
 #include "exec/verify_memo.h"
 #include "exec/worker_context.h"
 #include "obs/cost_model.h"
@@ -82,6 +83,15 @@ struct ExecOptions {
   /// determinism tests enforce it). Also forced off by setting the
   /// IFLEX_DISABLE_FASTPATH environment variable.
   bool enable_fast_path = true;
+  /// Rule compilation (docs/PERFORMANCE.md, "Rule compilation"): lower
+  /// each rule body into a flat CompiledRule plan — fused constraint
+  /// chains, columnar filter blocks — cached per executor, with per-rule
+  /// fallback to the interpreter for uncovered constructs. Results are
+  /// byte-identical either way (the compile determinism suite enforces
+  /// it). Forced off when enable_fast_path is off (including via
+  /// IFLEX_DISABLE_FASTPATH) or when the IFLEX_DISABLE_RULE_COMPILE
+  /// environment variable is set.
+  bool enable_rule_compile = true;
   /// Verify/VerifyText memo shared across executors (the assistant points
   /// every iteration and simulation at one session-scoped memo). Null
   /// gives the executor a private memo; ignored when enable_fast_path is
@@ -118,6 +128,10 @@ struct ExecStats {
   size_t join_build_rows = 0;
   size_t constraint_cells = 0;
   size_t ppred_invocations = 0;
+  /// Rule evaluations that ran through a compiled plan (vs the
+  /// interpreter). Zero when rule compilation is disabled or every rule
+  /// fell back.
+  size_t rules_compiled = 0;
   size_t cache_hits = 0;
   size_t cache_misses = 0;
   /// Cumulative totals of the session-shared caches at the end of the
@@ -150,6 +164,7 @@ struct ExecCounters {
   obs::Counter* join_build_rows = nullptr;
   obs::Counter* constraint_cells = nullptr;
   obs::Counter* ppred_invocations = nullptr;
+  obs::Counter* rules_compiled = nullptr;
   obs::Counter* cache_hits = nullptr;
   obs::Counter* cache_misses = nullptr;
   obs::Counter* process_assignments = nullptr;
@@ -316,6 +331,10 @@ class Executor {
   /// Per-worker execution state (scratch buffers + memo L1), recycled
   /// across morsels/rules via a freelist (docs/RUNTIME.md).
   WorkerContextPool contexts_;
+  /// Compiled-plan cache, one per executor: plans bake in pointers into
+  /// the catalog / feature registry, whose lifetime the executor already
+  /// bounds. Rule fingerprints key the (program, corpus) epoch.
+  RuleCompileCache compile_cache_;
   std::unique_ptr<VerifyMemo> owned_verify_memo_;
   std::unique_ptr<obs::MetricRegistry> owned_metrics_;
   obs::MetricRegistry* metrics_;

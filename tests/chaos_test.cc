@@ -339,6 +339,53 @@ TEST(JoinIndexChaosTest, IndexFaultDegradesToScanNeverWrongAnswer) {
   FailPoints::Instance().Clear();
 }
 
+// ------------------------------------------------------------ exec.compile
+
+// A fault at the rule-compilation site must degrade that rule to the
+// interpreter — identical answer, just slower. Firing on every hit, no
+// rule compiles at all and the run is still byte-identical.
+TEST_F(ChaosTest, CompileFaultDegradesToInterpreterNeverWrongAnswer) {
+  auto prog = Parse();
+  ASSERT_TRUE(prog.ok());
+  auto base = Baseline(*prog);
+  ASSERT_TRUE(base.ok());
+  {
+    // The clean baseline really took the compiled path.
+    Executor check(*catalog_);
+    ASSERT_TRUE(check.Execute(*prog).ok());
+    ASSERT_GT(check.stats().rules_compiled, 0u);
+  }
+
+  ASSERT_TRUE(FailPoints::Instance().Configure("exec.compile=error").ok());
+  Executor exec(*catalog_);
+  auto result = exec.Execute(*prog);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->ToString(&corpus_), base->ToString(&corpus_));
+  EXPECT_GT(FailPoints::Instance().HitCount("exec.compile"), 0u);
+  // Degraded to the interpreter: no rule ran through a plan.
+  EXPECT_EQ(exec.stats().rules_compiled, 0u);
+  EXPECT_FALSE(exec.report().degraded);
+}
+
+TEST_F(ChaosTest, TransientCompileFaultRecoversDeterministically) {
+  auto prog = Parse();
+  ASSERT_TRUE(prog.ok());
+  auto base = Baseline(*prog);
+  ASSERT_TRUE(base.ok());
+  // The unfolded program has one q rule, so each Execute draws one hit:
+  // fires on hits 2, 4, ... — compiled, interpreted, compiled, ...
+  // Either way the bytes never change.
+  ASSERT_TRUE(
+      FailPoints::Instance().Configure("exec.compile=error|every:2").ok());
+  for (size_t expect_compiled : {1u, 0u, 1u, 0u}) {
+    Executor exec(*catalog_);
+    auto result = exec.Execute(*prog);
+    ASSERT_TRUE(result.ok()) << result.status();
+    EXPECT_EQ(result->ToString(&corpus_), base->ToString(&corpus_));
+    EXPECT_EQ(exec.stats().rules_compiled, expect_compiled);
+  }
+}
+
 // ----------------------------------------- nothing armed, nothing changes
 
 TEST_F(ChaosTest, DisarmedFailPointsAreInvisible) {
